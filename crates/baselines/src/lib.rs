@@ -1,0 +1,48 @@
+//! The four baseline memory systems of §5.1.
+//!
+//! Every system implements [`thynvm_types::MemorySystem`], so the same
+//! core/cache driver and the same workload traces run unmodified against
+//! all of them:
+//!
+//! * [`IdealDram`] — DRAM-only main memory, *assumed* to provide crash
+//!   consistency at zero cost. The performance upper bound.
+//! * [`IdealNvm`] — NVM-only main memory with the same zero-cost
+//!   assumption.
+//! * [`Journaling`] — a hybrid DRAM+NVM system using redo journaling
+//!   (§2.2, implementation following the paper's description): dirty blocks
+//!   coalesce in a DRAM journal buffer; at each epoch end the buffer is
+//!   written to an NVM backup region and then committed in place,
+//!   stop-the-world.
+//! * [`ShadowPaging`] — a hybrid system using page-granularity copy-on-
+//!   write: pages are copied into a DRAM buffer on first write; at each
+//!   epoch end (or when the buffer fills) every dirty page is flushed to a
+//!   shadow location in NVM, stop-the-world — even if only one block of the
+//!   page is dirty, which is its Random-pattern pathology (§5.2).
+//!
+//! # Example
+//!
+//! ```
+//! use thynvm_baselines::{IdealDram, Journaling};
+//! use thynvm_types::{Cycle, MemorySystem, MemRequest, PhysAddr, SystemConfig};
+//!
+//! let cfg = SystemConfig::paper();
+//! let mut ideal = IdealDram::new(cfg);
+//! let mut journal = Journaling::new(cfg);
+//! let req = MemRequest::write(PhysAddr::new(0x40), 64);
+//! let t_ideal = ideal.access(&req, Cycle::ZERO);
+//! let t_journal = journal.access(&req, Cycle::ZERO);
+//! // Both service the write; the journal will additionally pay at its next
+//! // checkpoint, the ideal system never pays.
+//! assert!(t_ideal > Cycle::ZERO && t_journal > Cycle::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ideal;
+pub mod journal;
+pub mod shadow;
+
+pub use ideal::{IdealDram, IdealNvm};
+pub use journal::Journaling;
+pub use shadow::ShadowPaging;

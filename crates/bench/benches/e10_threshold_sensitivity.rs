@@ -1,0 +1,11 @@
+//! Sensitivity ablation; see thynvm_bench::experiments::e10_threshold_sensitivity.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e10_threshold_sensitivity`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let (table, _cells) = experiments::e10_threshold_sensitivity(Scale::from_env());
+    table.print();
+}

@@ -1,0 +1,11 @@
+//! Sensitivity ablation; see thynvm_bench::experiments::e11_epoch_length.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e11_epoch_length`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let (table, _cells) = experiments::e11_epoch_length(Scale::from_env());
+    table.print();
+}

@@ -1,0 +1,11 @@
+//! Sensitivity ablation; see thynvm_bench::experiments::e12_dram_size.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e12_dram_size`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let (table, _cells) = experiments::e12_dram_size(Scale::from_env());
+    table.print();
+}

@@ -1,0 +1,9 @@
+//! Recovery-latency experiment; see thynvm_bench::experiments::e13_recovery_time.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e13_recovery_time`.
+
+use thynvm_bench::experiments;
+
+fn main() {
+    experiments::e13_recovery_time().print();
+}

@@ -1,0 +1,10 @@
+//! NVM endurance comparison; see thynvm_bench::experiments::e14_endurance.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e14_endurance`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    experiments::e14_endurance(Scale::from_env()).print();
+}

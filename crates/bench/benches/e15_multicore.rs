@@ -1,0 +1,11 @@
+//! Multi-core scalability experiment; see thynvm_bench::experiments::e15_multicore.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e15_multicore`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let (table, _cells) = experiments::e15_multicore(Scale::from_env());
+    table.print();
+}

@@ -1,0 +1,12 @@
+//! Working-region placement exploration; see
+//! thynvm_bench::experiments::e16_working_region.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e16_working_region`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let (table, _cells) = experiments::e16_working_region(Scale::from_env());
+    table.print();
+}

@@ -1,0 +1,11 @@
+//! YCSB core-mix evaluation; see thynvm_bench::experiments::e17_ycsb.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e17_ycsb`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let (table, _cells) = experiments::e17_ycsb(Scale::from_env());
+    table.print();
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact; see thynvm_bench::experiments::e9_overlap_ablation.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e9_overlap_ablation`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, cells) = experiments::e9_overlap_ablation(scale);
+    table.print();
+    println!("{}", experiments::summarize_vs_ideal(&cells));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact; see thynvm_bench::experiments::fig11_spec_ipc.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench fig11_spec_ipc`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, cells) = experiments::fig11_spec_ipc(scale);
+    table.print();
+    println!("{}", experiments::summarize_vs_ideal(&cells));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact; see thynvm_bench::experiments::fig12_btt_sensitivity.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench fig12_btt_sensitivity`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, cells) = experiments::fig12_btt_sensitivity(scale);
+    table.print();
+    println!("{}", experiments::summarize_vs_ideal(&cells));
+}

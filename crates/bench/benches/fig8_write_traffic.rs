@@ -1,0 +1,14 @@
+//! Regenerates the paper artifact; see thynvm_bench::experiments::fig8_write_traffic.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench fig8_write_traffic`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, cells) = experiments::fig8_write_traffic(scale);
+    table.print();
+    let _ = cells; // per-cell data available for downstream tooling
+
+}

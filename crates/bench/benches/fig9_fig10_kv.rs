@@ -1,0 +1,19 @@
+//! Regenerates Figures 9 and 10: key-value store transaction throughput
+//! and write bandwidth across request sizes, for both the hash table and
+//! the red-black tree.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench fig9_fig10_kv`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, KvKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    for kv in [KvKind::HashTable, KvKind::RbTree] {
+        let (throughput, bandwidth, cells) = experiments::fig9_fig10_kv(scale, kv);
+        throughput.print();
+        bandwidth.print();
+        println!("{}", experiments::summarize_vs_ideal(&cells));
+        println!();
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact; see thynvm_bench::experiments::tab1_tradeoff.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench tab1_tradeoff`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, cells) = experiments::tab1_tradeoff(scale);
+    table.print();
+    println!("{}", experiments::summarize_vs_ideal(&cells));
+}

@@ -1,0 +1,9 @@
+//! Prints the Table 2 system configuration used by every experiment.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench tab2_config`.
+
+use thynvm_bench::experiments;
+
+fn main() {
+    experiments::tab2_config().print();
+}

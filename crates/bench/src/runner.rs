@@ -1,0 +1,273 @@
+//! System construction and trace execution.
+
+use thynvm_baselines::{IdealDram, IdealNvm, Journaling, ShadowPaging};
+use thynvm_cache::{CoreModel, CoreStats};
+use thynvm_core::ThyNvm;
+use thynvm_types::{CkptMode, Cycle, MemStats, MemorySystem, SystemConfig, TraceEvent};
+
+/// Every memory system evaluated anywhere in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// DRAM-only with free crash consistency (§5.1 system 1).
+    IdealDram,
+    /// NVM-only with free crash consistency (§5.1 system 2).
+    IdealNvm,
+    /// Hybrid with redo journaling (§5.1 system 3).
+    Journal,
+    /// Hybrid with page-granularity copy-on-write (§5.1 system 4).
+    Shadow,
+    /// The paper's contribution: dual-scheme overlapped checkpointing.
+    ThyNvm,
+    /// Ablation: uniform cache-block granularity (Table 1 quadrant ❸).
+    ThyNvmBlockOnly,
+    /// Ablation: uniform page granularity (Table 1 quadrant ❷).
+    ThyNvmPageOnly,
+    /// Ablation: dual-scheme but stop-the-world (Figure 3a epoch model).
+    ThyNvmNoOverlap,
+}
+
+impl SystemKind {
+    /// The five systems of the main evaluation figures, in the paper's
+    /// legend order.
+    pub const fn paper_five() -> [SystemKind; 5] {
+        [
+            SystemKind::IdealDram,
+            SystemKind::IdealNvm,
+            SystemKind::Journal,
+            SystemKind::Shadow,
+            SystemKind::ThyNvm,
+        ]
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SystemKind::IdealDram => "Ideal DRAM",
+            SystemKind::IdealNvm => "Ideal NVM",
+            SystemKind::Journal => "Journal",
+            SystemKind::Shadow => "Shadow",
+            SystemKind::ThyNvm => "ThyNVM",
+            SystemKind::ThyNvmBlockOnly => "Block-only",
+            SystemKind::ThyNvmPageOnly => "Page-only",
+            SystemKind::ThyNvmNoOverlap => "No-overlap",
+        }
+    }
+
+    /// Instantiates the system with `cfg`.
+    pub fn build(self, cfg: SystemConfig) -> Box<dyn MemorySystem> {
+        match self {
+            SystemKind::IdealDram => Box::new(IdealDram::new(cfg)),
+            SystemKind::IdealNvm => Box::new(IdealNvm::new(cfg)),
+            SystemKind::Journal => Box::new(Journaling::new(cfg)),
+            SystemKind::Shadow => Box::new(ShadowPaging::new(cfg)),
+            SystemKind::ThyNvm => Box::new(ThyNvm::new(cfg)),
+            SystemKind::ThyNvmBlockOnly => {
+                let mut cfg = cfg;
+                cfg.thynvm.mode = CkptMode::BlockOnly;
+                Box::new(ThyNvm::new(cfg))
+            }
+            SystemKind::ThyNvmPageOnly => {
+                let mut cfg = cfg;
+                cfg.thynvm.mode = CkptMode::PageOnly;
+                Box::new(ThyNvm::new(cfg))
+            }
+            SystemKind::ThyNvmNoOverlap => {
+                let mut cfg = cfg;
+                cfg.thynvm.overlap = false;
+                Box::new(ThyNvm::new(cfg))
+            }
+        }
+    }
+}
+
+/// Outcome of one workload run on one system.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// System display name.
+    pub system: &'static str,
+    /// Total simulated execution time (including drained checkpoint work).
+    pub cycles: Cycle,
+    /// Instructions retired by the core model.
+    pub instructions: u64,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Core statistics (stalls, flushes).
+    pub core: CoreStats,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == Cycle::ZERO {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles.raw() as f64
+        }
+    }
+
+    /// Execution time relative to `baseline` (1.0 = same).
+    pub fn relative_time(&self, baseline: &RunResult) -> f64 {
+        if baseline.cycles == Cycle::ZERO {
+            0.0
+        } else {
+            self.cycles.raw() as f64 / baseline.cycles.raw() as f64
+        }
+    }
+
+    /// Share of execution time the application was *stalled* on checkpoint
+    /// work, in percent (the Figure 8 "% exec. time spent on ckpt" series).
+    pub fn ckpt_stall_share(&self) -> f64 {
+        if self.cycles == Cycle::ZERO {
+            0.0
+        } else {
+            100.0 * self.mem.ckpt_stall_cycles.raw() as f64 / self.cycles.raw() as f64
+        }
+    }
+
+    /// Transactions per second given `transactions` completed in this run.
+    pub fn throughput_tps(&self, transactions: u64) -> f64 {
+        let secs = self.cycles.as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            transactions as f64 / secs
+        }
+    }
+
+    /// Write bandwidth in MB/s: NVM writes for persistent systems, DRAM
+    /// writes for the DRAM-only baseline (Figure 10's convention).
+    pub fn write_bandwidth_mbps(&self) -> f64 {
+        if self.system == "Ideal DRAM" {
+            self.mem.dram_write_bandwidth_mbps(self.cycles)
+        } else {
+            self.mem.nvm_write_bandwidth_mbps(self.cycles)
+        }
+    }
+}
+
+/// Runs `events` through the full platform (in-order core + three-level
+/// cache hierarchy + the chosen memory system), honoring the checkpoint
+/// handshake, and drains all deferred work at the end.
+pub fn run_with_caches<I>(kind: SystemKind, cfg: SystemConfig, events: I) -> RunResult
+where
+    I: IntoIterator<Item = TraceEvent>,
+{
+    let mut sys = kind.build(cfg);
+    let mut core = CoreModel::new(cfg.cache);
+    let cycles = core.run_trace(events, sys.as_mut());
+    RunResult {
+        system: kind.as_str(),
+        cycles,
+        instructions: core.stats().instructions,
+        mem: sys.stats().clone(),
+        core: core.stats().clone(),
+    }
+}
+
+/// Runs `events` directly against the memory system (no caches): every
+/// access reaches the controller. Used for controller-focused experiments
+/// and tests.
+pub fn run_raw<I>(kind: SystemKind, cfg: SystemConfig, events: I) -> RunResult
+where
+    I: IntoIterator<Item = TraceEvent>,
+{
+    let mut sys = kind.build(cfg);
+    let mut now = Cycle::ZERO;
+    let mut instructions = 0u64;
+    for e in events {
+        instructions += e.instructions();
+        now += Cycle::new(u64::from(e.gap));
+        now = sys.access(&e.req, now);
+        if sys.checkpoint_due(now) {
+            now = sys.begin_checkpoint(now, &[]);
+        }
+    }
+    let cycles = sys.drain(now);
+    RunResult {
+        system: kind.as_str(),
+        cycles,
+        instructions,
+        mem: sys.stats().clone(),
+        core: CoreStats::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thynvm_types::{MemRequest, PhysAddr};
+
+    fn small_trace(n: u64) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| {
+                let addr = PhysAddr::new((i * 64) % (1 << 20));
+                let req = if i % 2 == 0 {
+                    MemRequest::write(addr, 64)
+                } else {
+                    MemRequest::read(addr, 64)
+                };
+                TraceEvent::new(4, req)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_systems_build_and_run() {
+        let cfg = SystemConfig::small_test();
+        for kind in [
+            SystemKind::IdealDram,
+            SystemKind::IdealNvm,
+            SystemKind::Journal,
+            SystemKind::Shadow,
+            SystemKind::ThyNvm,
+            SystemKind::ThyNvmBlockOnly,
+            SystemKind::ThyNvmPageOnly,
+            SystemKind::ThyNvmNoOverlap,
+        ] {
+            let res = run_with_caches(kind, cfg, small_trace(2_000));
+            assert!(res.cycles > Cycle::ZERO, "{} produced no time", res.system);
+            assert_eq!(res.system, kind.as_str());
+            assert!(res.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn ideal_dram_is_fastest() {
+        let cfg = SystemConfig::small_test();
+        let dram = run_with_caches(SystemKind::IdealDram, cfg, small_trace(5_000));
+        for kind in [SystemKind::IdealNvm, SystemKind::Journal, SystemKind::Shadow, SystemKind::ThyNvm]
+        {
+            let other = run_with_caches(kind, cfg, small_trace(5_000));
+            assert!(
+                other.relative_time(&dram) >= 0.999,
+                "{} beat Ideal DRAM: {:.3}",
+                other.system,
+                other.relative_time(&dram)
+            );
+        }
+    }
+
+    #[test]
+    fn raw_runner_reaches_controller_every_access() {
+        let cfg = SystemConfig::small_test();
+        let res = run_raw(SystemKind::ThyNvm, cfg, small_trace(100));
+        assert_eq!(res.mem.total_accesses(), 100);
+    }
+
+    #[test]
+    fn paper_five_order() {
+        let names: Vec<_> = SystemKind::paper_five().iter().map(|k| k.as_str()).collect();
+        assert_eq!(names, ["Ideal DRAM", "Ideal NVM", "Journal", "Shadow", "ThyNVM"]);
+    }
+
+    #[test]
+    fn run_result_metrics() {
+        let cfg = SystemConfig::small_test();
+        let res = run_with_caches(SystemKind::ThyNvm, cfg, small_trace(3_000));
+        assert!(res.ckpt_stall_share() >= 0.0);
+        assert!(res.throughput_tps(1_000) > 0.0);
+        assert!(res.write_bandwidth_mbps() >= 0.0);
+        let base = res.clone();
+        assert!((res.relative_time(&base) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,345 @@
+//! A single set-associative, writeback, write-allocate cache with LRU
+//! replacement.
+
+use thynvm_types::{PhysAddr, BLOCK_BYTES};
+
+/// A block evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Base physical address of the evicted block.
+    pub addr: PhysAddr,
+    /// Whether the block was dirty (must be written back downstream).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+}
+
+impl Line {
+    const INVALID: Line = Line { tag: 0, valid: false, dirty: false, lru: 0 };
+}
+
+/// One level of a writeback cache.
+///
+/// Addresses are managed at 64 B block granularity; any byte address within
+/// a block maps to the same line. The cache is *write-allocate*: a store
+/// miss fills the block, then dirties it.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_cache::SetAssocCache;
+/// use thynvm_types::PhysAddr;
+///
+/// let mut c = SetAssocCache::new(4096, 4); // 4 KiB, 4-way
+/// assert!(!c.probe(PhysAddr::new(0)));
+/// c.fill(PhysAddr::new(0), false);
+/// assert!(c.probe(PhysAddr::new(63))); // same block
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `bytes` capacity and `ways` associativity with
+    /// 64 B blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a positive multiple of
+    /// `ways * BLOCK_BYTES` or if `ways` is zero.
+    pub fn new(bytes: u64, ways: u32) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        let ways = ways as usize;
+        let blocks = (bytes / BLOCK_BYTES) as usize;
+        assert!(blocks > 0 && blocks.is_multiple_of(ways), "capacity must be a multiple of ways × 64 B");
+        let sets = blocks / ways;
+        Self { sets, ways, lines: vec![Line::INVALID; blocks], tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn index(&self, addr: PhysAddr) -> (usize, u64) {
+        let block = addr.raw() / BLOCK_BYTES;
+        ((block % self.sets as u64) as usize, block / self.sets as u64)
+    }
+
+    fn set_lines(&mut self, set: usize) -> &mut [Line] {
+        let start = set * self.ways;
+        &mut self.lines[start..start + self.ways]
+    }
+
+    /// Looks up `addr` without modifying replacement state or statistics.
+    pub fn probe(&self, addr: PhysAddr) -> bool {
+        let (set, tag) = self.index(addr);
+        let start = set * self.ways;
+        self.lines[start..start + self.ways].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Looks up `addr`; on a hit updates LRU (and the dirty bit for writes)
+    /// and returns `true`. On a miss returns `false` without filling —
+    /// call [`SetAssocCache::fill`] to install the block.
+    pub fn access(&mut self, addr: PhysAddr, is_write: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        for line in self.set_lines(set) {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                if is_write {
+                    line.dirty = true;
+                }
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Installs the block containing `addr`, marking it dirty if `dirty`.
+    /// Returns the victim if a valid block had to be evicted.
+    ///
+    /// Filling a block that is already present just updates its dirty bit.
+    pub fn fill(&mut self, addr: PhysAddr, dirty: bool) -> Option<Eviction> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let sets = self.sets as u64;
+        let lines = self.set_lines(set);
+
+        // Already present (e.g. racing fill): refresh.
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= dirty;
+            return None;
+        }
+
+        // Prefer an invalid way.
+        if let Some(line) = lines.iter_mut().find(|l| !l.valid) {
+            *line = Line { tag, valid: true, dirty, lru: tick };
+            return None;
+        }
+
+        // Evict LRU.
+        let victim = lines.iter_mut().min_by_key(|l| l.lru).expect("ways > 0");
+        let evicted = Eviction {
+            addr: PhysAddr::new((victim.tag * sets + set as u64) * BLOCK_BYTES),
+            dirty: victim.dirty,
+        };
+        *victim = Line { tag, valid: true, dirty, lru: tick };
+        Some(evicted)
+    }
+
+    /// Invalidates the block containing `addr` if present, returning whether
+    /// it was dirty.
+    pub fn invalidate(&mut self, addr: PhysAddr) -> Option<bool> {
+        let (set, tag) = self.index(addr);
+        for line in self.set_lines(set) {
+            if line.valid && line.tag == tag {
+                let dirty = line.dirty;
+                *line = Line::INVALID;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Cleans every dirty block *without invalidating it* (CLWB-like, §4.4)
+    /// and returns the addresses of the blocks that were dirty.
+    pub fn clean_all(&mut self) -> Vec<PhysAddr> {
+        let sets = self.sets as u64;
+        let mut cleaned = Vec::new();
+        for (i, line) in self.lines.iter_mut().enumerate() {
+            if line.valid && line.dirty {
+                let set = (i / self.ways) as u64;
+                cleaned.push(PhysAddr::new((line.tag * sets + set) * BLOCK_BYTES));
+                line.dirty = false;
+            }
+        }
+        cleaned
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Number of dirty blocks currently resident.
+    pub fn dirty_blocks(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid && l.dirty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets × 2 ways × 64 B = 256 B.
+        SetAssocCache::new(256, 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.sets(), 2);
+        assert_eq!(c.ways(), 2);
+        let big = SetAssocCache::new(32 * 1024, 8);
+        assert_eq!(big.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_capacity_rejected() {
+        SetAssocCache::new(100, 3);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(PhysAddr::new(0), false));
+        c.fill(PhysAddr::new(0), false);
+        assert!(c.access(PhysAddr::new(0), false));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn same_block_different_byte_hits() {
+        let mut c = tiny();
+        c.fill(PhysAddr::new(0), false);
+        assert!(c.access(PhysAddr::new(63), true));
+        assert!(!c.access(PhysAddr::new(64), false)); // next block
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds blocks whose block index is even (2 sets).
+        let a = PhysAddr::new(0); // set 0
+        let b = PhysAddr::new(128); // set 0
+        let d = PhysAddr::new(256); // set 0
+        c.fill(a, false);
+        c.fill(b, false);
+        // Touch a so b becomes LRU.
+        c.access(a, false);
+        let ev = c.fill(d, false).expect("eviction");
+        assert_eq!(ev.addr, b);
+        assert!(!ev.dirty);
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_dirty() {
+        let mut c = tiny();
+        c.fill(PhysAddr::new(0), true);
+        c.fill(PhysAddr::new(128), false);
+        c.access(PhysAddr::new(128), false);
+        let ev = c.fill(PhysAddr::new(256), false).expect("eviction");
+        assert_eq!(ev.addr, PhysAddr::new(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn write_hit_sets_dirty() {
+        let mut c = tiny();
+        c.fill(PhysAddr::new(0), false);
+        assert_eq!(c.dirty_blocks(), 0);
+        c.access(PhysAddr::new(0), true);
+        assert_eq!(c.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn refill_existing_block_keeps_single_copy() {
+        let mut c = tiny();
+        c.fill(PhysAddr::new(0), false);
+        assert!(c.fill(PhysAddr::new(0), true).is_none());
+        assert_eq!(c.resident_blocks(), 1);
+        assert_eq!(c.dirty_blocks(), 1); // dirty bit merged
+    }
+
+    #[test]
+    fn clean_all_cleans_but_keeps_blocks() {
+        let mut c = tiny();
+        c.fill(PhysAddr::new(0), true);
+        c.fill(PhysAddr::new(64), true);
+        c.fill(PhysAddr::new(128), false);
+        let mut cleaned = c.clean_all();
+        cleaned.sort();
+        assert_eq!(cleaned, vec![PhysAddr::new(0), PhysAddr::new(64)]);
+        assert_eq!(c.dirty_blocks(), 0);
+        assert_eq!(c.resident_blocks(), 3); // not invalidated (CLWB semantics)
+        assert!(c.probe(PhysAddr::new(0)));
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = tiny();
+        c.fill(PhysAddr::new(0), true);
+        assert_eq!(c.invalidate(PhysAddr::new(0)), Some(true));
+        assert_eq!(c.invalidate(PhysAddr::new(0)), None);
+        assert!(!c.probe(PhysAddr::new(0)));
+    }
+
+    #[test]
+    fn eviction_address_reconstruction() {
+        // A cache with many sets: make sure evicted addresses are exact.
+        let mut c = SetAssocCache::new(32 * 1024, 8); // 64 sets
+        let addr = PhysAddr::new(123 * 64);
+        c.fill(addr, true);
+        // Fill the same set with 8 more conflicting blocks.
+        let sets = c.sets() as u64;
+        let mut evicted = Vec::new();
+        for i in 1..=8u64 {
+            let conflict = PhysAddr::new((123 + i * sets) * 64);
+            if let Some(ev) = c.fill(conflict, false) {
+                evicted.push(ev.addr);
+            }
+        }
+        assert!(evicted.contains(&addr.block_aligned()));
+    }
+
+    #[test]
+    fn capacity_bounded_residency() {
+        let mut c = tiny(); // 4 blocks
+        for i in 0..100u64 {
+            let addr = PhysAddr::new(i * 64);
+            if !c.access(addr, false) {
+                c.fill(addr, false);
+            }
+        }
+        assert_eq!(c.resident_blocks(), 4);
+    }
+}

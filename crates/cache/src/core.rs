@@ -1,0 +1,318 @@
+//! In-order core timing model and the platform run loop.
+//!
+//! [`CoreModel`] couples the 3 GHz in-order core of Table 2 with the cache
+//! hierarchy and drives any [`MemorySystem`]:
+//!
+//! * non-memory instructions retire at 1 IPC;
+//! * a memory instruction probes the caches; on a miss the core stalls until
+//!   main memory returns the block (in-order, blocking);
+//! * last-level-cache writebacks are posted to memory without stalling the
+//!   core (they occupy memory banks, creating contention);
+//! * when the memory system reports that the execution phase is over
+//!   ([`MemorySystem::checkpoint_due`]), the core stalls, performs the §4.4
+//!   hardware flush (cleans every dirty cache block), hands the flushed
+//!   blocks to [`MemorySystem::begin_checkpoint`], and resumes when the
+//!   system permits.
+
+use thynvm_types::{CacheConfig, Cycle, MemRequest, MemorySystem, TraceEvent};
+
+use crate::hierarchy::CacheHierarchy;
+
+/// Statistics of one core run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired (gap instructions + memory instructions).
+    pub instructions: u64,
+    /// Memory instructions executed.
+    pub mem_accesses: u64,
+    /// Cycles the core stalled waiting for main memory.
+    pub mem_stall_cycles: Cycle,
+    /// Cycles the core stalled for checkpoint flushes / checkpoint
+    /// back-pressure.
+    pub flush_stall_cycles: Cycle,
+    /// Number of checkpoint flushes performed.
+    pub flushes: u64,
+}
+
+/// The in-order core model.
+///
+/// # Example
+///
+/// ```no_run
+/// use thynvm_cache::CoreModel;
+/// use thynvm_types::{MemorySystem, SystemConfig, TraceEvent};
+///
+/// fn run(events: &[TraceEvent], mem: &mut dyn MemorySystem) -> f64 {
+///     let mut core = CoreModel::new(SystemConfig::paper().cache);
+///     core.run_trace(events.iter().copied(), mem);
+///     core.ipc()
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    hierarchy: CacheHierarchy,
+    now: Cycle,
+    stats: CoreStats,
+}
+
+impl CoreModel {
+    /// Creates a core with a fresh cache hierarchy.
+    pub fn new(cache_config: CacheConfig) -> Self {
+        Self {
+            hierarchy: CacheHierarchy::new(cache_config),
+            now: Cycle::ZERO,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The cache hierarchy (for inspection in tests).
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+
+    /// Instructions per cycle achieved so far (0 when no time has passed).
+    pub fn ipc(&self) -> f64 {
+        if self.now == Cycle::ZERO {
+            0.0
+        } else {
+            self.stats.instructions as f64 / self.now.raw() as f64
+        }
+    }
+
+    /// Executes one trace event against `mem`.
+    pub fn execute(&mut self, event: &TraceEvent, mem: &mut dyn MemorySystem) {
+        // Gap instructions retire at 1 IPC.
+        self.now += Cycle::new(u64::from(event.gap));
+        self.stats.instructions += event.instructions();
+        self.stats.mem_accesses += 1;
+
+        // The access may straddle blocks; each block goes through the caches.
+        for block in event.req.blocks_touched() {
+            let outcome = self.hierarchy.access(block, event.req.kind);
+            self.now += Cycle::new(outcome.latency_cycles);
+
+            // Writebacks are posted (non-blocking for the core).
+            for wb in outcome.writebacks {
+                mem.access(&MemRequest::write(wb, 64), self.now);
+            }
+
+            // A fetch blocks the in-order core.
+            if let Some(addr) = outcome.fetch {
+                let done = mem.access(&MemRequest::read(addr, 64), self.now);
+                self.stats.mem_stall_cycles += done.saturating_sub(self.now);
+                self.now = done;
+            }
+        }
+
+        // Epoch handshake: controller may request end-of-execution-phase.
+        if mem.checkpoint_due(self.now) {
+            self.flush_and_checkpoint(mem);
+        }
+    }
+
+    /// Performs the §4.4 flush + checkpoint handshake immediately.
+    pub fn flush_and_checkpoint(&mut self, mem: &mut dyn MemorySystem) {
+        let flush_start = self.now;
+        let flushed = self.hierarchy.clean_all();
+        let resume = mem.begin_checkpoint(self.now, &flushed);
+        self.stats.flush_stall_cycles += resume.saturating_sub(flush_start);
+        self.now = resume.max(self.now);
+        self.stats.flushes += 1;
+    }
+
+    /// Runs a whole trace, performs a final flush + checkpoint so that all
+    /// dirty cached state becomes durable (free on systems without
+    /// checkpointing), then drains the memory system so deferred checkpoint
+    /// work is charged to this run. Returns the final cycle.
+    pub fn run_trace<I>(&mut self, events: I, mem: &mut dyn MemorySystem) -> Cycle
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        for event in events {
+            self.execute(&event, mem);
+        }
+        self.flush_and_checkpoint(mem);
+        self.now = mem.drain(self.now);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thynvm_types::{AccessKind, MemStats, PhysAddr, SystemConfig};
+
+    /// Fixed-latency memory that can request a checkpoint once.
+    #[derive(Debug)]
+    struct TestMem {
+        stats: MemStats,
+        latency: Cycle,
+        ckpt_at: Option<Cycle>,
+        ckpt_cost: Cycle,
+        flushed_blocks: Vec<PhysAddr>,
+    }
+
+    impl TestMem {
+        fn new(latency: u64) -> Self {
+            Self {
+                stats: MemStats::default(),
+                latency: Cycle::new(latency),
+                ckpt_at: None,
+                ckpt_cost: Cycle::ZERO,
+                flushed_blocks: Vec::new(),
+            }
+        }
+    }
+
+    impl MemorySystem for TestMem {
+        fn access(&mut self, req: &MemRequest, now: Cycle) -> Cycle {
+            match req.kind {
+                AccessKind::Read => self.stats.reads += 1,
+                AccessKind::Write => self.stats.writes += 1,
+            }
+            now + self.latency
+        }
+
+        fn checkpoint_due(&self, now: Cycle) -> bool {
+            self.ckpt_at.is_some_and(|t| now >= t)
+        }
+
+        fn begin_checkpoint(&mut self, now: Cycle, flushed: &[PhysAddr]) -> Cycle {
+            self.ckpt_at = None;
+            self.flushed_blocks = flushed.to_vec();
+            now + self.ckpt_cost
+        }
+
+        fn drain(&mut self, now: Cycle) -> Cycle {
+            now
+        }
+
+        fn stats(&self) -> &MemStats {
+            &self.stats
+        }
+
+        fn name(&self) -> &'static str {
+            "TestMem"
+        }
+    }
+
+    fn ev(gap: u32, addr: u64, write: bool) -> TraceEvent {
+        let req = if write {
+            MemRequest::write(PhysAddr::new(addr), 8)
+        } else {
+            MemRequest::read(PhysAddr::new(addr), 8)
+        };
+        TraceEvent::new(gap, req)
+    }
+
+    #[test]
+    fn gap_instructions_cost_one_cycle_each() {
+        let mut core = CoreModel::new(SystemConfig::paper().cache);
+        let mut mem = TestMem::new(100);
+        core.execute(&ev(10, 0, false), &mut mem);
+        // 10 gap cycles + 28 (L3 lookup on cold miss) + 100 memory.
+        assert_eq!(core.now(), Cycle::new(10 + 28 + 100));
+        assert_eq!(core.stats().instructions, 11);
+        assert_eq!(core.stats().mem_stall_cycles, Cycle::new(100));
+    }
+
+    #[test]
+    fn cache_hit_avoids_memory() {
+        let mut core = CoreModel::new(SystemConfig::paper().cache);
+        let mut mem = TestMem::new(100);
+        core.execute(&ev(0, 0, false), &mut mem);
+        let before = core.now();
+        core.execute(&ev(0, 8, false), &mut mem);
+        assert_eq!(core.now() - before, Cycle::new(4)); // L1 hit only
+        assert_eq!(mem.stats().reads, 1); // no extra fetch
+    }
+
+    #[test]
+    fn ipc_reflects_stalls() {
+        let mut core = CoreModel::new(SystemConfig::paper().cache);
+        let mut mem = TestMem::new(1000);
+        core.execute(&ev(0, 0, false), &mut mem);
+        assert!(core.ipc() < 0.01);
+        assert_eq!(CoreModel::new(SystemConfig::paper().cache).ipc(), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_handshake_flushes_dirty_blocks() {
+        let mut core = CoreModel::new(SystemConfig::paper().cache);
+        let mut mem = TestMem::new(10);
+        core.execute(&ev(0, 0, true), &mut mem); // dirty block 0
+        mem.ckpt_at = Some(Cycle::ZERO); // request checkpoint now
+        mem.ckpt_cost = Cycle::new(500);
+        let before = core.now();
+        core.execute(&ev(0, 4096, false), &mut mem);
+        assert_eq!(core.stats().flushes, 1);
+        assert_eq!(mem.flushed_blocks, vec![PhysAddr::new(0)]);
+        assert_eq!(core.stats().flush_stall_cycles, Cycle::new(500));
+        assert!(core.now() > before + Cycle::new(500));
+        // Caches were cleaned, not invalidated.
+        assert_eq!(core.hierarchy().dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn run_trace_drains_memory() {
+        #[derive(Debug)]
+        struct Draining(MemStats, Cycle);
+        impl MemorySystem for Draining {
+            fn access(&mut self, _req: &MemRequest, now: Cycle) -> Cycle {
+                now
+            }
+            fn drain(&mut self, now: Cycle) -> Cycle {
+                self.1 = now + Cycle::new(777);
+                self.1
+            }
+            fn stats(&self) -> &MemStats {
+                &self.0
+            }
+            fn name(&self) -> &'static str {
+                "Draining"
+            }
+        }
+        let mut core = CoreModel::new(SystemConfig::paper().cache);
+        let mut mem = Draining(MemStats::default(), Cycle::ZERO);
+        let end = core.run_trace(vec![ev(1, 0, true)], &mut mem);
+        assert_eq!(end, mem.1);
+        assert_eq!(core.now(), end);
+    }
+
+    #[test]
+    fn multi_block_request_touches_each_block() {
+        let mut core = CoreModel::new(SystemConfig::paper().cache);
+        let mut mem = TestMem::new(10);
+        // 256 B read = 4 blocks, all cold.
+        let req = MemRequest::read(PhysAddr::new(0), 256);
+        core.execute(&TraceEvent::new(0, req), &mut mem);
+        assert_eq!(mem.stats().reads, 4);
+    }
+
+    #[test]
+    fn writebacks_do_not_stall_core() {
+        let mut core = CoreModel::new(SystemConfig::paper().cache);
+        let mut mem = TestMem::new(10);
+        // Stream writes over 3 MB to force L3 dirty evictions.
+        for i in 0..(3 * 1024 * 1024 / 64u64) {
+            core.execute(&ev(0, i * 64, true), &mut mem);
+        }
+        assert!(mem.stats().writes > 0, "L3 evictions must reach memory");
+        // Core stall only accounts for fetches (reads), not writebacks:
+        // every fetch stalls exactly 10 cycles.
+        assert_eq!(
+            core.stats().mem_stall_cycles,
+            Cycle::new(10 * mem.stats().reads)
+        );
+    }
+}

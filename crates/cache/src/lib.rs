@@ -1,0 +1,44 @@
+//! CPU cache hierarchy and in-order core timing model.
+//!
+//! Rebuilds the processor-side substrate of the paper's gem5 setup
+//! (Table 2): a 3 GHz in-order core with a three-level writeback cache
+//! hierarchy (32 KB L1, 256 KB L2, 2 MB L3; 64 B blocks; 4/12/28-cycle
+//! hits).
+//!
+//! * [`cache::SetAssocCache`] — one set-associative LRU writeback cache.
+//! * [`hierarchy::CacheHierarchy`] — the three-level chain. A lookup
+//!   returns the hit latency and the memory operations (fetch, writebacks)
+//!   that must be sent to main memory.
+//! * [`core::CoreModel`] — an in-order core that executes a memory trace,
+//!   stalling on memory, and reports instructions-per-cycle (Figure 11).
+//!
+//! The hierarchy also implements the hardware data flush of §4.4: cleaning
+//! all dirty blocks *without invalidating them* (like Intel `CLWB`), used at
+//! every checkpoint to make CPU-cached state reach the memory controller.
+//!
+//! # Example
+//!
+//! ```
+//! use thynvm_cache::CacheHierarchy;
+//! use thynvm_types::{AccessKind, PhysAddr, SystemConfig};
+//!
+//! let mut h = CacheHierarchy::new(SystemConfig::paper().cache);
+//! let out = h.access(PhysAddr::new(0x80), AccessKind::Read);
+//! assert!(out.fetch.is_some()); // cold miss goes to memory
+//! let out = h.access(PhysAddr::new(0x80), AccessKind::Read);
+//! assert!(out.fetch.is_none()); // now it hits
+//! assert_eq!(out.latency_cycles, 4); // L1 hit
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod core;
+pub mod hierarchy;
+pub mod multicore;
+
+pub use crate::core::{CoreModel, CoreStats};
+pub use multicore::{CoreResult, MulticorePlatform};
+pub use cache::{Eviction, SetAssocCache};
+pub use hierarchy::{CacheHierarchy, HierarchyOutcome};

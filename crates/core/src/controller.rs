@@ -1,0 +1,1686 @@
+//! The ThyNVM memory controller.
+//!
+//! [`ThyNvm`] combines:
+//!
+//! * the **timing layer** — DRAM/NVM devices, write queues, translation
+//!   table costs, checkpoint-job scheduling, cooperation stalls — which
+//!   produces the performance numbers of §5; and
+//! * the **functional layer** — real bytes in sparse stores plus per-epoch
+//!   write logs — which makes the three-version consistency protocol
+//!   *testable*: crash at any cycle, recover, and compare contents.
+//!
+//! # Store path (Figure 6a)
+//!
+//! A store first probes the PTT. A PTT hit writes the DRAM working page —
+//! unless the page is frozen by an in-flight checkpoint, in which case the
+//! write is absorbed by block remapping into the DRAM block buffer (§3.4
+//! cooperation). A PTT miss uses block remapping: while no checkpoint is in
+//! flight the working copy is written directly to NVM, overwriting
+//! `C_penult` (§3.2); while one is in flight `C_penult` must be preserved,
+//! so the write is buffered in the DRAM Working Data Region (§4.1).
+//!
+//! # Checkpoint order (Figure 6b)
+//!
+//! 1. drain DRAM-buffered block working copies to NVM,
+//! 2. persist the BTT (and CPU state),
+//! 3. write dirty DRAM pages back to the alternate NVM checkpoint region,
+//! 4. persist the PTT, flush the NVM write queue, and atomically set the
+//!    checkpoint-complete flag.
+//!
+//! # Modeling notes (deviations documented in DESIGN.md)
+//!
+//! * Functional stores are keyed by *physical* address; the region-A/B
+//!   alternation affects only the timing layer (NVM row-buffer behaviour
+//!   and traffic), not content correctness, which is governed by the
+//!   per-epoch write logs.
+//! * Scheme switching (§3.4) is decided from the ending epoch's store
+//!   counters at checkpoint start and applied when the system is next
+//!   quiescent (job retirement), half an epoch later than the paper — the
+//!   paper likewise hides migration in the execution phase.
+//! * Cooperation blocks buffered for a frozen PTT page are merged into the
+//!   DRAM page when the job retires (one DRAM write each) instead of being
+//!   persisted twice.
+
+use std::collections::{HashMap, HashSet};
+
+use thynvm_mem::{Device, DeviceKind, SparseStore, WriteQueue};
+use thynvm_types::{
+    AccessKind, BlockIndex, CkptMode, Cycle, MemRequest, MemStats, MemorySystem, NvmWriteClass,
+    PageIndex, PhysAddr, SystemConfig, TraceEvent, BLOCK_BYTES, PAGE_BYTES,
+};
+
+use crate::epoch::{CkptJob, EpochState};
+use crate::layout::{AddressSpace, Region};
+use crate::table::{bump_counter, Btt, Ptt, WactiveLoc};
+
+/// Bytes persisted per BTT/PTT entry when checkpointing metadata (Figure 5
+/// entries round up to 8 bytes).
+const META_ENTRY_BYTES: u64 = 8;
+
+/// Result of a crash recovery (§4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Number of epochs whose checkpoints had completed — the state the
+    /// system rolled back to.
+    pub recovered_checkpoints: u64,
+    /// Whether an in-flight (incomplete) checkpoint was discarded, i.e. the
+    /// system recovered to `C_penult` rather than `C_last`.
+    pub rolled_back_incomplete: bool,
+    /// Pages restored from NVM into the DRAM working region.
+    pub restored_pages: usize,
+    /// Simulated duration of the recovery procedure.
+    pub recovery_cycles: Cycle,
+}
+
+/// Data captured while checkpointing a page (target region chosen when the
+/// job was scheduled).
+#[derive(Debug, Clone, Copy)]
+struct PendingPage {
+    target: Region,
+}
+
+/// The ThyNVM hybrid persistent-memory controller.
+///
+/// See the [crate documentation](crate) for an overview and example.
+#[derive(Debug)]
+pub struct ThyNvm {
+    cfg: SystemConfig,
+    space: AddressSpace,
+    dram: Device,
+    nvm: Device,
+    nvm_wq: WriteQueue,
+    dram_wq: WriteQueue,
+    btt: Btt,
+    ptt: Ptt,
+    epoch: EpochState,
+    stats: MemStats,
+
+    /// Per-epoch page-granularity store counts driving scheme switching.
+    page_store_counts: HashMap<PageIndex, u32>,
+    /// Counts snapshotted at checkpoint start, applied at job retirement.
+    pending_switch_counts: HashMap<PageIndex, u32>,
+    /// Pages captured by the in-flight job, with their target regions.
+    pending_pages: HashMap<PageIndex, PendingPage>,
+    /// Next DRAM block-buffer slot (round-robin).
+    next_block_slot: u32,
+    /// BTT spills: inserts forced past capacity while an overflow-triggered
+    /// epoch end was pending (bounded by one platform event).
+    btt_spills: u64,
+    /// Blocks that gained a working copy this epoch (BTT pressure gauge:
+    /// the epoch ends early when this approaches the BTT budget).
+    epoch_dirty_blocks: usize,
+    /// Head-of-line blocking of the controller's request queue: requests
+    /// arriving earlier than this start at this cycle (set when a store
+    /// must wait for an in-flight checkpoint, e.g. PageOnly frozen pages).
+    input_blocked_until: Cycle,
+
+    // ---- functional layer ----
+    /// Latest recoverable contents (state at the last *completed*
+    /// checkpoint), physical address space.
+    committed: SparseStore,
+    /// Current software-visible contents.
+    visible: SparseStore,
+    /// Writes of the active epoch (applied to `visible`, not yet captured).
+    working_log: Vec<(u64, Vec<u8>)>,
+    /// Writes captured by the in-flight checkpoint job.
+    ckpting_log: Vec<(u64, Vec<u8>)>,
+    /// Report of the last recovery, if any.
+    last_recovery: Option<RecoveryReport>,
+    /// Archive of past committed images for §6-style bug tolerance
+    /// (checkpoint number → image). Empty unless enabled.
+    archive: std::collections::VecDeque<(u64, SparseStore)>,
+    /// How many past checkpoints to retain (0 disables archiving).
+    archive_depth: usize,
+    /// Distribution of epoch execution-phase lengths (cycles).
+    epoch_length_hist: thynvm_types::Histogram,
+    /// Distribution of checkpointing-phase durations (cycles).
+    job_duration_hist: thynvm_types::Histogram,
+}
+
+impl ThyNvm {
+    /// Creates a controller with the given configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        Self {
+            space: AddressSpace::new(),
+            dram: Device::new(DeviceKind::Dram, cfg.timing, cfg.dram_geometry),
+            nvm: Device::new(DeviceKind::Nvm, cfg.timing, cfg.nvm_geometry),
+            nvm_wq: WriteQueue::new(cfg.thynvm.nvm_write_queue),
+            dram_wq: WriteQueue::new(cfg.thynvm.dram_write_queue),
+            btt: Btt::new(cfg.thynvm.btt_entries),
+            ptt: Ptt::new(cfg.thynvm.ptt_entries.min(cfg.thynvm.dram_pages() as usize)),
+            epoch: EpochState::new(),
+            stats: MemStats::new(),
+            page_store_counts: HashMap::new(),
+            pending_switch_counts: HashMap::new(),
+            pending_pages: HashMap::new(),
+            next_block_slot: 0,
+            btt_spills: 0,
+            epoch_dirty_blocks: 0,
+            input_blocked_until: Cycle::ZERO,
+            committed: SparseStore::new(),
+            visible: SparseStore::new(),
+            working_log: Vec::new(),
+            ckpting_log: Vec::new(),
+            last_recovery: None,
+            archive: std::collections::VecDeque::new(),
+            archive_depth: 0,
+            epoch_length_hist: thynvm_types::Histogram::new(),
+            job_duration_hist: thynvm_types::Histogram::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The Block Translation Table (inspection).
+    pub fn btt(&self) -> &Btt {
+        &self.btt
+    }
+
+    /// The Page Translation Table (inspection).
+    pub fn ptt(&self) -> &Ptt {
+        &self.ptt
+    }
+
+    /// Epoch bookkeeping (inspection).
+    pub fn epoch_state(&self) -> &EpochState {
+        &self.epoch
+    }
+
+    /// The NVM device (inspection of row-buffer statistics).
+    pub fn nvm_device(&self) -> &Device {
+        &self.nvm
+    }
+
+    /// The DRAM device (inspection).
+    pub fn dram_device(&self) -> &Device {
+        &self.dram
+    }
+
+    /// Number of BTT inserts forced past capacity (should stay tiny; the
+    /// overflow handshake ends the epoch within one platform event).
+    pub fn btt_spills(&self) -> u64 {
+        self.btt_spills
+    }
+
+    /// Report of the last [`ThyNvm::crash_and_recover`], if any.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Working Data Region access (placement per §4.1 footnote 3)
+    // ------------------------------------------------------------------
+
+    /// Hardware-address offset that keeps an NVM-placed working region
+    /// disjoint from the Home Region and Checkpoint Region A on the NVM
+    /// device's bank/row mapping.
+    const NVM_WORKING_BASE: u64 = 1 << 41;
+
+    /// Writes `bytes` at working-region offset `off`, honoring the
+    /// configured placement.
+    fn working_write(&mut self, off: u64, bytes: u32, now: Cycle) -> Cycle {
+        match self.cfg.thynvm.working_region {
+            thynvm_types::WorkingRegion::Dram => {
+                let done = self
+                    .dram
+                    .access(thynvm_types::HwAddr::new(off), AccessKind::Write, bytes, now);
+                self.stats.record_dram_write(u64::from(bytes));
+                done
+            }
+            thynvm_types::WorkingRegion::Nvm => {
+                let done = self.nvm.access(
+                    thynvm_types::HwAddr::new(Self::NVM_WORKING_BASE + off),
+                    AccessKind::Write,
+                    bytes,
+                    now,
+                );
+                self.stats.record_nvm_write(u64::from(bytes), NvmWriteClass::Cpu);
+                done
+            }
+        }
+    }
+
+    /// Reads `bytes` at working-region offset `off`, honoring the
+    /// configured placement.
+    fn working_read(&mut self, off: u64, bytes: u32, now: Cycle) -> Cycle {
+        match self.cfg.thynvm.working_region {
+            thynvm_types::WorkingRegion::Dram => {
+                let done =
+                    self.dram.access(thynvm_types::HwAddr::new(off), AccessKind::Read, bytes, now);
+                self.stats.dram_reads += 1;
+                self.stats.dram_read_bytes += u64::from(bytes);
+                done
+            }
+            thynvm_types::WorkingRegion::Nvm => {
+                let done = self.nvm.access(
+                    thynvm_types::HwAddr::new(Self::NVM_WORKING_BASE + off),
+                    AccessKind::Read,
+                    bytes,
+                    now,
+                );
+                self.stats.nvm_reads += 1;
+                self.stats.nvm_read_bytes += u64::from(bytes);
+                done
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Job retirement and version rotation
+    // ------------------------------------------------------------------
+
+    /// If the in-flight checkpoint completed by `now`, commit it: apply the
+    /// captured write log to the committed image, rotate versions
+    /// (`pending` → `C_last`), thaw pages, merge cooperation blocks, and
+    /// apply deferred scheme switches.
+    fn retire_job_if_done(&mut self, now: Cycle) {
+        let Some(job) = self.epoch.take_finished_job(now) else {
+            return;
+        };
+        let retire_at = job.done_at;
+
+        // Functional commit: the checkpointed epoch's writes become durable.
+        for (addr, data) in self.ckpting_log.drain(..) {
+            self.committed.write(thynvm_types::HwAddr::new(addr), &data);
+        }
+
+        // §6 bug-tolerance extension: archive the committed image.
+        if self.archive_depth > 0 {
+            self.archive.push_back((self.epoch.completed, self.committed.clone()));
+            while self.archive.len() > self.archive_depth {
+                self.archive.pop_front();
+            }
+        }
+
+        // Rotate block versions (iteration order does not affect timing
+        // here; the merge lists are sorted before their DRAM writes below).
+        let mut merge_blocks: Vec<(BlockIndex, u32)> = Vec::new();
+        let mut drop_blocks: Vec<BlockIndex> = Vec::new();
+        for (block, entry) in self.btt.iter_mut() {
+            if let Some(loc) = entry.pending.take() {
+                let region = match loc {
+                    WactiveLoc::Nvm(r) => r,
+                    // Buffered copies were drained to NVM at capture time;
+                    // `pending` only ever holds NVM locations.
+                    WactiveLoc::DramBuffered { slot } => {
+                        debug_assert!(false, "buffered slot {slot} captured un-drained");
+                        Region::A
+                    }
+                };
+                entry.clast_region = Some(region);
+            }
+            if entry.is_quiescent() && self.pending_pages.contains_key(&block.page()) {
+                // Cooperation block for a page under page writeback: the
+                // page's DRAM copy absorbs it (one DRAM write), entry freed.
+                if let Some(pe) = self.ptt.get(block.page()) {
+                    merge_blocks.push((block, pe.slot));
+                    drop_blocks.push(block);
+                }
+            }
+        }
+        merge_blocks.sort_unstable_by_key(|(b, _)| *b);
+        for (block, slot) in merge_blocks {
+            let hw = self
+                .space
+                .working_page(slot)
+                .offset(block.slot_in_page() * BLOCK_BYTES);
+            let off = self.space.working_offset(hw);
+            self.working_write(off, BLOCK_BYTES as u32, retire_at);
+        }
+        for block in drop_blocks {
+            self.btt.remove(block);
+        }
+
+        // Rotate page versions and thaw.
+        for (page, pending) in std::mem::take(&mut self.pending_pages) {
+            if let Some(entry) = self.ptt.get_mut(page) {
+                entry.clast_region = Some(pending.target);
+                entry.frozen = false;
+            }
+        }
+
+        // Deferred scheme switching (§3.4), now that the system is quiescent.
+        self.apply_scheme_switches(retire_at);
+
+        // Free table pressure: entries belonging only to committed
+        // checkpoints are reclaimed once occupancy is high (§4.3 frees
+        // penultimate-checkpoint entries at epoch boundaries). The `C_last`
+        // copies stranded in Region A migrate home, charged as migration
+        // traffic off the critical path.
+        if self.btt.len() * 10 >= self.btt.capacity() * 6 {
+            let excess = self.btt.len().saturating_sub(self.btt.capacity() * 6 / 10);
+            self.reclaim_quiescent(retire_at, excess);
+        }
+    }
+
+    /// Applies promotions/demotions decided from the previous epoch's store
+    /// counters.
+    fn apply_scheme_switches(&mut self, now: Cycle) {
+        let counts = std::mem::take(&mut self.pending_switch_counts);
+        if self.cfg.thynvm.mode == CkptMode::BlockOnly {
+            return;
+        }
+        let promote = u32::from(self.cfg.thynvm.promote_threshold);
+        let demote = u32::from(self.cfg.thynvm.demote_threshold);
+        let force_pages = self.cfg.thynvm.mode == CkptMode::PageOnly;
+
+        // Promotions: hot pages move under page writeback (most promotions
+        // already happened intra-epoch; this sweeps stragglers).
+        let mut hot_pages: Vec<PageIndex> = counts
+            .iter()
+            .filter(|(_, &count)| count >= promote || (force_pages && count > 0))
+            .map(|(&page, _)| page)
+            .collect();
+        hot_pages.sort_unstable();
+        for page in hot_pages {
+            if self.ptt.get(page).is_none() {
+                self.promote_page(page, now);
+            }
+        }
+
+        if force_pages {
+            return; // PageOnly never demotes
+        }
+
+        // Demotions: cold pages leave DRAM (migration NVM write).
+        let mut cold: Vec<PageIndex> = self
+            .ptt
+            .iter()
+            .filter(|(page, e)| {
+                !e.dirty
+                    && !e.frozen
+                    && counts.get(page).copied().unwrap_or(0) <= demote
+            })
+            .map(|(page, _)| page)
+            .collect();
+        cold.sort_unstable();
+        for page in cold {
+            self.demote_page(page, now);
+        }
+    }
+
+    /// Moves `page` under the page-writeback scheme: allocates a PTT entry
+    /// and DRAM slot, assembles the page's current contents into DRAM (bulk
+    /// NVM read + DRAM fill), and retires the page's block-remapping state.
+    /// Returns the DRAM slot, or `None` if the PTT/DRAM is full (in
+    /// `PageOnly` mode a clean resident page is demoted to make room).
+    fn promote_page(&mut self, page: PageIndex, now: Cycle) -> Option<u32> {
+        if self.ptt.get(page).is_some() {
+            return self.ptt.get(page).map(|e| e.slot);
+        }
+        if self.ptt.is_full() && self.cfg.thynvm.mode == CkptMode::PageOnly {
+            // Page-only ablation: evict a clean, idle page (CoW-style).
+            let victim = self
+                .ptt
+                .iter()
+                .filter(|(_, e)| !e.dirty && !e.frozen)
+                .map(|(p, _)| p)
+                .min();
+            if let Some(victim) = victim {
+                self.demote_page(victim, now);
+            }
+        }
+        let slot = self.ptt.insert(page)?;
+        // Assemble the page: bulk NVM read + DRAM fill.
+        self.nvm.access(
+            self.space.home(page.base_addr()),
+            AccessKind::Read,
+            PAGE_BYTES as u32,
+            now,
+        );
+        self.stats.nvm_reads += 1;
+        self.stats.nvm_read_bytes += PAGE_BYTES;
+        let off = self.space.working_offset(self.space.working_page(slot));
+        self.working_write(off, PAGE_BYTES as u32, now);
+        self.stats.pages_promoted += 1;
+        // The DRAM copy is now authoritative: block entries without an
+        // in-flight checkpoint are dropped; ones still being checkpointed
+        // keep their pending state and are swept after retirement.
+        for block in page.blocks() {
+            let drop_it = match self.btt.get_mut(block) {
+                Some(e) => {
+                    e.wactive = None;
+                    e.pending.is_none()
+                }
+                None => false,
+            };
+            if drop_it {
+                self.btt.remove(block);
+            }
+        }
+        Some(slot)
+    }
+
+    /// Demotes `page` out of DRAM: one 4 KiB migration write to the Home
+    /// Region, PTT entry freed.
+    fn demote_page(&mut self, page: PageIndex, now: Cycle) {
+        let Some(entry) = self.ptt.remove(page) else { return };
+        let off = self.space.working_offset(self.space.working_page(entry.slot));
+        self.working_read(off, PAGE_BYTES as u32, now);
+        self.nvm.access(
+            self.space.home(page.base_addr()),
+            AccessKind::Write,
+            PAGE_BYTES as u32,
+            now,
+        );
+        self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Migration);
+        self.stats.pages_demoted += 1;
+    }
+
+    /// The page-writeback store: write the block into the page's DRAM slot.
+    fn write_to_page(&mut self, block: BlockIndex, bytes: u32, now: Cycle) -> Cycle {
+        let entry = self.ptt.get_mut(block.page()).expect("page resident");
+        entry.dirty = true;
+        bump_counter(&mut entry.store_count);
+        let hw = self
+            .space
+            .working_page(entry.slot)
+            .offset(block.slot_in_page() * BLOCK_BYTES);
+        let off = self.space.working_offset(hw);
+        let done = self.working_write(off, bytes, now);
+        self.dram_wq.push(done, now)
+    }
+
+    // ------------------------------------------------------------------
+    // Store / load paths
+    // ------------------------------------------------------------------
+
+    /// Allocates (or reuses) a DRAM buffer slot for a cooperation /
+    /// unsafe-`C_penult` block write and performs the DRAM write.
+    fn buffered_block_write(&mut self, block: BlockIndex, bytes: u32, now: Cycle) -> Cycle {
+        if self.btt.entry_or_insert(block).is_none() {
+            // Overflow during cooperation: reclaim committed entries first;
+            // if nothing is reclaimable, flag an early epoch end and spill
+            // (bounded by one platform event).
+            if self.reclaim_quiescent(now, 64) == 0 {
+                self.epoch.overflow_pending = true;
+                self.btt_spills += 1;
+            }
+        }
+        let entry = self.btt.force_insert(block);
+        bump_counter(&mut entry.store_count);
+        let slot = match entry.wactive {
+            Some(WactiveLoc::DramBuffered { slot }) => slot,
+            _ => {
+                let slot = self.next_block_slot;
+                self.next_block_slot = self.next_block_slot.wrapping_add(1);
+                entry.wactive = Some(WactiveLoc::DramBuffered { slot });
+                self.epoch_dirty_blocks += 1;
+                slot
+            }
+        };
+        let hw = self.space.working_block(slot, self.ptt.capacity());
+        let off = self.space.working_offset(hw);
+        let done = self.working_write(off, bytes, now);
+        self.dram_wq.push(done, now)
+    }
+
+    /// The Figure 6(a) store path for one ≤64 B block-granule write.
+    fn write_block(&mut self, block: BlockIndex, bytes: u32, now: Cycle, class: NvmWriteClass) -> Cycle {
+        let page = block.page();
+        let count = {
+            let c = self.page_store_counts.entry(page).or_insert(0);
+            *c += 1;
+            *c
+        };
+
+        // PTT hit: page writeback scheme.
+        if self.ptt.get(page).is_some() {
+            if self.epoch.page_frozen(page, now) {
+                if self.cfg.thynvm.mode == CkptMode::PageOnly {
+                    // No block scheme to absorb the write: the store blocks
+                    // the controller until the page's writeback completes —
+                    // the Table 1 quadrant-❹ pain the dual scheme removes.
+                    let done = self.epoch.job.as_ref().expect("frozen implies job").done_at;
+                    self.stats.ckpt_stall_cycles += done.saturating_sub(now);
+                    self.input_blocked_until = self.input_blocked_until.max(done);
+                    self.retire_job_if_done(done);
+                    return self.write_to_page(block, bytes, done);
+                }
+                // §3.4 cooperation: absorb via block remapping in DRAM.
+                return self.buffered_block_write(block, bytes, now);
+            }
+            return self.write_to_page(block, bytes, now);
+        }
+
+        // Intra-epoch promotion: once a page's store counter crosses the
+        // threshold (§4.2; every write in the PageOnly ablation), it moves
+        // under page writeback immediately, relieving BTT pressure.
+        let promotable = match self.cfg.thynvm.mode {
+            CkptMode::Dual => count >= u32::from(self.cfg.thynvm.promote_threshold),
+            CkptMode::PageOnly => true,
+            CkptMode::BlockOnly => false,
+        };
+        if promotable && self.promote_page(page, now).is_some() {
+            return self.write_to_page(block, bytes, now);
+        }
+
+        // Block remapping.
+        if self.epoch.job_running(now) {
+            // `C_penult` unsafe to overwrite: buffer in DRAM (§4.1).
+            return self.buffered_block_write(block, bytes, now);
+        }
+        let entry = match self.btt.entry_or_insert(block) {
+            Some(e) => e,
+            None => {
+                // §4.3: replace a committed entry if possible; only when no
+                // entry can be replaced does the epoch end early.
+                if self.reclaim_quiescent(now, 64) == 0 {
+                    self.epoch.overflow_pending = true;
+                    self.btt_spills += 1;
+                    self.btt.force_insert(block)
+                } else {
+                    self.btt.entry_or_insert(block).expect("space reclaimed")
+                }
+            }
+        };
+        bump_counter(&mut entry.store_count);
+        let region = match entry.wactive {
+            Some(WactiveLoc::Nvm(r)) => r, // coalesce in place
+            Some(WactiveLoc::DramBuffered { .. }) => {
+                // Rare: buffered earlier this epoch while a job ran; keep
+                // coalescing in the buffer for simplicity.
+                return self.buffered_block_write(block, bytes, now);
+            }
+            None => {
+                self.epoch_dirty_blocks += 1;
+                entry.clast_region.map_or(Region::A, Region::other)
+            }
+        };
+        let entry = self.btt.get_mut(block).expect("present");
+        entry.wactive = Some(WactiveLoc::Nvm(region));
+        let hw = self.space.checkpoint_block(region, block);
+        let done = self.nvm.access(hw, AccessKind::Write, bytes, now);
+        self.stats.record_nvm_write(u64::from(bytes), class);
+        self.nvm_wq.push(done, now)
+    }
+
+    /// Reclaims quiescent BTT entries, migrating `C_last` home when needed
+    /// (§4.3 overflow handling). Returns the number reclaimed.
+    fn reclaim_quiescent(&mut self, now: Cycle, max: usize) -> usize {
+        let victims = self.btt.reclaimable();
+        let mut reclaimed = 0;
+        for block in victims.into_iter().take(max) {
+            let entry = self.btt.get(block).expect("listed as reclaimable");
+            if entry.clast_region == Some(Region::A) {
+                // C_last lives in Region A: copy it to the Home Region so
+                // the entry can be dropped.
+                let src = self.space.checkpoint_block(Region::A, block);
+                self.nvm.access(src, AccessKind::Read, BLOCK_BYTES as u32, now);
+                self.stats.nvm_reads += 1;
+                self.stats.nvm_read_bytes += BLOCK_BYTES;
+                let dst = self.space.home(block.base_addr());
+                self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, now);
+                self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Migration);
+            }
+            self.btt.remove(block);
+            reclaimed += 1;
+        }
+        reclaimed
+    }
+
+    /// The load path: locate the software-visible copy (§4.1) and read it.
+    fn read_block(&mut self, block: BlockIndex, bytes: u32, now: Cycle) -> Cycle {
+        let page = block.page();
+        if let Some(entry) = self.ptt.get(page) {
+            let hw = self
+                .space
+                .working_page(entry.slot)
+                .offset(block.slot_in_page() * BLOCK_BYTES);
+            let off = self.space.working_offset(hw);
+            return self.working_read(off, bytes, now);
+        }
+        if let Some(entry) = self.btt.get(block) {
+            let loc = entry.wactive.or(entry.pending);
+            match loc {
+                Some(WactiveLoc::DramBuffered { slot }) => {
+                    let hw = self.space.working_block(slot, self.ptt.capacity());
+                    let off = self.space.working_offset(hw);
+                    return self.working_read(off, bytes, now);
+                }
+                Some(WactiveLoc::Nvm(region)) => {
+                    let hw = self.space.checkpoint_block(region, block);
+                    self.stats.nvm_reads += 1;
+                    self.stats.nvm_read_bytes += u64::from(bytes);
+                    return self.nvm.access(hw, AccessKind::Read, bytes, now);
+                }
+                None => {
+                    let region = entry.clast_region.unwrap_or(Region::B);
+                    let hw = self.space.checkpoint_block(region, block);
+                    self.stats.nvm_reads += 1;
+                    self.stats.nvm_read_bytes += u64::from(bytes);
+                    return self.nvm.access(hw, AccessKind::Read, bytes, now);
+                }
+            }
+        }
+        // Home Region.
+        self.stats.nvm_reads += 1;
+        self.stats.nvm_read_bytes += u64::from(bytes);
+        self.nvm.access(self.space.home(block.base_addr()), AccessKind::Read, bytes, now)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing (Figure 6b)
+    // ------------------------------------------------------------------
+
+    // ------------------------------------------------------------------
+    // §6 extensions: explicit persistence and bug tolerance
+    // ------------------------------------------------------------------
+
+    /// Explicit persistence trigger (§6: "persistence of data can also be
+    /// explicitly triggered by the program via a new instruction added to
+    /// the ISA that forces ThyNVM to end an epoch"). Equivalent to an
+    /// epoch boundary: everything stored before the barrier is captured by
+    /// the checkpoint this starts and becomes durable when it completes.
+    ///
+    /// Returns the cycle at which execution resumes; use
+    /// [`MemorySystem::drain`] to wait for full durability.
+    pub fn persist_barrier(&mut self, now: Cycle) -> Cycle {
+        self.begin_checkpoint(now, &[])
+    }
+
+    /// Configures the periodic persistence guarantee (§6: "such a system
+    /// is only allowed to lose data updates that happened in the last
+    /// *n* ms, where *n* is configurable").
+    pub fn set_persistence_interval_ms(&mut self, ms: u64) {
+        self.cfg.thynvm.epoch_max_ms = ms;
+    }
+
+    /// Enables the §6 bug-tolerance extension: retain up to `depth` past
+    /// committed checkpoint images that [`ThyNvm::rollback_to_checkpoint`]
+    /// can restore ("devising mechanisms to find and recover to past
+    /// bug-free checkpoints"). `0` disables archiving (the default; the
+    /// archive costs memory proportional to the footprint).
+    pub fn set_archive_depth(&mut self, depth: usize) {
+        self.archive_depth = depth;
+        while self.archive.len() > depth {
+            self.archive.pop_front();
+        }
+    }
+
+    /// Checkpoint numbers currently held in the archive, oldest first.
+    pub fn archived_checkpoints(&self) -> Vec<u64> {
+        self.archive.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Distribution of epoch execution-phase lengths, in cycles.
+    pub fn epoch_length_histogram(&self) -> &thynvm_types::Histogram {
+        &self.epoch_length_hist
+    }
+
+    /// Distribution of checkpointing-phase durations, in cycles.
+    pub fn job_duration_histogram(&self) -> &thynvm_types::Histogram {
+        &self.job_duration_hist
+    }
+
+    /// Rolls the system back to archived checkpoint `number` (as if a
+    /// crash had occurred immediately after it completed), discarding all
+    /// later state — including later archived checkpoints, which are now
+    /// "the future".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`thynvm_types::Error::NoCheckpoint`] if `number` is not in
+    /// the archive.
+    pub fn rollback_to_checkpoint(
+        &mut self,
+        number: u64,
+        now: Cycle,
+    ) -> Result<RecoveryReport, thynvm_types::Error> {
+        let image = self
+            .archive
+            .iter()
+            .find(|(n, _)| *n == number)
+            .map(|(_, img)| img.clone())
+            .ok_or(thynvm_types::Error::NoCheckpoint)?;
+        // Invalidate the in-flight job and everything after `number`.
+        self.epoch.job = None;
+        self.committed = image;
+        self.archive.retain(|(n, _)| *n <= number);
+        let report = self.crash_and_recover(now);
+        Ok(report)
+    }
+
+    /// Ends the active epoch immediately (test/benchmark helper; the
+    /// platform normally calls [`MemorySystem::begin_checkpoint`] after the
+    /// processor flush). Returns the cycle at which execution may resume.
+    pub fn force_checkpoint(&mut self, now: Cycle) -> Cycle {
+        self.begin_checkpoint(now, &[])
+    }
+
+    /// Whether any state from the active epoch would be lost on a crash.
+    pub fn has_uncheckpointed_writes(&self) -> bool {
+        !self.working_log.is_empty()
+            || self.btt.dirty_entries() > 0
+            || self.ptt.iter().any(|(_, e)| e.dirty)
+    }
+
+    // ------------------------------------------------------------------
+    // Functional API (used by crash-consistency tests and examples)
+    // ------------------------------------------------------------------
+
+    /// Writes `data` at physical address `addr`, updating both the
+    /// software-visible contents and the timing model. Returns the cycle at
+    /// which the store is acknowledged.
+    pub fn store_bytes(&mut self, addr: PhysAddr, data: &[u8], now: Cycle) -> Cycle {
+        self.visible.write(thynvm_types::HwAddr::new(addr.raw()), data);
+        self.working_log.push((addr.raw(), data.to_vec()));
+        let req = MemRequest::write(addr, u32::try_from(data.len()).expect("write too large"));
+        self.access(&req, now)
+    }
+
+    /// Reads `buf.len()` bytes at physical address `addr` from the
+    /// software-visible image, paying the timing cost. Returns the cycle at
+    /// which the load completes.
+    pub fn load_bytes(&mut self, addr: PhysAddr, buf: &mut [u8], now: Cycle) -> Cycle {
+        self.visible.read(thynvm_types::HwAddr::new(addr.raw()), buf);
+        let req = MemRequest::read(addr, u32::try_from(buf.len()).expect("read too large"));
+        self.access(&req, now)
+    }
+
+    /// Simulates a power failure at `now` followed by the §4.5 recovery
+    /// procedure, and returns the recovery report.
+    ///
+    /// All volatile state (DRAM contents, CPU-side data, queued NVM writes,
+    /// the active epoch's working copies and any *incomplete* checkpoint)
+    /// is lost; the software-visible image rolls back to the most recent
+    /// completed checkpoint.
+    pub fn crash_and_recover(&mut self, now: Cycle) -> RecoveryReport {
+        // A checkpoint that finished before the crash counts.
+        self.retire_job_if_done(now);
+
+        // Anything in flight is lost.
+        let rolled_back_incomplete = self.epoch.job.take().is_some();
+        self.ckpting_log.clear();
+        self.working_log.clear();
+        self.pending_pages.clear();
+        self.pending_switch_counts.clear();
+        self.page_store_counts.clear();
+        self.nvm_wq.discard();
+        self.dram_wq.discard();
+        self.dram.power_cycle();
+        self.nvm.power_cycle();
+        self.epoch_dirty_blocks = 0;
+        self.input_blocked_until = Cycle::ZERO;
+
+        // Roll the visible image back to the committed checkpoint.
+        self.visible = self.committed.clone();
+
+        // Rebuild controller metadata from the checkpointed tables: drop
+        // uncommitted working copies.
+        let stale: Vec<BlockIndex> = self
+            .btt
+            .iter_mut()
+            .filter_map(|(b, e)| {
+                e.wactive = None;
+                if rolled_back_incomplete {
+                    e.pending = None;
+                }
+                if e.clast_region.is_none() && e.pending.is_none() {
+                    Some(b)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for b in stale {
+            self.btt.remove(b);
+        }
+
+        // §4.5 step 1: reload BTT/PTT from the backup region.
+        let meta_bytes =
+            (self.btt.len() + self.ptt.len()) as u64 * META_ENTRY_BYTES + self.cfg.thynvm.cpu_state_bytes;
+        let mut t = self.nvm.access(
+            self.space.backup(0),
+            AccessKind::Read,
+            u32::try_from(meta_bytes.max(64).min(u64::from(u32::MAX))).expect("bounded"),
+            now,
+        );
+        self.stats.nvm_reads += 1;
+        self.stats.nvm_read_bytes += meta_bytes;
+
+        // §4.5 step 2: restore page-writeback pages into DRAM.
+        let mut restored = 0usize;
+        let mut pages: Vec<(PageIndex, u32, Option<Region>)> = self
+            .ptt
+            .iter_mut()
+            .map(|(p, e)| {
+                e.dirty = false;
+                e.frozen = false;
+                e.store_count = 0;
+                (p, e.slot, e.clast_region)
+            })
+            .collect();
+        pages.sort_unstable_by_key(|(p, _, _)| *p);
+        for (page, slot, clast) in pages {
+            let region = clast.unwrap_or(Region::B);
+            let src = self.space.checkpoint_page(region, page);
+            t = self.nvm.access(src, AccessKind::Read, PAGE_BYTES as u32, t);
+            self.stats.nvm_reads += 1;
+            self.stats.nvm_read_bytes += PAGE_BYTES;
+            let off = self.space.working_offset(self.space.working_page(slot));
+            t = self.working_write(off, PAGE_BYTES as u32, t);
+            restored += 1;
+        }
+
+        // Fresh epoch begins after recovery.
+        self.epoch = EpochState {
+            active_epoch: self.epoch.active_epoch,
+            epoch_start: t,
+            job: None,
+            overflow_pending: false,
+            completed: self.epoch.completed,
+        };
+
+        let report = RecoveryReport {
+            recovered_checkpoints: self.epoch.completed,
+            rolled_back_incomplete,
+            restored_pages: restored,
+            recovery_cycles: t.saturating_sub(now),
+        };
+        self.last_recovery = Some(report.clone());
+        report
+    }
+}
+
+impl MemorySystem for ThyNvm {
+    fn access(&mut self, req: &MemRequest, now: Cycle) -> Cycle {
+        let now = now.max(self.input_blocked_until);
+        self.retire_job_if_done(now);
+        let t = now + self.cfg.timing.table_lookup();
+        match req.kind {
+            AccessKind::Read => {
+                self.stats.reads += 1;
+                let mut done = t;
+                let mut remaining = u64::from(req.bytes);
+                let mut addr = req.addr;
+                while remaining > 0 {
+                    let in_block = BLOCK_BYTES - addr.block_offset();
+                    let chunk = in_block.min(remaining) as u32;
+                    done = done.max(self.read_block(addr.block(), chunk, t));
+                    addr = addr.offset(u64::from(chunk));
+                    remaining -= u64::from(chunk);
+                }
+                self.stats.service_cycles += done.saturating_sub(now);
+                done
+            }
+            AccessKind::Write => {
+                self.stats.writes += 1;
+                let mut done = t;
+                let mut remaining = u64::from(req.bytes);
+                let mut addr = req.addr;
+                while remaining > 0 {
+                    let in_block = BLOCK_BYTES - addr.block_offset();
+                    let chunk = in_block.min(remaining) as u32;
+                    done = done.max(self.write_block(addr.block(), chunk, t, NvmWriteClass::Cpu));
+                    addr = addr.offset(u64::from(chunk));
+                    remaining -= u64::from(chunk);
+                }
+                self.stats.service_cycles += done.saturating_sub(now);
+                done
+            }
+        }
+    }
+
+    fn checkpoint_due(&self, now: Cycle) -> bool {
+        // Epoch timer / overflow flag, or BTT pressure: end the epoch once
+        // ~90 % of the block budget carries working copies, leaving
+        // headroom for the checkpoint-time cache flush.
+        self.epoch.due(now, self.cfg.thynvm.epoch_max())
+            || self.epoch_dirty_blocks * 10 >= self.btt.capacity() * 9
+    }
+
+    fn begin_checkpoint(&mut self, now: Cycle, flushed: &[PhysAddr]) -> Cycle {
+        self.retire_job_if_done(now);
+
+        // If the previous checkpoint is still running, the new epoch cannot
+        // start its own checkpointing phase yet: stall (Figure 3b).
+        let mut t = now;
+        if self.epoch.job_running(t) {
+            let done = self.epoch.job.as_ref().expect("running").done_at;
+            self.stats.ckpt_stall_cycles += done - t;
+            t = done;
+            self.retire_job_if_done(t);
+        }
+
+        // Snapshot store counters for deferred scheme switching, then age
+        // them by halving. The paper zeroes counters each 10 ms epoch;
+        // overflow-shortened epochs would starve promotion under a plain
+        // reset, so aging preserves hotness across short epochs while cold
+        // pages still decay below the demotion threshold within a couple of
+        // boundaries.
+        self.pending_switch_counts = self.page_store_counts.clone();
+        self.page_store_counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+        self.btt.reset_store_counters();
+        self.ptt.reset_store_counters();
+
+        // CPU data flush: the processor's dirty cache blocks are writes of
+        // the epoch that is ending. The processor only *initiates* these
+        // writebacks (§4.4) — it resumes once they are issued, while the
+        // checkpoint's metadata persist waits for them in the background
+        // (`flush_done`). A flush larger than the remaining BTT budget is
+        // split across multiple checkpoint rounds — the §4.3 overflow rule
+        // applied during the flush itself; intermediate rounds block the
+        // processor.
+        let mut flush_done = t;
+        let mut i = 0usize;
+        while i < flushed.len() {
+            let block = flushed[i].block();
+            let absorbable = self.ptt.get(block.page()).is_some()
+                || self.btt.get(block).is_some()
+                || !self.btt.is_full()
+                || self.reclaim_quiescent(t, 64) > 0;
+            if absorbable {
+                let done = self.write_block(block, BLOCK_BYTES as u32, t, NvmWriteClass::Checkpoint);
+                flush_done = flush_done.max(done);
+                i += 1;
+            } else {
+                t = self.checkpoint_round(t, flush_done, false);
+                flush_done = flush_done.max(t);
+            }
+        }
+
+        let resume = self.checkpoint_round(t, flush_done, true);
+        self.stats.ckpt_stall_cycles += resume.saturating_sub(now);
+        resume
+    }
+
+    fn drain(&mut self, now: Cycle) -> Cycle {
+        let mut t = now;
+        if self.epoch.job_running(t) {
+            t = self.epoch.job.as_ref().expect("running").done_at;
+        }
+        self.retire_job_if_done(t);
+        if self.has_uncheckpointed_writes() {
+            t = self.begin_checkpoint(t, &[]);
+            if self.epoch.job_running(t) {
+                t = self.epoch.job.as_ref().expect("running").done_at;
+            }
+            self.retire_job_if_done(t);
+        }
+        t.max(self.nvm.idle_at()).max(self.dram.idle_at())
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.cfg.thynvm.mode, self.cfg.thynvm.overlap) {
+            (CkptMode::Dual, true) => "ThyNVM",
+            (CkptMode::Dual, false) => "ThyNVM-nooverlap",
+            (CkptMode::BlockOnly, _) => "ThyNVM-blockonly",
+            (CkptMode::PageOnly, _) => "ThyNVM-pageonly",
+        }
+    }
+}
+
+impl ThyNvm {
+    /// One checkpoint round: the Figure 6(b) sequence. `data_ready` is when
+    /// the epoch's initiated cache writebacks complete — the metadata
+    /// persist must not start earlier. `final_round` captures the
+    /// functional write log and honors the overlap setting; intermediate
+    /// rounds (metadata/timing only) always block until the round completes
+    /// and is retired. Returns the processor-resume cycle.
+    fn checkpoint_round(&mut self, t: Cycle, data_ready: Cycle, final_round: bool) -> Cycle {
+        let ckpt_start = t;
+
+        // Checkpoint operations are issued as fast as the devices accept
+        // them; bank busy-times arbitrate, so independent blocks/pages
+        // proceed in parallel while same-bank operations serialize. The
+        // Figure 6(b) order is preserved *between* phases.
+
+        // (1) Drain DRAM-buffered block working copies to NVM: read the
+        // DRAM buffer, then write NVM once the data is available.
+        let mut buffered: Vec<(BlockIndex, u32)> = self
+            .btt
+            .iter()
+            .filter_map(|(b, e)| match e.wactive {
+                Some(WactiveLoc::DramBuffered { slot }) => Some((b, slot)),
+                _ => None,
+            })
+            .collect();
+        buffered.sort_unstable_by_key(|(b, _)| *b);
+        let mut phase1_done = ckpt_start.max(data_ready);
+        for (block, slot) in buffered {
+            let src = self.space.working_block(slot, self.ptt.capacity());
+            let off = self.space.working_offset(src);
+            let read_done = self.working_read(off, BLOCK_BYTES as u32, ckpt_start);
+            let entry = self.btt.get(block).expect("iterated above");
+            let region = entry.clast_region.map_or(Region::A, Region::other);
+            let dst = self.space.checkpoint_block(region, block);
+            let write_done = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, read_done);
+            self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Checkpoint);
+            phase1_done = phase1_done.max(write_done);
+            let entry = self.btt.get_mut(block).expect("present");
+            entry.wactive = Some(WactiveLoc::Nvm(region));
+        }
+
+        // CPU state persists synchronously; the processor resumes after.
+        // The write is prioritized ahead of the background flush drains
+        // (modeled as an uncontended write: row miss + burst transfer).
+        let cpu_state = self.cfg.thynvm.cpu_state_bytes;
+        let bursts = cpu_state.max(64).div_ceil(64);
+        let resume_after_flush = t
+            + self.cfg.timing.nvm_clean_miss()
+            + Cycle::from_ns(thynvm_mem::device::BURST_NS * bursts.saturating_sub(1));
+        self.stats.record_nvm_write(cpu_state, NvmWriteClass::Checkpoint);
+
+        // (2) Checkpoint the BTT once the buffered drains are durable.
+        let btt_bytes = (self.btt.dirty_entries().max(1) as u64) * META_ENTRY_BYTES;
+        let btt_done = self.nvm.access(
+            self.space.backup(8192),
+            AccessKind::Write,
+            u32::try_from(btt_bytes.max(64)).expect("bounded"),
+            phase1_done.max(resume_after_flush),
+        );
+        self.stats.record_nvm_write(btt_bytes, NvmWriteClass::Checkpoint);
+
+        // Capture block versions: working copies in NVM become pending
+        // checkpoints (no data movement, §3.2).
+        for (_, entry) in self.btt.iter_mut() {
+            if let Some(loc) = entry.wactive.take() {
+                debug_assert!(matches!(loc, WactiveLoc::Nvm(_)), "buffers drained above");
+                entry.pending = Some(loc);
+            }
+        }
+        self.epoch_dirty_blocks = 0;
+
+        // (3) Write dirty pages back to the alternate checkpoint region.
+        let dirty_pages = self.ptt.dirty_pages();
+        let mut frozen = HashSet::with_capacity(dirty_pages.len());
+        let mut phase3_done = btt_done;
+        for page in dirty_pages {
+            let entry = self.ptt.get_mut(page).expect("dirty page listed");
+            let slot = entry.slot;
+            let target = entry.clast_region.map_or(Region::A, Region::other);
+            entry.dirty = false;
+            entry.frozen = true;
+            let off = self.space.working_offset(self.space.working_page(slot));
+            let read_done = self.working_read(off, PAGE_BYTES as u32, btt_done);
+            let dst = self.space.checkpoint_page(target, page);
+            let write_done = self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, read_done);
+            self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Checkpoint);
+            phase3_done = phase3_done.max(write_done);
+            self.pending_pages.insert(page, PendingPage { target });
+            frozen.insert(page);
+        }
+
+        // (4) Checkpoint the PTT, flush the NVM write queue, set the
+        // completion flag.
+        let ptt_bytes = (self.ptt.len().max(1) as u64) * META_ENTRY_BYTES;
+        let mut bg = self.nvm.access(
+            self.space.backup(16384),
+            AccessKind::Write,
+            u32::try_from(ptt_bytes.max(64)).expect("bounded"),
+            phase3_done,
+        );
+        self.stats.record_nvm_write(ptt_bytes, NvmWriteClass::Checkpoint);
+        bg = bg.max(self.nvm_wq.drain_time(bg));
+        bg = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, bg);
+        self.stats.record_nvm_write(1, NvmWriteClass::Checkpoint);
+
+        // Functional capture: the ending epoch's writes are now "being
+        // checkpointed"; they commit when the job retires. Intermediate
+        // rounds persist metadata only — a crash among them rolls back to
+        // the previous full epoch boundary (conservative, see DESIGN.md).
+        debug_assert!(self.ckpting_log.is_empty(), "previous job retired above");
+        if final_round {
+            self.ckpting_log = std::mem::take(&mut self.working_log);
+        }
+
+        self.stats.ckpt_busy_cycles += bg - ckpt_start;
+        self.stats.epochs_completed += 1; // checkpoints taken
+        self.epoch_length_hist
+            .record(ckpt_start.saturating_sub(self.epoch.epoch_start).raw());
+        self.job_duration_hist.record((bg - ckpt_start).raw());
+
+        let job = CkptJob {
+            epoch: self.epoch.active_epoch,
+            started: ckpt_start,
+            done_at: bg,
+            frozen_pages: frozen,
+        };
+        self.epoch.start_job(job, t);
+
+        if final_round && self.cfg.thynvm.overlap {
+            resume_after_flush.max(t)
+        } else {
+            // Stop-the-world: wait for the round to complete and retire it.
+            self.retire_job_if_done(bg);
+            bg
+        }
+    }
+}
+
+impl thynvm_types::PersistentMemory for ThyNvm {
+    fn store_bytes(&mut self, addr: PhysAddr, data: &[u8], now: Cycle) -> Cycle {
+        ThyNvm::store_bytes(self, addr, data, now)
+    }
+
+    fn load_bytes(&mut self, addr: PhysAddr, buf: &mut [u8], now: Cycle) -> Cycle {
+        ThyNvm::load_bytes(self, addr, buf, now)
+    }
+
+    fn persist(&mut self, now: Cycle) -> Cycle {
+        let t = self.force_checkpoint(now);
+        MemorySystem::drain(self, t)
+    }
+
+    fn power_fail(&mut self, now: Cycle) -> Cycle {
+        let report = self.crash_and_recover(now);
+        now + report.recovery_cycles
+    }
+}
+
+impl ThyNvm {
+    /// Convenience driver used by tests: runs trace events directly against
+    /// the controller (no caches), honoring the checkpoint handshake.
+    pub fn run_raw_trace<I>(&mut self, events: I, mut now: Cycle) -> Cycle
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        for e in events {
+            now += Cycle::new(u64::from(e.gap));
+            now = self.access(&e.req, now);
+            if self.checkpoint_due(now) {
+                now = self.begin_checkpoint(now, &[]);
+            }
+        }
+        self.drain(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ThyNvm {
+        ThyNvm::new(SystemConfig::small_test())
+    }
+
+    fn write64(sys: &mut ThyNvm, addr: u64, now: u64) -> Cycle {
+        sys.access(&MemRequest::write(PhysAddr::new(addr), 64), Cycle::new(now))
+    }
+
+    #[test]
+    fn first_write_goes_to_nvm_region_a() {
+        let mut sys = small();
+        write64(&mut sys, 0, 0);
+        let entry = sys.btt().get(BlockIndex::new(0)).expect("BTT entry created");
+        assert_eq!(entry.wactive, Some(WactiveLoc::Nvm(Region::A)));
+        assert_eq!(sys.stats().nvm_write_bytes_cpu, 64);
+        assert_eq!(sys.stats().dram_write_bytes, 0);
+    }
+
+    #[test]
+    fn writes_coalesce_in_same_working_copy() {
+        let mut sys = small();
+        write64(&mut sys, 0, 0);
+        write64(&mut sys, 0, 10_000);
+        assert_eq!(sys.btt().len(), 1);
+        assert_eq!(sys.stats().nvm_write_bytes_cpu, 128);
+        let entry = sys.btt().get(BlockIndex::new(0)).unwrap();
+        assert_eq!(entry.wactive, Some(WactiveLoc::Nvm(Region::A)));
+    }
+
+    #[test]
+    fn checkpoint_rotates_block_version_to_clast() {
+        let mut sys = small();
+        write64(&mut sys, 0, 0);
+        let t = sys.force_checkpoint(Cycle::new(1_000));
+        let t = sys.drain(t);
+        let entry = sys.btt().get(BlockIndex::new(0)).expect("entry kept");
+        assert_eq!(entry.clast_region, Some(Region::A));
+        assert_eq!(entry.wactive, None);
+        assert_eq!(entry.pending, None);
+        assert!(t > Cycle::new(1_000));
+    }
+
+    #[test]
+    fn next_epoch_write_targets_other_region() {
+        let mut sys = small();
+        write64(&mut sys, 0, 0);
+        let t = sys.force_checkpoint(Cycle::new(1_000));
+        let t = sys.drain(t);
+        sys.access(&MemRequest::write(PhysAddr::new(0), 64), t);
+        let entry = sys.btt().get(BlockIndex::new(0)).unwrap();
+        assert_eq!(entry.wactive, Some(WactiveLoc::Nvm(Region::B)));
+    }
+
+    #[test]
+    fn write_during_inflight_checkpoint_is_buffered_in_dram() {
+        let mut sys = small();
+        write64(&mut sys, 0, 0);
+        let resume = sys.force_checkpoint(Cycle::new(1_000));
+        // Job still in flight right at resume: new write must not touch NVM.
+        assert!(sys.epoch_state().job_running(resume));
+        let nvm_before = sys.stats().nvm_write_bytes_total();
+        sys.access(&MemRequest::write(PhysAddr::new(4096), 64), resume);
+        assert_eq!(sys.stats().nvm_write_bytes_total(), nvm_before);
+        let entry = sys.btt().get(BlockIndex::new(64)).expect("buffered entry");
+        assert!(matches!(entry.wactive, Some(WactiveLoc::DramBuffered { .. })));
+        assert!(sys.stats().dram_write_bytes >= 64);
+    }
+
+    #[test]
+    fn buffered_blocks_drain_at_next_checkpoint() {
+        let mut sys = small();
+        write64(&mut sys, 0, 0);
+        let resume = sys.force_checkpoint(Cycle::new(1_000));
+        sys.access(&MemRequest::write(PhysAddr::new(4096), 64), resume);
+        // Wait for job 0, then checkpoint epoch 1.
+        let done = sys.epoch_state().job.as_ref().unwrap().done_at;
+        let resume2 = sys.force_checkpoint(done);
+        let _ = sys.drain(resume2);
+        let entry = sys.btt().get(BlockIndex::new(64)).expect("entry");
+        assert!(entry.clast_region.is_some());
+        // The drain wrote the block to NVM as checkpoint traffic.
+        assert!(sys.stats().nvm_write_bytes_ckpt >= 64);
+    }
+
+    #[test]
+    fn hot_page_promoted_to_page_writeback() {
+        let mut sys = small();
+        // 30 stores to the same page in epoch 0 (threshold is 22).
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let t = sys.force_checkpoint(now);
+        let t = sys.drain(t);
+        assert!(sys.ptt().get(PageIndex::new(0)).is_some(), "page should be promoted");
+        assert_eq!(sys.stats().pages_promoted, 1);
+        // Next write to the page goes to DRAM.
+        let dram_before = sys.stats().dram_write_bytes;
+        sys.access(&MemRequest::write(PhysAddr::new(0), 64), t);
+        assert_eq!(sys.stats().dram_write_bytes, dram_before + 64);
+        assert!(sys.ptt().get(PageIndex::new(0)).unwrap().dirty);
+    }
+
+    #[test]
+    fn cold_page_demoted_back_to_block_remapping() {
+        let mut sys = small();
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let t = sys.force_checkpoint(now);
+        let t = sys.drain(t);
+        assert!(sys.ptt().get(PageIndex::new(0)).is_some());
+        // Epoch with zero writes to the page → demote at next retirement.
+        let t2 = sys.force_checkpoint(t + Cycle::new(10));
+        let t2 = sys.drain(t2);
+        let t3 = sys.force_checkpoint(t2 + Cycle::new(10));
+        let _ = sys.drain(t3);
+        assert!(sys.ptt().get(PageIndex::new(0)).is_none(), "cold page demoted");
+        assert!(sys.stats().pages_demoted >= 1);
+        assert!(sys.stats().nvm_write_bytes_migration >= PAGE_BYTES);
+    }
+
+    #[test]
+    fn dirty_page_checkpoint_writes_whole_page() {
+        let mut sys = small();
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let t = sys.drain(now); // promote
+        sys.access(&MemRequest::write(PhysAddr::new(0), 64), t);
+        let ckpt_before = sys.stats().nvm_write_bytes_ckpt;
+        let t2 = sys.force_checkpoint(t + Cycle::new(100));
+        let _ = sys.drain(t2);
+        assert!(
+            sys.stats().nvm_write_bytes_ckpt >= ckpt_before + PAGE_BYTES,
+            "page writeback persists 4 KiB"
+        );
+    }
+
+    #[test]
+    fn store_to_frozen_page_is_absorbed_by_block_remapping() {
+        let mut sys = small();
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let t = sys.drain(now); // page promoted
+        sys.access(&MemRequest::write(PhysAddr::new(0), 64), t); // dirty it
+        let resume = sys.force_checkpoint(t + Cycle::new(100));
+        // Page is frozen while the job writes it back.
+        assert!(sys.epoch_state().page_frozen(PageIndex::new(0), resume));
+        let nvm_before = sys.stats().nvm_write_bytes_total();
+        sys.access(&MemRequest::write(PhysAddr::new(64), 64), resume);
+        // Cooperation: absorbed in DRAM, no NVM write, no stall on the page.
+        assert_eq!(sys.stats().nvm_write_bytes_total(), nvm_before);
+        let entry = sys.btt().get(BlockIndex::new(1)).expect("cooperation entry");
+        assert!(matches!(entry.wactive, Some(WactiveLoc::DramBuffered { .. })));
+    }
+
+    #[test]
+    fn btt_overflow_forces_early_epoch_end() {
+        let mut sys = small(); // 64 BTT entries
+        let mut now = Cycle::ZERO;
+        // Touch 65 distinct pages (each write = one block, distinct pages so
+        // no promotion).
+        for i in 0..65u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new(i * PAGE_BYTES), 64), now);
+        }
+        assert!(sys.checkpoint_due(now), "overflow must request an epoch end");
+    }
+
+    #[test]
+    fn overlap_resumes_before_job_completes() {
+        let mut sys = small();
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let t = sys.drain(now);
+        sys.access(&MemRequest::write(PhysAddr::new(0), 64), t);
+        let resume = sys.force_checkpoint(t + Cycle::new(100));
+        let job_done = sys.epoch_state().job.as_ref().expect("job").done_at;
+        assert!(resume < job_done, "overlapped checkpoint must not block execution");
+    }
+
+    #[test]
+    fn no_overlap_mode_blocks_until_done() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.thynvm.overlap = false;
+        let mut sys = ThyNvm::new(cfg);
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let resume = sys.force_checkpoint(now);
+        assert!(!sys.epoch_state().job_running(resume), "stop-the-world returns at completion");
+    }
+
+    #[test]
+    fn back_to_back_checkpoints_stall_for_first_job() {
+        let mut sys = small();
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let t = sys.drain(now);
+        sys.access(&MemRequest::write(PhysAddr::new(0), 64), t);
+        let r1 = sys.force_checkpoint(t + Cycle::new(10));
+        let stall_before = sys.stats().ckpt_stall_cycles;
+        // Immediately demand another checkpoint: must wait for job 1.
+        sys.access(&MemRequest::write(PhysAddr::new(8 * PAGE_BYTES), 64), r1);
+        let _r2 = sys.force_checkpoint(r1 + Cycle::new(1));
+        assert!(sys.stats().ckpt_stall_cycles > stall_before, "second checkpoint stalls");
+    }
+
+    // ---------------- functional / crash-consistency ----------------
+
+    #[test]
+    fn recover_to_last_completed_checkpoint() {
+        let mut sys = small();
+        sys.store_bytes(PhysAddr::new(100), b"AAAA", Cycle::ZERO);
+        let t = sys.force_checkpoint(Cycle::new(1_000));
+        let t = sys.drain(t);
+        sys.store_bytes(PhysAddr::new(100), b"BBBB", t);
+        // Crash before the second value is checkpointed.
+        let report = sys.crash_and_recover(t + Cycle::new(1));
+        assert!(!report.rolled_back_incomplete);
+        assert_eq!(report.recovered_checkpoints, 1);
+        let mut buf = [0u8; 4];
+        sys.load_bytes(PhysAddr::new(100), &mut buf, t);
+        assert_eq!(&buf, b"AAAA");
+    }
+
+    #[test]
+    fn crash_during_checkpoint_rolls_back_to_penultimate() {
+        let mut sys = small();
+        sys.store_bytes(PhysAddr::new(0), b"epoch0", Cycle::ZERO);
+        let t = sys.drain(Cycle::new(100)); // checkpoint 0 complete
+        sys.store_bytes(PhysAddr::new(0), b"epoch1", t);
+        let resume = sys.force_checkpoint(t + Cycle::new(10));
+        // Crash while checkpoint 1 is in flight.
+        assert!(sys.epoch_state().job_running(resume));
+        let report = sys.crash_and_recover(resume);
+        assert!(report.rolled_back_incomplete);
+        let mut buf = [0u8; 6];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, resume);
+        assert_eq!(&buf, b"epoch0", "incomplete checkpoint discarded");
+    }
+
+    #[test]
+    fn crash_after_checkpoint_done_keeps_it() {
+        let mut sys = small();
+        sys.store_bytes(PhysAddr::new(0), b"epoch0", Cycle::ZERO);
+        let t = sys.drain(Cycle::new(100));
+        sys.store_bytes(PhysAddr::new(0), b"epoch1", t);
+        let resume = sys.force_checkpoint(t + Cycle::new(10));
+        let done = sys.epoch_state().job.as_ref().unwrap().done_at;
+        let _ = resume;
+        // Crash *after* the job completed.
+        let report = sys.crash_and_recover(done + Cycle::new(1));
+        assert!(!report.rolled_back_incomplete);
+        let mut buf = [0u8; 6];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, done);
+        assert_eq!(&buf, b"epoch1");
+    }
+
+    #[test]
+    fn crash_with_no_checkpoint_recovers_to_zeroes() {
+        let mut sys = small();
+        sys.store_bytes(PhysAddr::new(0), b"lost", Cycle::ZERO);
+        let report = sys.crash_and_recover(Cycle::new(10));
+        assert_eq!(report.recovered_checkpoints, 0);
+        let mut buf = [9u8; 4];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, Cycle::new(20));
+        assert_eq!(buf, [0u8; 4], "nothing was ever made durable");
+    }
+
+    #[test]
+    fn recovery_restores_promoted_pages_to_dram() {
+        let mut sys = small();
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.store_bytes(PhysAddr::new((i % 64) * 64), &[i as u8; 64], now);
+        }
+        let t = sys.drain(now); // page promoted + checkpointed
+        let report = sys.crash_and_recover(t);
+        assert!(report.restored_pages >= 1, "PTT pages reload into DRAM (§4.5)");
+        assert!(report.recovery_cycles > Cycle::ZERO);
+    }
+
+    #[test]
+    fn visible_reads_see_working_copy_before_checkpoint() {
+        let mut sys = small();
+        sys.store_bytes(PhysAddr::new(64), b"fresh", Cycle::ZERO);
+        let mut buf = [0u8; 5];
+        sys.load_bytes(PhysAddr::new(64), &mut buf, Cycle::new(10));
+        assert_eq!(&buf, b"fresh", "W_active is software-visible (§4.1)");
+    }
+
+    #[test]
+    fn run_raw_trace_completes_and_checkpoints() {
+        let mut sys = small();
+        let events: Vec<TraceEvent> = (0..200u64)
+            .map(|i| TraceEvent::new(10, MemRequest::write(PhysAddr::new((i * 64) % 8192), 64)))
+            .collect();
+        let end = sys.run_raw_trace(events, Cycle::ZERO);
+        assert!(end > Cycle::ZERO);
+        assert!(sys.stats().epochs_completed >= 1);
+        assert!(!sys.has_uncheckpointed_writes());
+    }
+
+    #[test]
+    fn reads_from_home_region_for_untracked_data() {
+        let mut sys = small();
+        let before = sys.stats().nvm_reads;
+        sys.access(&MemRequest::read(PhysAddr::new(1 << 20), 64), Cycle::ZERO);
+        assert_eq!(sys.stats().nvm_reads, before + 1);
+        assert_eq!(sys.stats().reads, 1);
+    }
+
+    #[test]
+    fn reads_of_page_mode_data_hit_dram() {
+        let mut sys = small();
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let t = sys.drain(now);
+        let dram_reads_before = sys.stats().dram_reads;
+        sys.access(&MemRequest::read(PhysAddr::new(0), 64), t);
+        assert_eq!(sys.stats().dram_reads, dram_reads_before + 1);
+    }
+
+    #[test]
+    fn drain_leaves_system_quiescent() {
+        let mut sys = small();
+        write64(&mut sys, 0, 0);
+        let t = sys.drain(Cycle::new(100));
+        assert!(!sys.has_uncheckpointed_writes());
+        assert!(!sys.epoch_state().job_running(t));
+        // Idempotent.
+        assert_eq!(sys.drain(t), t);
+    }
+
+    #[test]
+    fn name_reflects_mode() {
+        assert_eq!(small().name(), "ThyNVM");
+        let mut cfg = SystemConfig::small_test();
+        cfg.thynvm.mode = CkptMode::BlockOnly;
+        assert_eq!(ThyNvm::new(cfg).name(), "ThyNVM-blockonly");
+        cfg.thynvm.mode = CkptMode::PageOnly;
+        assert_eq!(ThyNvm::new(cfg).name(), "ThyNVM-pageonly");
+        cfg.thynvm.mode = CkptMode::Dual;
+        cfg.thynvm.overlap = false;
+        assert_eq!(ThyNvm::new(cfg).name(), "ThyNVM-nooverlap");
+    }
+
+    #[test]
+    fn ckpt_busy_cycles_accumulate() {
+        let mut sys = small();
+        write64(&mut sys, 0, 0);
+        let t = sys.force_checkpoint(Cycle::new(1_000));
+        let _ = sys.drain(t);
+        assert!(sys.stats().ckpt_busy_cycles > Cycle::ZERO);
+    }
+
+    // ---------------- §6 extensions ----------------
+
+    #[test]
+    fn persist_barrier_makes_preceding_stores_durable() {
+        let mut sys = small();
+        let t = sys.store_bytes(PhysAddr::new(0), b"before", Cycle::ZERO);
+        let t = sys.persist_barrier(t);
+        let t = sys.drain(t);
+        let t2 = sys.store_bytes(PhysAddr::new(64), b"after!", t);
+        sys.crash_and_recover(t2);
+        let mut a = [0u8; 6];
+        let mut b = [0u8; 6];
+        sys.load_bytes(PhysAddr::new(0), &mut a, t2);
+        sys.load_bytes(PhysAddr::new(64), &mut b, t2);
+        assert_eq!(&a, b"before", "pre-barrier data survives");
+        assert_eq!(&b, &[0u8; 6], "post-barrier data was never persisted");
+    }
+
+    #[test]
+    fn persistence_interval_is_configurable() {
+        let mut sys = small();
+        sys.set_persistence_interval_ms(2);
+        assert!(!sys.checkpoint_due(Cycle::from_ms(1)));
+        assert!(sys.checkpoint_due(Cycle::from_ms(2)));
+    }
+
+    #[test]
+    fn archive_retains_past_checkpoints() {
+        let mut sys = small();
+        sys.set_archive_depth(2);
+        let mut t = Cycle::ZERO;
+        for i in 1u8..=3 {
+            t = sys.store_bytes(PhysAddr::new(0), &[i], t);
+            t = sys.force_checkpoint(t);
+            t = sys.drain(t);
+        }
+        // Depth 2: only the two most recent checkpoints retained.
+        assert_eq!(sys.archived_checkpoints().len(), 2);
+    }
+
+    #[test]
+    fn rollback_to_archived_checkpoint_restores_old_image() {
+        let mut sys = small();
+        sys.set_archive_depth(4);
+        let mut t = Cycle::ZERO;
+        for i in 1u8..=3 {
+            t = sys.store_bytes(PhysAddr::new(0), &[i], t);
+            t = sys.force_checkpoint(t);
+            t = sys.drain(t);
+        }
+        let archived = sys.archived_checkpoints();
+        assert_eq!(archived.len(), 3);
+        // Roll back to the first checkpoint (value 1).
+        sys.rollback_to_checkpoint(archived[0], t).expect("in archive");
+        let mut buf = [0u8; 1];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf[0], 1, "the 'bug-free' past image is restored");
+        // Later checkpoints are gone from the archive.
+        assert_eq!(sys.archived_checkpoints(), vec![archived[0]]);
+    }
+
+    #[test]
+    fn rollback_to_unknown_checkpoint_errors() {
+        let mut sys = small();
+        sys.set_archive_depth(2);
+        let err = sys.rollback_to_checkpoint(99, Cycle::ZERO).unwrap_err();
+        assert_eq!(err, thynvm_types::Error::NoCheckpoint);
+    }
+
+    #[test]
+    fn nvm_working_region_functions_identically() {
+        // §4.1 footnote 3 exploration: correctness must be placement-
+        // independent; only timing and traffic accounting change.
+        let mut cfg = SystemConfig::small_test();
+        cfg.thynvm.working_region = thynvm_types::WorkingRegion::Nvm;
+        let mut sys = ThyNvm::new(cfg);
+        let t = sys.store_bytes(PhysAddr::new(0x40), b"nvm-working", Cycle::ZERO);
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        sys.crash_and_recover(t);
+        let mut buf = [0u8; 11];
+        sys.load_bytes(PhysAddr::new(0x40), &mut buf, t);
+        assert_eq!(&buf, b"nvm-working");
+        // No DRAM traffic at all in this placement.
+        assert_eq!(sys.stats().dram_write_bytes, 0);
+        assert_eq!(sys.stats().dram_reads, 0);
+    }
+
+    #[test]
+    fn nvm_working_region_page_writes_hit_nvm() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.thynvm.working_region = thynvm_types::WorkingRegion::Nvm;
+        let mut sys = ThyNvm::new(cfg);
+        let mut now = Cycle::ZERO;
+        for i in 0..30u64 {
+            now = sys.access(&MemRequest::write(PhysAddr::new((i % 64) * 64), 64), now);
+        }
+        let t = sys.drain(now); // page promoted into the NVM working region
+        assert!(sys.ptt().get(PageIndex::new(0)).is_some());
+        let nvm_before = sys.stats().nvm_write_bytes_cpu;
+        sys.access(&MemRequest::write(PhysAddr::new(0), 64), t);
+        assert!(sys.stats().nvm_write_bytes_cpu > nvm_before, "page write went to NVM");
+        assert_eq!(sys.stats().dram_write_bytes, 0);
+    }
+
+    #[test]
+    fn archive_disabled_by_default() {
+        let mut sys = small();
+        let t = sys.store_bytes(PhysAddr::new(0), &[1], Cycle::ZERO);
+        let t = sys.force_checkpoint(t);
+        let _ = sys.drain(t);
+        assert!(sys.archived_checkpoints().is_empty());
+    }
+}

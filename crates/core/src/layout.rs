@@ -1,0 +1,218 @@
+//! The hardware address space of Figure 4.
+//!
+//! The memory controller sees a hardware address space larger than the
+//! software-visible physical space. It contains:
+//!
+//! * **Home Region** (= **Checkpoint Region B**) — one hardware address per
+//!   physical address. Data not subject to checkpointing lives here at its
+//!   identity mapping; for checkpointed data this region doubles as one of
+//!   the two alternating checkpoint targets, saving capacity and table
+//!   entries (§4.1).
+//! * **Checkpoint Region A** — the other alternating checkpoint target.
+//! * **Working Data Region** — DRAM: pages cached by the page-writeback
+//!   scheme, plus block-remapped working copies temporarily buffered in
+//!   DRAM while the previous checkpoint is still in flight.
+//! * **Backup Region** — NVM space for the checkpointed BTT/PTT, the CPU
+//!   state, and the atomic checkpoint-complete flag.
+//!
+//! Region base offsets are fixed powers of two well above any physical
+//! address used by the workloads, so the mapping is trivially invertible
+//! and regions can never collide.
+
+use thynvm_types::{BlockIndex, HwAddr, PageIndex, PhysAddr, BLOCK_BYTES, PAGE_BYTES};
+
+/// One of the two alternating NVM checkpoint regions.
+///
+/// `C_last` and `C_penult` are stored in opposite regions and swap on every
+/// completed checkpoint (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Checkpoint Region A (dedicated checkpoint space).
+    A,
+    /// Checkpoint Region B, which is also the Home Region.
+    B,
+}
+
+impl Region {
+    /// The other region.
+    #[must_use]
+    pub const fn other(self) -> Region {
+        match self {
+            Region::A => Region::B,
+            Region::B => Region::A,
+        }
+    }
+}
+
+/// Base of Checkpoint Region A in the hardware address space.
+const REGION_A_BASE: u64 = 1 << 40;
+/// Base of the Working Data Region (DRAM) in the hardware address space.
+const WORKING_BASE: u64 = 1 << 41;
+/// Base of the BTT/PTT/CPU Backup Region.
+const BACKUP_BASE: u64 = 1 << 42;
+
+/// Maps between physical addresses and the hardware address space regions.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_core::{AddressSpace, Region};
+/// use thynvm_types::PhysAddr;
+///
+/// let space = AddressSpace::new();
+/// let p = PhysAddr::new(0x1234);
+/// assert_eq!(space.home(p).raw(), 0x1234); // Home Region is identity
+/// assert_eq!(space.checkpoint(Region::B, p), space.home(p));
+/// assert_ne!(space.checkpoint(Region::A, p), space.home(p));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddressSpace {
+    _private: (),
+}
+
+impl AddressSpace {
+    /// Creates the standard layout.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+
+    /// Hardware address of `p` in the Home Region (identity mapping).
+    pub fn home(self, p: PhysAddr) -> HwAddr {
+        HwAddr::new(p.raw())
+    }
+
+    /// Hardware address of `p`'s copy in checkpoint region `r`.
+    ///
+    /// Region B *is* the Home Region, so `checkpoint(Region::B, p)` equals
+    /// [`AddressSpace::home`].
+    pub fn checkpoint(self, r: Region, p: PhysAddr) -> HwAddr {
+        match r {
+            Region::A => HwAddr::new(REGION_A_BASE + p.raw()),
+            Region::B => self.home(p),
+        }
+    }
+
+    /// Hardware address of checkpoint-region copy of a whole page.
+    pub fn checkpoint_page(self, r: Region, page: PageIndex) -> HwAddr {
+        self.checkpoint(r, page.base_addr())
+    }
+
+    /// Hardware address of checkpoint-region copy of a block.
+    pub fn checkpoint_block(self, r: Region, block: BlockIndex) -> HwAddr {
+        self.checkpoint(r, block.base_addr())
+    }
+
+    /// DRAM (Working Data Region) address of page-writeback slot `slot`.
+    pub fn working_page(self, slot: u32) -> HwAddr {
+        HwAddr::new(WORKING_BASE + u64::from(slot) * PAGE_BYTES)
+    }
+
+    /// DRAM address of the temporary block-buffer slot `slot` (working
+    /// copies absorbed by block remapping while `C_penult` is unsafe to
+    /// overwrite, §4.1).
+    ///
+    /// Block-buffer slots live above the page slots so the two never alias.
+    pub fn working_block(self, slot: u32, page_slots: usize) -> HwAddr {
+        HwAddr::new(
+            WORKING_BASE + page_slots as u64 * PAGE_BYTES + u64::from(slot) * BLOCK_BYTES,
+        )
+    }
+
+    /// Within the working region, byte offset of a given address relative
+    /// to the region base (used to address the DRAM device).
+    pub fn working_offset(self, hw: HwAddr) -> u64 {
+        debug_assert!(hw.raw() >= WORKING_BASE && hw.raw() < BACKUP_BASE);
+        hw.raw() - WORKING_BASE
+    }
+
+    /// Whether a hardware address lies in the Working Data Region (DRAM).
+    pub fn is_dram(self, hw: HwAddr) -> bool {
+        (WORKING_BASE..BACKUP_BASE).contains(&hw.raw())
+    }
+
+    /// Hardware address of byte `offset` of the metadata/CPU-state backup
+    /// region.
+    pub fn backup(self, offset: u64) -> HwAddr {
+        HwAddr::new(BACKUP_BASE + offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_other_is_involutive() {
+        assert_eq!(Region::A.other(), Region::B);
+        assert_eq!(Region::B.other(), Region::A);
+        assert_eq!(Region::A.other().other(), Region::A);
+    }
+
+    #[test]
+    fn home_is_identity() {
+        let s = AddressSpace::new();
+        assert_eq!(s.home(PhysAddr::new(0)).raw(), 0);
+        assert_eq!(s.home(PhysAddr::new(0xdead_beef)).raw(), 0xdead_beef);
+    }
+
+    #[test]
+    fn region_b_is_home() {
+        let s = AddressSpace::new();
+        let p = PhysAddr::new(0x42_0000);
+        assert_eq!(s.checkpoint(Region::B, p), s.home(p));
+    }
+
+    #[test]
+    fn region_a_is_disjoint_from_home() {
+        let s = AddressSpace::new();
+        let p = PhysAddr::new(0x42_0000);
+        assert_ne!(s.checkpoint(Region::A, p), s.home(p));
+        assert!(s.checkpoint(Region::A, p).raw() >= REGION_A_BASE);
+    }
+
+    #[test]
+    fn page_and_block_checkpoint_addresses() {
+        let s = AddressSpace::new();
+        let page = PageIndex::new(3);
+        let block = page.block(2);
+        assert_eq!(s.checkpoint_page(Region::A, page).raw(), REGION_A_BASE + 3 * PAGE_BYTES);
+        assert_eq!(
+            s.checkpoint_block(Region::A, block).raw(),
+            REGION_A_BASE + 3 * PAGE_BYTES + 2 * BLOCK_BYTES
+        );
+    }
+
+    #[test]
+    fn working_slots_do_not_alias() {
+        let s = AddressSpace::new();
+        let page_slots = 4;
+        let last_page_end = s.working_page(3).raw() + PAGE_BYTES;
+        let first_block = s.working_block(0, page_slots).raw();
+        assert_eq!(last_page_end, first_block);
+        assert_ne!(s.working_block(0, page_slots), s.working_block(1, page_slots));
+    }
+
+    #[test]
+    fn dram_detection() {
+        let s = AddressSpace::new();
+        assert!(s.is_dram(s.working_page(0)));
+        assert!(s.is_dram(s.working_block(7, 4096)));
+        assert!(!s.is_dram(s.home(PhysAddr::new(0))));
+        assert!(!s.is_dram(s.checkpoint(Region::A, PhysAddr::new(0))));
+        assert!(!s.is_dram(s.backup(0)));
+    }
+
+    #[test]
+    fn working_offset_roundtrip() {
+        let s = AddressSpace::new();
+        assert_eq!(s.working_offset(s.working_page(2)), 2 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn backup_region_is_beyond_working() {
+        // Valid page slots stay below 2^29 (2 TiB of DRAM), which keeps the
+        // working region strictly under the backup base.
+        let s = AddressSpace::new();
+        assert!(s.backup(0).raw() > s.working_page((1 << 29) - 1).raw());
+    }
+}

@@ -1,0 +1,409 @@
+//! Executable specification of the ThyNVM consistency protocol.
+//!
+//! The paper ships a formal proof of its checkpointing protocol as an
+//! online appendix (reference \[66\]) and compresses the BTT/PTT version
+//! fields into a seven-state machine (footnote 6, reference \[65\]). Neither
+//! document is retrievable today, so this module *reconstructs the protocol
+//! as an executable specification*: the set of legal per-datum version
+//! states, the events that move between them, and the recovery obligation
+//! of every state.
+//!
+//! The controller in [`crate::controller`] is checked against this
+//! specification: unit tests here enumerate the transition system
+//! exhaustively, and the conformance tests in the workspace's `tests/`
+//! directory drive the real controller with random traffic while asserting
+//! that every observed entry state is reachable and every transition legal.
+//!
+//! # The state machine
+//!
+//! A datum (block or page) is described by which versions of it exist:
+//!
+//! * `W` — an active working copy (being written this epoch),
+//! * `K` — a checkpoint *in flight* (captured, not yet durable),
+//! * `L` — the last durable checkpoint,
+//! * plus the Home Region original, which always exists.
+//!
+//! Eight combinations are expressible; `{K}` alone and `{W,K}` without a
+//! prior durable copy arise transiently while the first checkpoint of a
+//! datum is in flight, giving the seven *stable* states the paper's
+//! encoding packs into its tables (the eighth, `Home`, needs no table entry
+//! at all).
+
+use std::fmt;
+
+/// The per-datum version state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VersionState {
+    /// An active working copy exists (`W_active`).
+    pub working: bool,
+    /// A checkpoint of the previous epoch is in flight (captured but not
+    /// yet durable). While `true`, the previous durable checkpoint — if
+    /// any — plays the role of `C_penult`.
+    pub in_flight: bool,
+    /// A durable checkpoint exists (`C_last` once no checkpoint is in
+    /// flight; `C_penult` while one is).
+    pub durable: bool,
+}
+
+impl VersionState {
+    /// The untracked state: only the Home Region copy exists.
+    pub const HOME: VersionState =
+        VersionState { working: false, in_flight: false, durable: false };
+
+    /// All reachable states of the protocol.
+    pub fn all() -> [VersionState; 8] {
+        let mut out = [VersionState::HOME; 8];
+        let mut i = 0;
+        for &working in &[false, true] {
+            for &in_flight in &[false, true] {
+                for &durable in &[false, true] {
+                    out[i] = VersionState { working, in_flight, durable };
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether a table entry is required to track this datum (the Home
+    /// state needs none — footnote: that is what keeps table pressure
+    /// proportional to the *write* working set).
+    pub fn needs_entry(self) -> bool {
+        self != VersionState::HOME
+    }
+
+    /// The version recovery must restore if the system crashes in this
+    /// state.
+    pub fn recovery_target(self) -> RecoveryTarget {
+        if self.in_flight {
+            // The in-flight checkpoint is discarded; fall back to the
+            // previous durable copy (C_penult) or the Home original.
+            if self.durable {
+                RecoveryTarget::PenultimateCheckpoint
+            } else {
+                RecoveryTarget::HomeOriginal
+            }
+        } else if self.durable {
+            RecoveryTarget::LastCheckpoint
+        } else {
+            // Working-only or Home: uncommitted writes are lost.
+            RecoveryTarget::HomeOriginal
+        }
+    }
+
+    /// The software-visible version under §4.1's rule: `W_active` if it
+    /// exists, else the newest checkpoint, else the Home original.
+    pub fn visible(self) -> VisibleVersion {
+        if self.working {
+            VisibleVersion::Working
+        } else if self.in_flight {
+            VisibleVersion::InFlightCheckpoint
+        } else if self.durable {
+            VisibleVersion::LastCheckpoint
+        } else {
+            VisibleVersion::HomeOriginal
+        }
+    }
+
+    /// Applies a protocol event, returning the successor state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if the event is illegal in this state —
+    /// e.g. capturing a checkpoint while one is already in flight, which
+    /// would overwrite `C_penult` and break recoverability (§3.1).
+    pub fn apply(self, event: Event) -> Result<VersionState, ProtocolError> {
+        match event {
+            Event::Write => Ok(VersionState { working: true, ..self }),
+            Event::Capture => {
+                if self.in_flight {
+                    return Err(ProtocolError::CaptureWhileInFlight);
+                }
+                if !self.working {
+                    // Nothing to capture: state unchanged (the datum simply
+                    // is not part of this checkpoint).
+                    return Ok(self);
+                }
+                Ok(VersionState { working: false, in_flight: true, durable: self.durable })
+            }
+            Event::Commit => {
+                if !self.in_flight {
+                    return Err(ProtocolError::CommitWithoutInFlight);
+                }
+                Ok(VersionState { working: self.working, in_flight: false, durable: true })
+            }
+            Event::Crash => {
+                // Volatile and in-flight versions are lost.
+                Ok(VersionState { working: false, in_flight: false, durable: self.durable })
+            }
+            Event::Reclaim => {
+                if self.working || self.in_flight {
+                    return Err(ProtocolError::ReclaimNonQuiescent);
+                }
+                // The durable copy migrates to the Home Region; the entry
+                // is freed.
+                Ok(VersionState::HOME)
+            }
+        }
+    }
+}
+
+impl fmt::Display for VersionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.working {
+            parts.push("W");
+        }
+        if self.in_flight {
+            parts.push("K");
+        }
+        if self.durable {
+            parts.push("L");
+        }
+        if parts.is_empty() {
+            f.write_str("Home")
+        } else {
+            f.write_str(&parts.join("+"))
+        }
+    }
+}
+
+/// Protocol events that change a datum's version state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A store creates or updates the working copy.
+    Write,
+    /// An epoch ends: the working copy is captured by the starting
+    /// checkpoint (Figure 6b).
+    Capture,
+    /// The in-flight checkpoint becomes durable (write queue drained,
+    /// completion bit set).
+    Commit,
+    /// Power failure: volatile and in-flight state vanish.
+    Crash,
+    /// The entry is reclaimed (§4.3): only legal when quiescent.
+    Reclaim,
+}
+
+impl Event {
+    /// All protocol events.
+    pub const ALL: [Event; 5] =
+        [Event::Write, Event::Capture, Event::Commit, Event::Crash, Event::Reclaim];
+}
+
+/// Which version recovery restores after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryTarget {
+    /// `C_last` — the checkpoint completed most recently.
+    LastCheckpoint,
+    /// `C_penult` — the in-flight checkpoint was discarded.
+    PenultimateCheckpoint,
+    /// The Home Region original (datum never durably checkpointed).
+    HomeOriginal,
+}
+
+/// Which version a load observes (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisibleVersion {
+    /// The active working copy.
+    Working,
+    /// The checkpoint being persisted (newest data once `W` is captured).
+    InFlightCheckpoint,
+    /// The last durable checkpoint.
+    LastCheckpoint,
+    /// The untouched Home Region copy.
+    HomeOriginal,
+}
+
+/// An illegal protocol transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A second checkpoint tried to start while one was in flight —
+    /// forbidden because it would overwrite the only safe version (§3.1:
+    /// "the last epoch can start its checkpointing phase only after the
+    /// checkpointing phase of the penultimate epoch finishes").
+    CaptureWhileInFlight,
+    /// A commit arrived with no checkpoint in flight.
+    CommitWithoutInFlight,
+    /// Reclaiming an entry that still holds uncommitted state.
+    ReclaimNonQuiescent,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProtocolError::CaptureWhileInFlight => {
+                "checkpoint capture while another checkpoint is in flight"
+            }
+            ProtocolError::CommitWithoutInFlight => "commit without an in-flight checkpoint",
+            ProtocolError::ReclaimNonQuiescent => "reclaim of a non-quiescent entry",
+        })
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_states_seven_tracked() {
+        let all = VersionState::all();
+        assert_eq!(all.len(), 8);
+        let tracked = all.iter().filter(|s| s.needs_entry()).count();
+        assert_eq!(tracked, 7, "the paper's seven-state encoding");
+    }
+
+    #[test]
+    fn home_state_roundtrip() {
+        let s = VersionState::HOME;
+        assert!(!s.needs_entry());
+        assert_eq!(s.visible(), VisibleVersion::HomeOriginal);
+        assert_eq!(s.recovery_target(), RecoveryTarget::HomeOriginal);
+        assert_eq!(s.to_string(), "Home");
+    }
+
+    #[test]
+    fn write_capture_commit_lifecycle() {
+        let s = VersionState::HOME;
+        let s = s.apply(Event::Write).unwrap();
+        assert_eq!(s.to_string(), "W");
+        assert_eq!(s.visible(), VisibleVersion::Working);
+        let s = s.apply(Event::Capture).unwrap();
+        assert_eq!(s.to_string(), "K");
+        assert_eq!(s.visible(), VisibleVersion::InFlightCheckpoint);
+        let s = s.apply(Event::Commit).unwrap();
+        assert_eq!(s.to_string(), "L");
+        assert_eq!(s.visible(), VisibleVersion::LastCheckpoint);
+        assert_eq!(s.recovery_target(), RecoveryTarget::LastCheckpoint);
+    }
+
+    #[test]
+    fn overlapped_epochs_keep_three_versions() {
+        // Epoch N writes, is captured; epoch N+1 writes while N persists.
+        let s = VersionState::HOME
+            .apply(Event::Write)
+            .and_then(|s| s.apply(Event::Capture))
+            .and_then(|s| s.apply(Event::Write))
+            .unwrap();
+        assert_eq!(s.to_string(), "W+K");
+        // Crash now: both W and K are lost; only Home remains.
+        assert_eq!(s.recovery_target(), RecoveryTarget::HomeOriginal);
+        // If a durable checkpoint existed underneath, it would be C_penult:
+        let s2 = VersionState { working: true, in_flight: true, durable: true };
+        assert_eq!(s2.recovery_target(), RecoveryTarget::PenultimateCheckpoint);
+    }
+
+    #[test]
+    fn double_capture_is_illegal() {
+        let s = VersionState { working: true, in_flight: true, durable: false };
+        assert_eq!(s.apply(Event::Capture), Err(ProtocolError::CaptureWhileInFlight));
+    }
+
+    #[test]
+    fn commit_requires_in_flight() {
+        assert_eq!(
+            VersionState::HOME.apply(Event::Commit),
+            Err(ProtocolError::CommitWithoutInFlight)
+        );
+    }
+
+    #[test]
+    fn reclaim_only_when_quiescent() {
+        let quiescent = VersionState { working: false, in_flight: false, durable: true };
+        assert_eq!(quiescent.apply(Event::Reclaim), Ok(VersionState::HOME));
+        let busy = VersionState { working: true, in_flight: false, durable: true };
+        assert_eq!(busy.apply(Event::Reclaim), Err(ProtocolError::ReclaimNonQuiescent));
+        let pending = VersionState { working: false, in_flight: true, durable: false };
+        assert_eq!(pending.apply(Event::Reclaim), Err(ProtocolError::ReclaimNonQuiescent));
+    }
+
+    #[test]
+    fn capture_without_working_copy_is_a_noop() {
+        let s = VersionState { working: false, in_flight: false, durable: true };
+        assert_eq!(s.apply(Event::Capture), Ok(s));
+    }
+
+    #[test]
+    fn crash_discards_exactly_volatile_state() {
+        for s in VersionState::all() {
+            let after = s.apply(Event::Crash).unwrap();
+            assert!(!after.working);
+            assert!(!after.in_flight);
+            assert_eq!(after.durable, s.durable, "durable state survives {s}");
+        }
+    }
+
+    #[test]
+    fn recovery_never_targets_uncommitted_versions() {
+        for s in VersionState::all() {
+            match s.recovery_target() {
+                RecoveryTarget::LastCheckpoint => assert!(s.durable && !s.in_flight),
+                RecoveryTarget::PenultimateCheckpoint => assert!(s.durable && s.in_flight),
+                RecoveryTarget::HomeOriginal => assert!(!s.durable || s.in_flight),
+            }
+        }
+    }
+
+    /// Exhaustive reachability: every state is reachable from Home, and
+    /// every legal transition lands in a legal state.
+    #[test]
+    fn transition_system_is_closed_and_connected() {
+        use std::collections::{HashSet, VecDeque};
+        let mut seen: HashSet<VersionState> = HashSet::new();
+        let mut queue = VecDeque::from([VersionState::HOME]);
+        while let Some(s) = queue.pop_front() {
+            if !seen.insert(s) {
+                continue;
+            }
+            for event in Event::ALL {
+                if let Ok(next) = s.apply(event) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        // All 8 combinations are reachable.
+        assert_eq!(seen.len(), 8, "reached: {seen:?}");
+    }
+
+    /// The central safety argument: after any event sequence, a crash
+    /// recovers to a state that was durable *before* the crash.
+    #[test]
+    fn durability_is_monotonic_until_commit() {
+        // Walk every sequence of up to 5 events from Home.
+        fn walk(s: VersionState, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            for event in Event::ALL {
+                if let Ok(next) = s.apply(event) {
+                    // A crash from `next` must never invent durability.
+                    let crashed = next.apply(Event::Crash).unwrap();
+                    assert!(
+                        !crashed.durable || next.durable,
+                        "crash created durability: {s} --{event:?}--> {next}"
+                    );
+                    walk(next, depth - 1);
+                }
+            }
+        }
+        walk(VersionState::HOME, 5);
+    }
+
+    #[test]
+    fn display_of_all_states() {
+        let labels: Vec<String> =
+            VersionState::all().iter().map(|s| s.to_string()).collect();
+        assert!(labels.contains(&"Home".to_owned()));
+        assert!(labels.contains(&"W+K+L".to_owned()));
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!ProtocolError::CaptureWhileInFlight.to_string().is_empty());
+        assert!(!ProtocolError::CommitWithoutInFlight.to_string().is_empty());
+        assert!(!ProtocolError::ReclaimNonQuiescent.to_string().is_empty());
+    }
+}

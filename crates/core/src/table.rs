@@ -1,0 +1,450 @@
+//! The Block Translation Table (BTT) and Page Translation Table (PTT) of
+//! Figure 5.
+//!
+//! Both tables map physical block/page indices to the location of the
+//! software-visible working copy and record which checkpoint region holds
+//! `C_last`. A 6-bit saturating store counter per entry feeds the
+//! scheme-switching policy of §4.2 (collected at epoch boundaries, then
+//! reset).
+//!
+//! The tables are the *hardware budget* of the design: entry counts are
+//! fixed at construction ([`thynvm_types::ThyNvmConfig`]), and overflow
+//! forces the controller to end the epoch early so that entries belonging
+//! to the penultimate checkpoint can be reclaimed (§4.3).
+
+use std::collections::HashMap;
+
+use thynvm_types::{BlockIndex, PageIndex};
+
+use crate::layout::Region;
+
+/// Maximum value of the 6-bit per-entry store counter (Figure 5).
+pub const STORE_COUNTER_MAX: u8 = 63;
+
+/// Where a block-remapped working copy currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WactiveLoc {
+    /// Directly in an NVM checkpoint region (the normal §3.2 case: the
+    /// working copy overwrites `C_penult` in place).
+    Nvm(Region),
+    /// Temporarily buffered in the DRAM Working Data Region because the
+    /// previous checkpoint had not completed when the write arrived (§4.1).
+    DramBuffered {
+        /// Index of the DRAM block-buffer slot holding the copy.
+        slot: u32,
+    },
+}
+
+/// One BTT entry: tracking state for a single 64 B block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BttEntry {
+    /// Location of the active working copy, if the block was written in the
+    /// current (active) epoch.
+    pub wactive: Option<WactiveLoc>,
+    /// Region holding the last checkpoint copy, if one exists. `None` means
+    /// the only committed copy is the Home Region original.
+    pub clast_region: Option<Region>,
+    /// Working copy captured by the in-flight checkpoint job (it becomes
+    /// `C_last` when the job completes).
+    pub pending: Option<WactiveLoc>,
+    /// 6-bit saturating store counter for this epoch.
+    pub store_count: u8,
+}
+
+impl BttEntry {
+    fn new() -> Self {
+        Self { wactive: None, clast_region: None, pending: None, store_count: 0 }
+    }
+
+    /// Whether this entry holds no in-flight state and can be reclaimed
+    /// (after migrating `C_last` back to the Home Region if necessary).
+    pub fn is_quiescent(&self) -> bool {
+        self.wactive.is_none() && self.pending.is_none()
+    }
+}
+
+/// The Block Translation Table.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_core::Btt;
+/// use thynvm_types::BlockIndex;
+///
+/// let mut btt = Btt::new(4);
+/// let b = BlockIndex::new(7);
+/// assert!(btt.get(b).is_none());
+/// btt.entry_or_insert(b).expect("capacity available");
+/// assert!(btt.get(b).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btt {
+    entries: HashMap<BlockIndex, BttEntry>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl Btt {
+    /// Creates a BTT with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self { entries: HashMap::new(), capacity, peak: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever observed (hardware-provisioning metric).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Whether the table is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Looks up the entry for `block`.
+    pub fn get(&self, block: BlockIndex) -> Option<&BttEntry> {
+        self.entries.get(&block)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, block: BlockIndex) -> Option<&mut BttEntry> {
+        self.entries.get_mut(&block)
+    }
+
+    /// Returns the entry for `block`, inserting a fresh one if absent.
+    /// Returns `None` if the table is full and the block has no entry.
+    pub fn entry_or_insert(&mut self, block: BlockIndex) -> Option<&mut BttEntry> {
+        if !self.entries.contains_key(&block) {
+            if self.is_full() {
+                return None;
+            }
+            self.entries.insert(block, BttEntry::new());
+            self.peak = self.peak.max(self.entries.len());
+        }
+        self.entries.get_mut(&block)
+    }
+
+    /// Removes and returns the entry for `block`.
+    pub fn remove(&mut self, block: BlockIndex) -> Option<BttEntry> {
+        self.entries.remove(&block)
+    }
+
+    /// Inserts an entry for `block` even past capacity (an emergency spill:
+    /// the controller flags an overflow-triggered epoch end at the same
+    /// time, so the spill window is one platform event). Returns the entry.
+    pub fn force_insert(&mut self, block: BlockIndex) -> &mut BttEntry {
+        use std::collections::hash_map::Entry;
+        let len_before = self.entries.len();
+        match self.entries.entry(block) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                self.peak = self.peak.max(len_before + 1);
+                v.insert(BttEntry::new())
+            }
+        }
+    }
+
+    /// Iterates over all `(block, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockIndex, &BttEntry)> {
+        self.entries.iter().map(|(&b, e)| (b, e))
+    }
+
+    /// Mutable iteration over all entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (BlockIndex, &mut BttEntry)> {
+        self.entries.iter_mut().map(|(&b, e)| (b, e))
+    }
+
+    /// Blocks whose entries are quiescent and thus reclaimable. Entries
+    /// whose `C_last` sits in Region A must first be migrated home; the
+    /// controller handles that using the returned list.
+    pub fn reclaimable(&self) -> Vec<BlockIndex> {
+        let mut v: Vec<BlockIndex> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.is_quiescent())
+            .map(|(&b, _)| b)
+            .collect();
+        // Deterministic victim order (hash maps iterate randomly).
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of entries touched in the current epoch (with a working copy),
+    /// i.e. the metadata volume the next checkpoint must persist.
+    pub fn dirty_entries(&self) -> usize {
+        self.entries.values().filter(|e| e.wactive.is_some()).count()
+    }
+
+    /// Resets all store counters (done when the controller has collected
+    /// them at an epoch boundary, §4.2).
+    pub fn reset_store_counters(&mut self) {
+        for e in self.entries.values_mut() {
+            e.store_count = 0;
+        }
+    }
+}
+
+/// One PTT entry: tracking state for a 4 KiB page cached in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PttEntry {
+    /// DRAM Working Data Region slot holding the page.
+    pub slot: u32,
+    /// Whether the DRAM copy was modified in the current epoch (and so must
+    /// be written back by the next checkpoint).
+    pub dirty: bool,
+    /// Region holding the page's last checkpoint copy, if any.
+    pub clast_region: Option<Region>,
+    /// Whether the in-flight checkpoint job is writing this page back;
+    /// while `true` the DRAM copy is frozen and incoming writes are
+    /// absorbed by block remapping (§3.4).
+    pub frozen: bool,
+    /// 6-bit saturating store counter for this epoch.
+    pub store_count: u8,
+}
+
+/// The Page Translation Table.
+///
+/// Pages enter the PTT by promotion from block remapping (§3.4) and leave
+/// by demotion; slots index the DRAM Working Data Region.
+#[derive(Debug, Clone)]
+pub struct Ptt {
+    entries: HashMap<PageIndex, PttEntry>,
+    free_slots: Vec<u32>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl Ptt {
+    /// Creates a PTT with `capacity` entries (and as many DRAM page slots).
+    pub fn new(capacity: usize) -> Self {
+        let capacity_u32 =
+            u32::try_from(capacity).expect("PTT capacity exceeds DRAM slot addressing");
+        Self {
+            entries: HashMap::new(),
+            free_slots: (0..capacity_u32).rev().collect(),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Whether the table is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Looks up the entry for `page`.
+    pub fn get(&self, page: PageIndex) -> Option<&PttEntry> {
+        self.entries.get(&page)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, page: PageIndex) -> Option<&mut PttEntry> {
+        self.entries.get_mut(&page)
+    }
+
+    /// Inserts a fresh entry for `page`, allocating a DRAM slot. Returns the
+    /// slot, or `None` if the table (equivalently, DRAM) is full or the page
+    /// is already present.
+    pub fn insert(&mut self, page: PageIndex) -> Option<u32> {
+        if self.entries.contains_key(&page) {
+            return None;
+        }
+        let slot = self.free_slots.pop()?;
+        self.entries.insert(
+            page,
+            PttEntry { slot, dirty: false, clast_region: None, frozen: false, store_count: 0 },
+        );
+        self.peak = self.peak.max(self.entries.len());
+        Some(slot)
+    }
+
+    /// Removes the entry for `page`, freeing its DRAM slot.
+    pub fn remove(&mut self, page: PageIndex) -> Option<PttEntry> {
+        let entry = self.entries.remove(&page)?;
+        self.free_slots.push(entry.slot);
+        Some(entry)
+    }
+
+    /// Iterates over all `(page, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageIndex, &PttEntry)> {
+        self.entries.iter().map(|(&p, e)| (p, e))
+    }
+
+    /// Mutable iteration over all entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (PageIndex, &mut PttEntry)> {
+        self.entries.iter_mut().map(|(&p, e)| (p, e))
+    }
+
+    /// Pages dirty in the current epoch (the next checkpoint's writeback
+    /// set).
+    pub fn dirty_pages(&self) -> Vec<PageIndex> {
+        let mut v: Vec<PageIndex> =
+            self.entries.iter().filter(|(_, e)| e.dirty).map(|(&p, _)| p).collect();
+        // Deterministic writeback order (hash maps iterate randomly).
+        v.sort_unstable();
+        v
+    }
+
+    /// Resets all store counters.
+    pub fn reset_store_counters(&mut self) {
+        for e in self.entries.values_mut() {
+            e.store_count = 0;
+        }
+    }
+}
+
+/// Saturating 6-bit increment used for both tables' store counters.
+pub fn bump_counter(counter: &mut u8) {
+    if *counter < STORE_COUNTER_MAX {
+        *counter += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btt_insert_until_full() {
+        let mut btt = Btt::new(2);
+        assert!(btt.entry_or_insert(BlockIndex::new(1)).is_some());
+        assert!(btt.entry_or_insert(BlockIndex::new(2)).is_some());
+        assert!(btt.is_full());
+        assert!(btt.entry_or_insert(BlockIndex::new(3)).is_none());
+        // Existing entries still reachable when full.
+        assert!(btt.entry_or_insert(BlockIndex::new(1)).is_some());
+        assert_eq!(btt.len(), 2);
+    }
+
+    #[test]
+    fn btt_peak_tracks_high_water_mark() {
+        let mut btt = Btt::new(8);
+        for i in 0..5 {
+            btt.entry_or_insert(BlockIndex::new(i));
+        }
+        btt.remove(BlockIndex::new(0));
+        btt.remove(BlockIndex::new(1));
+        assert_eq!(btt.len(), 3);
+        assert_eq!(btt.peak(), 5);
+    }
+
+    #[test]
+    fn btt_quiescence_and_reclaim() {
+        let mut btt = Btt::new(4);
+        let a = BlockIndex::new(1);
+        let b = BlockIndex::new(2);
+        btt.entry_or_insert(a).unwrap().wactive = Some(WactiveLoc::Nvm(Region::A));
+        btt.entry_or_insert(b).unwrap().clast_region = Some(Region::A);
+        assert!(!btt.get(a).unwrap().is_quiescent());
+        assert!(btt.get(b).unwrap().is_quiescent());
+        assert_eq!(btt.reclaimable(), vec![b]);
+    }
+
+    #[test]
+    fn btt_dirty_entries_counts_working_copies() {
+        let mut btt = Btt::new(4);
+        btt.entry_or_insert(BlockIndex::new(1)).unwrap().wactive =
+            Some(WactiveLoc::DramBuffered { slot: 0 });
+        btt.entry_or_insert(BlockIndex::new(2));
+        assert_eq!(btt.dirty_entries(), 1);
+    }
+
+    #[test]
+    fn btt_counter_reset() {
+        let mut btt = Btt::new(4);
+        btt.entry_or_insert(BlockIndex::new(1)).unwrap().store_count = 10;
+        btt.reset_store_counters();
+        assert_eq!(btt.get(BlockIndex::new(1)).unwrap().store_count, 0);
+    }
+
+    #[test]
+    fn ptt_slot_allocation_and_reuse() {
+        let mut ptt = Ptt::new(2);
+        let s0 = ptt.insert(PageIndex::new(10)).unwrap();
+        let s1 = ptt.insert(PageIndex::new(20)).unwrap();
+        assert_ne!(s0, s1);
+        assert!(ptt.insert(PageIndex::new(30)).is_none()); // full
+        let removed = ptt.remove(PageIndex::new(10)).unwrap();
+        assert_eq!(removed.slot, s0);
+        // Slot is recycled.
+        assert_eq!(ptt.insert(PageIndex::new(30)), Some(s0));
+    }
+
+    #[test]
+    fn ptt_duplicate_insert_rejected() {
+        let mut ptt = Ptt::new(2);
+        assert!(ptt.insert(PageIndex::new(1)).is_some());
+        assert!(ptt.insert(PageIndex::new(1)).is_none());
+        assert_eq!(ptt.len(), 1);
+    }
+
+    #[test]
+    fn ptt_dirty_pages() {
+        let mut ptt = Ptt::new(4);
+        ptt.insert(PageIndex::new(1));
+        ptt.insert(PageIndex::new(2));
+        ptt.get_mut(PageIndex::new(2)).unwrap().dirty = true;
+        assert_eq!(ptt.dirty_pages(), vec![PageIndex::new(2)]);
+    }
+
+    #[test]
+    fn ptt_peak() {
+        let mut ptt = Ptt::new(4);
+        ptt.insert(PageIndex::new(1));
+        ptt.insert(PageIndex::new(2));
+        ptt.remove(PageIndex::new(1));
+        assert_eq!(ptt.peak(), 2);
+        assert_eq!(ptt.len(), 1);
+    }
+
+    #[test]
+    fn counter_saturates_at_six_bits() {
+        let mut c = STORE_COUNTER_MAX - 1;
+        bump_counter(&mut c);
+        assert_eq!(c, STORE_COUNTER_MAX);
+        bump_counter(&mut c);
+        assert_eq!(c, STORE_COUNTER_MAX);
+    }
+
+    #[test]
+    fn empty_tables() {
+        assert!(Btt::new(4).is_empty());
+        assert!(Ptt::new(4).is_empty());
+        assert_eq!(Btt::new(4).dirty_entries(), 0);
+        assert!(Ptt::new(4).dirty_pages().is_empty());
+    }
+}

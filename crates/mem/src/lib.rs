@@ -1,0 +1,42 @@
+//! Cycle-accounting DRAM and NVM device models for the ThyNVM simulator.
+//!
+//! The paper evaluates ThyNVM on gem5 with DDR3-interfaced DRAM and NVM
+//! (Table 2). This crate rebuilds the relevant part of that substrate from
+//! scratch:
+//!
+//! * [`device::Device`] — a banked memory device with per-bank row buffers
+//!   and busy times. Row-buffer hits, clean misses and (for NVM) dirty
+//!   misses pay the paper's latencies; bank conflicts serialize.
+//! * [`queue::WriteQueue`] — a bounded memory-controller write queue. Writes
+//!   retire in the background; a full queue back-pressures the issuer. The
+//!   NVM write queue is flushed at the end of every checkpoint (§4.4).
+//! * [`store::SparseStore`] — a byte-accurate backing store so that crash
+//!   and recovery tests can verify *contents*, not just timing.
+//!
+//! # Example
+//!
+//! ```
+//! use thynvm_mem::{Device, DeviceKind};
+//! use thynvm_types::{AccessKind, Cycle, HwAddr, SystemConfig};
+//!
+//! let cfg = SystemConfig::paper();
+//! let mut nvm = Device::new(DeviceKind::Nvm, cfg.timing, cfg.nvm_geometry);
+//! // First touch opens the row: clean miss, 128 ns = 384 cycles.
+//! let t1 = nvm.access(HwAddr::new(0), AccessKind::Read, 64, Cycle::ZERO);
+//! assert_eq!(t1, Cycle::new(384));
+//! // Same row again: a row hit that starts once the first access's
+//! // activation + burst (93 ns) release the bank.
+//! let t2 = nvm.access(HwAddr::new(64), AccessKind::Read, 64, Cycle::ZERO);
+//! assert_eq!(t2, Cycle::from_ns(93 + 40));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod device;
+pub mod queue;
+pub mod store;
+
+pub use device::{Device, DeviceKind, DeviceStats, WearStats};
+pub use queue::WriteQueue;
+pub use store::SparseStore;

@@ -1,0 +1,188 @@
+//! Bounded memory-controller write queue.
+//!
+//! Figure 2 of the paper shows separate DRAM/NVM read and write queues in
+//! the memory controller. Writes are acknowledged as soon as they enter the
+//! queue and retire in the background; the queue only back-pressures the
+//! issuer when it is full. §4.4 requires the NVM write queue to be flushed
+//! (fully drained) at the end of every checkpointing phase before the
+//! checkpoint is marked complete — [`WriteQueue::drain_time`] gives the
+//! cycle at which that flush finishes.
+
+use std::collections::VecDeque;
+
+use thynvm_types::Cycle;
+
+/// A bounded queue of in-flight writes, each represented by its completion
+/// cycle at the device.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_mem::WriteQueue;
+/// use thynvm_types::Cycle;
+///
+/// let mut q = WriteQueue::new(2);
+/// assert_eq!(q.push(Cycle::new(100), Cycle::ZERO), Cycle::ZERO); // no stall
+/// assert_eq!(q.push(Cycle::new(200), Cycle::ZERO), Cycle::ZERO); // no stall
+/// // Queue full: the third write stalls until the first retires at 100.
+/// assert_eq!(q.push(Cycle::new(300), Cycle::ZERO), Cycle::new(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteQueue {
+    capacity: usize,
+    /// Completion cycles of queued writes, nondecreasing.
+    pending: VecDeque<Cycle>,
+}
+
+impl WriteQueue {
+    /// Creates a queue holding at most `capacity` in-flight writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write queue capacity must be nonzero");
+        Self { capacity, pending: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Number of writes currently in flight at time `now`.
+    pub fn len_at(&self, now: Cycle) -> usize {
+        self.pending.iter().filter(|&&c| c > now).count()
+    }
+
+    /// Whether no writes are in flight at time `now`.
+    pub fn is_empty_at(&self, now: Cycle) -> bool {
+        self.len_at(now) == 0
+    }
+
+    /// Maximum number of in-flight writes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops entries that have retired by `now`.
+    pub fn retire(&mut self, now: Cycle) {
+        while let Some(&front) = self.pending.front() {
+            if front <= now {
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Enqueues a write that the device will complete at `completion`.
+    ///
+    /// Returns the cycle at which the *issuer* may proceed: `now` if the
+    /// queue had room, or the retirement time of the oldest entry if the
+    /// queue was full (the issuer stalls until a slot frees up).
+    pub fn push(&mut self, completion: Cycle, now: Cycle) -> Cycle {
+        self.retire(now);
+        let resume = if self.pending.len() >= self.capacity {
+            // Stall until the oldest in-flight write retires.
+            self.pending.pop_front().expect("nonempty when full")
+        } else {
+            now
+        };
+        // Keep the deque ordered: completions are nondecreasing in practice,
+        // but clamp to maintain the invariant even for out-of-order pushes.
+        let last = self.pending.back().copied().unwrap_or(Cycle::ZERO);
+        self.pending.push_back(completion.max(last));
+        resume
+    }
+
+    /// The cycle at which all currently queued writes have retired
+    /// (`now` if the queue is empty). This is the §4.4 flush time.
+    pub fn drain_time(&self, now: Cycle) -> Cycle {
+        self.pending.back().copied().unwrap_or(now).max(now)
+    }
+
+    /// Empties the queue without retiring its writes — the crash model: on
+    /// power loss, queued-but-unwritten data is gone.
+    pub fn discard(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_within_capacity_never_stalls() {
+        let mut q = WriteQueue::new(4);
+        for i in 0..4 {
+            assert_eq!(q.push(Cycle::new(100 + i), Cycle::ZERO), Cycle::ZERO);
+        }
+    }
+
+    #[test]
+    fn full_queue_stalls_until_oldest_retires() {
+        let mut q = WriteQueue::new(1);
+        assert_eq!(q.push(Cycle::new(50), Cycle::ZERO), Cycle::ZERO);
+        assert_eq!(q.push(Cycle::new(80), Cycle::new(10)), Cycle::new(50));
+    }
+
+    #[test]
+    fn retire_frees_slots() {
+        let mut q = WriteQueue::new(1);
+        q.push(Cycle::new(50), Cycle::ZERO);
+        // At cycle 60 the first write has retired; no stall.
+        assert_eq!(q.push(Cycle::new(90), Cycle::new(60)), Cycle::new(60));
+    }
+
+    #[test]
+    fn drain_time_is_last_completion() {
+        let mut q = WriteQueue::new(8);
+        q.push(Cycle::new(100), Cycle::ZERO);
+        q.push(Cycle::new(250), Cycle::ZERO);
+        assert_eq!(q.drain_time(Cycle::ZERO), Cycle::new(250));
+        // Once time has passed the drain, drain_time is `now`.
+        assert_eq!(q.drain_time(Cycle::new(300)), Cycle::new(300));
+    }
+
+    #[test]
+    fn drain_time_of_empty_queue_is_now() {
+        let q = WriteQueue::new(2);
+        assert_eq!(q.drain_time(Cycle::new(42)), Cycle::new(42));
+    }
+
+    #[test]
+    fn len_and_empty_respect_time() {
+        let mut q = WriteQueue::new(4);
+        q.push(Cycle::new(100), Cycle::ZERO);
+        q.push(Cycle::new(200), Cycle::ZERO);
+        assert_eq!(q.len_at(Cycle::ZERO), 2);
+        assert_eq!(q.len_at(Cycle::new(150)), 1);
+        assert!(q.is_empty_at(Cycle::new(201)));
+        assert!(!q.is_empty_at(Cycle::new(199)));
+    }
+
+    #[test]
+    fn discard_models_power_loss() {
+        let mut q = WriteQueue::new(4);
+        q.push(Cycle::new(1_000), Cycle::ZERO);
+        q.discard();
+        assert!(q.is_empty_at(Cycle::ZERO));
+        assert_eq!(q.drain_time(Cycle::ZERO), Cycle::ZERO);
+    }
+
+    #[test]
+    fn out_of_order_completions_are_clamped_monotone() {
+        let mut q = WriteQueue::new(4);
+        q.push(Cycle::new(300), Cycle::ZERO);
+        q.push(Cycle::new(100), Cycle::ZERO); // clamped to 300
+        assert_eq!(q.drain_time(Cycle::ZERO), Cycle::new(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        WriteQueue::new(0);
+    }
+
+    #[test]
+    fn capacity_accessor() {
+        assert_eq!(WriteQueue::new(64).capacity(), 64);
+    }
+}

@@ -1,0 +1,230 @@
+//! Byte-accurate sparse backing store.
+//!
+//! The timing model alone cannot demonstrate *crash consistency* — for that
+//! the simulator must track actual contents, crash at arbitrary points, and
+//! verify that recovery produces a consistent image. `SparseStore` backs
+//! each modeled memory region (DRAM, the NVM checkpoint regions, the
+//! metadata backup region) with real bytes, allocated lazily page by page.
+//!
+//! Unwritten memory reads as zero, matching a freshly initialized device.
+
+use std::collections::HashMap;
+
+use thynvm_types::{HwAddr, PAGE_BYTES};
+
+const PAGE: usize = PAGE_BYTES as usize;
+
+/// A sparse, byte-addressable memory with lazy 4 KiB page allocation.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_mem::SparseStore;
+/// use thynvm_types::HwAddr;
+///
+/// let mut m = SparseStore::new();
+/// m.write(HwAddr::new(10), &[1, 2, 3]);
+/// let mut buf = [0u8; 4];
+/// m.read(HwAddr::new(9), &mut buf);
+/// assert_eq!(buf, [0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseStore {
+    pages: HashMap<u64, Box<[u8; PAGE]>>,
+}
+
+impl SparseStore {
+    /// Creates an empty store; all bytes read as zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB pages actually allocated.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`. Unallocated ranges read
+    /// as zero.
+    pub fn read(&self, addr: HwAddr, buf: &mut [u8]) {
+        let mut pos = addr.raw();
+        let mut off = 0usize;
+        while off < buf.len() {
+            let page = pos / PAGE_BYTES;
+            let in_page = (pos % PAGE_BYTES) as usize;
+            let n = (PAGE - in_page).min(buf.len() - off);
+            match self.pages.get(&page) {
+                Some(data) => buf[off..off + n].copy_from_slice(&data[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            pos += n as u64;
+            off += n;
+        }
+    }
+
+    /// Writes `data` starting at `addr`, allocating pages as needed.
+    pub fn write(&mut self, addr: HwAddr, data: &[u8]) {
+        let mut pos = addr.raw();
+        let mut off = 0usize;
+        while off < data.len() {
+            let page = pos / PAGE_BYTES;
+            let in_page = (pos % PAGE_BYTES) as usize;
+            let n = (PAGE - in_page).min(data.len() - off);
+            let slot = self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE]));
+            slot[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            pos += n as u64;
+            off += n;
+        }
+    }
+
+    /// Reads exactly one 64 B block starting at `addr`.
+    pub fn read_block(&self, addr: HwAddr) -> [u8; 64] {
+        let mut buf = [0u8; 64];
+        self.read(addr, &mut buf);
+        buf
+    }
+
+    /// Reads exactly one 4 KiB page starting at `addr`.
+    pub fn read_page(&self, addr: HwAddr) -> Box<[u8; PAGE]> {
+        let mut buf = Box::new([0u8; PAGE]);
+        self.read(addr, &mut buf[..]);
+        buf
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within this store.
+    pub fn copy_within(&mut self, src: HwAddr, dst: HwAddr, len: usize) {
+        let mut buf = vec![0u8; len];
+        self.read(src, &mut buf);
+        self.write(dst, &buf);
+    }
+
+    /// Discards all contents — the volatile-device crash model.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Iterates over `(page index, page data)` pairs of allocated pages, in
+    /// unspecified order.
+    pub fn iter_pages(&self) -> impl Iterator<Item = (u64, &[u8; PAGE])> {
+        self.pages.iter().map(|(&idx, data)| (idx, &**data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_store_reads_zero() {
+        let m = SparseStore::new();
+        let mut buf = [0xffu8; 16];
+        m.read(HwAddr::new(12345), &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(m.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(100), b"hello");
+        let mut buf = [0u8; 5];
+        m.read(HwAddr::new(100), &mut buf);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(m.allocated_pages(), 1);
+    }
+
+    #[test]
+    fn write_across_page_boundary() {
+        let mut m = SparseStore::new();
+        let addr = HwAddr::new(PAGE_BYTES - 2);
+        m.write(addr, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.read(addr, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(m.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn read_across_allocated_and_unallocated() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(PAGE_BYTES - 1), &[9]);
+        let mut buf = [7u8; 3];
+        m.read(HwAddr::new(PAGE_BYTES - 2), &mut buf);
+        // Byte before the write is zero, the write, then zero from next page.
+        assert_eq!(buf, [0, 9, 0]);
+    }
+
+    #[test]
+    fn read_block_is_64_bytes() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(64), &[0xab; 64]);
+        assert_eq!(m.read_block(HwAddr::new(64)), [0xab; 64]);
+        assert_eq!(m.read_block(HwAddr::new(0)), [0u8; 64]);
+    }
+
+    #[test]
+    fn read_page_is_4096_bytes() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(4096), &[3u8; 4096]);
+        assert_eq!(m.read_page(HwAddr::new(4096))[..], [3u8; 4096][..]);
+    }
+
+    #[test]
+    fn copy_within_moves_data() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(0), b"abcdef");
+        m.copy_within(HwAddr::new(0), HwAddr::new(8192), 6);
+        let mut buf = [0u8; 6];
+        m.read(HwAddr::new(8192), &mut buf);
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn copy_within_overlapping_regions_via_buffer() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(0), &[1, 2, 3, 4]);
+        m.copy_within(HwAddr::new(0), HwAddr::new(2), 4);
+        let mut buf = [0u8; 6];
+        m.read(HwAddr::new(0), &mut buf);
+        assert_eq!(buf, [1, 2, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_models_volatility() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(0), &[1; 64]);
+        m.clear();
+        assert_eq!(m.read_block(HwAddr::new(0)), [0u8; 64]);
+        assert_eq!(m.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(0), &[1, 1, 1, 1]);
+        m.write(HwAddr::new(1), &[2, 2]);
+        let mut buf = [0u8; 4];
+        m.read(HwAddr::new(0), &mut buf);
+        assert_eq!(buf, [1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn iter_pages_visits_all() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(0), &[1]);
+        m.write(HwAddr::new(3 * PAGE_BYTES), &[2]);
+        let mut idxs: Vec<u64> = m.iter_pages().map(|(i, _)| i).collect();
+        idxs.sort_unstable();
+        assert_eq!(idxs, vec![0, 3]);
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        let mut a = SparseStore::new();
+        let mut b = SparseStore::new();
+        a.write(HwAddr::new(5), &[42]);
+        assert_ne!(a, b);
+        b.write(HwAddr::new(5), &[42]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,324 @@
+//! Strongly-typed addresses and granularity indices.
+//!
+//! ThyNVM manages data at two granularities simultaneously (§2.3 of the
+//! paper): 64 B *cache blocks* tracked by the BTT and 4 KiB *pages* tracked
+//! by the PTT. Two distinct address spaces exist (§4.1):
+//!
+//! * the **physical address space** ([`PhysAddr`]) visible to software
+//!   through the OS, and
+//! * the larger **hardware address space** ([`HwAddr`]) visible only to the
+//!   memory controller, which holds the Home Region, the two Checkpoint
+//!   Regions, the Working Data Region and the BTT/PTT/CPU backup region.
+//!
+//! Newtypes keep the two from being confused at compile time.
+
+use std::fmt;
+
+/// Size of a cache block in bytes (64 B, Table 2).
+pub const BLOCK_BYTES: u64 = 64;
+/// Size of a page in bytes (4 KiB).
+pub const PAGE_BYTES: u64 = 4096;
+/// Number of cache blocks per page.
+pub const BLOCKS_PER_PAGE: u64 = PAGE_BYTES / BLOCK_BYTES;
+
+/// A software-visible physical address, as produced by the CPU after virtual
+/// address translation.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_types::PhysAddr;
+/// let a = PhysAddr::new(0x1fc0);
+/// assert_eq!(a.block_offset(), 0);       // block-aligned
+/// assert_eq!(a.page_offset(), 0xfc0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache block containing this address.
+    pub const fn block(self) -> BlockIndex {
+        BlockIndex(self.0 / BLOCK_BYTES)
+    }
+
+    /// The page containing this address.
+    pub const fn page(self) -> PageIndex {
+        PageIndex(self.0 / PAGE_BYTES)
+    }
+
+    /// Byte offset of this address within its cache block.
+    pub const fn block_offset(self) -> u64 {
+        self.0 % BLOCK_BYTES
+    }
+
+    /// Byte offset of this address within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+
+    /// Returns this address aligned down to its block boundary.
+    #[must_use]
+    pub const fn block_aligned(self) -> Self {
+        Self(self.0 & !(BLOCK_BYTES - 1))
+    }
+
+    /// Returns this address aligned down to its page boundary.
+    #[must_use]
+    pub const fn page_aligned(self) -> Self {
+        Self(self.0 & !(PAGE_BYTES - 1))
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+/// A hardware address inside the memory controller's private address space
+/// (§4.1). Only the controller ever sees these; software cannot name them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HwAddr(u64);
+
+impl HwAddr {
+    /// Creates a hardware address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for HwAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for HwAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for HwAddr {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+/// Index of a 64 B cache block in the physical address space — the unit the
+/// Block Translation Table (BTT) tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockIndex(u64);
+
+impl BlockIndex {
+    /// Creates a block index from a raw index (not a byte address).
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw block index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this block.
+    pub const fn byte_offset(self) -> u64 {
+        self.0 * BLOCK_BYTES
+    }
+
+    /// The base physical address of this block.
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr::new(self.byte_offset())
+    }
+
+    /// The page containing this block.
+    pub const fn page(self) -> PageIndex {
+        PageIndex(self.0 / BLOCKS_PER_PAGE)
+    }
+
+    /// This block's position within its page (0..64).
+    pub const fn slot_in_page(self) -> u64 {
+        self.0 % BLOCKS_PER_PAGE
+    }
+}
+
+impl fmt::Display for BlockIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk#{}", self.0)
+    }
+}
+
+/// Index of a 4 KiB page in the physical address space — the unit the Page
+/// Translation Table (PTT) tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageIndex(u64);
+
+impl PageIndex {
+    /// Creates a page index from a raw index (not a byte address).
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw page index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this page.
+    pub const fn byte_offset(self) -> u64 {
+        self.0 * PAGE_BYTES
+    }
+
+    /// The base physical address of this page.
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr::new(self.byte_offset())
+    }
+
+    /// The first block of this page.
+    pub const fn first_block(self) -> BlockIndex {
+        BlockIndex(self.0 * BLOCKS_PER_PAGE)
+    }
+
+    /// The `slot`-th block of this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= BLOCKS_PER_PAGE`.
+    pub fn block(self, slot: u64) -> BlockIndex {
+        assert!(slot < BLOCKS_PER_PAGE, "block slot {slot} out of page range");
+        BlockIndex(self.0 * BLOCKS_PER_PAGE + slot)
+    }
+
+    /// Iterates over all blocks of this page.
+    pub fn blocks(self) -> impl Iterator<Item = BlockIndex> {
+        let first = self.0 * BLOCKS_PER_PAGE;
+        (first..first + BLOCKS_PER_PAGE).map(BlockIndex)
+    }
+}
+
+impl fmt::Display for PageIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_and_page_of_address() {
+        let a = PhysAddr::new(3 * PAGE_BYTES + 5 * BLOCK_BYTES + 7);
+        assert_eq!(a.page(), PageIndex::new(3));
+        assert_eq!(a.block(), BlockIndex::new(3 * BLOCKS_PER_PAGE + 5));
+        assert_eq!(a.block_offset(), 7);
+        assert_eq!(a.page_offset(), 5 * BLOCK_BYTES + 7);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let a = PhysAddr::new(0x1fff);
+        assert_eq!(a.block_aligned().raw(), 0x1fc0);
+        assert_eq!(a.page_aligned().raw(), 0x1000);
+        // Aligned addresses are fixed points.
+        assert_eq!(a.page_aligned().page_aligned(), a.page_aligned());
+    }
+
+    #[test]
+    fn block_page_roundtrip() {
+        let p = PageIndex::new(42);
+        for (i, b) in p.blocks().enumerate() {
+            assert_eq!(b.page(), p);
+            assert_eq!(b.slot_in_page(), i as u64);
+        }
+        assert_eq!(p.blocks().count() as u64, BLOCKS_PER_PAGE);
+    }
+
+    #[test]
+    fn block_slot_accessor() {
+        let p = PageIndex::new(7);
+        assert_eq!(p.block(0), p.first_block());
+        assert_eq!(p.block(63).slot_in_page(), 63);
+        assert_eq!(p.block(63).page(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page range")]
+    fn block_slot_out_of_range_panics() {
+        PageIndex::new(0).block(64);
+    }
+
+    #[test]
+    fn offsets_compose() {
+        let a = PhysAddr::new(100).offset(28);
+        assert_eq!(a.raw(), 128);
+        let h = HwAddr::new(0x10).offset(0x10);
+        assert_eq!(h.raw(), 0x20);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty_and_distinct() {
+        assert_eq!(PhysAddr::new(16).to_string(), "p:0x10");
+        assert_eq!(HwAddr::new(16).to_string(), "h:0x10");
+        assert_eq!(BlockIndex::new(2).to_string(), "blk#2");
+        assert_eq!(PageIndex::new(2).to_string(), "pg#2");
+    }
+
+    #[test]
+    fn base_addr_of_indices() {
+        assert_eq!(BlockIndex::new(2).base_addr().raw(), 128);
+        assert_eq!(PageIndex::new(2).base_addr().raw(), 8192);
+        assert_eq!(PageIndex::new(1).first_block(), BlockIndex::new(64));
+    }
+
+    #[test]
+    fn from_u64_conversions() {
+        assert_eq!(PhysAddr::from(5u64), PhysAddr::new(5));
+        assert_eq!(HwAddr::from(5u64), HwAddr::new(5));
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+        assert_eq!(format!("{:#x}", HwAddr::new(255)), "0xff");
+    }
+}

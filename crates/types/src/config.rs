@@ -1,0 +1,477 @@
+//! System configuration (Table 2 of the paper) and ThyNVM-specific knobs.
+//!
+//! All defaults reproduce the paper's evaluated configuration:
+//!
+//! | Component  | Paper value |
+//! |------------|-------------|
+//! | Processor  | 3 GHz, in-order |
+//! | L1 I/D     | private 32 KB, 8-way, 64 B blocks, 4-cycle hit |
+//! | L2         | private 256 KB, 8-way, 64 B blocks, 12-cycle hit |
+//! | L3         | shared 2 MB/core, 16-way, 64 B blocks, 28-cycle hit |
+//! | DRAM       | DDR3-1600: 40 ns row hit, 80 ns row miss |
+//! | NVM        | 40 ns row hit, 128 ns clean miss, 368 ns dirty miss |
+//! | BTT/PTT    | 3 ns lookup; 2048 / 4096 entries |
+//! | DRAM size  | 16 MB working-data region |
+//! | Epoch      | ≤ 10 ms |
+//! | Thresholds | 22 stores/epoch → page writeback; ≤16 → block remapping |
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{BLOCK_BYTES, PAGE_BYTES};
+use crate::cycle::Cycle;
+
+/// CPU core frequency in GHz (Table 2: 3 GHz in-order).
+pub const CPU_FREQ_GHZ: u64 = 3;
+
+/// Raw device timing parameters, in nanoseconds (Table 2).
+///
+/// NVM timings follow the PCM-style model of the paper's sources: a row-buffer
+/// hit costs the same as DRAM, a clean row miss pays the slow NVM array read,
+/// and a dirty row miss additionally pays the expensive NVM array write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// DRAM row-buffer hit latency (ns).
+    pub dram_row_hit_ns: u64,
+    /// DRAM row-buffer miss latency (ns).
+    pub dram_row_miss_ns: u64,
+    /// NVM row-buffer hit latency (ns).
+    pub nvm_row_hit_ns: u64,
+    /// NVM row-buffer miss latency when the evicted row is clean (ns).
+    pub nvm_clean_miss_ns: u64,
+    /// NVM row-buffer miss latency when the evicted row is dirty (ns).
+    pub nvm_dirty_miss_ns: u64,
+    /// BTT/PTT lookup latency in the memory controller (ns).
+    pub table_lookup_ns: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self {
+            dram_row_hit_ns: 40,
+            dram_row_miss_ns: 80,
+            nvm_row_hit_ns: 40,
+            nvm_clean_miss_ns: 128,
+            nvm_dirty_miss_ns: 368,
+            table_lookup_ns: 3,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// DRAM row-buffer hit latency in cycles.
+    pub fn dram_row_hit(&self) -> Cycle {
+        Cycle::from_ns(self.dram_row_hit_ns)
+    }
+
+    /// DRAM row-buffer miss latency in cycles.
+    pub fn dram_row_miss(&self) -> Cycle {
+        Cycle::from_ns(self.dram_row_miss_ns)
+    }
+
+    /// NVM row-buffer hit latency in cycles.
+    pub fn nvm_row_hit(&self) -> Cycle {
+        Cycle::from_ns(self.nvm_row_hit_ns)
+    }
+
+    /// NVM clean row-miss latency in cycles.
+    pub fn nvm_clean_miss(&self) -> Cycle {
+        Cycle::from_ns(self.nvm_clean_miss_ns)
+    }
+
+    /// NVM dirty row-miss latency in cycles.
+    pub fn nvm_dirty_miss(&self) -> Cycle {
+        Cycle::from_ns(self.nvm_dirty_miss_ns)
+    }
+
+    /// Address-translation-table lookup latency in cycles.
+    pub fn table_lookup(&self) -> Cycle {
+        Cycle::from_ns(self.table_lookup_ns)
+    }
+}
+
+/// Geometry of one memory device: channels, banks, and row size.
+///
+/// The paper models DDR3-interfaced DRAM and NVM; we expose enough geometry
+/// for bank-level parallelism and row-buffer locality to matter, which is
+/// what the dual-scheme design exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceGeometry {
+    /// Independent channels.
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Bytes per row (row-buffer size).
+    pub row_bytes: u64,
+}
+
+impl Default for DeviceGeometry {
+    fn default() -> Self {
+        Self {
+            channels: 1,
+            banks_per_channel: 8,
+            row_bytes: 8 * 1024,
+        }
+    }
+}
+
+impl DeviceGeometry {
+    /// Total number of banks across all channels.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.banks_per_channel
+    }
+}
+
+/// Cache hierarchy configuration (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// L1 data cache capacity in bytes (32 KB).
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// L1 hit latency in cycles.
+    pub l1_hit_cycles: u64,
+    /// L2 capacity in bytes (256 KB).
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// L2 hit latency in cycles.
+    pub l2_hit_cycles: u64,
+    /// L3 capacity in bytes (2 MB per core).
+    pub l3_bytes: u64,
+    /// L3 associativity.
+    pub l3_ways: u32,
+    /// L3 hit latency in cycles.
+    pub l3_hit_cycles: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1_hit_cycles: 4,
+            l2_bytes: 256 * 1024,
+            l2_ways: 8,
+            l2_hit_cycles: 12,
+            l3_bytes: 2 * 1024 * 1024,
+            l3_ways: 16,
+            l3_hit_cycles: 28,
+        }
+    }
+}
+
+/// Which checkpointing scheme(s) the controller uses.
+///
+/// The paper's contribution is [`CkptMode::Dual`]; the uniform modes exist
+/// to reproduce the §1/§2.3 tradeoff claims (Table 1): uniform page
+/// granularity suffers long stalls, uniform block granularity suffers large
+/// metadata overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CkptMode {
+    /// Dual-scheme checkpointing (§3): block remapping + page writeback,
+    /// adapted by write locality.
+    #[default]
+    Dual,
+    /// Uniform cache-block granularity (block remapping only).
+    BlockOnly,
+    /// Uniform page granularity (page writeback only).
+    PageOnly,
+}
+
+/// Where the Working Data Region lives.
+///
+/// §4.1 footnote 3: "we assume that the Working Data Region is mapped to
+/// DRAM… Other implementations of ThyNVM can distribute this region between
+/// DRAM and NVM or place it completely in NVM. We leave the exploration of
+/// such choices to future work." — this knob performs that exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WorkingRegion {
+    /// Working data in DRAM (the paper's evaluated configuration).
+    #[default]
+    Dram,
+    /// Working data entirely in NVM: no volatile working copies to lose,
+    /// shorter checkpoints, slower execution-phase writes.
+    Nvm,
+}
+
+/// ThyNVM-specific configuration: translation-table sizes, DRAM capacity,
+/// epoch length and the scheme-switching thresholds of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThyNvmConfig {
+    /// Number of Block Translation Table entries (2048 in the paper).
+    pub btt_entries: usize,
+    /// Number of Page Translation Table entries (4096 in the paper).
+    pub ptt_entries: usize,
+    /// Size of the DRAM working-data region in bytes (16 MB simulated).
+    pub dram_bytes: u64,
+    /// Maximum epoch length (10 ms in the paper).
+    pub epoch_max_ms: u64,
+    /// Store-counter threshold at/above which a page switches to page
+    /// writeback at the next epoch (22 in the paper).
+    pub promote_threshold: u8,
+    /// Store-counter threshold at/below which a page switches to block
+    /// remapping at the next epoch (16 in the paper).
+    pub demote_threshold: u8,
+    /// Size of the checkpointed CPU state in bytes (registers + store
+    /// buffers); modeled as a single flush to the backup region.
+    pub cpu_state_bytes: u64,
+    /// Which checkpointing scheme(s) to use.
+    pub mode: CkptMode,
+    /// Whether checkpointing overlaps the next epoch's execution (Figure
+    /// 3b). `false` reproduces the stop-the-world model of Figure 3a.
+    pub overlap: bool,
+    /// Capacity of the NVM write queue (requests in flight).
+    pub nvm_write_queue: usize,
+    /// Capacity of the DRAM write queue (requests in flight).
+    pub dram_write_queue: usize,
+    /// Placement of the Working Data Region (§4.1 footnote 3).
+    pub working_region: WorkingRegion,
+}
+
+impl Default for ThyNvmConfig {
+    fn default() -> Self {
+        Self {
+            btt_entries: 2048,
+            ptt_entries: 4096,
+            dram_bytes: 16 * 1024 * 1024,
+            epoch_max_ms: 10,
+            promote_threshold: 22,
+            demote_threshold: 16,
+            cpu_state_bytes: 4 * 1024,
+            mode: CkptMode::Dual,
+            overlap: true,
+            nvm_write_queue: 64,
+            dram_write_queue: 64,
+            working_region: WorkingRegion::Dram,
+        }
+    }
+}
+
+impl ThyNvmConfig {
+    /// Maximum epoch length in cycles.
+    pub fn epoch_max(&self) -> Cycle {
+        Cycle::from_ms(self.epoch_max_ms)
+    }
+
+    /// Number of pages that fit in the DRAM working-data region.
+    pub fn dram_pages(&self) -> u64 {
+        self.dram_bytes / PAGE_BYTES
+    }
+
+    /// Approximate metadata storage for the BTT+PTT in bytes, using the
+    /// field widths of Figure 5 (BTT entry: 42-bit tag + 11 bits of state;
+    /// PTT entry: 36-bit tag + 11 bits of state), rounded up per entry.
+    pub fn metadata_bytes(&self) -> u64 {
+        let btt_entry_bits = 42 + 2 + 2 + 1 + 6;
+        let ptt_entry_bits = 36 + 2 + 2 + 1 + 6;
+        let bits = self.btt_entries as u64 * btt_entry_bits
+            + self.ptt_entries as u64 * ptt_entry_bits;
+        bits.div_ceil(8)
+    }
+}
+
+/// Complete system configuration: one struct to construct any evaluated
+/// memory system with the paper's parameters.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_types::SystemConfig;
+/// let cfg = SystemConfig::default();
+/// assert_eq!(cfg.thynvm.btt_entries, 2048);
+/// assert_eq!(cfg.timing.nvm_dirty_miss_ns, 368);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Device timing parameters.
+    pub timing: TimingConfig,
+    /// DRAM geometry.
+    pub dram_geometry: DeviceGeometry,
+    /// NVM geometry.
+    pub nvm_geometry: DeviceGeometry,
+    /// Cache hierarchy parameters.
+    pub cache: CacheConfig,
+    /// ThyNVM controller parameters.
+    pub thynvm: ThyNvmConfig,
+}
+
+impl Eq for SystemConfig {}
+
+impl SystemConfig {
+    /// The exact configuration of Table 2.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidConfig`] when a field combination is
+    /// meaningless: zero-sized structures, a demote threshold above the
+    /// promote threshold (pages would oscillate between schemes every
+    /// epoch), or a PTT larger than the DRAM that backs it.
+    pub fn validate(&self) -> crate::Result<()> {
+        let t = &self.thynvm;
+        let fail = |reason: &str| {
+            Err(crate::Error::InvalidConfig { reason: reason.to_owned() })
+        };
+        if t.btt_entries == 0 {
+            return fail("BTT must have at least one entry");
+        }
+        if t.ptt_entries == 0 {
+            return fail("PTT must have at least one entry");
+        }
+        if t.dram_bytes < PAGE_BYTES {
+            return fail("DRAM must hold at least one page");
+        }
+        if t.demote_threshold > t.promote_threshold {
+            return fail("demote threshold above promote threshold causes scheme oscillation");
+        }
+        if t.ptt_entries as u64 > t.dram_pages() {
+            return fail("PTT entries exceed DRAM page capacity");
+        }
+        if t.epoch_max_ms == 0 {
+            return fail("epoch length must be nonzero");
+        }
+        if t.nvm_write_queue == 0 || t.dram_write_queue == 0 {
+            return fail("write queues must have nonzero capacity");
+        }
+        Ok(())
+    }
+
+    /// A scaled-down configuration for fast unit tests: small DRAM, small
+    /// tables, and a short epoch so tests cross many epoch boundaries.
+    pub fn small_test() -> Self {
+        let mut cfg = Self::default();
+        cfg.thynvm.dram_bytes = 64 * PAGE_BYTES;
+        cfg.thynvm.btt_entries = 64;
+        cfg.thynvm.ptt_entries = 64;
+        cfg.thynvm.epoch_max_ms = 1;
+        cfg
+    }
+}
+
+/// Sanity guard: block size divides page size (used throughout the address
+/// math).
+const _: () = assert!(PAGE_BYTES.is_multiple_of(BLOCK_BYTES));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_2() {
+        let t = TimingConfig::default();
+        assert_eq!(t.dram_row_hit_ns, 40);
+        assert_eq!(t.dram_row_miss_ns, 80);
+        assert_eq!(t.nvm_row_hit_ns, 40);
+        assert_eq!(t.nvm_clean_miss_ns, 128);
+        assert_eq!(t.nvm_dirty_miss_ns, 368);
+        assert_eq!(t.table_lookup_ns, 3);
+
+        let c = CacheConfig::default();
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.l1_ways, 8);
+        assert_eq!(c.l1_hit_cycles, 4);
+        assert_eq!(c.l2_bytes, 256 * 1024);
+        assert_eq!(c.l2_hit_cycles, 12);
+        assert_eq!(c.l3_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l3_ways, 16);
+        assert_eq!(c.l3_hit_cycles, 28);
+
+        let n = ThyNvmConfig::default();
+        assert_eq!(n.btt_entries, 2048);
+        assert_eq!(n.ptt_entries, 4096);
+        assert_eq!(n.dram_bytes, 16 * 1024 * 1024);
+        assert_eq!(n.epoch_max_ms, 10);
+        assert_eq!(n.promote_threshold, 22);
+        assert_eq!(n.demote_threshold, 16);
+    }
+
+    #[test]
+    fn latencies_in_cycles() {
+        let t = TimingConfig::default();
+        assert_eq!(t.dram_row_hit().raw(), 120);
+        assert_eq!(t.dram_row_miss().raw(), 240);
+        assert_eq!(t.nvm_row_hit().raw(), 120);
+        assert_eq!(t.nvm_clean_miss().raw(), 384);
+        assert_eq!(t.nvm_dirty_miss().raw(), 1104);
+        assert_eq!(t.table_lookup().raw(), 9);
+    }
+
+    #[test]
+    fn metadata_size_near_paper_37kb() {
+        // §4.2: "total size of the BTT and PTT we use in our evaluations is
+        // approximately 37KB".
+        let kb = ThyNvmConfig::default().metadata_bytes() as f64 / 1024.0;
+        assert!((35.0..40.0).contains(&kb), "metadata {kb:.1} KB not ≈37 KB");
+    }
+
+    #[test]
+    fn epoch_length_cycles() {
+        assert_eq!(ThyNvmConfig::default().epoch_max().raw(), 30_000_000);
+    }
+
+    #[test]
+    fn dram_page_count() {
+        assert_eq!(ThyNvmConfig::default().dram_pages(), 4096);
+    }
+
+    #[test]
+    fn geometry_totals() {
+        let g = DeviceGeometry::default();
+        assert_eq!(g.total_banks(), 8);
+        let g2 = DeviceGeometry { channels: 2, banks_per_channel: 4, row_bytes: 4096 };
+        assert_eq!(g2.total_banks(), 8);
+    }
+
+    #[test]
+    fn small_test_config_is_smaller() {
+        let s = SystemConfig::small_test();
+        let p = SystemConfig::paper();
+        assert!(s.thynvm.dram_bytes < p.thynvm.dram_bytes);
+        assert!(s.thynvm.btt_entries < p.thynvm.btt_entries);
+        assert!(s.thynvm.epoch_max() < p.thynvm.epoch_max());
+        // Timing is unchanged.
+        assert_eq!(s.timing, p.timing);
+    }
+
+    #[test]
+    fn paper_and_test_configs_validate() {
+        SystemConfig::paper().validate().expect("paper config valid");
+        SystemConfig::small_test().validate().expect("test config valid");
+    }
+
+    #[test]
+    fn validation_rejects_bad_combinations() {
+        let mut cfg = SystemConfig::paper();
+        cfg.thynvm.btt_entries = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper();
+        cfg.thynvm.demote_threshold = 40; // above promote (22)
+        assert!(cfg.validate().unwrap_err().to_string().contains("oscillation"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.thynvm.dram_bytes = 4096;
+        // 4096-entry PTT cannot fit in a 1-page DRAM.
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper();
+        cfg.thynvm.epoch_max_ms = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper();
+        cfg.thynvm.nvm_write_queue = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_is_cloneable_and_comparable() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<SystemConfig>();
+        let cfg = SystemConfig::paper();
+        assert_eq!(cfg, cfg.clone());
+    }
+}

@@ -1,0 +1,72 @@
+//! Error handling for the ThyNVM workspace.
+
+use std::fmt;
+
+use crate::addr::PhysAddr;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the simulator crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An access fell outside the configured physical address space.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: PhysAddr,
+        /// Size of the configured physical address space in bytes.
+        limit: u64,
+    },
+    /// A translation table (BTT or PTT) has no free or reclaimable entry and
+    /// the controller could not recover by starting a new epoch.
+    TableFull {
+        /// Which table overflowed ("BTT" or "PTT").
+        table: &'static str,
+    },
+    /// Recovery was attempted but no completed checkpoint exists.
+    NoCheckpoint,
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::AddressOutOfRange { addr, limit } => {
+                write!(f, "address {addr} outside physical space of {limit} bytes")
+            }
+            Error::TableFull { table } => write!(f, "{table} has no reclaimable entry"),
+            Error::NoCheckpoint => f.write_str("no completed checkpoint to recover from"),
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = Error::AddressOutOfRange { addr: PhysAddr::new(0x1000), limit: 64 };
+        assert!(e.to_string().contains("0x1000"));
+        assert!(e.to_string().contains("64"));
+        let e = Error::TableFull { table: "BTT" };
+        assert!(e.to_string().contains("BTT"));
+        assert!(!Error::NoCheckpoint.to_string().is_empty());
+        let e = Error::InvalidConfig { reason: "dram too small".into() };
+        assert!(e.to_string().contains("dram too small"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<Error>();
+    }
+}

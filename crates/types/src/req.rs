@@ -1,0 +1,187 @@
+//! Memory requests as seen by a memory controller.
+
+use std::fmt;
+
+use crate::addr::PhysAddr;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load / read access.
+    Read,
+    /// A store / write access.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        })
+    }
+}
+
+/// A single memory request: an address, a direction, and a size in bytes.
+///
+/// Requests arriving at the memory controller have already traversed the
+/// cache hierarchy, so in the timing path they are normally one cache block
+/// (64 B); the functional path also issues arbitrary-sized requests.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_types::{MemRequest, PhysAddr, AccessKind};
+/// let r = MemRequest::write(PhysAddr::new(0x40), 64);
+/// assert!(r.kind.is_write());
+/// assert_eq!(r.end_addr().raw(), 0x80);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRequest {
+    /// Target physical address (first byte touched).
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Number of bytes touched.
+    pub bytes: u32,
+}
+
+impl MemRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero: a zero-length access is meaningless and
+    /// would corrupt traffic statistics silently.
+    pub fn new(addr: PhysAddr, kind: AccessKind, bytes: u32) -> Self {
+        assert!(bytes > 0, "memory request must touch at least one byte");
+        Self { addr, kind, bytes }
+    }
+
+    /// Convenience constructor for a read.
+    pub fn read(addr: PhysAddr, bytes: u32) -> Self {
+        Self::new(addr, AccessKind::Read, bytes)
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(addr: PhysAddr, bytes: u32) -> Self {
+        Self::new(addr, AccessKind::Write, bytes)
+    }
+
+    /// One past the last byte touched by this request.
+    pub fn end_addr(&self) -> PhysAddr {
+        self.addr.offset(u64::from(self.bytes))
+    }
+
+    /// Iterates over the physical block base addresses this request covers.
+    pub fn blocks_touched(&self) -> impl Iterator<Item = PhysAddr> {
+        let first = self.addr.block_aligned().raw();
+        let last = self.end_addr().offset(crate::addr::BLOCK_BYTES - 1).block_aligned().raw();
+        (first..last).step_by(crate::addr::BLOCK_BYTES as usize).map(PhysAddr::new)
+    }
+}
+
+impl fmt::Display for MemRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} x{}", self.kind, self.addr, self.bytes)
+    }
+}
+
+/// One event of a memory trace: a number of non-memory instructions executed
+/// since the previous event, followed by one memory access.
+///
+/// Workload generators produce streams of `TraceEvent`s; the in-order core
+/// model charges one cycle per gap instruction and then performs the access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Non-memory instructions preceding the access (1 cycle each on the
+    /// 3 GHz in-order core).
+    pub gap: u32,
+    /// The memory access itself.
+    pub req: MemRequest,
+}
+
+impl TraceEvent {
+    /// Creates a trace event.
+    pub fn new(gap: u32, req: MemRequest) -> Self {
+        Self { gap, req }
+    }
+
+    /// Total instructions this event represents (gap + the memory
+    /// instruction itself).
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.gap) + 1
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{} {}", self.gap, self.req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_event_instructions() {
+        let e = TraceEvent::new(9, MemRequest::read(PhysAddr::new(0), 8));
+        assert_eq!(e.instructions(), 10);
+        assert_eq!(e.to_string(), "+9 R p:0x0 x8");
+    }
+
+    #[test]
+    fn constructors() {
+        let r = MemRequest::read(PhysAddr::new(0), 8);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert!(!r.kind.is_write());
+        let w = MemRequest::write(PhysAddr::new(64), 64);
+        assert!(w.kind.is_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_byte_request_rejected() {
+        MemRequest::read(PhysAddr::new(0), 0);
+    }
+
+    #[test]
+    fn end_addr() {
+        let r = MemRequest::write(PhysAddr::new(100), 28);
+        assert_eq!(r.end_addr().raw(), 128);
+    }
+
+    #[test]
+    fn blocks_touched_single_block() {
+        let r = MemRequest::write(PhysAddr::new(10), 8);
+        let blocks: Vec<_> = r.blocks_touched().collect();
+        assert_eq!(blocks, vec![PhysAddr::new(0)]);
+    }
+
+    #[test]
+    fn blocks_touched_straddles_boundary() {
+        let r = MemRequest::write(PhysAddr::new(60), 8); // bytes 60..68
+        let blocks: Vec<_> = r.blocks_touched().collect();
+        assert_eq!(blocks, vec![PhysAddr::new(0), PhysAddr::new(64)]);
+    }
+
+    #[test]
+    fn blocks_touched_large_write() {
+        let r = MemRequest::write(PhysAddr::new(0), 256);
+        assert_eq!(r.blocks_touched().count(), 4);
+    }
+
+    #[test]
+    fn display() {
+        let r = MemRequest::write(PhysAddr::new(64), 64);
+        assert_eq!(r.to_string(), "W p:0x40 x64");
+    }
+}

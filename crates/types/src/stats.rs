@@ -1,0 +1,263 @@
+//! Statistics every memory system reports.
+//!
+//! The counters here are exactly the quantities the paper's evaluation plots:
+//! NVM write traffic split into CPU / checkpointing / migration components
+//! (Figure 8), checkpointing time share (Figures 3 & 8), write bandwidth
+//! (Figure 10), and enough raw counts to derive execution time and IPC
+//! (Figures 7 & 11).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cycle::Cycle;
+
+/// Classification of a write reaching NVM, for the Figure 8 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NvmWriteClass {
+    /// Direct write from the CPU (last-level-cache writeback or remapped
+    /// store serviced in NVM).
+    Cpu,
+    /// Write performed while creating a checkpoint (page writeback, buffered
+    /// block drain, metadata/CPU-state persist, journal/shadow flushes).
+    Checkpoint,
+    /// Write caused by migrating a page between the two checkpointing
+    /// schemes (§3.4).
+    Migration,
+}
+
+impl fmt::Display for NvmWriteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NvmWriteClass::Cpu => "cpu",
+            NvmWriteClass::Checkpoint => "checkpoint",
+            NvmWriteClass::Migration => "migration",
+        })
+    }
+}
+
+/// Aggregated statistics of one memory-system run.
+///
+/// All byte counters are cumulative; all cycle counters are sums of simulated
+/// time. A fresh value is all-zero ([`MemStats::default`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Read requests serviced.
+    pub reads: u64,
+    /// Write requests serviced.
+    pub writes: u64,
+    /// Reads serviced by DRAM.
+    pub dram_reads: u64,
+    /// Writes serviced by DRAM.
+    pub dram_writes: u64,
+    /// Reads serviced by NVM.
+    pub nvm_reads: u64,
+    /// Writes serviced by NVM.
+    pub nvm_writes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Bytes written to NVM by direct CPU traffic.
+    pub nvm_write_bytes_cpu: u64,
+    /// Bytes written to NVM by checkpointing work.
+    pub nvm_write_bytes_ckpt: u64,
+    /// Bytes written to NVM by inter-scheme page migration.
+    pub nvm_write_bytes_migration: u64,
+    /// Bytes read from NVM.
+    pub nvm_read_bytes: u64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Completed epochs (equivalently, completed checkpoints).
+    pub epochs_completed: u64,
+    /// Cycles during which the system was performing checkpoint work.
+    pub ckpt_busy_cycles: Cycle,
+    /// Cycles the *application* was stalled waiting on checkpointing
+    /// (blocked stores, stop-the-world pauses, flush stalls).
+    pub ckpt_stall_cycles: Cycle,
+    /// Total memory-access service cycles accumulated (sum of request
+    /// latencies), used for average-latency reporting.
+    pub service_cycles: Cycle,
+    /// Pages migrated from block remapping to page writeback.
+    pub pages_promoted: u64,
+    /// Pages migrated from page writeback to block remapping.
+    pub pages_demoted: u64,
+}
+
+impl MemStats {
+    /// Creates an all-zero statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a write of `bytes` reaching NVM, classified per Figure 8.
+    pub fn record_nvm_write(&mut self, bytes: u64, class: NvmWriteClass) {
+        self.nvm_writes += 1;
+        match class {
+            NvmWriteClass::Cpu => self.nvm_write_bytes_cpu += bytes,
+            NvmWriteClass::Checkpoint => self.nvm_write_bytes_ckpt += bytes,
+            NvmWriteClass::Migration => self.nvm_write_bytes_migration += bytes,
+        }
+    }
+
+    /// Records a write of `bytes` reaching DRAM.
+    pub fn record_dram_write(&mut self, bytes: u64) {
+        self.dram_writes += 1;
+        self.dram_write_bytes += bytes;
+    }
+
+    /// Total bytes written to NVM, all classes combined.
+    pub fn nvm_write_bytes_total(&self) -> u64 {
+        self.nvm_write_bytes_cpu + self.nvm_write_bytes_ckpt + self.nvm_write_bytes_migration
+    }
+
+    /// Total requests serviced.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of `total_cycles` spent on checkpoint work, in percent
+    /// (the "% exec. time spent on ckpt." series of Figure 8).
+    pub fn ckpt_time_share(&self, total_cycles: Cycle) -> f64 {
+        if total_cycles == Cycle::ZERO {
+            return 0.0;
+        }
+        100.0 * self.ckpt_busy_cycles.raw() as f64 / total_cycles.raw() as f64
+    }
+
+    /// Average NVM write bandwidth over `total_cycles`, in MB/s
+    /// (Figure 10; 1 MB = 10^6 bytes as in the paper's axis).
+    pub fn nvm_write_bandwidth_mbps(&self, total_cycles: Cycle) -> f64 {
+        let secs = total_cycles.as_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.nvm_write_bytes_total() as f64 / 1e6 / secs
+    }
+
+    /// Average DRAM write bandwidth over `total_cycles`, in MB/s.
+    pub fn dram_write_bandwidth_mbps(&self, total_cycles: Cycle) -> f64 {
+        let secs = total_cycles.as_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.dram_write_bytes as f64 / 1e6 / secs
+    }
+
+    /// Merges another statistics record into this one (summing all fields).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.dram_reads += other.dram_reads;
+        self.dram_writes += other.dram_writes;
+        self.nvm_reads += other.nvm_reads;
+        self.nvm_writes += other.nvm_writes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.nvm_write_bytes_cpu += other.nvm_write_bytes_cpu;
+        self.nvm_write_bytes_ckpt += other.nvm_write_bytes_ckpt;
+        self.nvm_write_bytes_migration += other.nvm_write_bytes_migration;
+        self.nvm_read_bytes += other.nvm_read_bytes;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.epochs_completed += other.epochs_completed;
+        self.ckpt_busy_cycles += other.ckpt_busy_cycles;
+        self.ckpt_stall_cycles += other.ckpt_stall_cycles;
+        self.service_cycles += other.service_cycles;
+        self.pages_promoted += other.pages_promoted;
+        self.pages_demoted += other.pages_demoted;
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} nvm_wr_bytes(cpu/ckpt/migr)={}/{}/{} dram_wr_bytes={} epochs={} ckpt_busy={} stalls={}",
+            self.reads,
+            self.writes,
+            self.nvm_write_bytes_cpu,
+            self.nvm_write_bytes_ckpt,
+            self.nvm_write_bytes_migration,
+            self.dram_write_bytes,
+            self.epochs_completed,
+            self.ckpt_busy_cycles,
+            self.ckpt_stall_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut s = MemStats::new();
+        s.record_nvm_write(64, NvmWriteClass::Cpu);
+        s.record_nvm_write(4096, NvmWriteClass::Checkpoint);
+        s.record_nvm_write(4096, NvmWriteClass::Migration);
+        assert_eq!(s.nvm_writes, 3);
+        assert_eq!(s.nvm_write_bytes_total(), 64 + 4096 + 4096);
+        assert_eq!(s.nvm_write_bytes_cpu, 64);
+        assert_eq!(s.nvm_write_bytes_ckpt, 4096);
+        assert_eq!(s.nvm_write_bytes_migration, 4096);
+    }
+
+    #[test]
+    fn dram_write_recording() {
+        let mut s = MemStats::new();
+        s.record_dram_write(64);
+        s.record_dram_write(64);
+        assert_eq!(s.dram_writes, 2);
+        assert_eq!(s.dram_write_bytes, 128);
+    }
+
+    #[test]
+    fn ckpt_time_share_percentage() {
+        let mut s = MemStats::new();
+        s.ckpt_busy_cycles = Cycle::new(250);
+        assert!((s.ckpt_time_share(Cycle::new(1000)) - 25.0).abs() < 1e-9);
+        // Zero total time must not divide by zero.
+        assert_eq!(s.ckpt_time_share(Cycle::ZERO), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_mbps() {
+        let mut s = MemStats::new();
+        // 3e9 cycles = 1 s at 3 GHz; 100 MB written -> 100 MB/s.
+        s.record_nvm_write(100_000_000, NvmWriteClass::Cpu);
+        let bw = s.nvm_write_bandwidth_mbps(Cycle::new(3_000_000_000));
+        assert!((bw - 100.0).abs() < 1e-6, "bw={bw}");
+        assert_eq!(s.nvm_write_bandwidth_mbps(Cycle::ZERO), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = MemStats::new();
+        a.reads = 1;
+        a.ckpt_stall_cycles = Cycle::new(10);
+        a.pages_promoted = 2;
+        let mut b = MemStats::new();
+        b.reads = 2;
+        b.ckpt_stall_cycles = Cycle::new(5);
+        b.pages_demoted = 1;
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.ckpt_stall_cycles, Cycle::new(15));
+        assert_eq!(a.pages_promoted, 2);
+        assert_eq!(a.pages_demoted, 1);
+    }
+
+    #[test]
+    fn total_accesses() {
+        let mut s = MemStats::new();
+        s.reads = 7;
+        s.writes = 3;
+        assert_eq!(s.total_accesses(), 10);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!MemStats::new().to_string().is_empty());
+        assert_eq!(NvmWriteClass::Cpu.to_string(), "cpu");
+        assert_eq!(NvmWriteClass::Checkpoint.to_string(), "checkpoint");
+        assert_eq!(NvmWriteClass::Migration.to_string(), "migration");
+    }
+}

@@ -1,0 +1,165 @@
+//! The interface every evaluated memory system implements.
+
+use crate::addr::PhysAddr;
+use crate::cycle::Cycle;
+use crate::req::MemRequest;
+use crate::stats::MemStats;
+
+/// A timing model of a (possibly persistent) main-memory system.
+///
+/// This is the common surface shared by ThyNVM and the four baselines of §5.1
+/// (Ideal DRAM, Ideal NVM, Journaling, Shadow Paging). Drivers — the CPU
+/// model, workload replayers, and the benchmark harness — interact with
+/// memory exclusively through this trait, so every system sees the same
+/// request stream.
+///
+/// Requests are issued in nondecreasing `now` order. The implementation
+/// returns the cycle at which the request completes; the caller decides
+/// whether and how long that stalls the core.
+///
+/// # Example
+///
+/// ```no_run
+/// use thynvm_types::{Cycle, MemRequest, MemorySystem, PhysAddr};
+///
+/// fn run_one(sys: &mut dyn MemorySystem) {
+///     let done = sys.access(&MemRequest::write(PhysAddr::new(0x40), 64), Cycle::ZERO);
+///     let idle = sys.drain(done);
+///     assert!(idle >= done);
+/// }
+/// ```
+pub trait MemorySystem {
+    /// Services one request arriving at cycle `now`; returns its completion
+    /// cycle (`>= now`).
+    ///
+    /// For systems with crash-consistency support this is where epoch
+    /// bookkeeping, remapping, buffering and stalls happen.
+    fn access(&mut self, req: &MemRequest, now: Cycle) -> Cycle;
+
+    /// Whether the system wants the platform to end the current epoch now
+    /// (§4.4: "the memory controller notifies the processor when an
+    /// execution phase is completed").
+    ///
+    /// Systems without epochs (the ideal baselines) never request one.
+    fn checkpoint_due(&self, now: Cycle) -> bool {
+        let _ = now;
+        false
+    }
+
+    /// Ends the epoch: the processor has stalled and performed its data
+    /// flush, handing over the dirty cache blocks (`flushed`). The system
+    /// persists them together with its metadata and CPU state, then begins
+    /// (or completes) checkpointing.
+    ///
+    /// Returns the cycle at which the *processor may resume execution*.
+    /// Overlapping designs (ThyNVM) return early and continue checkpointing
+    /// in the background; stop-the-world designs return the checkpoint
+    /// completion time.
+    fn begin_checkpoint(&mut self, now: Cycle, flushed: &[PhysAddr]) -> Cycle {
+        let _ = flushed;
+        now
+    }
+
+    /// Completes all outstanding background work (in-flight checkpoints,
+    /// queued flushes) and returns the cycle at which the system is idle.
+    ///
+    /// Called at the end of a measured run so that deferred checkpoint costs
+    /// are charged to the workload that incurred them.
+    fn drain(&mut self, now: Cycle) -> Cycle;
+
+    /// Read access to accumulated statistics.
+    fn stats(&self) -> &MemStats;
+
+    /// Short system name used in reports (e.g. `"ThyNVM"`, `"Journal"`).
+    fn name(&self) -> &'static str;
+}
+
+/// A memory system with *functional* persistence: it stores real bytes,
+/// can make them durable, and can be power-failed and recovered.
+///
+/// Implemented by ThyNVM and by the journaling / shadow-paging baselines,
+/// so the same crash-consistency scenarios run against every persistent
+/// design. The contract:
+///
+/// * data written by [`PersistentMemory::store_bytes`] becomes durable at
+///   the *next durability point* — an epoch end / flush — not before;
+/// * [`PersistentMemory::persist`] forces a durability point and returns
+///   only once the data is actually safe;
+/// * [`PersistentMemory::power_fail`] destroys all volatile state and runs
+///   recovery; afterwards loads observe exactly the image of the last
+///   durability point that completed before the failure.
+pub trait PersistentMemory: MemorySystem {
+    /// Writes `data` at `addr`, updating contents and paying timing costs.
+    /// Returns the store's acknowledgement cycle.
+    fn store_bytes(&mut self, addr: PhysAddr, data: &[u8], now: Cycle) -> Cycle;
+
+    /// Reads `buf.len()` bytes at `addr` from the software-visible image.
+    /// Returns the load's completion cycle.
+    fn load_bytes(&mut self, addr: PhysAddr, buf: &mut [u8], now: Cycle) -> Cycle;
+
+    /// Forces a durability point and waits for it to complete.
+    fn persist(&mut self, now: Cycle) -> Cycle;
+
+    /// Power failure + recovery; returns the cycle at which the system is
+    /// usable again.
+    fn power_fail(&mut self, now: Cycle) -> Cycle;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::req::AccessKind;
+    use crate::PhysAddr;
+
+    /// A trivial fixed-latency memory used to exercise the trait surface and
+    /// confirm object safety.
+    #[derive(Debug, Default)]
+    struct FixedLatency {
+        stats: MemStats,
+    }
+
+    impl MemorySystem for FixedLatency {
+        fn access(&mut self, req: &MemRequest, now: Cycle) -> Cycle {
+            match req.kind {
+                AccessKind::Read => self.stats.reads += 1,
+                AccessKind::Write => self.stats.writes += 1,
+            }
+            now + Cycle::new(100)
+        }
+
+        fn drain(&mut self, now: Cycle) -> Cycle {
+            now
+        }
+
+        fn stats(&self) -> &MemStats {
+            &self.stats
+        }
+
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut sys = FixedLatency::default();
+        let dynref: &mut dyn MemorySystem = &mut sys;
+        let done = dynref.access(&MemRequest::read(PhysAddr::new(0), 64), Cycle::new(5));
+        assert_eq!(done, Cycle::new(105));
+        assert_eq!(dynref.drain(done), done);
+        assert_eq!(dynref.stats().reads, 1);
+        assert_eq!(dynref.name(), "Fixed");
+    }
+
+    #[test]
+    fn accesses_accumulate_stats() {
+        let mut sys = FixedLatency::default();
+        for i in 0..4 {
+            let kind = if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
+            sys.access(&MemRequest::new(PhysAddr::new(i * 64), kind, 64), Cycle::ZERO);
+        }
+        assert_eq!(sys.stats().reads, 2);
+        assert_eq!(sys.stats().writes, 2);
+        assert_eq!(sys.stats().total_accesses(), 4);
+    }
+}

@@ -1,0 +1,332 @@
+//! Trace characterization.
+//!
+//! The dual-scheme design is driven by *write locality*: the §2.3 tradeoff
+//! says sparse writes belong to block remapping and dense writes to page
+//! writeback. This module measures exactly those properties of any trace —
+//! footprint, read/write mix, sequentiality, and the distribution of
+//! writes per page — so workloads can be characterized independently of
+//! any memory system (and the scheme-switching thresholds sanity-checked).
+
+use std::collections::HashMap;
+
+use thynvm_types::{Histogram, PageIndex, TraceEvent, BLOCK_BYTES};
+
+/// Aggregate characteristics of a memory trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Total events analyzed.
+    pub events: u64,
+    /// Read events.
+    pub reads: u64,
+    /// Write events.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Total instructions represented (gaps + memory instructions).
+    pub instructions: u64,
+    /// Distinct 64 B blocks touched.
+    pub unique_blocks: usize,
+    /// Distinct 4 KiB pages touched.
+    pub unique_pages: usize,
+    /// Events whose address immediately follows the previous event's
+    /// (block-sequential accesses).
+    pub sequential_events: u64,
+    /// Distribution of write events per touched page.
+    pub writes_per_page: Histogram,
+}
+
+impl TraceStats {
+    /// Analyzes a trace.
+    pub fn from_events<I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        let mut stats = TraceStats::default();
+        let mut blocks: HashMap<u64, ()> = HashMap::new();
+        let mut page_writes: HashMap<PageIndex, u64> = HashMap::new();
+        let mut last_block: Option<u64> = None;
+
+        for e in events {
+            stats.events += 1;
+            stats.instructions += e.instructions();
+            let block = e.req.addr.block().raw();
+            if e.req.kind.is_write() {
+                stats.writes += 1;
+                stats.write_bytes += u64::from(e.req.bytes);
+                *page_writes.entry(e.req.addr.page()).or_insert(0) += 1;
+            } else {
+                stats.reads += 1;
+                stats.read_bytes += u64::from(e.req.bytes);
+            }
+            if last_block == Some(block.wrapping_sub(1)) || last_block == Some(block) {
+                stats.sequential_events += 1;
+            }
+            last_block = Some(block);
+            for touched in e.req.blocks_touched() {
+                blocks.insert(touched.block().raw(), ());
+            }
+        }
+
+        let mut pages: Vec<u64> = blocks.keys().map(|b| b / 64).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        stats.unique_pages = pages.len();
+        stats.unique_blocks = blocks.len();
+        for &count in page_writes.values() {
+            stats.writes_per_page.record(count);
+        }
+        stats
+    }
+
+    /// Approximate memory footprint in bytes (unique blocks × 64).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_blocks as u64 * BLOCK_BYTES
+    }
+
+    /// Write fraction in [0, 1].
+    pub fn write_fraction(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.events as f64
+        }
+    }
+
+    /// Fraction of events continuing a sequential run, in [0, 1].
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.sequential_events as f64 / self.events as f64
+        }
+    }
+
+    /// Fraction of pages whose write count reaches `threshold` — i.e. the
+    /// share of the footprint the §4.2 policy would steer to page
+    /// writeback.
+    pub fn hot_page_fraction(&self, threshold: u64) -> f64 {
+        let total = self.writes_per_page.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let hot: u64 = self
+            .writes_per_page
+            .iter()
+            .filter(|(lo, _)| *lo >= threshold)
+            .map(|(_, n)| n)
+            .sum();
+        hot as f64 / total as f64
+    }
+
+    /// Renders a one-paragraph characterization report.
+    pub fn report(&self, name: &str) -> String {
+        format!(
+            "{name}: {} events ({} instr), footprint {:.1} MB across {} pages, \
+             {:.0}% writes, {:.0}% sequential, writes/page {}",
+            self.events,
+            self.instructions,
+            self.footprint_bytes() as f64 / 1e6,
+            self.unique_pages,
+            self.write_fraction() * 100.0,
+            self.sequential_fraction() * 100.0,
+            self.writes_per_page,
+        )
+    }
+}
+
+/// A Fenwick (binary-indexed) tree over access timestamps, supporting the
+/// O(log n) stack-distance queries of Olken's reuse-distance algorithm.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self { tree: vec![0; n + 1] }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of entries in `[0, i]`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Computes the LRU stack-distance (reuse-distance) histogram of a trace at
+/// 64 B block granularity, using Olken's algorithm (O(n log n)).
+///
+/// The reuse distance of an access is the number of *distinct* blocks
+/// touched since the previous access to the same block; first-touch
+/// accesses (cold misses) are excluded. An LRU cache of capacity `C`
+/// blocks hits exactly the accesses with distance < `C`, so this histogram
+/// predicts hit rates for every cache size at once.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_workloads::analysis::reuse_distance_histogram;
+/// use thynvm_workloads::micro::{MicroConfig, MicroPattern};
+///
+/// let h = reuse_distance_histogram(
+///     MicroConfig::new(MicroPattern::Streaming).events(10_000));
+/// // A pure stream never reuses: only wrap-around reuses would appear.
+/// assert_eq!(h.count(), 0);
+/// ```
+pub fn reuse_distance_histogram<I>(events: I) -> Histogram
+where
+    I: IntoIterator<Item = TraceEvent>,
+{
+    let events: Vec<TraceEvent> = events.into_iter().collect();
+    let n = events.len();
+    let mut hist = Histogram::new();
+    let mut fenwick = Fenwick::new(n);
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    for (t, e) in events.iter().enumerate() {
+        let block = e.req.addr.block().raw();
+        if let Some(&prev) = last_seen.get(&block) {
+            // Distinct blocks since prev = live markers in (prev, t).
+            let distance = fenwick.prefix(t) - fenwick.prefix(prev);
+            hist.record(distance);
+            fenwick.add(prev, -1); // the block's marker moves to `t`
+        }
+        fenwick.add(t, 1);
+        last_seen.insert(block, t);
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::{MicroConfig, MicroPattern};
+    use crate::spec::{profile, SpecWorkload};
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::from_events(std::iter::empty());
+        assert_eq!(s.events, 0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.sequential_fraction(), 0.0);
+        assert_eq!(s.hot_page_fraction(22), 0.0);
+        assert_eq!(s.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn streaming_is_nearly_all_sequential() {
+        let cfg = MicroConfig::new(MicroPattern::Streaming);
+        let s = TraceStats::from_events(cfg.events(10_000));
+        assert!(s.sequential_fraction() > 0.95, "{}", s.sequential_fraction());
+        assert!((s.write_fraction() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn random_is_barely_sequential_and_cold_paged() {
+        let cfg = MicroConfig::new(MicroPattern::Random);
+        let s = TraceStats::from_events(cfg.events(10_000));
+        assert!(s.sequential_fraction() < 0.05, "{}", s.sequential_fraction());
+        // Random over 64 MiB: pages see ~0-1 writes each; none are "hot".
+        assert!(s.hot_page_fraction(22) < 0.01);
+    }
+
+    #[test]
+    fn sliding_pages_are_hot() {
+        let cfg = MicroConfig::new(MicroPattern::Sliding);
+        let s = TraceStats::from_events(cfg.events(20_000));
+        // The window revisits pages: a solid share crosses the promote
+        // threshold.
+        assert!(s.hot_page_fraction(22) > 0.3, "{}", s.hot_page_fraction(22));
+    }
+
+    #[test]
+    fn footprint_counts_unique_blocks() {
+        let cfg = MicroConfig::new(MicroPattern::Streaming);
+        let s = TraceStats::from_events(cfg.events(1_000));
+        assert_eq!(s.unique_blocks, 1_000);
+        assert_eq!(s.footprint_bytes(), 64_000);
+        assert_eq!(s.unique_pages, 1_000 * 64 / 4096 + 1);
+    }
+
+    #[test]
+    fn spec_profiles_match_their_parameters() {
+        let p = profile("lbm").unwrap();
+        let s = TraceStats::from_events(SpecWorkload::new(p).events(20_000));
+        assert!((s.write_fraction() - 0.45).abs() < 0.05);
+        assert!(s.sequential_fraction() > 0.8);
+    }
+
+    #[test]
+    fn reuse_distance_of_tight_loop_is_small() {
+        use thynvm_types::{AccessKind, MemRequest, PhysAddr};
+        // Cycle over 4 blocks repeatedly: every reuse distance is 3.
+        let events: Vec<TraceEvent> = (0..40)
+            .map(|i| {
+                TraceEvent::new(
+                    0,
+                    MemRequest::new(PhysAddr::new((i % 4) * 64), AccessKind::Read, 64),
+                )
+            })
+            .collect();
+        let h = reuse_distance_histogram(events);
+        assert_eq!(h.count(), 36); // 40 accesses - 4 cold
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 3);
+    }
+
+    #[test]
+    fn reuse_distance_detects_immediate_reuse() {
+        use thynvm_types::{AccessKind, MemRequest, PhysAddr};
+        // A A B B: reuses at distance 0.
+        let mk = |a: u64| {
+            TraceEvent::new(0, MemRequest::new(PhysAddr::new(a * 64), AccessKind::Read, 64))
+        };
+        let h = reuse_distance_histogram(vec![mk(1), mk(1), mk(2), mk(2)]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn random_trace_has_large_reuse_distances() {
+        let cfg = MicroConfig::new(MicroPattern::Random);
+        let h = reuse_distance_histogram(cfg.events(20_000));
+        // Reuses over a 64 MiB array come back at huge stack distances —
+        // far beyond any cache — which is why Random defeats the hierarchy.
+        if h.count() > 0 {
+            assert!(h.quantile(0.5) > 1_000, "median distance {}", h.quantile(0.5));
+        }
+    }
+
+    #[test]
+    fn sliding_reuses_within_the_window() {
+        let cfg = MicroConfig::new(MicroPattern::Sliding);
+        let h = reuse_distance_histogram(cfg.events(20_000));
+        assert!(h.count() > 1_000, "the window must generate reuse");
+        // Window of 1024 blocks bounds most distances.
+        assert!(h.quantile(0.9) <= 2_048, "p90 {}", h.quantile(0.9));
+    }
+
+    #[test]
+    fn report_is_informative() {
+        let cfg = MicroConfig::new(MicroPattern::Streaming);
+        let s = TraceStats::from_events(cfg.events(500));
+        let r = s.report("streaming");
+        assert!(r.contains("streaming"));
+        assert!(r.contains("500 events"));
+        assert!(r.contains("% writes"));
+    }
+}

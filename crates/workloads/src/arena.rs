@@ -1,0 +1,170 @@
+//! Instrumented memory arena.
+//!
+//! The paper's storage benchmarks run real data-structure code against
+//! persistent memory. To reproduce that without proprietary binaries, the
+//! key-value stores in [`crate::kv`] are implemented as ordinary Rust data
+//! structures whose every *simulated-memory* touch goes through this arena,
+//! which allocates objects at physical addresses and records a
+//! [`TraceEvent`] per load/store. Replaying the recorded trace against any
+//! [`thynvm_types::MemorySystem`] then reproduces the data structure's true
+//! access pattern: pointer chasing, node updates, value writes.
+
+use std::collections::VecDeque;
+
+use thynvm_types::{AccessKind, MemRequest, PhysAddr, TraceEvent};
+
+/// A bump allocator over the simulated physical address space that logs
+/// every access.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_workloads::Arena;
+///
+/// let mut arena = Arena::new(2);
+/// let obj = arena.alloc(24);
+/// arena.write(obj, 24);     // initialize the object
+/// arena.read(obj, 8);       // follow its first field
+/// assert_eq!(arena.drain_events().count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Arena {
+    next: u64,
+    gap: u32,
+    events: VecDeque<TraceEvent>,
+    allocated_bytes: u64,
+    /// Size-class free lists (rounded size → freed addresses), so workloads
+    /// reuse memory like a real `malloc`/`free` heap instead of streaming
+    /// through the address space forever.
+    free_lists: std::collections::HashMap<u64, Vec<u64>>,
+}
+
+impl Arena {
+    /// Creates an arena whose recorded events carry `gap` non-memory
+    /// instructions each (compute work between accesses).
+    pub fn new(gap: u32) -> Self {
+        // Skip address 0 so "null" arena references are representable.
+        Self {
+            next: 64,
+            gap,
+            events: VecDeque::new(),
+            allocated_bytes: 0,
+            free_lists: std::collections::HashMap::new(),
+        }
+    }
+
+    fn size_class(size: u64) -> u64 {
+        size.div_ceil(8) * 8
+    }
+
+    /// Allocates `size` bytes, 8-byte aligned, and returns the address.
+    /// Freed space of the same size class is reused first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn alloc(&mut self, size: u64) -> PhysAddr {
+        assert!(size > 0, "cannot allocate zero bytes");
+        let class = Self::size_class(size);
+        self.allocated_bytes += size;
+        if let Some(list) = self.free_lists.get_mut(&class) {
+            if let Some(addr) = list.pop() {
+                return PhysAddr::new(addr);
+            }
+        }
+        let addr = self.next;
+        self.next += class;
+        PhysAddr::new(addr)
+    }
+
+    /// Returns `size` bytes at `addr` to the allocator for reuse (the
+    /// allocation must have been made with the same `size`).
+    pub fn free(&mut self, addr: PhysAddr, size: u64) {
+        let class = Self::size_class(size.max(1));
+        self.free_lists.entry(class).or_default().push(addr.raw());
+    }
+
+    /// Total bytes handed out so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// Records a read of `len` bytes at `addr`.
+    pub fn read(&mut self, addr: PhysAddr, len: u32) {
+        self.events.push_back(TraceEvent::new(
+            self.gap,
+            MemRequest::new(addr, AccessKind::Read, len),
+        ));
+    }
+
+    /// Records a write of `len` bytes at `addr`.
+    pub fn write(&mut self, addr: PhysAddr, len: u32) {
+        self.events.push_back(TraceEvent::new(
+            self.gap,
+            MemRequest::new(addr, AccessKind::Write, len),
+        ));
+    }
+
+    /// Number of recorded, not-yet-drained events.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Drains the recorded events in order.
+    pub fn drain_events(&mut self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.events.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_monotonic() {
+        let mut a = Arena::new(0);
+        let x = a.alloc(3);
+        let y = a.alloc(24);
+        assert_eq!(x.raw() % 8, 0);
+        assert_eq!(y.raw() % 8, 0);
+        assert!(y.raw() >= x.raw() + 8, "3 bytes round up to one 8 B slot");
+        assert_eq!(a.allocated_bytes(), 27);
+    }
+
+    #[test]
+    fn null_address_never_allocated() {
+        let mut a = Arena::new(0);
+        assert_ne!(a.alloc(8).raw(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bytes")]
+    fn zero_alloc_panics() {
+        Arena::new(0).alloc(0);
+    }
+
+    #[test]
+    fn events_record_in_order_with_gap() {
+        let mut a = Arena::new(7);
+        let p = a.alloc(16);
+        a.write(p, 16);
+        a.read(p, 8);
+        let events: Vec<_> = a.drain_events().collect();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].req.kind.is_write());
+        assert_eq!(events[0].req.bytes, 16);
+        assert!(!events[1].req.kind.is_write());
+        assert_eq!(events[1].gap, 7);
+        assert_eq!(events[0].req.addr, p);
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let mut a = Arena::new(0);
+        let p = a.alloc(8);
+        a.write(p, 8);
+        assert_eq!(a.pending_events(), 1);
+        assert_eq!(a.drain_events().count(), 1);
+        assert_eq!(a.pending_events(), 0);
+    }
+}

@@ -1,0 +1,497 @@
+//! B+ tree key-value store on the instrumented arena.
+//!
+//! The third real data structure of the storage suite (alongside the
+//! chained hash table and the red-black tree): a disk-style B+ tree with
+//! wide nodes, the layout used by virtually every storage engine that
+//! targets persistent memory. Compared to the binary tree it trades
+//! pointer-chasing depth for *dense intra-node scans* — each visited node
+//! is a sequential multi-cache-block read, which exercises ThyNVM's page
+//! writeback scheme far more than the red-black tree does.
+//!
+//! Leaves are linked for range scans. Simulated-memory layout: every node
+//! occupies one contiguous arena allocation; a visit reads the whole used
+//! prefix of the node, a mutation rewrites it.
+
+use thynvm_types::PhysAddr;
+
+use super::{write_value, KvOp, KvStore};
+use crate::arena::Arena;
+
+/// Maximum keys per node (fan-out − 1). 32 keys × 16 B per slot ≈ 512 B
+/// nodes — eight cache blocks, a typical PM-friendly node size.
+const MAX_KEYS: usize = 32;
+/// Simulated size of a full node: header + key/child slots.
+const NODE_BYTES: u32 = 16 + (MAX_KEYS as u32) * 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal { keys: Vec<u64>, children: Vec<usize> },
+    Leaf { keys: Vec<u64>, values: Vec<(PhysAddr, u32)>, next: Option<usize> },
+}
+
+/// The B+ tree store.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_workloads::{Arena, BTreeKv};
+/// use thynvm_workloads::kv::{KvOp, KvStore};
+///
+/// let mut arena = Arena::new(0);
+/// let mut kv = BTreeKv::new();
+/// for k in 0..1000 {
+///     kv.apply(&mut arena, KvOp::Insert(k), 64);
+/// }
+/// assert_eq!(kv.len(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct BTreeKv {
+    nodes: Vec<Node>,
+    addrs: Vec<PhysAddr>,
+    free: Vec<usize>,
+    root: usize,
+    count: usize,
+}
+
+impl Default for BTreeKv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeKv {
+    /// Creates an empty tree (a single empty leaf).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }],
+            addrs: vec![PhysAddr::new(0)],
+            free: Vec::new(),
+            root: 0,
+            count: 0,
+        }
+    }
+
+    fn ensure_addr(&mut self, arena: &mut Arena, idx: usize) -> PhysAddr {
+        if self.addrs[idx].raw() == 0 {
+            self.addrs[idx] = arena.alloc(u64::from(NODE_BYTES));
+        }
+        self.addrs[idx]
+    }
+
+    /// Emits a read of the used prefix of node `idx`.
+    fn read_node(&mut self, arena: &mut Arena, idx: usize) {
+        let used = match &self.nodes[idx] {
+            Node::Internal { keys, .. } => 16 + keys.len() as u32 * 16,
+            Node::Leaf { keys, .. } => 16 + keys.len() as u32 * 16,
+        };
+        let addr = self.ensure_addr(arena, idx);
+        arena.read(addr, used.max(16));
+    }
+
+    /// Emits a write of the used prefix of node `idx`.
+    fn write_node(&mut self, arena: &mut Arena, idx: usize) {
+        let used = match &self.nodes[idx] {
+            Node::Internal { keys, .. } => 16 + keys.len() as u32 * 16,
+            Node::Leaf { keys, .. } => 16 + keys.len() as u32 * 16,
+        };
+        let addr = self.ensure_addr(arena, idx);
+        arena.write(addr, used.max(16));
+    }
+
+    fn alloc_node(&mut self, node: Node) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            self.addrs[idx] = PhysAddr::new(0);
+            idx
+        } else {
+            self.nodes.push(node);
+            self.addrs.push(PhysAddr::new(0));
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Descends to the leaf that owns `key`, emitting node reads; returns
+    /// the path (internal indices) and the leaf index.
+    fn descend(&mut self, arena: &mut Arena, key: u64) -> (Vec<usize>, usize) {
+        let mut path = Vec::new();
+        let mut idx = self.root;
+        loop {
+            self.read_node(arena, idx);
+            match &self.nodes[idx] {
+                Node::Internal { keys, children } => {
+                    let slot = keys.partition_point(|&k| k <= key);
+                    path.push(idx);
+                    idx = children[slot];
+                }
+                Node::Leaf { .. } => return (path, idx),
+            }
+        }
+    }
+
+    /// Splits the child at `path`'s end if over-full, propagating upward.
+    fn split_up(&mut self, arena: &mut Arena, mut path: Vec<usize>, mut child: usize) {
+        loop {
+            let (sep, right) = match &mut self.nodes[child] {
+                Node::Leaf { keys, values, next } => {
+                    if keys.len() <= MAX_KEYS {
+                        return;
+                    }
+                    let mid = keys.len() / 2;
+                    let rk = keys.split_off(mid);
+                    let rv = values.split_off(mid);
+                    let sep = rk[0];
+                    let rnext = next.take();
+                    let right =
+                        Node::Leaf { keys: rk, values: rv, next: rnext };
+                    (sep, right)
+                }
+                Node::Internal { keys, children } => {
+                    if keys.len() <= MAX_KEYS {
+                        return;
+                    }
+                    let mid = keys.len() / 2;
+                    let mut rk = keys.split_off(mid);
+                    let sep = rk.remove(0);
+                    let rc = children.split_off(mid + 1);
+                    (sep, Node::Internal { keys: rk, children: rc })
+                }
+            };
+            let right_idx = self.alloc_node(right);
+            if let Node::Leaf { next, .. } = &mut self.nodes[child] {
+                *next = Some(right_idx);
+            }
+            self.write_node(arena, child);
+            self.write_node(arena, right_idx);
+
+            match path.pop() {
+                Some(parent) => {
+                    if let Node::Internal { keys, children } = &mut self.nodes[parent] {
+                        let slot = keys.partition_point(|&k| k <= sep);
+                        keys.insert(slot, sep);
+                        children.insert(slot + 1, right_idx);
+                    }
+                    self.write_node(arena, parent);
+                    child = parent;
+                }
+                None => {
+                    // Grow a new root.
+                    let new_root = self.alloc_node(Node::Internal {
+                        keys: vec![sep],
+                        children: vec![child, right_idx],
+                    });
+                    self.root = new_root;
+                    self.write_node(arena, new_root);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tree height (1 for a lone leaf); test support.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut idx = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[idx] {
+            idx = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Whether `key` is present (no trace emission; test support).
+    pub fn contains(&self, key: u64) -> bool {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Internal { keys, children } => {
+                    idx = children[keys.partition_point(|&k| k <= key)];
+                }
+                Node::Leaf { keys, .. } => return keys.binary_search(&key).is_ok(),
+            }
+        }
+    }
+
+    /// Validates B+ tree invariants: sorted keys, fan-out bounds, uniform
+    /// leaf depth, and an intact leaf chain. Test support.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation.
+    pub fn check_invariants(&self) {
+        fn walk(t: &BTreeKv, idx: usize, depth: usize, leaf_depth: &mut Option<usize>) {
+            match &t.nodes[idx] {
+                Node::Internal { keys, children } => {
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted internal keys");
+                    assert_eq!(children.len(), keys.len() + 1, "fan-out mismatch");
+                    assert!(keys.len() <= MAX_KEYS, "over-full internal node");
+                    for &c in children {
+                        walk(t, c, depth + 1, leaf_depth);
+                    }
+                }
+                Node::Leaf { keys, values, .. } => {
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted leaf keys");
+                    assert!(keys.len() <= MAX_KEYS, "over-full leaf");
+                    assert_eq!(keys.len(), values.len(), "key/value arity");
+                    match leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) => assert_eq!(*d, depth, "leaves at unequal depth"),
+                    }
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(self, self.root, 0, &mut leaf_depth);
+        // The leaf chain visits every key in order.
+        let mut chained = 0usize;
+        let mut idx = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[idx] {
+            idx = children[0];
+        }
+        let mut cursor = Some(idx);
+        let mut last_key: Option<u64> = None;
+        while let Some(i) = cursor {
+            if let Node::Leaf { keys, next, .. } = &self.nodes[i] {
+                for &k in keys {
+                    if let Some(lk) = last_key {
+                        assert!(k > lk, "leaf chain out of order");
+                    }
+                    last_key = Some(k);
+                    chained += 1;
+                }
+                cursor = *next;
+            } else {
+                unreachable!("leaf chain reached an internal node");
+            }
+        }
+        assert_eq!(chained, self.count, "leaf chain misses keys");
+    }
+
+    /// Range scan: reads up to `limit` consecutive keys starting at `from`
+    /// (the operation B+ trees exist for), emitting leaf reads.
+    pub fn scan(&mut self, arena: &mut Arena, from: u64, limit: usize) -> usize {
+        let (_, leaf) = self.descend(arena, from);
+        let mut visited = 0usize;
+        let mut cursor = Some(leaf);
+        while let Some(i) = cursor {
+            if visited >= limit {
+                break;
+            }
+            self.read_node(arena, i);
+            let (keys, values, next) = match &self.nodes[i] {
+                Node::Leaf { keys, values, next } => (keys.clone(), values.clone(), *next),
+                _ => unreachable!("scan stays on the leaf level"),
+            };
+            for (k, (vaddr, vlen)) in keys.iter().zip(values) {
+                if *k >= from && visited < limit {
+                    arena.read(vaddr, vlen);
+                    visited += 1;
+                }
+            }
+            cursor = next;
+        }
+        visited
+    }
+}
+
+impl KvStore for BTreeKv {
+    fn apply(&mut self, arena: &mut Arena, op: KvOp, value_bytes: u32) {
+        match op {
+            KvOp::Search(key) => {
+                let (_, leaf) = self.descend(arena, key);
+                if let Node::Leaf { keys, values, .. } = &self.nodes[leaf] {
+                    if let Ok(slot) = keys.binary_search(&key) {
+                        let (vaddr, vlen) = values[slot];
+                        arena.read(vaddr, vlen);
+                    }
+                }
+            }
+            KvOp::Insert(key) => {
+                let (path, leaf) = self.descend(arena, key);
+                let value = arena.alloc(u64::from(value_bytes.max(1)));
+                write_value(arena, value, value_bytes.max(1));
+                let mut inserted = false;
+                if let Node::Leaf { keys, values, .. } = &mut self.nodes[leaf] {
+                    match keys.binary_search(&key) {
+                        Ok(slot) => {
+                            let (old_addr, old_len) = values[slot];
+                            values[slot] = (value, value_bytes.max(1));
+                            arena.free(old_addr, u64::from(old_len));
+                        }
+                        Err(slot) => {
+                            keys.insert(slot, key);
+                            values.insert(slot, (value, value_bytes.max(1)));
+                            inserted = true;
+                        }
+                    }
+                }
+                self.write_node(arena, leaf);
+                if inserted {
+                    self.count += 1;
+                    self.split_up(arena, path, leaf);
+                }
+            }
+            KvOp::Delete(key) => {
+                // Deletion without rebalancing (standard for PM B+ trees,
+                // e.g. NV-Tree/FPTree leave leaves under-full): remove the
+                // entry, keep the structure.
+                let (_, leaf) = self.descend(arena, key);
+                let mut removed = None;
+                if let Node::Leaf { keys, values, .. } = &mut self.nodes[leaf] {
+                    if let Ok(slot) = keys.binary_search(&key) {
+                        keys.remove(slot);
+                        removed = Some(values.remove(slot));
+                    }
+                }
+                if let Some((vaddr, vlen)) = removed {
+                    arena.free(vaddr, u64::from(vlen));
+                    self.write_node(arena, leaf);
+                    self.count -= 1;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn tree_with(keys: &[u64]) -> (Arena, BTreeKv) {
+        let mut arena = Arena::new(0);
+        let mut t = BTreeKv::new();
+        for &k in keys {
+            t.apply(&mut arena, KvOp::Insert(k), 32);
+        }
+        (arena, t)
+    }
+
+    #[test]
+    fn sequential_bulk_insert_stays_balanced() {
+        let keys: Vec<u64> = (0..5_000).collect();
+        let (_, t) = tree_with(&keys);
+        assert_eq!(t.len(), 5_000);
+        t.check_invariants();
+        // Fan-out 33: 5000 keys fit in height 3.
+        assert!(t.height() <= 4, "height {}", t.height());
+    }
+
+    #[test]
+    fn random_inserts_preserve_invariants() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut keys: Vec<u64> = (0..3_000).collect();
+        keys.shuffle(&mut rng);
+        let (_, t) = tree_with(&keys);
+        t.check_invariants();
+        for k in (0..3_000).step_by(97) {
+            assert!(t.contains(k));
+        }
+        assert!(!t.contains(99_999));
+    }
+
+    #[test]
+    fn delete_removes_and_frees() {
+        let (mut arena, mut t) = tree_with(&(0..200).collect::<Vec<_>>());
+        for k in (0..200).step_by(2) {
+            t.apply(&mut arena, KvOp::Delete(k), 32);
+        }
+        assert_eq!(t.len(), 100);
+        t.check_invariants();
+        assert!(!t.contains(0));
+        assert!(t.contains(1));
+        // Deleting a missing key is a no-op.
+        t.apply(&mut arena, KvOp::Delete(0), 32);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn update_replaces_value_without_growth() {
+        let (mut arena, mut t) = tree_with(&[5]);
+        arena.drain_events().for_each(drop);
+        t.apply(&mut arena, KvOp::Insert(5), 512);
+        assert_eq!(t.len(), 1);
+        let events: Vec<_> = arena.drain_events().collect();
+        assert!(events.iter().any(|e| e.req.kind.is_write() && e.req.bytes == 512));
+    }
+
+    #[test]
+    fn search_reads_value_on_hit_only() {
+        // Value size 100 cannot collide with any node-prefix read width
+        // (node reads are 16 + 16k bytes).
+        let mut arena = Arena::new(0);
+        let mut t = BTreeKv::new();
+        t.apply(&mut arena, KvOp::Insert(7), 100);
+        arena.drain_events().for_each(drop);
+        t.apply(&mut arena, KvOp::Search(7), 100);
+        let hits: Vec<_> = arena.drain_events().collect();
+        assert!(hits.iter().any(|e| e.req.bytes == 100 && !e.req.kind.is_write()));
+        t.apply(&mut arena, KvOp::Search(8), 100);
+        let misses: Vec<_> = arena.drain_events().collect();
+        assert!(misses.iter().all(|e| e.req.bytes != 100));
+    }
+
+    #[test]
+    fn node_reads_are_wide() {
+        // B+ tree node visits read hundreds of bytes — the dense pattern
+        // that distinguishes it from the red-black tree's 48 B nodes.
+        let keys: Vec<u64> = (0..2_000).collect();
+        let (mut arena, mut t) = tree_with(&keys);
+        arena.drain_events().for_each(drop);
+        t.apply(&mut arena, KvOp::Search(1_500), 32);
+        let widest = arena.drain_events().map(|e| e.req.bytes).max().unwrap();
+        assert!(widest > 128, "widest node read only {widest} B");
+    }
+
+    #[test]
+    fn scan_visits_consecutive_keys() {
+        let keys: Vec<u64> = (0..500).collect();
+        let (mut arena, mut t) = tree_with(&keys);
+        arena.drain_events().for_each(drop);
+        let n = t.scan(&mut arena, 100, 50);
+        assert_eq!(n, 50);
+        // Scanning past the end returns what exists.
+        let n = t.scan(&mut arena, 480, 50);
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn interleaved_ops_match_reference() {
+        let mut arena = Arena::new(0);
+        let mut t = BTreeKv::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for i in 0..5_000u64 {
+            let k = i.wrapping_mul(0x9e37_79b9) % 700;
+            if i % 3 != 2 {
+                t.apply(&mut arena, KvOp::Insert(k), 16);
+                reference.insert(k);
+            } else {
+                t.apply(&mut arena, KvOp::Delete(k), 16);
+                reference.remove(&k);
+            }
+            arena.drain_events().for_each(drop);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), reference.len());
+        for &k in &reference {
+            assert!(t.contains(k));
+        }
+    }
+
+    #[test]
+    fn empty_tree_operations() {
+        let mut arena = Arena::new(0);
+        let mut t = BTreeKv::new();
+        t.apply(&mut arena, KvOp::Search(1), 16);
+        t.apply(&mut arena, KvOp::Delete(1), 16);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.check_invariants();
+        assert_eq!(t.scan(&mut arena, 0, 10), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Chained hash table key-value store on the instrumented arena.
+//!
+//! Layout in simulated memory (mirroring a C implementation like the STAMP
+//! hash table the paper adapts):
+//!
+//! * a bucket array of 8 B head pointers,
+//! * chain nodes of 32 B (`key`, `value_ptr`, `value_len`, `next`),
+//! * out-of-line values of the configured request size.
+//!
+//! Every probe reads the bucket head, then walks the chain reading one node
+//! per hop — exactly the sparse, low-locality pattern that ThyNVM's block
+//! remapping is designed for.
+
+use std::collections::HashMap;
+
+use thynvm_types::PhysAddr;
+
+use super::{write_value, KvOp, KvStore};
+use crate::arena::Arena;
+
+/// Size of one chain node in simulated memory.
+const NODE_BYTES: u64 = 32;
+/// Size of a bucket head pointer.
+const HEAD_BYTES: u32 = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    addr: PhysAddr,
+    value: PhysAddr,
+    value_bytes: u32,
+}
+
+/// The chained hash table.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_workloads::{Arena, HashKv};
+/// use thynvm_workloads::kv::{KvOp, KvStore};
+///
+/// let mut arena = Arena::new(0);
+/// let mut kv = HashKv::new(64);
+/// kv.apply(&mut arena, KvOp::Insert(7), 128);
+/// assert_eq!(kv.len(), 1);
+/// assert!(arena.pending_events() > 0); // the insert touched memory
+/// ```
+#[derive(Debug)]
+pub struct HashKv {
+    buckets_addr: PhysAddr,
+    nbuckets: u64,
+    /// Rust-side mirror: bucket index → ordered chain of keys.
+    chains: Vec<Vec<u64>>,
+    /// Key → node bookkeeping.
+    nodes: HashMap<u64, Node>,
+    allocated: bool,
+}
+
+impl HashKv {
+    /// Creates a table with `nbuckets` chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbuckets` is zero.
+    pub fn new(nbuckets: u64) -> Self {
+        assert!(nbuckets > 0, "hash table needs at least one bucket");
+        Self {
+            buckets_addr: PhysAddr::new(0),
+            nbuckets,
+            chains: vec![Vec::new(); nbuckets as usize],
+            nodes: HashMap::new(),
+            allocated: false,
+        }
+    }
+
+    fn ensure_allocated(&mut self, arena: &mut Arena) {
+        if !self.allocated {
+            self.buckets_addr = arena.alloc(self.nbuckets * u64::from(HEAD_BYTES));
+            self.allocated = true;
+        }
+    }
+
+    fn bucket_of(&self, key: u64) -> u64 {
+        // Fibonacci hashing: cheap and well-spread.
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % self.nbuckets
+    }
+
+    fn head_addr(&self, bucket: u64) -> PhysAddr {
+        self.buckets_addr.offset(bucket * u64::from(HEAD_BYTES))
+    }
+
+    /// Walks the chain of `key`'s bucket up to and including the node
+    /// holding `key` (or the whole chain on a miss), emitting one node read
+    /// per hop. Returns the position of `key` in the chain, if present.
+    fn walk(&mut self, arena: &mut Arena, key: u64) -> Option<usize> {
+        let bucket = self.bucket_of(key);
+        arena.read(self.head_addr(bucket), HEAD_BYTES);
+        let chain = &self.chains[bucket as usize];
+        for (i, &k) in chain.iter().enumerate() {
+            let node = self.nodes[&k];
+            arena.read(node.addr, NODE_BYTES as u32);
+            if k == key {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+impl KvStore for HashKv {
+    fn apply(&mut self, arena: &mut Arena, op: KvOp, value_bytes: u32) {
+        self.ensure_allocated(arena);
+        match op {
+            KvOp::Search(key) => {
+                if let Some(_pos) = self.walk(arena, key) {
+                    // Found: read the value.
+                    let node = self.nodes[&key];
+                    arena.read(node.value, node.value_bytes);
+                }
+            }
+            KvOp::Insert(key) => {
+                let bucket = self.bucket_of(key);
+                if self.walk(arena, key).is_some() {
+                    // Update in place: free the old value, write a fresh
+                    // one, point the node at it.
+                    let old = self.nodes[&key];
+                    arena.free(old.value, u64::from(old.value_bytes));
+                    let value = arena.alloc(u64::from(value_bytes.max(1)));
+                    write_value(arena, value, value_bytes.max(1));
+                    let node = self.nodes.get_mut(&key).expect("walk found it");
+                    node.value = value;
+                    node.value_bytes = value_bytes.max(1);
+                    arena.write(node.addr, 16); // value ptr + len fields
+                } else {
+                    // New node at chain head.
+                    let value = arena.alloc(u64::from(value_bytes.max(1)));
+                    write_value(arena, value, value_bytes.max(1));
+                    let addr = arena.alloc(NODE_BYTES);
+                    arena.write(addr, NODE_BYTES as u32);
+                    arena.write(self.head_addr(bucket), HEAD_BYTES);
+                    self.chains[bucket as usize].insert(0, key);
+                    self.nodes.insert(
+                        key,
+                        Node { addr, value, value_bytes: value_bytes.max(1) },
+                    );
+                }
+            }
+            KvOp::Delete(key) => {
+                let bucket = self.bucket_of(key);
+                if let Some(pos) = self.walk(arena, key) {
+                    // Unlink: rewrite the predecessor's next pointer (or the
+                    // bucket head).
+                    if pos == 0 {
+                        arena.write(self.head_addr(bucket), HEAD_BYTES);
+                    } else {
+                        let prev_key = self.chains[bucket as usize][pos - 1];
+                        arena.write(self.nodes[&prev_key].addr.offset(24), 8);
+                    }
+                    self.chains[bucket as usize].remove(pos);
+                    let node = self.nodes.remove(&key).expect("walk found it");
+                    arena.free(node.value, u64::from(node.value_bytes));
+                    arena.free(node.addr, NODE_BYTES);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arena, HashKv) {
+        (Arena::new(0), HashKv::new(16))
+    }
+
+    #[test]
+    fn insert_search_delete_roundtrip() {
+        let (mut arena, mut kv) = setup();
+        kv.apply(&mut arena, KvOp::Insert(1), 64);
+        kv.apply(&mut arena, KvOp::Insert(2), 64);
+        assert_eq!(kv.len(), 2);
+        kv.apply(&mut arena, KvOp::Delete(1), 64);
+        assert_eq!(kv.len(), 1);
+        kv.apply(&mut arena, KvOp::Delete(1), 64); // absent: no-op
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn update_does_not_grow_table() {
+        let (mut arena, mut kv) = setup();
+        kv.apply(&mut arena, KvOp::Insert(5), 64);
+        kv.apply(&mut arena, KvOp::Insert(5), 64);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn search_hit_reads_value() {
+        let (mut arena, mut kv) = setup();
+        kv.apply(&mut arena, KvOp::Insert(5), 128);
+        arena.drain_events().for_each(drop);
+        kv.apply(&mut arena, KvOp::Search(5), 128);
+        let events: Vec<_> = arena.drain_events().collect();
+        // Head read + node read + value read.
+        assert!(events.iter().any(|e| e.req.bytes == 128 && !e.req.kind.is_write()));
+    }
+
+    #[test]
+    fn search_miss_reads_no_value() {
+        let (mut arena, mut kv) = setup();
+        kv.apply(&mut arena, KvOp::Search(99), 128);
+        let events: Vec<_> = arena.drain_events().collect();
+        assert!(events.iter().all(|e| !e.req.kind.is_write()));
+        assert!(events.iter().all(|e| e.req.bytes != 128));
+    }
+
+    #[test]
+    fn insert_writes_value_of_requested_size() {
+        let (mut arena, mut kv) = setup();
+        kv.apply(&mut arena, KvOp::Insert(1), 4096);
+        let events: Vec<_> = arena.drain_events().collect();
+        assert!(events.iter().any(|e| e.req.kind.is_write() && e.req.bytes == 4096));
+    }
+
+    #[test]
+    fn chain_collisions_walk_multiple_nodes() {
+        let mut arena = Arena::new(0);
+        let mut kv = HashKv::new(1); // everything collides
+        for k in 0..8 {
+            kv.apply(&mut arena, KvOp::Insert(k), 16);
+        }
+        arena.drain_events().for_each(drop);
+        // Key 0 was inserted first → now at chain tail: walk reads 8 nodes.
+        kv.apply(&mut arena, KvOp::Search(0), 16);
+        let node_reads = arena
+            .drain_events()
+            .filter(|e| !e.req.kind.is_write() && u64::from(e.req.bytes) == NODE_BYTES)
+            .count();
+        assert_eq!(node_reads, 8);
+    }
+
+    #[test]
+    fn delete_relinks_predecessor() {
+        let mut arena = Arena::new(0);
+        let mut kv = HashKv::new(1);
+        kv.apply(&mut arena, KvOp::Insert(1), 16);
+        kv.apply(&mut arena, KvOp::Insert(2), 16); // chain: [2, 1]
+        arena.drain_events().for_each(drop);
+        kv.apply(&mut arena, KvOp::Delete(1), 16); // tail: rewrite node 2's next
+        let events: Vec<_> = arena.drain_events().collect();
+        assert!(events.iter().any(|e| e.req.kind.is_write() && e.req.bytes == 8));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        HashKv::new(0);
+    }
+
+    #[test]
+    fn distinct_keys_spread_over_buckets() {
+        let kv = HashKv::new(64);
+        let buckets: std::collections::HashSet<u64> =
+            (0..1000u64).map(|k| kv.bucket_of(k)).collect();
+        assert!(buckets.len() > 32, "hash too clustered: {}", buckets.len());
+    }
+}

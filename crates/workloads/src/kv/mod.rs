@@ -1,0 +1,193 @@
+//! Storage-oriented in-memory key-value workloads (§5.1, Figures 9/10/12).
+//!
+//! Two stores, as in the paper: a chained [`hash::HashKv`] table and a
+//! [`rbtree::RbTreeKv`] red-black tree. Both are *real* data structures —
+//! lookups walk actual chains/subtrees, inserts rebalance — running on the
+//! instrumented [`crate::Arena`], so the emitted traces carry the genuine
+//! pointer-chasing and value-write patterns of in-memory storage engines.
+//!
+//! A workload is a deterministic stream of [`KvOp`]s (search / insert /
+//! delete over a bounded key space) with a configurable request (value)
+//! size; the paper sweeps request sizes from 16 B to 4 KiB.
+
+pub mod btree;
+pub mod hash;
+pub mod rbtree;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thynvm_types::{PhysAddr, TraceEvent};
+
+use crate::arena::Arena;
+
+/// One key-value store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Insert or update `key`.
+    Insert(u64),
+    /// Look up `key`.
+    Search(u64),
+    /// Remove `key`.
+    Delete(u64),
+}
+
+/// A key-value store that can apply operations against an arena, emitting
+/// its memory accesses as it goes.
+pub trait KvStore {
+    /// Applies one operation; `value_bytes` is the value size for inserts.
+    fn apply(&mut self, arena: &mut Arena, op: KvOp, value_bytes: u32);
+
+    /// Number of keys currently stored (for validation).
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Configuration of a key-value workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Value size per request, in bytes (the paper sweeps 16 B – 4 KiB).
+    pub request_bytes: u32,
+    /// Number of distinct keys the workload draws from.
+    pub key_space: u64,
+    /// Percentage of operations that are searches (the rest split 4:1
+    /// between inserts and deletes).
+    pub search_pct: u32,
+    /// Non-memory instructions modeled between data-structure accesses.
+    pub gap: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KvConfig {
+    /// Defaults mirroring the paper's storage benchmarks: 50 % searches,
+    /// 40 % inserts, 10 % deletes over 16 K keys.
+    pub fn new(request_bytes: u32) -> Self {
+        Self { request_bytes, key_space: 16 * 1024, search_pct: 50, gap: 8, seed: 0x5afa_1215 }
+    }
+
+    /// Deterministic operation stream.
+    pub fn ops(&self, count: u64) -> impl Iterator<Item = KvOp> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let key_space = self.key_space.max(1);
+        let search_pct = self.search_pct.min(100);
+        (0..count).map(move |_| {
+            let key = rng.gen_range(0..key_space);
+            let roll = rng.gen_range(0..100u32);
+            if roll < search_pct {
+                KvOp::Search(key)
+            } else if roll < search_pct + (100 - search_pct) * 4 / 5 {
+                KvOp::Insert(key)
+            } else {
+                KvOp::Delete(key)
+            }
+        })
+    }
+
+    /// Runs `ops` operations against `store`, returning the full memory
+    /// trace and the number of operations executed (one operation = one
+    /// transaction for throughput purposes).
+    pub fn trace<S: KvStore>(&self, store: &mut S, ops: u64) -> (Vec<TraceEvent>, u64) {
+        let mut arena = Arena::new(self.gap);
+        let mut events = Vec::new();
+        for op in self.ops(ops) {
+            store.apply(&mut arena, op, self.request_bytes);
+            events.extend(arena.drain_events());
+        }
+        (events, ops)
+    }
+
+    /// Pre-populates `store` with `count` sequential keys (not part of the
+    /// measured trace; the warm-up arena is discarded).
+    pub fn populate<S: KvStore>(&self, store: &mut S, count: u64) {
+        let mut arena = Arena::new(self.gap);
+        for key in 0..count {
+            store.apply(&mut arena, KvOp::Insert(key), self.request_bytes);
+            arena.drain_events().for_each(drop);
+        }
+    }
+}
+
+/// Shared helper: write a value of `bytes` at `addr` as one logged store.
+pub(crate) fn write_value(arena: &mut Arena, addr: PhysAddr, bytes: u32) {
+    arena.write(addr, bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::hash::HashKv;
+    use super::rbtree::RbTreeKv;
+    use super::*;
+
+    #[test]
+    fn op_stream_is_deterministic() {
+        let cfg = KvConfig::new(64);
+        let a: Vec<_> = cfg.ops(50).collect();
+        let b: Vec<_> = cfg.ops(50).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn op_mix_roughly_matches_percentages() {
+        let cfg = KvConfig::new(64);
+        let ops: Vec<_> = cfg.ops(10_000).collect();
+        let searches = ops.iter().filter(|o| matches!(o, KvOp::Search(_))).count();
+        let inserts = ops.iter().filter(|o| matches!(o, KvOp::Insert(_))).count();
+        let deletes = ops.iter().filter(|o| matches!(o, KvOp::Delete(_))).count();
+        assert!((4_500..5_500).contains(&searches), "searches={searches}");
+        assert!((3_500..4_500).contains(&inserts), "inserts={inserts}");
+        assert!((500..1_500).contains(&deletes), "deletes={deletes}");
+    }
+
+    #[test]
+    fn keys_stay_in_key_space() {
+        let mut cfg = KvConfig::new(64);
+        cfg.key_space = 10;
+        for op in cfg.ops(1_000) {
+            let key = match op {
+                KvOp::Insert(k) | KvOp::Search(k) | KvOp::Delete(k) => k,
+            };
+            assert!(key < 10);
+        }
+    }
+
+    #[test]
+    fn trace_produces_events_for_both_stores() {
+        let cfg = KvConfig::new(256);
+        let mut h = HashKv::new(1024);
+        let (events_h, ops) = cfg.trace(&mut h, 500);
+        assert_eq!(ops, 500);
+        assert!(!events_h.is_empty());
+
+        let mut t = RbTreeKv::new();
+        let (events_t, _) = cfg.trace(&mut t, 500);
+        assert!(!events_t.is_empty());
+        // Tree traversal touches more nodes per op than hashing.
+        assert!(events_t.len() > events_h.len() / 4);
+    }
+
+    #[test]
+    fn larger_requests_move_more_bytes() {
+        let small = KvConfig::new(16);
+        let large = KvConfig::new(4096);
+        let mut h1 = HashKv::new(1024);
+        let mut h2 = HashKv::new(1024);
+        let bytes = |events: &[thynvm_types::TraceEvent]| -> u64 {
+            events.iter().map(|e| u64::from(e.req.bytes)).sum()
+        };
+        let (e1, _) = small.trace(&mut h1, 200);
+        let (e2, _) = large.trace(&mut h2, 200);
+        assert!(bytes(&e2) > bytes(&e1) * 10);
+    }
+
+    #[test]
+    fn populate_fills_store_without_trace() {
+        let cfg = KvConfig::new(64);
+        let mut h = HashKv::new(256);
+        cfg.populate(&mut h, 100);
+        assert_eq!(h.len(), 100);
+    }
+}

@@ -1,0 +1,638 @@
+//! Red-black tree key-value store on the instrumented arena.
+//!
+//! A full CLRS-style red-black tree — insert with fixup, delete with
+//! transplant and fixup, rotations — where every simulated-memory node
+//! access is logged through the [`Arena`]. Tree traversal produces the
+//! deep pointer-chasing read pattern, and rebalancing produces the
+//! scattered small writes, that make tree-based stores the harder case for
+//! checkpointing systems (Figure 9b).
+//!
+//! Nodes live in a slab; index 0 is the black sentinel `nil`, which never
+//! touches simulated memory.
+
+use thynvm_types::PhysAddr;
+
+use super::{write_value, KvOp, KvStore};
+use crate::arena::Arena;
+
+/// Size of one tree node in simulated memory: key, color, left, right,
+/// parent, value ptr, value len.
+const NODE_BYTES: u32 = 48;
+/// Index of the sentinel nil node.
+const NIL: usize = 0;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    red: bool,
+    left: usize,
+    right: usize,
+    parent: usize,
+    addr: PhysAddr,
+    value: PhysAddr,
+    value_bytes: u32,
+}
+
+/// The red-black tree.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_workloads::{Arena, RbTreeKv};
+/// use thynvm_workloads::kv::{KvOp, KvStore};
+///
+/// let mut arena = Arena::new(0);
+/// let mut kv = RbTreeKv::new();
+/// for k in 0..100 {
+///     kv.apply(&mut arena, KvOp::Insert(k), 64);
+/// }
+/// assert_eq!(kv.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct RbTreeKv {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: usize,
+    count: usize,
+}
+
+impl Default for RbTreeKv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RbTreeKv {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let nil = Node {
+            key: 0,
+            red: false,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            addr: PhysAddr::new(0),
+            value: PhysAddr::new(0),
+            value_bytes: 0,
+        };
+        Self { nodes: vec![nil], free: Vec::new(), root: NIL, count: 0 }
+    }
+
+    fn read_node(&self, arena: &mut Arena, x: usize) {
+        if x != NIL {
+            arena.read(self.nodes[x].addr, NODE_BYTES);
+        }
+    }
+
+    fn write_node(&self, arena: &mut Arena, x: usize) {
+        if x != NIL {
+            arena.write(self.nodes[x].addr, NODE_BYTES);
+        }
+    }
+
+    /// Writes only a node's color byte (recolors are cheaper than full node
+    /// updates).
+    fn write_color(&self, arena: &mut Arena, x: usize) {
+        if x != NIL {
+            arena.write(self.nodes[x].addr.offset(8), 8);
+        }
+    }
+
+    fn alloc_node(&mut self, arena: &mut Arena, key: u64, value: PhysAddr, value_bytes: u32) -> usize {
+        let addr = arena.alloc(u64::from(NODE_BYTES));
+        let node = Node {
+            key,
+            red: true,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            addr,
+            value,
+            value_bytes,
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        };
+        self.write_node(arena, idx);
+        idx
+    }
+
+    /// BST search emitting one node read per hop.
+    fn find(&self, arena: &mut Arena, key: u64) -> usize {
+        let mut x = self.root;
+        while x != NIL {
+            self.read_node(arena, x);
+            let node = &self.nodes[x];
+            if key == node.key {
+                return x;
+            }
+            x = if key < node.key { node.left } else { node.right };
+        }
+        NIL
+    }
+
+    fn rotate_left(&mut self, arena: &mut Arena, x: usize) {
+        let y = self.nodes[x].right;
+        debug_assert_ne!(y, NIL, "rotate_left requires a right child");
+        self.read_node(arena, y);
+        let yl = self.nodes[y].left;
+        self.nodes[x].right = yl;
+        if yl != NIL {
+            self.nodes[yl].parent = x;
+            self.write_node(arena, yl);
+        }
+        let xp = self.nodes[x].parent;
+        self.nodes[y].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.nodes[xp].left == x {
+            self.nodes[xp].left = y;
+            self.write_node(arena, xp);
+        } else {
+            self.nodes[xp].right = y;
+            self.write_node(arena, xp);
+        }
+        self.nodes[y].left = x;
+        self.nodes[x].parent = y;
+        self.write_node(arena, x);
+        self.write_node(arena, y);
+    }
+
+    fn rotate_right(&mut self, arena: &mut Arena, x: usize) {
+        let y = self.nodes[x].left;
+        debug_assert_ne!(y, NIL, "rotate_right requires a left child");
+        self.read_node(arena, y);
+        let yr = self.nodes[y].right;
+        self.nodes[x].left = yr;
+        if yr != NIL {
+            self.nodes[yr].parent = x;
+            self.write_node(arena, yr);
+        }
+        let xp = self.nodes[x].parent;
+        self.nodes[y].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.nodes[xp].right == x {
+            self.nodes[xp].right = y;
+            self.write_node(arena, xp);
+        } else {
+            self.nodes[xp].left = y;
+            self.write_node(arena, xp);
+        }
+        self.nodes[y].right = x;
+        self.nodes[x].parent = y;
+        self.write_node(arena, x);
+        self.write_node(arena, y);
+    }
+
+    fn insert_fixup(&mut self, arena: &mut Arena, mut z: usize) {
+        while self.nodes[self.nodes[z].parent].red {
+            let zp = self.nodes[z].parent;
+            let zpp = self.nodes[zp].parent;
+            if zp == self.nodes[zpp].left {
+                let y = self.nodes[zpp].right; // uncle
+                if self.nodes[y].red {
+                    self.nodes[zp].red = false;
+                    self.nodes[y].red = false;
+                    self.nodes[zpp].red = true;
+                    self.write_color(arena, zp);
+                    self.write_color(arena, y);
+                    self.write_color(arena, zpp);
+                    z = zpp;
+                } else {
+                    if z == self.nodes[zp].right {
+                        z = zp;
+                        self.rotate_left(arena, z);
+                    }
+                    let zp = self.nodes[z].parent;
+                    let zpp = self.nodes[zp].parent;
+                    self.nodes[zp].red = false;
+                    self.nodes[zpp].red = true;
+                    self.write_color(arena, zp);
+                    self.write_color(arena, zpp);
+                    self.rotate_right(arena, zpp);
+                }
+            } else {
+                let y = self.nodes[zpp].left; // uncle (mirror)
+                if self.nodes[y].red {
+                    self.nodes[zp].red = false;
+                    self.nodes[y].red = false;
+                    self.nodes[zpp].red = true;
+                    self.write_color(arena, zp);
+                    self.write_color(arena, y);
+                    self.write_color(arena, zpp);
+                    z = zpp;
+                } else {
+                    if z == self.nodes[zp].left {
+                        z = zp;
+                        self.rotate_right(arena, z);
+                    }
+                    let zp = self.nodes[z].parent;
+                    let zpp = self.nodes[zp].parent;
+                    self.nodes[zp].red = false;
+                    self.nodes[zpp].red = true;
+                    self.write_color(arena, zp);
+                    self.write_color(arena, zpp);
+                    self.rotate_left(arena, zpp);
+                }
+            }
+        }
+        if self.nodes[self.root].red {
+            self.nodes[self.root].red = false;
+            self.write_color(arena, self.root);
+        }
+    }
+
+    fn insert(&mut self, arena: &mut Arena, key: u64, value_bytes: u32) {
+        // Descend, reading nodes, to find the insertion point or duplicate.
+        let mut y = NIL;
+        let mut x = self.root;
+        while x != NIL {
+            self.read_node(arena, x);
+            y = x;
+            if key == self.nodes[x].key {
+                // Update in place: free the old value first.
+                arena.free(self.nodes[x].value, u64::from(self.nodes[x].value_bytes));
+                let value = arena.alloc(u64::from(value_bytes.max(1)));
+                write_value(arena, value, value_bytes.max(1));
+                self.nodes[x].value = value;
+                self.nodes[x].value_bytes = value_bytes.max(1);
+                arena.write(self.nodes[x].addr.offset(32), 16);
+                return;
+            }
+            x = if key < self.nodes[x].key { self.nodes[x].left } else { self.nodes[x].right };
+        }
+        let value = arena.alloc(u64::from(value_bytes.max(1)));
+        write_value(arena, value, value_bytes.max(1));
+        let z = self.alloc_node(arena, key, value, value_bytes.max(1));
+        self.nodes[z].parent = y;
+        if y == NIL {
+            self.root = z;
+        } else if key < self.nodes[y].key {
+            self.nodes[y].left = z;
+            self.write_node(arena, y);
+        } else {
+            self.nodes[y].right = z;
+            self.write_node(arena, y);
+        }
+        self.count += 1;
+        self.insert_fixup(arena, z);
+    }
+
+    fn minimum(&self, arena: &mut Arena, mut x: usize) -> usize {
+        while self.nodes[x].left != NIL {
+            x = self.nodes[x].left;
+            self.read_node(arena, x);
+        }
+        x
+    }
+
+    fn transplant(&mut self, arena: &mut Arena, u: usize, v: usize) {
+        let up = self.nodes[u].parent;
+        if up == NIL {
+            self.root = v;
+        } else if u == self.nodes[up].left {
+            self.nodes[up].left = v;
+            self.write_node(arena, up);
+        } else {
+            self.nodes[up].right = v;
+            self.write_node(arena, up);
+        }
+        self.nodes[v].parent = up; // nil's parent is used by delete_fixup
+        self.write_node(arena, v);
+    }
+
+    fn delete(&mut self, arena: &mut Arena, key: u64) {
+        let z = self.find(arena, key);
+        if z == NIL {
+            return;
+        }
+        let mut y = z;
+        let mut y_was_red = self.nodes[y].red;
+        let x;
+        if self.nodes[z].left == NIL {
+            x = self.nodes[z].right;
+            self.transplant(arena, z, x);
+        } else if self.nodes[z].right == NIL {
+            x = self.nodes[z].left;
+            self.transplant(arena, z, x);
+        } else {
+            y = self.minimum(arena, self.nodes[z].right);
+            y_was_red = self.nodes[y].red;
+            x = self.nodes[y].right;
+            if self.nodes[y].parent == z {
+                self.nodes[x].parent = y;
+            } else {
+                self.transplant(arena, y, x);
+                let zr = self.nodes[z].right;
+                self.nodes[y].right = zr;
+                self.nodes[zr].parent = y;
+                self.write_node(arena, zr);
+            }
+            self.transplant(arena, z, y);
+            let zl = self.nodes[z].left;
+            self.nodes[y].left = zl;
+            self.nodes[zl].parent = y;
+            self.nodes[y].red = self.nodes[z].red;
+            self.write_node(arena, zl);
+            self.write_node(arena, y);
+        }
+        arena.free(self.nodes[z].value, u64::from(self.nodes[z].value_bytes));
+        arena.free(self.nodes[z].addr, u64::from(NODE_BYTES));
+        self.free.push(z);
+        self.count -= 1;
+        if !y_was_red {
+            self.delete_fixup(arena, x);
+        }
+        // Reset the sentinel's parent (CLRS leaves it dangling).
+        self.nodes[NIL].parent = NIL;
+        self.nodes[NIL].red = false;
+    }
+
+    fn delete_fixup(&mut self, arena: &mut Arena, mut x: usize) {
+        while x != self.root && !self.nodes[x].red {
+            let xp = self.nodes[x].parent;
+            if x == self.nodes[xp].left {
+                let mut w = self.nodes[xp].right;
+                self.read_node(arena, w);
+                if self.nodes[w].red {
+                    self.nodes[w].red = false;
+                    self.nodes[xp].red = true;
+                    self.write_color(arena, w);
+                    self.write_color(arena, xp);
+                    self.rotate_left(arena, xp);
+                    w = self.nodes[self.nodes[x].parent].right;
+                }
+                if !self.nodes[self.nodes[w].left].red && !self.nodes[self.nodes[w].right].red {
+                    self.nodes[w].red = true;
+                    self.write_color(arena, w);
+                    x = self.nodes[x].parent;
+                } else {
+                    if !self.nodes[self.nodes[w].right].red {
+                        let wl = self.nodes[w].left;
+                        self.nodes[wl].red = false;
+                        self.nodes[w].red = true;
+                        self.write_color(arena, wl);
+                        self.write_color(arena, w);
+                        self.rotate_right(arena, w);
+                        w = self.nodes[self.nodes[x].parent].right;
+                    }
+                    let xp = self.nodes[x].parent;
+                    self.nodes[w].red = self.nodes[xp].red;
+                    self.nodes[xp].red = false;
+                    let wr = self.nodes[w].right;
+                    self.nodes[wr].red = false;
+                    self.write_color(arena, w);
+                    self.write_color(arena, xp);
+                    self.write_color(arena, wr);
+                    self.rotate_left(arena, xp);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.nodes[xp].left;
+                self.read_node(arena, w);
+                if self.nodes[w].red {
+                    self.nodes[w].red = false;
+                    self.nodes[xp].red = true;
+                    self.write_color(arena, w);
+                    self.write_color(arena, xp);
+                    self.rotate_right(arena, xp);
+                    w = self.nodes[self.nodes[x].parent].left;
+                }
+                if !self.nodes[self.nodes[w].right].red && !self.nodes[self.nodes[w].left].red {
+                    self.nodes[w].red = true;
+                    self.write_color(arena, w);
+                    x = self.nodes[x].parent;
+                } else {
+                    if !self.nodes[self.nodes[w].left].red {
+                        let wr = self.nodes[w].right;
+                        self.nodes[wr].red = false;
+                        self.nodes[w].red = true;
+                        self.write_color(arena, wr);
+                        self.write_color(arena, w);
+                        self.rotate_left(arena, w);
+                        w = self.nodes[self.nodes[x].parent].left;
+                    }
+                    let xp = self.nodes[x].parent;
+                    self.nodes[w].red = self.nodes[xp].red;
+                    self.nodes[xp].red = false;
+                    let wl = self.nodes[w].left;
+                    self.nodes[wl].red = false;
+                    self.write_color(arena, w);
+                    self.write_color(arena, xp);
+                    self.write_color(arena, wl);
+                    self.rotate_right(arena, xp);
+                    x = self.root;
+                }
+            }
+        }
+        if self.nodes[x].red {
+            self.nodes[x].red = false;
+            self.write_color(arena, x);
+        }
+    }
+
+    /// Validates the red-black invariants (test support): root is black, no
+    /// red node has a red child, every root-to-leaf path has the same black
+    /// height, and keys are in BST order. Returns the black height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self) -> usize {
+        assert!(!self.nodes[self.root].red, "root must be black");
+        fn walk(
+            t: &RbTreeKv,
+            x: usize,
+            lo: Option<u64>,
+            hi: Option<u64>,
+        ) -> usize {
+            if x == NIL {
+                return 1;
+            }
+            let n = &t.nodes[x];
+            if let Some(lo) = lo {
+                assert!(n.key > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(n.key < hi, "BST order violated");
+            }
+            if n.red {
+                assert!(!t.nodes[n.left].red && !t.nodes[n.right].red, "red-red violation");
+            }
+            let lh = walk(t, n.left, lo, Some(n.key));
+            let rh = walk(t, n.right, Some(n.key), hi);
+            assert_eq!(lh, rh, "black height mismatch at key {}", n.key);
+            lh + usize::from(!n.red)
+        }
+        walk(self, self.root, None, None)
+    }
+
+    /// Whether `key` is present (no trace emission; test support).
+    pub fn contains(&self, key: u64) -> bool {
+        let mut x = self.root;
+        while x != NIL {
+            let n = &self.nodes[x];
+            if key == n.key {
+                return true;
+            }
+            x = if key < n.key { n.left } else { n.right };
+        }
+        false
+    }
+}
+
+impl KvStore for RbTreeKv {
+    fn apply(&mut self, arena: &mut Arena, op: KvOp, value_bytes: u32) {
+        match op {
+            KvOp::Search(key) => {
+                let x = self.find(arena, key);
+                if x != NIL {
+                    arena.read(self.nodes[x].value, self.nodes[x].value_bytes);
+                }
+            }
+            KvOp::Insert(key) => self.insert(arena, key, value_bytes),
+            KvOp::Delete(key) => self.delete(arena, key),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn tree_with(keys: &[u64]) -> (Arena, RbTreeKv) {
+        let mut arena = Arena::new(0);
+        let mut t = RbTreeKv::new();
+        for &k in keys {
+            t.apply(&mut arena, KvOp::Insert(k), 16);
+        }
+        (arena, t)
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let keys: Vec<u64> = (0..1024).collect();
+        let (_, t) = tree_with(&keys);
+        assert_eq!(t.len(), 1024);
+        let bh = t.check_invariants();
+        // Black height of an n-node RB tree (counting the nil level) is at
+        // most log2(n+1) + 1 = 11 for 1024 nodes.
+        assert!(bh <= 11, "black height {bh} too large");
+    }
+
+    #[test]
+    fn random_inserts_and_deletes_preserve_invariants() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut keys: Vec<u64> = (0..512).collect();
+        keys.shuffle(&mut rng);
+        let (mut arena, mut t) = tree_with(&keys);
+        t.check_invariants();
+        // Delete every third key in shuffled order.
+        let mut to_delete: Vec<u64> = keys.iter().copied().step_by(3).collect();
+        to_delete.shuffle(&mut rng);
+        for k in &to_delete {
+            t.apply(&mut arena, KvOp::Delete(*k), 16);
+            t.check_invariants();
+        }
+        assert_eq!(t.len(), 512 - to_delete.len());
+        for k in &to_delete {
+            assert!(!t.contains(*k));
+        }
+    }
+
+    #[test]
+    fn delete_missing_key_is_noop() {
+        let (mut arena, mut t) = tree_with(&[1, 2, 3]);
+        t.apply(&mut arena, KvOp::Delete(99), 16);
+        assert_eq!(t.len(), 3);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_insert_updates_value() {
+        let (mut arena, mut t) = tree_with(&[5]);
+        arena.drain_events().for_each(drop);
+        t.apply(&mut arena, KvOp::Insert(5), 256);
+        assert_eq!(t.len(), 1);
+        let events: Vec<_> = arena.drain_events().collect();
+        assert!(events.iter().any(|e| e.req.kind.is_write() && e.req.bytes == 256));
+    }
+
+    #[test]
+    fn search_walks_path_length_reads() {
+        let keys: Vec<u64> = (0..255).collect(); // ~8 levels
+        let (mut arena, mut t) = tree_with(&keys);
+        arena.drain_events().for_each(drop);
+        t.apply(&mut arena, KvOp::Search(254), 16);
+        let node_reads = arena
+            .drain_events()
+            .filter(|e| !e.req.kind.is_write() && e.req.bytes == NODE_BYTES)
+            .count();
+        assert!((4..=16).contains(&node_reads), "path length {node_reads}");
+    }
+
+    #[test]
+    fn search_hit_reads_value() {
+        let (mut arena, mut t) = tree_with(&[7]);
+        arena.drain_events().for_each(drop);
+        t.apply(&mut arena, KvOp::Search(7), 16);
+        let events: Vec<_> = arena.drain_events().collect();
+        assert!(events.iter().any(|e| e.req.bytes == 16 && !e.req.kind.is_write()));
+    }
+
+    #[test]
+    fn node_slots_are_recycled_after_delete() {
+        let (mut arena, mut t) = tree_with(&[1, 2, 3, 4]);
+        let slab = t.nodes.len();
+        t.apply(&mut arena, KvOp::Delete(2), 16);
+        t.apply(&mut arena, KvOp::Insert(9), 16);
+        assert_eq!(t.nodes.len(), slab, "freed slot reused");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn empty_tree_operations() {
+        let mut arena = Arena::new(0);
+        let mut t = RbTreeKv::new();
+        t.apply(&mut arena, KvOp::Search(1), 16);
+        t.apply(&mut arena, KvOp::Delete(1), 16);
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn interleaved_workload_consistency() {
+        let mut arena = Arena::new(0);
+        let mut t = RbTreeKv::new();
+        let mut reference = std::collections::BTreeSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..2_000u64 {
+            let k = i.wrapping_mul(0x9e37_79b9) % 300;
+            if rand::Rng::gen_bool(&mut rng, 0.6) {
+                t.apply(&mut arena, KvOp::Insert(k), 16);
+                reference.insert(k);
+            } else {
+                t.apply(&mut arena, KvOp::Delete(k), 16);
+                reference.remove(&k);
+            }
+            arena.drain_events().for_each(drop);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), reference.len());
+        for &k in &reference {
+            assert!(t.contains(k), "missing key {k}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Workload and trace generators for the ThyNVM evaluation (§5.1).
+//!
+//! Three families, mirroring the paper's benchmark suite:
+//!
+//! * [`micro`] — the three access-pattern micro-benchmarks of Figure 7:
+//!   **Random** (uniform random over a large array), **Streaming**
+//!   (sequential) and **Sliding** (random within a window that slides
+//!   through the array), each with a 1:1 read-to-write ratio.
+//! * [`kv`] — storage-oriented in-memory workloads: a chained **hash
+//!   table** and a **red-black tree** key-value store, implemented for real
+//!   on an instrumented [`arena`] that emits a physical memory trace for
+//!   every touched word (Figures 9, 10, 12).
+//! * [`spec`] — synthetic stand-ins for the eight memory-intensive SPEC
+//!   CPU2006 applications of Figure 11. SPEC binaries are proprietary; the
+//!   generators reproduce each application's memory *footprint, write
+//!   fraction, spatial locality and access intensity* (the properties
+//!   ThyNVM's behaviour depends on), as documented in DESIGN.md.
+//!
+//! All generators are deterministic given a seed and produce
+//! [`thynvm_types::TraceEvent`] streams lazily, so arbitrarily long runs
+//! use constant memory.
+//!
+//! # Example
+//!
+//! ```
+//! use thynvm_workloads::micro::{MicroPattern, MicroConfig};
+//!
+//! let trace = MicroConfig::new(MicroPattern::Random).events(1_000);
+//! assert_eq!(trace.count(), 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod arena;
+pub mod kv;
+pub mod micro;
+pub mod spec;
+pub mod tracefile;
+pub mod vacation;
+pub mod ycsb;
+
+pub use analysis::TraceStats;
+pub use arena::Arena;
+pub use kv::{btree::BTreeKv, hash::HashKv, rbtree::RbTreeKv, KvConfig, KvOp};
+pub use micro::{MicroConfig, MicroPattern};
+pub use spec::{SpecProfile, SpecWorkload};
+pub use vacation::{Vacation, VacationConfig};
+pub use ycsb::{YcsbConfig, YcsbMix, Zipf};

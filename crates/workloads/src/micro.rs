@@ -1,0 +1,208 @@
+//! The micro-benchmarks of §5.1/Figure 7.
+//!
+//! Three access patterns over a large array, each with a 1:1 read-to-write
+//! ratio:
+//!
+//! * **Random** — every access targets a uniformly random 64 B block; the
+//!   worst case for page-granularity schemes (shadow paging flushes a whole
+//!   page per dirty block).
+//! * **Streaming** — strictly sequential; the best case for page
+//!   granularity, the worst for per-block metadata.
+//! * **Sliding** — random accesses inside a window that advances through
+//!   the array, modelling a moving working set; this is the pattern where
+//!   adaptivity pays, as the paper's Figure 8(c) discussion explains.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thynvm_types::{AccessKind, MemRequest, PhysAddr, TraceEvent, BLOCK_BYTES};
+
+/// Which micro-benchmark pattern to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroPattern {
+    /// Uniform random block accesses over the whole array.
+    Random,
+    /// Sequential walk over the array (wrapping).
+    Streaming,
+    /// Random accesses within a window that slides through the array.
+    Sliding,
+}
+
+impl MicroPattern {
+    /// Display name matching the paper's figures.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            MicroPattern::Random => "Random",
+            MicroPattern::Streaming => "Streaming",
+            MicroPattern::Sliding => "Sliding",
+        }
+    }
+
+    /// All three patterns, in the paper's presentation order.
+    pub const fn all() -> [MicroPattern; 3] {
+        [MicroPattern::Random, MicroPattern::Streaming, MicroPattern::Sliding]
+    }
+}
+
+/// Configuration of a micro-benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroConfig {
+    /// The access pattern.
+    pub pattern: MicroPattern,
+    /// Size of the array being accessed, in bytes.
+    pub array_bytes: u64,
+    /// Sliding-window size in bytes (Sliding only).
+    pub window_bytes: u64,
+    /// Accesses per window position before the window slides (Sliding
+    /// only).
+    pub accesses_per_window: u32,
+    /// Non-memory instructions between accesses.
+    pub gap: u32,
+    /// RNG seed (generators are deterministic).
+    pub seed: u64,
+}
+
+impl MicroConfig {
+    /// Paper-like defaults: a 64 MiB array (4× the DRAM working region),
+    /// 64 KiB sliding window, small instruction gap.
+    pub fn new(pattern: MicroPattern) -> Self {
+        Self {
+            pattern,
+            array_bytes: 64 * 1024 * 1024,
+            window_bytes: 64 * 1024,
+            accesses_per_window: 2048,
+            gap: 4,
+            seed: 0x7417_2015,
+        }
+    }
+
+    /// Returns a lazily generated trace of `accesses` events (alternating
+    /// write/read for the 1:1 ratio).
+    pub fn events(&self, accesses: u64) -> impl Iterator<Item = TraceEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let blocks = (self.array_bytes / BLOCK_BYTES).max(1);
+        let window_blocks = (self.window_bytes / BLOCK_BYTES).max(1);
+        let per_window = u64::from(self.accesses_per_window).max(1);
+        let pattern = self.pattern;
+        let gap = self.gap;
+        let mut seq_block = 0u64;
+        let mut window_base = 0u64;
+
+        (0..accesses).map(move |i| {
+            let block = match pattern {
+                MicroPattern::Random => rng.gen_range(0..blocks),
+                MicroPattern::Streaming => {
+                    let b = seq_block;
+                    seq_block = (seq_block + 1) % blocks;
+                    b
+                }
+                MicroPattern::Sliding => {
+                    if i > 0 && i % per_window == 0 {
+                        window_base = (window_base + window_blocks) % blocks;
+                    }
+                    window_base + rng.gen_range(0..window_blocks.min(blocks - window_base).max(1))
+                }
+            };
+            let kind = if i % 2 == 0 { AccessKind::Write } else { AccessKind::Read };
+            let addr = PhysAddr::new(block * BLOCK_BYTES);
+            TraceEvent::new(gap, MemRequest::new(addr, kind, BLOCK_BYTES as u32))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MicroConfig::new(MicroPattern::Random);
+        let a: Vec<_> = cfg.events(100).collect();
+        let b: Vec<_> = cfg.events(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = MicroConfig::new(MicroPattern::Random);
+        let a: Vec<_> = cfg.events(100).collect();
+        cfg.seed = 42;
+        let b: Vec<_> = cfg.events(100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn one_to_one_read_write_ratio() {
+        let cfg = MicroConfig::new(MicroPattern::Streaming);
+        let events: Vec<_> = cfg.events(1000).collect();
+        let writes = events.iter().filter(|e| e.req.kind.is_write()).count();
+        assert_eq!(writes, 500);
+    }
+
+    #[test]
+    fn streaming_is_sequential() {
+        let cfg = MicroConfig::new(MicroPattern::Streaming);
+        let events: Vec<_> = cfg.events(10).collect();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.req.addr.raw(), i as u64 * BLOCK_BYTES);
+        }
+    }
+
+    #[test]
+    fn streaming_wraps_at_array_end() {
+        let mut cfg = MicroConfig::new(MicroPattern::Streaming);
+        cfg.array_bytes = 4 * BLOCK_BYTES;
+        let events: Vec<_> = cfg.events(6).collect();
+        assert_eq!(events[4].req.addr.raw(), 0);
+        assert_eq!(events[5].req.addr.raw(), BLOCK_BYTES);
+    }
+
+    #[test]
+    fn random_spreads_over_array() {
+        let cfg = MicroConfig::new(MicroPattern::Random);
+        let pages: HashSet<u64> =
+            cfg.events(2_000).map(|e| e.req.addr.page().raw()).collect();
+        // 2000 random 64 B accesses over 64 MiB land on ~2000 distinct pages.
+        assert!(pages.len() > 1_500, "random pattern too clustered: {}", pages.len());
+    }
+
+    #[test]
+    fn sliding_stays_in_window_then_moves() {
+        let mut cfg = MicroConfig::new(MicroPattern::Sliding);
+        cfg.accesses_per_window = 100;
+        let events: Vec<_> = cfg.events(200).collect();
+        let first: Vec<_> = events[..100].iter().map(|e| e.req.addr.raw()).collect();
+        let second: Vec<_> = events[100..].iter().map(|e| e.req.addr.raw()).collect();
+        assert!(first.iter().all(|&a| a < cfg.window_bytes));
+        assert!(second.iter().all(|&a| (cfg.window_bytes..2 * cfg.window_bytes).contains(&a)));
+    }
+
+    #[test]
+    fn all_addresses_within_array() {
+        for pattern in MicroPattern::all() {
+            let mut cfg = MicroConfig::new(pattern);
+            cfg.array_bytes = 1024 * 1024;
+            assert!(
+                cfg.events(5_000).all(|e| e.req.addr.raw() < cfg.array_bytes),
+                "{pattern:?} escaped the array"
+            );
+        }
+    }
+
+    #[test]
+    fn accesses_are_block_sized_and_aligned() {
+        let cfg = MicroConfig::new(MicroPattern::Random);
+        for e in cfg.events(100) {
+            assert_eq!(e.req.bytes as u64, BLOCK_BYTES);
+            assert_eq!(e.req.addr.block_offset(), 0);
+            assert_eq!(e.gap, cfg.gap);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MicroPattern::Random.as_str(), "Random");
+        assert_eq!(MicroPattern::Streaming.as_str(), "Streaming");
+        assert_eq!(MicroPattern::Sliding.as_str(), "Sliding");
+    }
+}

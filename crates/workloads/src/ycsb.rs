@@ -1,0 +1,261 @@
+//! YCSB-style workload mixes for the key-value stores.
+//!
+//! The Yahoo! Cloud Serving Benchmark core workloads are the lingua franca
+//! of KV-store evaluation; expressing them over this crate's instrumented
+//! stores makes the ThyNVM results comparable to the wider persistent-
+//! memory literature (which evaluates on YCSB far more often than on raw
+//! request-size sweeps).
+//!
+//! | Mix | Operations | Skew |
+//! |---|---|---|
+//! | A | 50 % read / 50 % update | zipfian |
+//! | B | 95 % read / 5 % update | zipfian |
+//! | C | 100 % read | zipfian |
+//! | D | 95 % read / 5 % insert | latest |
+//! | F | 50 % read / 50 % read-modify-write | zipfian |
+//!
+//! (Workload E is a range-scan mix; it is exposed separately because only
+//! the B+ tree supports scans.)
+//!
+//! Key popularity follows an approximate zipfian distribution via the
+//! rejection-inversion sampler below, matching YCSB's default `zipfian`
+//! request distribution with θ ≈ 0.99.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thynvm_types::TraceEvent;
+
+use crate::arena::Arena;
+use crate::kv::{KvOp, KvStore};
+
+/// The YCSB core mixes implemented here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbMix {
+    /// 50 % read, 50 % update — update-heavy.
+    A,
+    /// 95 % read, 5 % update — read-mostly.
+    B,
+    /// 100 % read.
+    C,
+    /// 95 % read, 5 % insert; reads skew to the latest inserts.
+    D,
+    /// 50 % read, 50 % read-modify-write.
+    F,
+}
+
+impl YcsbMix {
+    /// All implemented mixes.
+    pub const ALL: [YcsbMix; 5] = [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::F];
+
+    /// Display name ("YCSB-A" …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            YcsbMix::A => "YCSB-A",
+            YcsbMix::B => "YCSB-B",
+            YcsbMix::C => "YCSB-C",
+            YcsbMix::D => "YCSB-D",
+            YcsbMix::F => "YCSB-F",
+        }
+    }
+}
+
+/// Approximate zipfian sampler over `[0, n)` with the YCSB default skew.
+///
+/// Uses the standard `u^(1/(1-θ))` inversion approximation (θ = 0.99),
+/// which concentrates ~65 % of requests on ~1 % of keys — close enough to
+/// YCSB's scrambled-zipfian for memory-behaviour purposes.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "zipf domain must be nonempty");
+        const THETA: f64 = 0.99;
+        Self { n, exponent: 1.0 / (1.0 - THETA) }
+    }
+
+    /// Draws a key; smaller keys are exponentially more popular. The key is
+    /// scrambled by a fixed multiplier so popular keys spread over the
+    /// address space (YCSB's "scrambled" variant).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+        let rank = (self.n as f64 * u.powf(self.exponent)).min(self.n as f64 - 1.0) as u64;
+        rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.n
+    }
+}
+
+/// Configuration of a YCSB run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YcsbConfig {
+    /// Which core mix to run.
+    pub mix: YcsbMix,
+    /// Records loaded before the measured phase.
+    pub records: u64,
+    /// Value size in bytes (YCSB default: 10 fields × 100 B; we default to
+    /// a single 1 KiB value).
+    pub value_bytes: u32,
+    /// Non-memory instructions between accesses.
+    pub gap: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl YcsbConfig {
+    /// Defaults: 16 K records of 1 KiB.
+    pub fn new(mix: YcsbMix) -> Self {
+        Self { mix, records: 16 * 1024, value_bytes: 1024, gap: 8, seed: 0x2010_5c5b }
+    }
+
+    /// Loads the store (untraced) and runs `ops` operations, returning the
+    /// trace and the operation count.
+    pub fn run<S: KvStore>(&self, store: &mut S, ops: u64) -> (Vec<TraceEvent>, u64) {
+        let mut warmup = Arena::new(self.gap);
+        for key in 0..self.records {
+            store.apply(&mut warmup, KvOp::Insert(key), self.value_bytes);
+            warmup.drain_events().for_each(drop);
+        }
+
+        let mut arena = Arena::new(self.gap);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.records);
+        let mut next_key = self.records; // for workload D inserts
+        let mut events = Vec::new();
+        for _ in 0..ops {
+            let roll = rng.gen_range(0..100u32);
+            match self.mix {
+                YcsbMix::A => {
+                    let key = zipf.sample(&mut rng);
+                    if roll < 50 {
+                        store.apply(&mut arena, KvOp::Search(key), self.value_bytes);
+                    } else {
+                        store.apply(&mut arena, KvOp::Insert(key), self.value_bytes);
+                    }
+                }
+                YcsbMix::B => {
+                    let key = zipf.sample(&mut rng);
+                    if roll < 95 {
+                        store.apply(&mut arena, KvOp::Search(key), self.value_bytes);
+                    } else {
+                        store.apply(&mut arena, KvOp::Insert(key), self.value_bytes);
+                    }
+                }
+                YcsbMix::C => {
+                    store.apply(&mut arena, KvOp::Search(zipf.sample(&mut rng)), self.value_bytes);
+                }
+                YcsbMix::D => {
+                    if roll < 95 {
+                        // "Latest" distribution: recent inserts are hot.
+                        let back = zipf.sample(&mut rng).min(next_key - 1);
+                        store.apply(
+                            &mut arena,
+                            KvOp::Search(next_key - 1 - back),
+                            self.value_bytes,
+                        );
+                    } else {
+                        store.apply(&mut arena, KvOp::Insert(next_key), self.value_bytes);
+                        next_key += 1;
+                    }
+                }
+                YcsbMix::F => {
+                    let key = zipf.sample(&mut rng);
+                    store.apply(&mut arena, KvOp::Search(key), self.value_bytes);
+                    if roll < 50 {
+                        store.apply(&mut arena, KvOp::Insert(key), self.value_bytes);
+                    }
+                }
+            }
+            events.extend(arena.drain_events());
+        }
+        (events, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::hash::HashKv;
+    use crate::kv::KvStore as _;
+
+    #[test]
+    fn zipf_is_skewed_toward_few_keys() {
+        let zipf = Zipf::new(10_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(zipf.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freqs.iter().take(10).sum();
+        assert!(
+            top10 > 20_000 / 4,
+            "top-10 keys should absorb >25% of requests: {top10}"
+        );
+        // Every sample stays in the domain.
+        for _ in 0..1_000 {
+            assert!(zipf.sample(&mut rng) < 10_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zipf_rejects_empty_domain() {
+        Zipf::new(0);
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let mut store = HashKv::new(4_096);
+        let cfg = YcsbConfig { records: 1_000, ..YcsbConfig::new(YcsbMix::C) };
+        let (events, ops) = cfg.run(&mut store, 500);
+        assert_eq!(ops, 500);
+        assert!(events.iter().all(|e| !e.req.kind.is_write()));
+    }
+
+    #[test]
+    fn workload_a_is_half_updates() {
+        let mut store = HashKv::new(4_096);
+        let cfg = YcsbConfig { records: 1_000, ..YcsbConfig::new(YcsbMix::A) };
+        let (events, _) = cfg.run(&mut store, 2_000);
+        let writes = events.iter().filter(|e| e.req.kind.is_write()).count() as f64;
+        let frac = writes / events.len() as f64;
+        assert!((0.1..0.9).contains(&frac), "update traffic present: {frac}");
+    }
+
+    #[test]
+    fn workload_d_grows_the_store() {
+        let mut store = HashKv::new(4_096);
+        let cfg = YcsbConfig { records: 1_000, ..YcsbConfig::new(YcsbMix::D) };
+        let before = 1_000;
+        cfg.run(&mut store, 2_000);
+        assert!(store.len() > before, "inserts must grow the store: {}", store.len());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = YcsbConfig { records: 500, ..YcsbConfig::new(YcsbMix::F) };
+        let mut s1 = HashKv::new(1_024);
+        let mut s2 = HashKv::new(1_024);
+        let (a, _) = cfg.run(&mut s1, 300);
+        let (b, _) = cfg.run(&mut s2, 300);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_mixes_run_on_the_hash_store() {
+        for mix in YcsbMix::ALL {
+            let mut store = HashKv::new(1_024);
+            let cfg = YcsbConfig { records: 200, value_bytes: 64, ..YcsbConfig::new(mix) };
+            let (events, _) = cfg.run(&mut store, 100);
+            assert!(!events.is_empty(), "{} produced no events", mix.as_str());
+        }
+    }
+}

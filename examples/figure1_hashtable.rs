@@ -1,0 +1,71 @@
+//! The paper's Figure 1: updating an entry in a persistent hash table.
+//!
+//! Figure 1(a) shows the transactional-memory version programmers must
+//! write on Mnemosyne/NV-heaps: `TM_ARGDECL`, `TMLIST_FIND`, persistent
+//! declarations. Figure 1(b) shows the same function under ThyNVM —
+//! *unmodified syntax and semantics*. This example is Figure 1(b) running:
+//! a plain hash-table update, no transactions, with the hardware providing
+//! crash consistency underneath.
+//!
+//! Run with `cargo run --release --example figure1_hashtable`.
+
+use thynvm::core::ThyNvm;
+use thynvm::types::{Cycle, MemorySystem, SystemConfig};
+use thynvm::workloads::kv::{hash::HashKv, KvOp, KvStore};
+use thynvm::workloads::Arena;
+
+/// Figure 1(b), line for line: look up the chain, find the pair, update the
+/// value — ordinary code, no `TM_*` anywhere.
+fn hashtable_update(
+    hashtable: &mut HashKv,
+    arena: &mut Arena,
+    key: u64,
+    data_len: u32,
+) {
+    // list_t* chainPtr = get_chain(hashtablePtr, keyPtr);
+    // pairPtr = (pair_t*)list_find(chainPtr, &updatePair);
+    // pairPtr->secondPtr = dataPtr;
+    hashtable.apply(arena, KvOp::Insert(key), data_len);
+}
+
+fn main() {
+    let mut sys = ThyNvm::new(SystemConfig::paper());
+    let mut arena = Arena::new(4);
+    let mut table = HashKv::new(1024);
+
+    // Build the persistent hash table and update an entry — Figure 1(b).
+    let mut now = Cycle::ZERO;
+    for key in 0..100 {
+        hashtable_update(&mut table, &mut arena, key, 64);
+    }
+    // Replay the data structure's real memory accesses through ThyNVM,
+    // carrying a per-key marker byte as the "data".
+    for event in arena.drain_events() {
+        if event.req.kind.is_write() {
+            let marker = vec![0xA5u8; event.req.bytes as usize];
+            now = now.max(sys.store_bytes(event.req.addr, &marker, now));
+        } else {
+            let mut buf = vec![0u8; event.req.bytes as usize];
+            now = now.max(sys.load_bytes(event.req.addr, &mut buf, now));
+        }
+    }
+    println!("hash table with {} entries updated through plain code", table.len());
+
+    // The hardware checkpoints transparently…
+    now = sys.force_checkpoint(now);
+    now = sys.drain(now);
+    println!(
+        "checkpoint complete: {} epochs, {} bytes persisted to NVM",
+        sys.stats().epochs_completed,
+        sys.stats().nvm_write_bytes_total(),
+    );
+
+    // …so a crash cannot corrupt the table (the §2.1 complaint about
+    // Figure 1(a) was exactly the programmer burden of guaranteeing this).
+    sys.crash_and_recover(now + Cycle::from_us(5));
+    println!("crashed and recovered — no transactional code was ever written.");
+    println!();
+    println!("Figure 1(a) needed: TM_ARGDECL, TMLIST_FIND, persistent");
+    println!("declarations, a TM runtime, and library reimplementation.");
+    println!("Figure 1(b) — this program — needed none of that.");
+}

@@ -1,0 +1,221 @@
+//! Property-based crash-consistency tests for the ThyNVM controller.
+//!
+//! The paper backs its protocol with a formal proof (online appendix);
+//! that document is not available, so this suite checks the same invariant
+//! mechanically: **whatever sequence of writes, checkpoints, time advances
+//! and crash points occurs, recovery always restores exactly the memory
+//! image of the most recent checkpoint that had completed by the crash** —
+//! never a torn mixture, never a later uncommitted write.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use thynvm::core::ThyNvm;
+use thynvm::types::{Cycle, MemorySystem, PhysAddr, SystemConfig};
+
+/// One step of a crash-consistency scenario.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Write `len` bytes of value `fill` at `addr`.
+    Write { addr: u64, len: usize, fill: u8 },
+    /// End the epoch (processor flush + checkpoint start).
+    Checkpoint,
+    /// Let simulated time pass (lets in-flight checkpoints complete —
+    /// or not, depending on the amount).
+    Advance { cycles: u64 },
+    /// Power failure + recovery.
+    Crash,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        5 => (0u64..16 * 4096, 1usize..200, any::<u8>())
+            .prop_map(|(addr, len, fill)| Step::Write { addr, len, fill }),
+        2 => Just(Step::Checkpoint),
+        2 => (0u64..2_000_000).prop_map(|cycles| Step::Advance { cycles }),
+        1 => Just(Step::Crash),
+    ]
+}
+
+/// Reference model: byte map of "what a correct recovery must produce".
+#[derive(Debug, Clone, Default)]
+struct Model {
+    /// Live contents as the program wrote them.
+    current: HashMap<u64, u8>,
+    /// Snapshots captured at each checkpoint initiation, with the cycle at
+    /// which that checkpoint completes.
+    checkpoints: Vec<(Cycle, HashMap<u64, u8>)>,
+}
+
+impl Model {
+    /// The image a crash at `now` must recover to.
+    fn expected_at(&self, now: Cycle) -> HashMap<u64, u8> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|(done, _)| *done <= now)
+            .map(|(_, snap)| snap.clone())
+            .unwrap_or_default()
+    }
+}
+
+fn run_scenario(steps: Vec<Step>) {
+    let mut sys = ThyNvm::new(SystemConfig::small_test());
+    let mut model = Model::default();
+    let mut now = Cycle::ZERO;
+
+    for step in steps {
+        match step {
+            Step::Write { addr, len, fill } => {
+                let data = vec![fill; len];
+                now = now.max(sys.store_bytes(PhysAddr::new(addr), &data, now));
+                for i in 0..len as u64 {
+                    model.current.insert(addr + i, fill);
+                }
+            }
+            Step::Checkpoint => {
+                let resume = sys.force_checkpoint(now);
+                // The checkpoint captures the state as of initiation and
+                // completes at the job's done_at (it may already have been
+                // retired if the round was synchronous).
+                let done = sys
+                    .epoch_state()
+                    .job
+                    .as_ref()
+                    .map(|j| j.done_at)
+                    .unwrap_or(resume);
+                model.checkpoints.push((done, model.current.clone()));
+                now = now.max(resume);
+            }
+            Step::Advance { cycles } => {
+                now += Cycle::new(cycles);
+            }
+            Step::Crash => {
+                // Checkpoints that had not completed by the crash are lost
+                // forever: prune them from the model.
+                model.checkpoints.retain(|(done, _)| *done <= now);
+                let expected = model.expected_at(now);
+                sys.crash_and_recover(now);
+                // Every byte the program ever touched must match the
+                // expected checkpoint image (unwritten bytes read as 0).
+                let keys: Vec<u64> = model.current.keys().copied().collect();
+                for addr in keys {
+                    let mut buf = [0u8; 1];
+                    sys.load_bytes(PhysAddr::new(addr), &mut buf, now);
+                    let want = expected.get(&addr).copied().unwrap_or(0);
+                    assert_eq!(
+                        buf[0], want,
+                        "addr {addr:#x} after crash at {now}: got {}, expected {want}",
+                        buf[0]
+                    );
+                }
+                // The model also rolls back.
+                model.current = expected;
+            }
+        }
+    }
+
+    // Terminal crash: the invariant must hold at the end of every scenario.
+    let expected = model.expected_at(now);
+    sys.crash_and_recover(now);
+    for (&addr, &want) in &expected {
+        let mut buf = [0u8; 1];
+        sys.load_bytes(PhysAddr::new(addr), &mut buf, now);
+        assert_eq!(buf[0], want, "terminal crash mismatch at {addr:#x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The headline invariant: recovery == last completed checkpoint.
+    #[test]
+    fn recovery_restores_last_completed_checkpoint(
+        steps in proptest::collection::vec(step_strategy(), 1..60)
+    ) {
+        run_scenario(steps);
+    }
+
+    /// Writes never leak into the recovered image without a completed
+    /// checkpoint, regardless of how much time passes *without* one.
+    #[test]
+    fn uncheckpointed_writes_never_survive(
+        writes in proptest::collection::vec(
+            (0u64..8 * 4096, 1usize..64, any::<u8>()), 1..30),
+        wait in 0u64..10_000_000,
+    ) {
+        let mut sys = ThyNvm::new(SystemConfig::small_test());
+        let mut now = Cycle::ZERO;
+        for (addr, len, fill) in &writes {
+            let data = vec![*fill; *len];
+            now = now.max(sys.store_bytes(PhysAddr::new(*addr), &data, now));
+        }
+        now += Cycle::new(wait);
+        let report = sys.crash_and_recover(now);
+        prop_assert_eq!(report.recovered_checkpoints, 0);
+        for (addr, len, _) in writes {
+            let mut buf = vec![0u8; len];
+            sys.load_bytes(PhysAddr::new(addr), &mut buf, now);
+            prop_assert!(buf.iter().all(|&b| b == 0),
+                "uncheckpointed write at {:#x} survived a crash", addr);
+        }
+    }
+
+    /// A completed checkpoint followed by any amount of overwriting is
+    /// always recoverable bit-exactly.
+    #[test]
+    fn completed_checkpoint_is_durable(
+        first in proptest::collection::vec((0u64..4 * 4096, any::<u8>()), 1..40),
+        second in proptest::collection::vec((0u64..4 * 4096, any::<u8>()), 0..40),
+    ) {
+        let mut sys = ThyNvm::new(SystemConfig::small_test());
+        let mut now = Cycle::ZERO;
+        for (addr, fill) in &first {
+            now = now.max(sys.store_bytes(PhysAddr::new(*addr), &[*fill], now));
+        }
+        now = sys.force_checkpoint(now);
+        now = sys.drain(now); // checkpoint completes
+        // Overwrite with the second batch, but never checkpoint it.
+        for (addr, fill) in &second {
+            now = now.max(sys.store_bytes(PhysAddr::new(*addr), &[*fill], now));
+        }
+        sys.crash_and_recover(now);
+        // Rebuild the expected image from the first batch only.
+        let mut expected: HashMap<u64, u8> = HashMap::new();
+        for (addr, fill) in first {
+            expected.insert(addr, fill);
+        }
+        for (&addr, &want) in &expected {
+            let mut buf = [0u8; 1];
+            sys.load_bytes(PhysAddr::new(addr), &mut buf, now);
+            prop_assert_eq!(buf[0], want);
+        }
+    }
+
+    /// Double crash: recovering twice (with no writes in between) is
+    /// idempotent.
+    #[test]
+    fn recovery_is_idempotent(
+        writes in proptest::collection::vec((0u64..4 * 4096, any::<u8>()), 1..30),
+    ) {
+        let mut sys = ThyNvm::new(SystemConfig::small_test());
+        let mut now = Cycle::ZERO;
+        for (addr, fill) in &writes {
+            now = now.max(sys.store_bytes(PhysAddr::new(*addr), &[*fill], now));
+        }
+        now = sys.drain(now);
+        sys.crash_and_recover(now);
+        let mut first_image = Vec::new();
+        for (addr, _) in &writes {
+            let mut buf = [0u8; 1];
+            sys.load_bytes(PhysAddr::new(*addr), &mut buf, now);
+            first_image.push(buf[0]);
+        }
+        sys.crash_and_recover(now + Cycle::new(1));
+        for ((addr, _), want) in writes.iter().zip(first_image) {
+            let mut buf = [0u8; 1];
+            sys.load_bytes(PhysAddr::new(*addr), &mut buf, now);
+            prop_assert_eq!(buf[0], want, "second recovery diverged at {:#x}", addr);
+        }
+    }
+}

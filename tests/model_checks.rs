@@ -1,0 +1,244 @@
+//! Property-based model checks of the substrate data structures: each
+//! component is compared against a trivially-correct reference model under
+//! arbitrary operation sequences.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use thynvm::cache::SetAssocCache;
+use thynvm::mem::{Device, DeviceKind, SparseStore, WriteQueue};
+use thynvm::types::{AccessKind, Cycle, HwAddr, PhysAddr, SystemConfig};
+use thynvm::workloads::kv::{btree::BTreeKv, KvOp, KvStore};
+use thynvm::workloads::{Arena, RbTreeKv};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SparseStore behaves exactly like a byte map with zero default.
+    #[test]
+    fn sparse_store_matches_byte_map(
+        ops in proptest::collection::vec(
+            (0u64..100_000, proptest::collection::vec(any::<u8>(), 1..64)), 1..60),
+        probes in proptest::collection::vec(0u64..100_000, 1..30),
+    ) {
+        let mut store = SparseStore::new();
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for (addr, data) in &ops {
+            store.write(HwAddr::new(*addr), data);
+            for (i, &b) in data.iter().enumerate() {
+                model.insert(addr + i as u64, b);
+            }
+        }
+        for addr in probes {
+            let mut buf = [0u8; 8];
+            store.read(HwAddr::new(addr), &mut buf);
+            for (i, &b) in buf.iter().enumerate() {
+                let want = model.get(&(addr + i as u64)).copied().unwrap_or(0);
+                prop_assert_eq!(b, want, "mismatch at {:#x}", addr + i as u64);
+            }
+        }
+    }
+
+    /// The write queue never admits more than `capacity` in-flight writes
+    /// and always reports a drain time no earlier than any completion.
+    #[test]
+    fn write_queue_respects_capacity(
+        completions in proptest::collection::vec(1u64..100_000, 1..100),
+        capacity in 1usize..16,
+    ) {
+        let mut q = WriteQueue::new(capacity);
+        let mut now = Cycle::ZERO;
+        let mut last_completion = Cycle::ZERO;
+        for c in completions {
+            let completion = now + Cycle::new(c);
+            let resume = q.push(completion, now);
+            prop_assert!(resume >= now, "resume went backwards");
+            now = resume;
+            prop_assert!(q.len_at(now) <= capacity, "queue over capacity");
+            last_completion = last_completion.max(completion);
+        }
+        prop_assert!(q.drain_time(now) >= now);
+        prop_assert!(q.drain_time(now) <= last_completion.max(now));
+    }
+
+    /// A set-associative cache never reports more resident blocks than its
+    /// capacity, and an access that just hit must hit again immediately.
+    #[test]
+    fn cache_capacity_and_hit_stability(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let mut cache = SetAssocCache::new(4096, 4); // 64 blocks
+        for &a in &addrs {
+            let addr = PhysAddr::new(a & !63);
+            if !cache.access(addr, a % 3 == 0) {
+                cache.fill(addr, a % 3 == 0);
+            }
+            prop_assert!(cache.resident_blocks() <= 64);
+            prop_assert!(cache.probe(addr), "freshly filled block must be resident");
+        }
+        let dirty_before = cache.dirty_blocks();
+        let cleaned = cache.clean_all();
+        prop_assert_eq!(cleaned.len(), dirty_before, "clean_all returns every dirty block");
+        prop_assert_eq!(cache.dirty_blocks(), 0, "clean_all leaves zero dirty blocks");
+    }
+
+    /// The red-black tree matches a BTreeMap under arbitrary mixed
+    /// workloads and keeps its invariants at every step.
+    #[test]
+    fn rbtree_matches_btreemap(
+        ops in proptest::collection::vec((0u64..200, 0u8..3), 1..250),
+    ) {
+        let mut arena = Arena::new(0);
+        let mut tree = RbTreeKv::new();
+        let mut model: BTreeMap<u64, ()> = BTreeMap::new();
+        for (key, kind) in ops {
+            match kind {
+                0 => {
+                    tree.apply(&mut arena, KvOp::Insert(key), 16);
+                    model.insert(key, ());
+                }
+                1 => {
+                    tree.apply(&mut arena, KvOp::Delete(key), 16);
+                    model.remove(&key);
+                }
+                _ => {
+                    tree.apply(&mut arena, KvOp::Search(key), 16);
+                }
+            }
+            arena.drain_events().for_each(drop);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), model.len());
+        for &key in model.keys() {
+            prop_assert!(tree.contains(key), "missing {}", key);
+        }
+        for key in 0..200u64 {
+            prop_assert_eq!(tree.contains(key), model.contains_key(&key));
+        }
+    }
+
+    /// Arena allocations never overlap while live, even with frees and
+    /// reuse in between.
+    #[test]
+    fn arena_allocations_never_overlap(
+        sizes in proptest::collection::vec(1u64..256, 1..100),
+        free_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut arena = Arena::new(0);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (start, len)
+        for (i, &size) in sizes.iter().enumerate() {
+            let addr = arena.alloc(size).raw();
+            for &(s, l) in &live {
+                prop_assert!(
+                    addr + size <= s || s + l <= addr,
+                    "allocation [{}, {}) overlaps live [{}, {})",
+                    addr, addr + size, s, s + l
+                );
+            }
+            live.push((addr, size));
+            // Occasionally free an older allocation.
+            if free_mask.get(i).copied().unwrap_or(false) && live.len() > 1 {
+                let (s, l) = live.remove(0);
+                arena.free(PhysAddr::new(s), l);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Device timing invariants under arbitrary access sequences:
+    /// completions never precede issue, time is monotone per bank, and the
+    /// open-row latency never exceeds the miss latency.
+    #[test]
+    fn device_timing_invariants(
+        ops in proptest::collection::vec(
+            (0u64..1 << 22, any::<bool>(), 1u32..4096), 1..200),
+    ) {
+        let cfg = SystemConfig::paper();
+        for kind in [DeviceKind::Dram, DeviceKind::Nvm] {
+            let geometry =
+                if kind == DeviceKind::Dram { cfg.dram_geometry } else { cfg.nvm_geometry };
+            let mut dev = Device::new(kind, cfg.timing, geometry);
+            let mut now = Cycle::ZERO;
+            for &(addr, write, bytes) in &ops {
+                let kind_a = if write { AccessKind::Write } else { AccessKind::Read };
+                let done = dev.access(HwAddr::new(addr), kind_a, bytes, now);
+                prop_assert!(done > now, "completion must follow issue");
+                // Issue the next access at the completion of this one.
+                now = done;
+            }
+            let stats = dev.stats();
+            prop_assert_eq!(stats.reads + stats.writes, ops.len() as u64);
+            prop_assert_eq!(stats.row_hits + stats.row_misses, ops.len() as u64);
+        }
+    }
+
+    /// Replaying the same access sequence twice yields identical timing —
+    /// the device model is deterministic.
+    #[test]
+    fn device_is_deterministic(
+        ops in proptest::collection::vec((0u64..1 << 20, any::<bool>()), 1..100),
+    ) {
+        let cfg = SystemConfig::paper();
+        let run = || {
+            let mut dev = Device::new(DeviceKind::Nvm, cfg.timing, cfg.nvm_geometry);
+            let mut now = Cycle::ZERO;
+            let mut tape = Vec::new();
+            for &(addr, write) in &ops {
+                let k = if write { AccessKind::Write } else { AccessKind::Read };
+                now = dev.access(HwAddr::new(addr & !63), k, 64, now);
+                tape.push(now);
+            }
+            tape
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The B+ tree agrees with a BTreeMap under arbitrary mixed workloads
+    /// and keeps its invariants.
+    #[test]
+    fn btree_matches_btreemap(
+        ops in proptest::collection::vec((0u64..300, 0u8..3), 1..300),
+    ) {
+        let mut arena = Arena::new(0);
+        let mut tree = BTreeKv::new();
+        let mut model: BTreeMap<u64, ()> = BTreeMap::new();
+        for (key, op) in ops {
+            match op {
+                0 => {
+                    tree.apply(&mut arena, KvOp::Insert(key), 16);
+                    model.insert(key, ());
+                }
+                1 => {
+                    tree.apply(&mut arena, KvOp::Delete(key), 16);
+                    model.remove(&key);
+                }
+                _ => tree.apply(&mut arena, KvOp::Search(key), 16),
+            }
+            arena.drain_events().for_each(drop);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), model.len());
+        for key in 0..300u64 {
+            prop_assert_eq!(tree.contains(key), model.contains_key(&key));
+        }
+    }
+
+    /// Histogram totals always match the number of recorded samples, and
+    /// quantiles bound the recorded range.
+    #[test]
+    fn histogram_invariants(samples in proptest::collection::vec(any::<u64>(), 1..300)) {
+        let mut h = thynvm::types::Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().expect("nonempty"));
+        prop_assert_eq!(h.max(), *samples.iter().max().expect("nonempty"));
+        let bucket_total: u64 = h.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, h.count());
+        prop_assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! The paper-claims regression manifest.
+//!
+//! Each test quotes one falsifiable claim from the ThyNVM paper and checks
+//! its *direction* at test scale (full-scale magnitudes live in
+//! EXPERIMENTS.md). If a refactor breaks one of the paper's findings, this
+//! suite names the exact claim that regressed.
+
+use thynvm::bench::experiments::{self, KvKind, Scale};
+use thynvm::bench::runner::{run_with_caches, SystemKind};
+use thynvm::types::{Cycle, MemorySystem, PhysAddr, SystemConfig, ThyNvmConfig};
+use thynvm::workloads::micro::{MicroConfig, MicroPattern};
+
+fn cell<'a>(
+    cells: &'a [experiments::Cell],
+    workload: &str,
+    system: &str,
+) -> &'a experiments::Cell {
+    cells
+        .iter()
+        .find(|c| c.workload == workload && c.system == system)
+        .unwrap_or_else(|| panic!("missing cell {workload}/{system}"))
+}
+
+/// §5.2: "ThyNVM consistently performs better than other consistency
+/// mechanisms for all access patterns. It outperforms journaling and
+/// shadow paging by 10.2% and 14.8% on average."
+#[test]
+fn claim_thynvm_beats_both_consistency_baselines_on_micro_average() {
+    let (_, cells) = experiments::fig7_micro_exec_time(Scale::test());
+    let avg = |sys: &str| -> f64 {
+        MicroPattern::all()
+            .iter()
+            .map(|p| cell(&cells, p.as_str(), sys).result.cycles.raw() as f64)
+            .sum::<f64>()
+            / 3.0
+    };
+    assert!(avg("ThyNVM") < avg("Journal"), "vs journaling");
+    assert!(avg("ThyNVM") < avg("Shadow"), "vs shadow paging");
+}
+
+/// §5.2: "shadow paging performs poorly with the random access pattern,
+/// because even if only few blocks of a page are dirty in DRAM, it
+/// checkpoints the entire page in NVM."
+#[test]
+fn claim_shadow_paging_is_pathological_under_random() {
+    let (_, cells) = experiments::fig8_write_traffic(Scale::test());
+    let shadow = cell(&cells, "Random", "Shadow").result.mem.nvm_write_bytes_total();
+    let thynvm = cell(&cells, "Random", "ThyNVM").result.mem.nvm_write_bytes_total();
+    assert!(
+        shadow > thynvm * 3,
+        "shadow {shadow} should dwarf ThyNVM {thynvm} under random"
+    );
+}
+
+/// §5.2: "ThyNVM can effectively avoid stalling by overlapping
+/// checkpointing with execution" (Journal/Shadow spend 18.9%/15.2% of time
+/// checkpointing; ThyNVM 2.5%).
+#[test]
+fn claim_overlap_cuts_checkpoint_stall_versus_stop_the_world() {
+    let (_, cells) = experiments::e9_overlap_ablation(Scale::test());
+    for p in ["Streaming", "Sliding"] {
+        let overlapped = cell(&cells, p, "ThyNVM").result.ckpt_stall_share();
+        let stw = cell(&cells, p, "No-overlap").result.ckpt_stall_share();
+        assert!(
+            overlapped < stw / 2.0,
+            "{p}: overlap {overlapped:.3}% should be far below stop-the-world {stw:.3}%"
+        );
+    }
+}
+
+/// §5.3: "ThyNVM's transaction throughput is close to that of the ideal
+/// DRAM-based and NVM-based systems" (95.1% of Ideal DRAM for the hash
+/// table).
+#[test]
+fn claim_kv_throughput_is_close_to_ideal() {
+    // Needs a horizon long enough to amortize cold-start checkpoints.
+    let scale = Scale { kv_ops: 20_000, ..Scale::test() };
+    let (_, _, cells) = experiments::fig9_fig10_kv(scale, KvKind::HashTable);
+    // 64 B requests, the center of the sweep.
+    let ideal = cell(&cells, "64B", "Ideal DRAM").result.cycles.raw() as f64;
+    let thynvm = cell(&cells, "64B", "ThyNVM").result.cycles.raw() as f64;
+    assert!(
+        thynvm <= ideal * 1.25,
+        "ThyNVM within 25% of Ideal DRAM at this scale ({:.2}x; ~1.03x at full scale)",
+        thynvm / ideal
+    );
+}
+
+/// §5.4: "ThyNVM speeds up these benchmarks on average by 2.7% compared to
+/// the ideal NVM-based system, thanks to the presence of DRAM."
+#[test]
+fn claim_spec_workloads_beat_ideal_nvm() {
+    // Needs a horizon long enough for the DRAM tier's hot pages to pay off.
+    let cfg = SystemConfig::paper();
+    for name in ["gcc", "lbm"] {
+        let p = thynvm::workloads::spec::profile(name).expect("known");
+        let w = thynvm::workloads::spec::SpecWorkload::new(p);
+        let nvm = run_with_caches(SystemKind::IdealNvm, cfg, w.events(250_000));
+        let thy = run_with_caches(SystemKind::ThyNvm, cfg, w.events(250_000));
+        assert!(
+            thy.ipc() > nvm.ipc(),
+            "{name}: ThyNVM {:.4} must beat Ideal NVM {:.4}",
+            thy.ipc(),
+            nvm.ipc()
+        );
+    }
+}
+
+/// §5.5: "The NVM write traffic reduces with a larger BTT, which reduces
+/// the number of checkpoints."
+#[test]
+fn claim_bigger_btt_means_fewer_checkpoints() {
+    let (_, cells) = experiments::fig12_btt_sensitivity(Scale::test());
+    let first = cells.first().expect("sweep nonempty").result.mem.epochs_completed;
+    let last = cells.last().expect("sweep nonempty").result.mem.epochs_completed;
+    assert!(first >= last, "checkpoints must not increase with BTT size");
+}
+
+/// §4.2: "The total size of the BTT and PTT we use in our evaluations is
+/// approximately 37KB."
+#[test]
+fn claim_metadata_is_about_37_kilobytes() {
+    let kb = ThyNvmConfig::default().metadata_bytes() as f64 / 1024.0;
+    assert!((35.0..40.0).contains(&kb), "metadata {kb:.1} KB");
+}
+
+/// §2.2: log replay "increases the recovery time… reducing the fast
+/// recovery benefit of using NVM" — ThyNVM's recovery is metadata reload +
+/// page restore and stays in the sub-millisecond range.
+#[test]
+fn claim_recovery_is_submillisecond() {
+    let mut sys = thynvm::core::ThyNvm::new(SystemConfig::paper());
+    let mut now = Cycle::ZERO;
+    for i in 0..2_000u64 {
+        now = now.max(sys.store_bytes(PhysAddr::new(i * 64), &[1u8; 64], now));
+    }
+    let t = sys.drain(now);
+    let report = sys.crash_and_recover(t);
+    assert!(
+        report.recovery_cycles.as_ns() < 1_000_000.0,
+        "recovery took {:.0} ns",
+        report.recovery_cycles.as_ns()
+    );
+}
+
+/// §3.1: "a system failure at time t can corrupt both the working copy
+/// updated in Epoch 2 and the checkpoint updated in Epoch 1. This is
+/// exactly why we need to maintain C_penult."
+#[test]
+fn claim_penultimate_checkpoint_saves_the_day() {
+    let mut sys = thynvm::core::ThyNvm::new(SystemConfig::small_test());
+    let t = sys.store_bytes(PhysAddr::new(0), b"safe", Cycle::ZERO);
+    let t = sys.drain(t); // checkpoint 1 complete -> C_penult-to-be
+    let t = sys.store_bytes(PhysAddr::new(0), b"torn", t);
+    let resume = sys.force_checkpoint(t); // checkpoint 2 in flight
+    assert!(sys.epoch_state().job_running(resume));
+    let report = sys.crash_and_recover(resume); // crash corrupts W and C_last
+    assert!(report.rolled_back_incomplete);
+    let mut buf = [0u8; 4];
+    sys.load_bytes(PhysAddr::new(0), &mut buf, resume);
+    assert_eq!(&buf, b"safe", "C_penult must be the recovery target");
+}
+
+/// §2.3/Table 1: uniform block granularity needs hardware proportional to
+/// the write set; the dual scheme stays within the fixed budget on dense
+/// patterns by moving them to page granularity.
+#[test]
+fn claim_dual_scheme_respects_hardware_budget_on_dense_patterns() {
+    let cfg = SystemConfig::paper();
+    let micro = MicroConfig::new(MicroPattern::Streaming);
+    let mut sys = thynvm::core::ThyNvm::new(cfg);
+    let mut core = thynvm::cache::CoreModel::new(cfg.cache);
+    core.run_trace(micro.events(60_000), &mut sys);
+    assert!(
+        sys.btt().peak() <= cfg.thynvm.btt_entries,
+        "dual scheme exceeded the BTT budget: {}",
+        sys.btt().peak()
+    );
+    assert!(sys.stats().pages_promoted > 0, "the stream must promote pages");
+}

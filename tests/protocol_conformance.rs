@@ -1,0 +1,150 @@
+//! Conformance of the real controller to the executable protocol
+//! specification in `thynvm_core::protocol`.
+//!
+//! The controller's BTT entries are mapped to abstract
+//! [`VersionState`]s; random traffic with checkpoints and crashes is
+//! driven through the controller, and after every step each observed entry
+//! state must be one the specification reaches, with spec-level recovery
+//! semantics agreeing with the controller's functional behaviour.
+
+use proptest::prelude::*;
+use thynvm::core::{ProtocolEvent, ThyNvm, VersionState};
+use thynvm::types::{Cycle, MemorySystem, PhysAddr, SystemConfig};
+
+/// Maps a controller BTT entry to its abstract protocol state.
+fn abstract_state(entry: &thynvm::core::BttEntry) -> VersionState {
+    VersionState {
+        working: entry.wactive.is_some(),
+        in_flight: entry.pending.is_some(),
+        durable: entry.clast_region.is_some(),
+    }
+}
+
+/// All states the specification can reach (by exhaustive exploration).
+fn reachable_states() -> Vec<VersionState> {
+    use std::collections::{HashSet, VecDeque};
+    let mut seen: HashSet<VersionState> = HashSet::new();
+    let mut queue = VecDeque::from([VersionState::HOME]);
+    while let Some(s) = queue.pop_front() {
+        if !seen.insert(s) {
+            continue;
+        }
+        for e in ProtocolEvent::ALL {
+            if let Ok(next) = s.apply(e) {
+                queue.push_back(next);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+#[derive(Debug, Clone)]
+enum Act {
+    Write(u64),
+    Checkpoint,
+    Wait(u64),
+    Crash,
+}
+
+fn act_strategy() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        6 => (0u64..64).prop_map(|b| Act::Write(b * 64)),
+        2 => Just(Act::Checkpoint),
+        2 => (0u64..1_000_000).prop_map(Act::Wait),
+        1 => Just(Act::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every BTT entry state the controller produces is reachable in the
+    /// protocol specification.
+    #[test]
+    fn controller_states_are_spec_reachable(
+        acts in proptest::collection::vec(act_strategy(), 1..80)
+    ) {
+        let legal = reachable_states();
+        let mut sys = ThyNvm::new(SystemConfig::small_test());
+        let mut now = Cycle::ZERO;
+        for act in acts {
+            match act {
+                Act::Write(addr) => {
+                    now = now.max(sys.store_bytes(PhysAddr::new(addr), &[1], now));
+                }
+                Act::Checkpoint => now = now.max(sys.force_checkpoint(now)),
+                Act::Wait(c) => now += Cycle::new(c),
+                Act::Crash => {
+                    sys.crash_and_recover(now);
+                }
+            }
+            for (block, entry) in sys.btt().iter() {
+                let state = abstract_state(entry);
+                prop_assert!(
+                    legal.contains(&state),
+                    "entry for {block} in unreachable state {state}"
+                );
+            }
+        }
+    }
+
+    /// After a crash, no entry may claim working or in-flight versions —
+    /// the spec's Crash event postcondition.
+    #[test]
+    fn crash_clears_volatile_versions(
+        writes in proptest::collection::vec(0u64..64, 1..40),
+        do_ckpt in any::<bool>(),
+    ) {
+        let mut sys = ThyNvm::new(SystemConfig::small_test());
+        let mut now = Cycle::ZERO;
+        for b in writes {
+            now = now.max(sys.store_bytes(PhysAddr::new(b * 64), &[1], now));
+        }
+        if do_ckpt {
+            now = sys.force_checkpoint(now);
+        }
+        sys.crash_and_recover(now);
+        for (block, entry) in sys.btt().iter() {
+            let s = abstract_state(entry);
+            prop_assert!(!s.working, "{block} kept a working copy through power loss");
+            // An in-flight checkpoint survives only if it completed before
+            // the crash — in which case the controller rotated it to
+            // durable, so `pending` must be empty either way.
+            prop_assert!(!s.in_flight, "{block} kept an in-flight checkpoint");
+        }
+    }
+}
+
+#[test]
+fn spec_recovery_matches_controller_on_canonical_scenarios() {
+    // Scenario A: write, checkpoint completes → spec says LastCheckpoint.
+    let mut sys = ThyNvm::new(SystemConfig::small_test());
+    let t = sys.store_bytes(PhysAddr::new(0), &[5], Cycle::ZERO);
+    let t = sys.force_checkpoint(t);
+    let t = sys.drain(t);
+    let spec = VersionState { working: false, in_flight: false, durable: true };
+    assert_eq!(
+        spec.recovery_target(),
+        thynvm::core::protocol::RecoveryTarget::LastCheckpoint
+    );
+    sys.crash_and_recover(t);
+    let mut buf = [0u8; 1];
+    sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+    assert_eq!(buf[0], 5, "controller agrees: last checkpoint restored");
+
+    // Scenario B: crash while the first checkpoint is in flight → spec
+    // says HomeOriginal (zero).
+    let mut sys = ThyNvm::new(SystemConfig::small_test());
+    let t = sys.store_bytes(PhysAddr::new(0), &[5], Cycle::ZERO);
+    let resume = sys.force_checkpoint(t);
+    assert!(sys.epoch_state().job_running(resume));
+    let spec = VersionState { working: false, in_flight: true, durable: false };
+    assert_eq!(
+        spec.recovery_target(),
+        thynvm::core::protocol::RecoveryTarget::HomeOriginal
+    );
+    sys.crash_and_recover(resume);
+    let mut buf = [9u8; 1];
+    sys.load_bytes(PhysAddr::new(0), &mut buf, resume);
+    assert_eq!(buf[0], 0, "controller agrees: home original restored");
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the richer workloads: the vacation reservation
+//! system, the B+ tree store, trace files, and the multi-core platform —
+//! all driven end-to-end against real memory systems.
+
+use thynvm::bench::runner::{run_with_caches, SystemKind};
+use thynvm::cache::MulticorePlatform;
+use thynvm::core::ThyNvm;
+use thynvm::types::{Cycle, MemorySystem, PhysAddr, SystemConfig, TraceEvent};
+use thynvm::workloads::analysis::TraceStats;
+use thynvm::workloads::kv::{btree::BTreeKv, KvConfig};
+use thynvm::workloads::micro::{MicroConfig, MicroPattern};
+use thynvm::workloads::tracefile;
+use thynvm::workloads::vacation::{Vacation, VacationConfig};
+
+#[test]
+fn vacation_runs_on_all_persistent_systems() {
+    let mut v = Vacation::new(VacationConfig { relations: 512, ..VacationConfig::default() });
+    let (events, txns) = v.trace(1_000);
+    assert_eq!(txns, 1_000);
+    let cfg = SystemConfig::paper();
+    let mut throughputs = Vec::new();
+    for kind in [SystemKind::Journal, SystemKind::Shadow, SystemKind::ThyNvm] {
+        let res = run_with_caches(kind, cfg, events.iter().copied());
+        let tps = res.throughput_tps(txns);
+        assert!(tps > 0.0, "{:?} produced no throughput", kind);
+        throughputs.push((kind, tps));
+    }
+    // The §2.1 motivation: ThyNVM must not lose to the software approaches
+    // on a transactional composite workload.
+    let thynvm = throughputs.iter().find(|(k, _)| *k == SystemKind::ThyNvm).unwrap().1;
+    let journal = throughputs.iter().find(|(k, _)| *k == SystemKind::Journal).unwrap().1;
+    assert!(thynvm > journal, "ThyNVM {thynvm} !> Journal {journal}");
+}
+
+#[test]
+fn vacation_trace_characteristics_are_transactional() {
+    let mut v = Vacation::new(VacationConfig { relations: 512, ..VacationConfig::default() });
+    let (events, _) = v.trace(2_000);
+    let stats = TraceStats::from_events(events.iter().copied());
+    // Reservation transactions are read-mostly (queries) with bursts of
+    // updates across four tables.
+    let wf = stats.write_fraction();
+    assert!((0.1..0.8).contains(&wf), "write fraction {wf}");
+    assert!(stats.unique_pages > 50, "footprint too small: {}", stats.unique_pages);
+}
+
+#[test]
+fn btree_store_runs_through_thynvm_with_crash() {
+    // End-to-end: build a B+ tree workload, replay it functionally through
+    // ThyNVM, checkpoint, crash — the trace replays without panics and the
+    // system stays recoverable.
+    let kv_cfg = KvConfig::new(128);
+    let mut store = BTreeKv::new();
+    kv_cfg.populate(&mut store, 500);
+    let (events, _) = kv_cfg.trace(&mut store, 500);
+
+    let mut sys = ThyNvm::new(SystemConfig::small_test());
+    let mut now = Cycle::ZERO;
+    for e in events.iter().take(2_000) {
+        if e.req.kind.is_write() {
+            let data = vec![0x42u8; e.req.bytes as usize];
+            now = now.max(sys.store_bytes(e.req.addr, &data, now));
+        }
+    }
+    let t = sys.force_checkpoint(now);
+    let t = sys.drain(t);
+    let report = sys.crash_and_recover(t);
+    assert!(report.recovered_checkpoints >= 1);
+}
+
+#[test]
+fn trace_files_roundtrip_through_a_simulation() {
+    let dir = std::env::temp_dir().join("thynvm-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.thyt");
+
+    let events: Vec<TraceEvent> =
+        MicroConfig::new(MicroPattern::Sliding).events(20_000).collect();
+    tracefile::save(&path, events.iter().copied()).unwrap();
+    let loaded = tracefile::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // The reloaded trace must simulate identically.
+    let cfg = SystemConfig::paper();
+    let a = run_with_caches(SystemKind::ThyNvm, cfg, events.into_iter());
+    let b = run_with_caches(SystemKind::ThyNvm, cfg, loaded.into_iter());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.mem, b.mem);
+}
+
+#[test]
+fn multicore_platform_drives_thynvm_end_to_end() {
+    let cfg = SystemConfig::paper();
+    let traces: Vec<Vec<TraceEvent>> = (0..2u64)
+        .map(|c| {
+            MicroConfig::new(MicroPattern::Sliding)
+                .events(15_000)
+                .map(|mut e| {
+                    e.req.addr = PhysAddr::new(e.req.addr.raw() + (c << 30));
+                    e
+                })
+                .collect()
+        })
+        .collect();
+    let mut platform = MulticorePlatform::new(cfg.cache, 2);
+    let mut mem = ThyNvm::new(cfg);
+    let results = platform.run(traces, &mut mem);
+    assert_eq!(results.len(), 2);
+    for r in &results {
+        assert!(r.ipc() > 0.0);
+    }
+    // The shared controller checkpointed everything: nothing left volatile.
+    assert!(!mem.has_uncheckpointed_writes());
+    assert!(MemorySystem::stats(&mem).epochs_completed >= 1);
+    // Hardware budget respected even with two cores' flushes.
+    assert!(mem.btt().peak() <= cfg.thynvm.btt_entries);
+}
+
+#[test]
+fn multicore_ideal_dram_scales_aggregate_ipc() {
+    let cfg = SystemConfig::paper();
+    let make_traces = |n: u64| -> Vec<Vec<TraceEvent>> {
+        (0..n)
+            .map(|c| {
+                MicroConfig::new(MicroPattern::Random)
+                    .events(20_000 / n)
+                    .map(|mut e| {
+                        e.req.addr = PhysAddr::new(e.req.addr.raw() + (c << 30));
+                        e
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let agg = |n: usize| -> f64 {
+        let mut platform = MulticorePlatform::new(cfg.cache, n);
+        let mut mem = SystemKind::IdealDram.build(cfg);
+        platform.run(make_traces(n as u64), mem.as_mut()).iter().map(|r| r.ipc()).sum()
+    };
+    let one = agg(1);
+    let four = agg(4);
+    assert!(
+        four > one * 1.3,
+        "4 cores should beat 1 core in aggregate: {four:.4} vs {one:.4}"
+    );
+}
