@@ -1,0 +1,94 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small benchmarking surface `benches/substrate_criterion.rs` uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a plain
+//! wall-clock estimate (warmup + fixed sample count) with no statistical
+//! analysis, HTML reports, or CLI filtering.
+
+use std::time::{Duration, Instant};
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints a per-iteration estimate.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        println!("{id:<32} {:>12.1?}/iter over {} iters", per_iter, b.iters);
+        self
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warmup, then a fixed measured batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..1_000 {
+            std::hint::black_box(routine());
+        }
+        const MEASURED: u64 = 20_000;
+        let start = Instant::now();
+        for _ in 0..MEASURED {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += MEASURED;
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stub of the `serde` crate.
+//!
+//! The build environment has no crates.io access. The workspace only uses
+//! serde as a *marker* — types derive `Serialize`/`Deserialize` so a future
+//! exporter can serialize stats/configs, and one test asserts the bounds
+//! hold — but nothing actually serializes yet. This stub keeps those
+//! derives and bounds compiling: the traits carry no methods, and the
+//! derive macros (see `serde_derive`) emit empty impls.
+//!
+//! When a real serializer is needed, replace the `compat/serde*` path
+//! dependencies with the registry crates; no call sites change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

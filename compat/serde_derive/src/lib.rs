@@ -1,0 +1,61 @@
+//! Stub derive macros for the offline `serde` marker traits.
+//!
+//! Each derive emits an empty impl of the corresponding marker trait for
+//! the annotated type. Only non-generic `struct`/`enum` items are
+//! supported — that covers every derive site in this workspace, and the
+//! macro fails loudly (rather than mis-expanding) on anything else.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Finds the name of the `struct`/`enum` the derive is attached to,
+/// panicking if the item is generic (unsupported by this stub).
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+                ) {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(kw) if kw.to_string() == "struct" || kw.to_string() == "enum" => {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde stub derive: expected item name, got {other:?}"),
+                };
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    panic!(
+                        "serde stub derive: generic type `{name}` is not supported; \
+                         write the marker impl by hand"
+                    );
+                }
+                return name;
+            }
+            // `pub`, `pub(crate)`, doc comments, etc. — keep scanning.
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: no struct/enum found in input");
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("stub Serialize impl parses")
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("stub Deserialize impl parses")
+}

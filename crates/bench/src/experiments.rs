@@ -709,6 +709,37 @@ pub fn e16_working_region(scale: Scale) -> (Table, Vec<Cell>) {
     (table, cells)
 }
 
+/// E17: YCSB core mixes on the hash-table store — the KV evaluation the
+/// wider persistent-memory literature reports. Zipfian-skewed requests
+/// concentrate updates on hot keys, the best case for both DRAM caching
+/// and write coalescing.
+pub fn e17_ycsb(scale: Scale) -> (Table, Vec<Cell>) {
+    use thynvm_workloads::ycsb::{YcsbConfig, YcsbMix};
+
+    let cfg = SystemConfig::paper();
+    let mut cells = Vec::new();
+    let mut table = Table::new(
+        "YCSB core mixes (hash-table store, 1 KiB values): throughput KTPS",
+        &["mix", "Ideal DRAM", "Journal", "Shadow", "ThyNVM"],
+    );
+    let ops = (scale.kv_ops / 8).max(1_000);
+    for mix in YcsbMix::ALL {
+        let ycsb = YcsbConfig { records: 8 * 1024, ..YcsbConfig::new(mix) };
+        let mut store = HashKv::new(16 * 1024);
+        let (events, txns) = ycsb.run(&mut store, ops);
+        let mut row = vec![mix.as_str().to_owned()];
+        for kind in
+            [SystemKind::IdealDram, SystemKind::Journal, SystemKind::Shadow, SystemKind::ThyNvm]
+        {
+            let res = run_with_caches(kind, cfg, events.iter().copied());
+            row.push(fmt_f(res.throughput_tps(txns) / 1e3));
+            cells.push(Cell { workload: mix.as_str().into(), system: kind.as_str(), result: res });
+        }
+        table.row(&row);
+    }
+    (table, cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -839,35 +870,4 @@ mod tests {
         assert!(s.contains("geometric-mean"));
         assert_eq!(summarize_vs_ideal(&[]), "no comparable runs");
     }
-}
-
-/// E17: YCSB core mixes on the hash-table store — the KV evaluation the
-/// wider persistent-memory literature reports. Zipfian-skewed requests
-/// concentrate updates on hot keys, the best case for both DRAM caching
-/// and write coalescing.
-pub fn e17_ycsb(scale: Scale) -> (Table, Vec<Cell>) {
-    use thynvm_workloads::ycsb::{YcsbConfig, YcsbMix};
-
-    let cfg = SystemConfig::paper();
-    let mut cells = Vec::new();
-    let mut table = Table::new(
-        "YCSB core mixes (hash-table store, 1 KiB values): throughput KTPS",
-        &["mix", "Ideal DRAM", "Journal", "Shadow", "ThyNVM"],
-    );
-    let ops = (scale.kv_ops / 8).max(1_000);
-    for mix in YcsbMix::ALL {
-        let ycsb = YcsbConfig { records: 8 * 1024, ..YcsbConfig::new(mix) };
-        let mut store = HashKv::new(16 * 1024);
-        let (events, txns) = ycsb.run(&mut store, ops);
-        let mut row = vec![mix.as_str().to_owned()];
-        for kind in
-            [SystemKind::IdealDram, SystemKind::Journal, SystemKind::Shadow, SystemKind::ThyNvm]
-        {
-            let res = run_with_caches(kind, cfg, events.iter().copied());
-            row.push(fmt_f(res.throughput_tps(txns) / 1e3));
-            cells.push(Cell { workload: mix.as_str().into(), system: kind.as_str(), result: res });
-        }
-        table.row(&row);
-    }
-    (table, cells)
 }

@@ -72,6 +72,20 @@ pub struct RecoveryReport {
     pub recovery_cycles: Cycle,
 }
 
+/// Result of one crash injected through [`ThyNvm::arm_crash_point`]:
+/// the observability record, the §4.5 recovery report, and the cycle at
+/// which the rebooted system resumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// Where the crash landed and what recovery did (also appended to
+    /// [`MemStats::crash_events`](thynvm_types::MemStats)).
+    pub event: thynvm_types::CrashEvent,
+    /// The recovery report, as returned by [`ThyNvm::crash_and_recover`].
+    pub report: RecoveryReport,
+    /// Cycle at which the recovered system accepts requests again.
+    pub resume_at: Cycle,
+}
+
 /// Data captured while checkpointing a page (target region chosen when the
 /// job was scheduled).
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +149,15 @@ pub struct ThyNvm {
     epoch_length_hist: thynvm_types::Histogram,
     /// Distribution of checkpointing-phase durations (cycles).
     job_duration_hist: thynvm_types::Histogram,
+
+    // ---- fault injection ----
+    /// Armed crash point: power fails at this cycle. The crash fires at the
+    /// first request whose timeline reaches the armed cycle, and recovery
+    /// runs *as of the armed cycle* — effects scheduled to complete later
+    /// (an in-flight checkpoint's commit, queued writes) are lost.
+    crash_point: Option<Cycle>,
+    /// Record of the most recent injected crash, until taken.
+    injected_crash: Option<InjectedCrash>,
 }
 
 impl ThyNvm {
@@ -166,6 +189,8 @@ impl ThyNvm {
             archive_depth: 0,
             epoch_length_hist: thynvm_types::Histogram::new(),
             job_duration_hist: thynvm_types::Histogram::new(),
+            crash_point: None,
+            injected_crash: None,
             cfg,
         }
     }
@@ -209,6 +234,103 @@ impl ThyNvm {
     /// Report of the last [`ThyNvm::crash_and_recover`], if any.
     pub fn last_recovery(&self) -> Option<&RecoveryReport> {
         self.last_recovery.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (crash points)
+    // ------------------------------------------------------------------
+
+    /// Arms a crash point: power fails at the *end* of cycle `at`.
+    ///
+    /// The boundary convention matches [`ThyNvm::crash_and_recover`]
+    /// everywhere: an effect whose device commit lands at or before `at`
+    /// (a write retiring, a checkpoint's completion flag at `done_at`)
+    /// survives; anything scheduled later is lost. Accordingly the crash
+    /// fires at the first subsequent request whose timeline is *strictly
+    /// past* `at` — including while the controller is *waiting* on an
+    /// in-flight checkpoint — and recovery runs as of cycle `at`. The
+    /// triggering request itself is dropped if it mutates state (power was
+    /// already gone); loads proceed against the recovered image.
+    ///
+    /// Re-arming replaces any previously armed point. Use
+    /// [`ThyNvm::take_crash_report`] after each request to learn whether
+    /// the crash fired.
+    pub fn arm_crash_point(&mut self, at: Cycle) {
+        self.crash_point = Some(at);
+    }
+
+    /// The currently armed crash point, if any.
+    pub fn armed_crash_point(&self) -> Option<Cycle> {
+        self.crash_point
+    }
+
+    /// Disarms the crash point without firing it, returning the armed
+    /// cycle if one was set.
+    pub fn disarm_crash_point(&mut self) -> Option<Cycle> {
+        self.crash_point.take()
+    }
+
+    /// Takes the record of the most recent injected crash, if one fired
+    /// since the last call.
+    pub fn take_crash_report(&mut self) -> Option<InjectedCrash> {
+        self.injected_crash.take()
+    }
+
+    /// Fires the armed crash point if the timeline has passed it: checks
+    /// `now` against the armed cycle and performs the crash + recovery.
+    /// Returns the resume cycle if the crash fired. Harnesses may call this
+    /// between requests; the controller calls it on every request entry.
+    ///
+    /// Power fails at the *end* of the armed cycle, so a request entering
+    /// exactly at it is still serviced; the crash fires strictly after.
+    pub fn poll_crash(&mut self, now: Cycle) -> Option<Cycle> {
+        let at = self.crash_point?;
+        if now <= at {
+            return None;
+        }
+        Some(self.trigger_crash())
+    }
+
+    /// Whether the armed crash point fires strictly before cycle `t` — used
+    /// where the controller is about to block until `t` (a checkpoint
+    /// stall, a drain): power fails mid-wait.
+    fn crash_before(&self, t: Cycle) -> bool {
+        self.crash_point.is_some_and(|at| at < t)
+    }
+
+    /// Performs the armed crash: classifies where it landed, runs §4.5
+    /// recovery as of the armed cycle, records the observability event, and
+    /// returns the cycle at which the rebooted system resumes.
+    fn trigger_crash(&mut self) -> Cycle {
+        let at = self.crash_point.take().expect("armed");
+
+        // Classify the crash site before recovery tears the state down.
+        let epoch_id = self.epoch.active_epoch;
+        let (phase, mut inflight) = match &self.epoch.job {
+            Some(job) if !job.is_done(at) => {
+                (job.phase_at(at), job.inflight_writebacks_at(at))
+            }
+            _ => (thynvm_types::CkptPhase::Execution, 0),
+        };
+        inflight += self.nvm_wq.len_at(at) + self.dram_wq.len_at(at);
+
+        let report = self.crash_and_recover(at);
+        let outcome = if report.rolled_back_incomplete {
+            thynvm_types::RecoveryOutcome::CPenult
+        } else {
+            thynvm_types::RecoveryOutcome::CLast
+        };
+        let event = thynvm_types::CrashEvent {
+            cycle: at,
+            epoch: epoch_id,
+            phase,
+            inflight_writebacks: inflight,
+            outcome,
+        };
+        self.stats.record_crash(event.clone());
+        let resume_at = at + report.recovery_cycles;
+        self.injected_crash = Some(InjectedCrash { event, report, resume_at });
+        resume_at
     }
 
     // ------------------------------------------------------------------
@@ -278,6 +400,14 @@ impl ThyNvm {
     /// (`pending` → `C_last`), thaw pages, merge cooperation blocks, and
     /// apply deferred scheme switches.
     fn retire_job_if_done(&mut self, now: Cycle) {
+        // A job whose completion lies at or beyond an armed crash point can
+        // never commit: power fails first. Leaving it in place lets the
+        // crash trigger find it and roll it back (`C_penult`).
+        if let (Some(at), Some(job)) = (self.crash_point, self.epoch.job.as_ref()) {
+            if job.done_at > at {
+                return;
+            }
+        }
         let Some(job) = self.epoch.take_finished_job(now) else {
             return;
         };
@@ -767,6 +897,10 @@ impl ThyNvm {
     /// software-visible contents and the timing model. Returns the cycle at
     /// which the store is acknowledged.
     pub fn store_bytes(&mut self, addr: PhysAddr, data: &[u8], now: Cycle) -> Cycle {
+        // Power already failed: the store never reaches the controller.
+        if let Some(resume) = self.poll_crash(now) {
+            return resume.max(now);
+        }
         self.visible.write(thynvm_types::HwAddr::new(addr.raw()), data);
         self.working_log.push((addr.raw(), data.to_vec()));
         let req = MemRequest::write(addr, u32::try_from(data.len()).expect("write too large"));
@@ -777,6 +911,11 @@ impl ThyNvm {
     /// software-visible image, paying the timing cost. Returns the cycle at
     /// which the load completes.
     pub fn load_bytes(&mut self, addr: PhysAddr, buf: &mut [u8], now: Cycle) -> Cycle {
+        // Power already failed: the load observes the *recovered* image.
+        let now = match self.poll_crash(now) {
+            Some(resume) => resume.max(now),
+            None => now,
+        };
         self.visible.read(thynvm_types::HwAddr::new(addr.raw()), buf);
         let req = MemRequest::read(addr, u32::try_from(buf.len()).expect("read too large"));
         self.access(&req, now)
@@ -800,8 +939,8 @@ impl ThyNvm {
         self.pending_pages.clear();
         self.pending_switch_counts.clear();
         self.page_store_counts.clear();
-        self.nvm_wq.discard();
-        self.dram_wq.discard();
+        let lost = self.nvm_wq.discard_lost(now) + self.dram_wq.discard_lost(now);
+        self.stats.wq_writes_lost += lost as u64;
         self.dram.power_cycle();
         self.nvm.power_cycle();
         self.epoch_dirty_blocks = 0;
@@ -890,6 +1029,11 @@ impl ThyNvm {
 impl MemorySystem for ThyNvm {
     fn access(&mut self, req: &MemRequest, now: Cycle) -> Cycle {
         let now = now.max(self.input_blocked_until);
+        // The request begins processing at `now`; if the armed crash point
+        // has been reached by then, power fails before it is serviced.
+        if let Some(resume) = self.poll_crash(now) {
+            return resume.max(now);
+        }
         self.retire_job_if_done(now);
         let t = now + self.cfg.timing.table_lookup();
         match req.kind {
@@ -935,6 +1079,10 @@ impl MemorySystem for ThyNvm {
     }
 
     fn begin_checkpoint(&mut self, now: Cycle, flushed: &[PhysAddr]) -> Cycle {
+        // Power already failed: the checkpoint request never happens.
+        if let Some(resume) = self.poll_crash(now) {
+            return resume.max(now);
+        }
         self.retire_job_if_done(now);
 
         // If the previous checkpoint is still running, the new epoch cannot
@@ -942,6 +1090,10 @@ impl MemorySystem for ThyNvm {
         let mut t = now;
         if self.epoch.job_running(t) {
             let done = self.epoch.job.as_ref().expect("running").done_at;
+            // Power fails while stalled waiting for the in-flight job.
+            if self.crash_before(done) {
+                return self.trigger_crash().max(now);
+            }
             self.stats.ckpt_stall_cycles += done - t;
             t = done;
             self.retire_job_if_done(t);
@@ -983,6 +1135,11 @@ impl MemorySystem for ThyNvm {
                 i += 1;
             } else {
                 t = self.checkpoint_round(t, flush_done, false);
+                // An intermediate round that outlives the armed crash point
+                // never completes: power fails mid-round.
+                if self.crash_before(t) {
+                    return self.trigger_crash().max(now);
+                }
                 flush_done = flush_done.max(t);
             }
         }
@@ -993,15 +1150,33 @@ impl MemorySystem for ThyNvm {
     }
 
     fn drain(&mut self, now: Cycle) -> Cycle {
+        // Power already failed: nothing left to drain.
+        if let Some(resume) = self.poll_crash(now) {
+            return resume.max(now);
+        }
         let mut t = now;
         if self.epoch.job_running(t) {
-            t = self.epoch.job.as_ref().expect("running").done_at;
+            let done = self.epoch.job.as_ref().expect("running").done_at;
+            // Power fails while waiting for the in-flight job.
+            if self.crash_before(done) {
+                return self.trigger_crash().max(now);
+            }
+            t = done;
         }
         self.retire_job_if_done(t);
         if self.has_uncheckpointed_writes() {
+            let was_armed = self.crash_point.is_some();
             t = self.begin_checkpoint(t, &[]);
+            if was_armed && self.crash_point.is_none() {
+                // The crash fired inside the checkpoint; `t` is the resume.
+                return t.max(now);
+            }
             if self.epoch.job_running(t) {
-                t = self.epoch.job.as_ref().expect("running").done_at;
+                let done = self.epoch.job.as_ref().expect("running").done_at;
+                if self.crash_before(done) {
+                    return self.trigger_crash().max(now);
+                }
+                t = done;
             }
             self.retire_job_if_done(t);
         }
@@ -1048,6 +1223,7 @@ impl ThyNvm {
             })
             .collect();
         buffered.sort_unstable_by_key(|(b, _)| *b);
+        let mut writeback_done: Vec<Cycle> = Vec::new();
         let mut phase1_done = ckpt_start.max(data_ready);
         for (block, slot) in buffered {
             let src = self.space.working_block(slot, self.ptt.capacity());
@@ -1058,6 +1234,7 @@ impl ThyNvm {
             let dst = self.space.checkpoint_block(region, block);
             let write_done = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, read_done);
             self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Checkpoint);
+            writeback_done.push(write_done);
             phase1_done = phase1_done.max(write_done);
             let entry = self.btt.get_mut(block).expect("present");
             entry.wactive = Some(WactiveLoc::Nvm(region));
@@ -1108,6 +1285,7 @@ impl ThyNvm {
             let dst = self.space.checkpoint_page(target, page);
             let write_done = self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, read_done);
             self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Checkpoint);
+            writeback_done.push(write_done);
             phase3_done = phase3_done.max(write_done);
             self.pending_pages.insert(page, PendingPage { target });
             frozen.insert(page);
@@ -1146,6 +1324,10 @@ impl ThyNvm {
             epoch: self.epoch.active_epoch,
             started: ckpt_start,
             done_at: bg,
+            drained_at: phase1_done,
+            btt_at: btt_done,
+            pages_at: phase3_done,
+            writeback_done,
             frozen_pages: frozen,
         };
         self.epoch.start_job(job, t);
@@ -1682,5 +1864,131 @@ mod tests {
         let t = sys.force_checkpoint(t);
         let _ = sys.drain(t);
         assert!(sys.archived_checkpoints().is_empty());
+    }
+
+    // ---------------- fault injection ----------------
+
+    #[test]
+    fn armed_crash_fires_on_next_request_past_the_point() {
+        let mut sys = small();
+        let t = sys.store_bytes(PhysAddr::new(0), &[1], Cycle::ZERO);
+        sys.arm_crash_point(t + Cycle::new(10));
+        assert_eq!(sys.armed_crash_point(), Some(t + Cycle::new(10)));
+        // A store before the point proceeds normally.
+        let t2 = sys.store_bytes(PhysAddr::new(64), &[2], t);
+        assert!(sys.take_crash_report().is_none());
+        // The first request strictly past the point triggers the crash.
+        let resume = sys.store_bytes(PhysAddr::new(128), &[3], t2 + Cycle::new(1_000));
+        let crash = sys.take_crash_report().expect("crash fired");
+        assert_eq!(crash.event.cycle, t + Cycle::new(10));
+        assert_eq!(crash.resume_at, resume);
+        assert_eq!(sys.armed_crash_point(), None);
+        assert_eq!(sys.stats().crashes_injected, 1);
+        // No checkpoint had completed: everything reads zero, including the
+        // dropped store.
+        let mut buf = [0u8; 1];
+        sys.load_bytes(PhysAddr::new(128), &mut buf, resume);
+        assert_eq!(buf[0], 0, "the crashed store must be dropped");
+    }
+
+    #[test]
+    fn crash_during_checkpoint_classifies_phase_and_rolls_back() {
+        let mut sys = small();
+        let t = sys.store_bytes(PhysAddr::new(0), &[7], Cycle::ZERO);
+        // First checkpoint completes: C_last = {7}.
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        let t = sys.store_bytes(PhysAddr::new(0), &[8], t);
+        // Second checkpoint starts; crash one cycle before its commit.
+        let resume = sys.force_checkpoint(t);
+        let job_done = sys.epoch_state().job.as_ref().expect("job in flight").done_at;
+        sys.arm_crash_point(job_done - Cycle::new(1));
+        let after = sys.load_bytes(PhysAddr::new(0), &mut [0u8; 1], job_done + Cycle::new(1));
+        let _ = (resume, after);
+        let crash = sys.take_crash_report().expect("crash fired");
+        assert!(crash.report.rolled_back_incomplete, "checkpoint was in flight");
+        assert_eq!(crash.event.outcome, thynvm_types::RecoveryOutcome::CPenult);
+        assert_ne!(crash.event.phase, thynvm_types::CkptPhase::Execution);
+        // Recovery restored the first checkpoint's value.
+        let mut buf = [0u8; 1];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, crash.resume_at);
+        assert_eq!(buf[0], 7);
+        assert_eq!(sys.stats().recoveries_to_cpenult, 1);
+    }
+
+    #[test]
+    fn crash_after_checkpoint_commit_keeps_clast() {
+        let mut sys = small();
+        let t = sys.store_bytes(PhysAddr::new(0), &[9], Cycle::ZERO);
+        let t = sys.force_checkpoint(t);
+        let job_done = sys.epoch_state().job.as_ref().map(|j| j.done_at).unwrap_or(t);
+        // Crash exactly at the commit cycle: the checkpoint counts.
+        sys.arm_crash_point(job_done);
+        sys.load_bytes(PhysAddr::new(0), &mut [0u8; 1], job_done + Cycle::new(1));
+        let crash = sys.take_crash_report().expect("crash fired");
+        assert!(!crash.report.rolled_back_incomplete);
+        assert_eq!(crash.event.outcome, thynvm_types::RecoveryOutcome::CLast);
+        let mut buf = [0u8; 1];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, crash.resume_at);
+        assert_eq!(buf[0], 9);
+    }
+
+    #[test]
+    fn crash_fires_while_stalled_on_inflight_job() {
+        let mut sys = small();
+        let t = sys.store_bytes(PhysAddr::new(0), &[1], Cycle::ZERO);
+        let resume = sys.force_checkpoint(t);
+        let job_done = sys.epoch_state().job.as_ref().expect("overlap job").done_at;
+        assert!(resume < job_done, "needs an overlapped in-flight job");
+        // Arm inside the job's window, then request a second checkpoint:
+        // the controller would stall until `job_done`, but power fails
+        // mid-wait.
+        sys.arm_crash_point(job_done - Cycle::new(1));
+        sys.force_checkpoint(resume);
+        let crash = sys.take_crash_report().expect("crash fired during stall");
+        assert!(crash.report.rolled_back_incomplete);
+    }
+
+    #[test]
+    fn disarm_prevents_the_crash() {
+        let mut sys = small();
+        sys.arm_crash_point(Cycle::new(5));
+        assert_eq!(sys.disarm_crash_point(), Some(Cycle::new(5)));
+        let t = sys.store_bytes(PhysAddr::new(0), &[1], Cycle::new(100));
+        assert!(sys.take_crash_report().is_none());
+        assert!(t > Cycle::new(100));
+        assert_eq!(sys.stats().crashes_injected, 0);
+    }
+
+    #[test]
+    fn poll_crash_fires_between_requests() {
+        let mut sys = small();
+        sys.arm_crash_point(Cycle::new(50));
+        // Power fails at the *end* of cycle 50: not due at 50 itself.
+        assert!(sys.poll_crash(Cycle::new(49)).is_none());
+        assert!(sys.poll_crash(Cycle::new(50)).is_none());
+        let resume = sys.poll_crash(Cycle::new(51)).expect("due");
+        assert!(resume >= Cycle::new(50));
+        assert!(sys.take_crash_report().is_some());
+    }
+
+    #[test]
+    fn crash_events_record_epoch_and_inflight_counts() {
+        let mut sys = small();
+        let mut t = Cycle::ZERO;
+        for round in 0u8..3 {
+            t = sys.store_bytes(PhysAddr::new(0), &[round + 1], t);
+            t = sys.force_checkpoint(t);
+            t = sys.drain(t);
+        }
+        let epoch_before = sys.epoch_state().active_epoch;
+        sys.arm_crash_point(t + Cycle::new(1));
+        sys.store_bytes(PhysAddr::new(0), &[9], t + Cycle::new(2));
+        let crash = sys.take_crash_report().expect("fired");
+        assert_eq!(crash.event.epoch, epoch_before);
+        assert_eq!(crash.event.phase, thynvm_types::CkptPhase::Execution);
+        // The same record landed in the stats layer.
+        assert_eq!(sys.stats().crash_events.len(), 1);
+        assert_eq!(sys.stats().crash_events[0], crash.event);
     }
 }

@@ -9,7 +9,7 @@
 
 use std::collections::HashSet;
 
-use thynvm_types::{Cycle, PageIndex};
+use thynvm_types::{CkptPhase, Cycle, PageIndex};
 
 /// An in-flight checkpointing phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +21,16 @@ pub struct CkptJob {
     /// Cycle the checkpoint completes (write queue drained, completion bit
     /// set). Computed when the job is scheduled.
     pub done_at: Cycle,
+    /// Cycle phase 1 (DRAM-buffered block drain) completes.
+    pub drained_at: Cycle,
+    /// Cycle phase 2 (BTT + CPU-state persist) completes.
+    pub btt_at: Cycle,
+    /// Cycle phase 3 (dirty-page writebacks) completes.
+    pub pages_at: Cycle,
+    /// Device-commit cycles of every data writeback this job issues
+    /// (buffered block drains and page writebacks), for in-flight counts at
+    /// an arbitrary crash cycle.
+    pub writeback_done: Vec<Cycle>,
     /// Pages whose DRAM copies are frozen while this job writes them back.
     pub frozen_pages: HashSet<PageIndex>,
 }
@@ -29,6 +39,30 @@ impl CkptJob {
     /// Whether the job has completed by `now`.
     pub fn is_done(&self, now: Cycle) -> bool {
         self.done_at <= now
+    }
+
+    /// Which Figure 6(b) phase this job is in at `now`.
+    ///
+    /// Returns [`CkptPhase::Execution`] outside the job's lifetime — before
+    /// it started (the job belongs to a future the crashed timeline never
+    /// reached) or after it completed.
+    pub fn phase_at(&self, now: Cycle) -> CkptPhase {
+        if now < self.started || self.is_done(now) {
+            CkptPhase::Execution
+        } else if now < self.drained_at {
+            CkptPhase::DrainBlocks
+        } else if now < self.btt_at {
+            CkptPhase::PersistBtt
+        } else if now < self.pages_at {
+            CkptPhase::PageWriteback
+        } else {
+            CkptPhase::Finalize
+        }
+    }
+
+    /// Number of this job's data writebacks still in flight at `now`.
+    pub fn inflight_writebacks_at(&self, now: Cycle) -> usize {
+        self.writeback_done.iter().filter(|&&d| d > now).count()
     }
 }
 
@@ -107,10 +141,16 @@ mod tests {
     use super::*;
 
     fn job(epoch: u64, started: u64, done: u64) -> CkptJob {
+        // Split the job's lifetime into four equal phase windows.
+        let span = done - started;
         CkptJob {
             epoch,
             started: Cycle::new(started),
             done_at: Cycle::new(done),
+            drained_at: Cycle::new(started + span / 4),
+            btt_at: Cycle::new(started + span / 2),
+            pages_at: Cycle::new(started + 3 * span / 4),
+            writeback_done: Vec::new(),
             frozen_pages: HashSet::new(),
         }
     }
@@ -168,6 +208,29 @@ mod tests {
         assert!(s.page_frozen(PageIndex::new(5), Cycle::new(50)));
         assert!(!s.page_frozen(PageIndex::new(6), Cycle::new(50)));
         assert!(!s.page_frozen(PageIndex::new(5), Cycle::new(100)));
+    }
+
+    #[test]
+    fn phase_classification_follows_timeline() {
+        use thynvm_types::CkptPhase::*;
+        let j = job(0, 100, 200); // drained 125, btt 150, pages 175
+        assert_eq!(j.phase_at(Cycle::new(99)), Execution);
+        assert_eq!(j.phase_at(Cycle::new(100)), DrainBlocks);
+        assert_eq!(j.phase_at(Cycle::new(124)), DrainBlocks);
+        assert_eq!(j.phase_at(Cycle::new(125)), PersistBtt);
+        assert_eq!(j.phase_at(Cycle::new(150)), PageWriteback);
+        assert_eq!(j.phase_at(Cycle::new(175)), Finalize);
+        assert_eq!(j.phase_at(Cycle::new(199)), Finalize);
+        assert_eq!(j.phase_at(Cycle::new(200)), Execution);
+    }
+
+    #[test]
+    fn inflight_writebacks_count_pending_commits() {
+        let mut j = job(0, 0, 100);
+        j.writeback_done = vec![Cycle::new(10), Cycle::new(40), Cycle::new(90)];
+        assert_eq!(j.inflight_writebacks_at(Cycle::ZERO), 3);
+        assert_eq!(j.inflight_writebacks_at(Cycle::new(40)), 1);
+        assert_eq!(j.inflight_writebacks_at(Cycle::new(90)), 0);
     }
 
     #[test]

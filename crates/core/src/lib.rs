@@ -62,10 +62,12 @@
 pub mod controller;
 pub mod epoch;
 pub mod layout;
+pub mod oracle;
 pub mod protocol;
 pub mod table;
 
-pub use controller::{RecoveryReport, ThyNvm};
+pub use controller::{InjectedCrash, RecoveryReport, ThyNvm};
+pub use oracle::{OracleMismatch, PersistenceOracle};
 pub use protocol::{Event as ProtocolEvent, ProtocolError, VersionState};
 pub use epoch::{CkptJob, EpochState};
 pub use layout::{AddressSpace, Region};

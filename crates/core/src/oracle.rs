@@ -1,0 +1,232 @@
+//! The persistence oracle: a pure model of the paper's three-version
+//! crash-consistency rules (§3.2, §4.5).
+//!
+//! The oracle is a plain byte map plus a list of checkpoint snapshots. A
+//! harness feeds it the same writes and checkpoints it feeds the simulated
+//! controller; the oracle then predicts, for a crash at *any* cycle, the
+//! exact byte image recovery must produce:
+//!
+//! * writes of the active epoch (`W_active`) are always lost;
+//! * the last checkpoint (`C_last`) wins if its commit record persisted —
+//!   i.e. the checkpoint *completed* — by the crash cycle;
+//! * otherwise recovery falls back to the penultimate completed checkpoint
+//!   (`C_penult`), and transitively to older ones, down to the initial
+//!   all-zero image.
+//!
+//! The oracle deliberately knows nothing about the controller's BTT/PTT,
+//! regions, or devices — it is the independent specification the
+//! implementation is diffed against, byte for byte.
+
+use std::collections::BTreeMap;
+
+use thynvm_types::{Cycle, RecoveryOutcome};
+
+/// One byte-level divergence between the oracle and a recovered image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleMismatch {
+    /// Physical address of the diverging byte.
+    pub addr: u64,
+    /// What the three-version rules require.
+    pub expected: u8,
+    /// What recovery actually produced.
+    pub actual: u8,
+}
+
+/// A checkpoint the oracle knows about.
+#[derive(Debug, Clone)]
+struct OracleCheckpoint {
+    /// Cycle the checkpoint was initiated (its content cutoff).
+    started: Cycle,
+    /// Cycle its commit record persists; the checkpoint only counts for
+    /// crashes at or after this cycle.
+    completes_at: Cycle,
+    /// Byte image as of initiation.
+    image: BTreeMap<u64, u8>,
+}
+
+/// Pure reference model of what a crash at any cycle must recover to.
+///
+/// # Example
+///
+/// ```
+/// use thynvm_core::PersistenceOracle;
+/// use thynvm_types::Cycle;
+///
+/// let mut oracle = PersistenceOracle::new();
+/// oracle.record_write(0x40, b"ab");
+/// oracle.record_checkpoint(Cycle::new(100), Cycle::new(500));
+/// oracle.record_write(0x40, b"xy"); // W_active: lost on crash
+///
+/// // Crash before the checkpoint's commit persisted: all-zero image.
+/// assert_eq!(oracle.expected_byte_at(0x40, Cycle::new(499)), 0);
+/// // Crash after: the checkpointed value survives, the overwrite does not.
+/// assert_eq!(oracle.expected_byte_at(0x40, Cycle::new(500)), b'a');
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PersistenceOracle {
+    /// Live contents as the program wrote them (the would-be `W_active`).
+    current: BTreeMap<u64, u8>,
+    /// Checkpoint snapshots, in initiation order.
+    checkpoints: Vec<OracleCheckpoint>,
+}
+
+impl PersistenceOracle {
+    /// Creates an oracle with an all-zero initial image and no checkpoints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a program write of `data` at physical address `addr`.
+    pub fn record_write(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.current.insert(addr + i as u64, b);
+        }
+    }
+
+    /// Records a checkpoint initiated at `started` whose commit record
+    /// persists at `completes_at`: snapshots the current image.
+    pub fn record_checkpoint(&mut self, started: Cycle, completes_at: Cycle) {
+        self.checkpoints.push(OracleCheckpoint {
+            started,
+            completes_at,
+            image: self.current.clone(),
+        });
+    }
+
+    /// Every address the program has ever written (the verification
+    /// domain: all other bytes are zero in both oracle and controller).
+    pub fn touched_addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.current.keys().copied()
+    }
+
+    /// The full byte image a crash at `crash` must recover to: the most
+    /// recent checkpoint whose commit record persisted by `crash`, or the
+    /// all-zero image if none has.
+    pub fn expected_image_at(&self, crash: Cycle) -> BTreeMap<u64, u8> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.completes_at <= crash)
+            .map(|c| c.image.clone())
+            .unwrap_or_default()
+    }
+
+    /// The single byte at `addr` a crash at `crash` must recover to.
+    pub fn expected_byte_at(&self, addr: u64, crash: Cycle) -> u8 {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.completes_at <= crash)
+            .and_then(|c| c.image.get(&addr).copied())
+            .unwrap_or(0)
+    }
+
+    /// Which image label §4.5 assigns to a crash at `crash`: `CPenult` if a
+    /// checkpoint had been initiated but its commit record had not yet
+    /// persisted (that checkpoint is discarded), `CLast` otherwise.
+    pub fn expected_outcome_at(&self, crash: Cycle) -> RecoveryOutcome {
+        let incomplete = self
+            .checkpoints
+            .iter()
+            .any(|c| c.started <= crash && crash < c.completes_at);
+        if incomplete {
+            RecoveryOutcome::CPenult
+        } else {
+            RecoveryOutcome::CLast
+        }
+    }
+
+    /// Diffs a recovered image against the oracle's prediction for a crash
+    /// at `crash`, byte for byte over every touched address. `read` fetches
+    /// one byte of the recovered image (e.g. a `load_bytes` wrapper).
+    /// Returns every divergence; empty means recovery is oracle-identical.
+    pub fn diff(&self, crash: Cycle, mut read: impl FnMut(u64) -> u8) -> Vec<OracleMismatch> {
+        let expected = self.expected_image_at(crash);
+        self.touched_addrs()
+            .filter_map(|addr| {
+                let want = expected.get(&addr).copied().unwrap_or(0);
+                let got = read(addr);
+                (got != want).then_some(OracleMismatch { addr, expected: want, actual: got })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_checkpoint_expects_zeroes() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(10, &[7, 8]);
+        assert_eq!(o.expected_byte_at(10, Cycle::new(1_000_000)), 0);
+        assert!(o.expected_image_at(Cycle::new(1_000_000)).is_empty());
+        assert_eq!(o.expected_outcome_at(Cycle::ZERO), RecoveryOutcome::CLast);
+    }
+
+    #[test]
+    fn clast_wins_once_commit_persisted() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(0, &[1]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        o.record_write(0, &[2]);
+        o.record_checkpoint(Cycle::new(200), Cycle::new(300));
+        // Before the first commit: zeroes.
+        assert_eq!(o.expected_byte_at(0, Cycle::new(99)), 0);
+        // Between commits: the first checkpoint's value.
+        assert_eq!(o.expected_byte_at(0, Cycle::new(100)), 1);
+        assert_eq!(o.expected_byte_at(0, Cycle::new(299)), 1);
+        // After the second commit: the overwrite.
+        assert_eq!(o.expected_byte_at(0, Cycle::new(300)), 2);
+    }
+
+    #[test]
+    fn outcome_is_cpenult_only_while_a_checkpoint_is_in_flight() {
+        let mut o = PersistenceOracle::new();
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        assert_eq!(o.expected_outcome_at(Cycle::new(9)), RecoveryOutcome::CLast);
+        assert_eq!(o.expected_outcome_at(Cycle::new(10)), RecoveryOutcome::CPenult);
+        assert_eq!(o.expected_outcome_at(Cycle::new(99)), RecoveryOutcome::CPenult);
+        assert_eq!(o.expected_outcome_at(Cycle::new(100)), RecoveryOutcome::CLast);
+    }
+
+    #[test]
+    fn wactive_writes_are_always_lost() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(5, &[1]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(20));
+        o.record_write(5, &[9]);
+        o.record_write(6, &[9]);
+        let img = o.expected_image_at(Cycle::new(1_000));
+        assert_eq!(img.get(&5), Some(&1));
+        assert_eq!(img.get(&6), None);
+    }
+
+    #[test]
+    fn diff_reports_divergent_bytes_only() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(0, &[1, 2, 3]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(20));
+        // Recovered image differs at addr 1 only.
+        let recovered = |addr: u64| match addr {
+            0 => 1,
+            1 => 99,
+            2 => 3,
+            _ => 0,
+        };
+        let diffs = o.diff(Cycle::new(20), recovered);
+        assert_eq!(diffs, vec![OracleMismatch { addr: 1, expected: 2, actual: 99 }]);
+        // And is empty when recovery matches.
+        assert!(o.diff(Cycle::new(19), |_| 0).is_empty());
+    }
+
+    #[test]
+    fn multi_byte_writes_split_into_bytes() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(100, b"hello");
+        o.record_checkpoint(Cycle::ZERO, Cycle::ZERO);
+        assert_eq!(o.expected_byte_at(104, Cycle::ZERO), b'o');
+        assert_eq!(o.touched_addrs().count(), 5);
+    }
+}

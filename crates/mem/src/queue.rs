@@ -102,6 +102,15 @@ impl WriteQueue {
     pub fn discard(&mut self) {
         self.pending.clear();
     }
+
+    /// Power-loss drain at cycle `now`: writes whose device commit was at or
+    /// before `now` made it to the medium; the rest are lost. Empties the
+    /// queue and returns the number of writes lost.
+    pub fn discard_lost(&mut self, now: Cycle) -> usize {
+        let lost = self.len_at(now);
+        self.pending.clear();
+        lost
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +182,18 @@ mod tests {
         q.push(Cycle::new(300), Cycle::ZERO);
         q.push(Cycle::new(100), Cycle::ZERO); // clamped to 300
         assert_eq!(q.drain_time(Cycle::ZERO), Cycle::new(300));
+    }
+
+    #[test]
+    fn discard_lost_counts_only_inflight_writes() {
+        let mut q = WriteQueue::new(4);
+        q.push(Cycle::new(100), Cycle::ZERO);
+        q.push(Cycle::new(200), Cycle::ZERO);
+        q.push(Cycle::new(300), Cycle::ZERO);
+        // At cycle 150 the first write is durable; the other two are lost.
+        assert_eq!(q.discard_lost(Cycle::new(150)), 2);
+        assert!(q.is_empty_at(Cycle::ZERO));
+        assert_eq!(q.discard_lost(Cycle::ZERO), 0);
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub use cycle::Cycle;
 pub use error::{Error, Result};
 pub use hist::Histogram;
 pub use req::{AccessKind, MemRequest, TraceEvent};
-pub use stats::{MemStats, NvmWriteClass};
+pub use stats::{CkptPhase, CrashEvent, MemStats, NvmWriteClass, RecoveryOutcome};
 pub use system::{MemorySystem, PersistentMemory};

@@ -36,6 +36,71 @@ impl fmt::Display for NvmWriteClass {
     }
 }
 
+/// Phase of the Figure 6(b) checkpointing sequence a cycle falls in, used
+/// to classify where an injected crash landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CkptPhase {
+    /// No checkpoint job in flight — the crash hit the execution phase.
+    Execution,
+    /// Phase 1: draining DRAM-buffered block working copies to NVM.
+    DrainBlocks,
+    /// Phase 2: persisting the BTT and CPU state to the backup region.
+    PersistBtt,
+    /// Phase 3: writing dirty pages back to the alternate checkpoint region.
+    PageWriteback,
+    /// Phase 4: persisting the PTT, flushing the NVM write queue, and
+    /// setting the atomic completion flag.
+    Finalize,
+}
+
+impl fmt::Display for CkptPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CkptPhase::Execution => "execution",
+            CkptPhase::DrainBlocks => "drain-blocks",
+            CkptPhase::PersistBtt => "persist-btt",
+            CkptPhase::PageWriteback => "page-writeback",
+            CkptPhase::Finalize => "finalize",
+        })
+    }
+}
+
+/// Which checkpoint image a recovery restored (§4.5 three-version rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecoveryOutcome {
+    /// The last checkpoint's commit record had persisted: recovered to
+    /// `C_last`.
+    CLast,
+    /// The last checkpoint was incomplete and was discarded: recovered to
+    /// `C_penult`.
+    CPenult,
+}
+
+impl fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryOutcome::CLast => "C_last",
+            RecoveryOutcome::CPenult => "C_penult",
+        })
+    }
+}
+
+/// Observability record of one injected crash and its recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// Cycle at which power was lost.
+    pub cycle: Cycle,
+    /// Identifier of the epoch that was executing when the crash hit.
+    pub epoch: u64,
+    /// Checkpointing phase the crash landed in.
+    pub phase: CkptPhase,
+    /// Checkpoint writebacks and queued NVM writes still in flight (and
+    /// therefore lost) at the crash cycle.
+    pub inflight_writebacks: usize,
+    /// Which checkpoint image the recovery restored.
+    pub outcome: RecoveryOutcome,
+}
+
 /// Aggregated statistics of one memory-system run.
 ///
 /// All byte counters are cumulative; all cycle counters are sums of simulated
@@ -80,6 +145,18 @@ pub struct MemStats {
     pub pages_promoted: u64,
     /// Pages migrated from page writeback to block remapping.
     pub pages_demoted: u64,
+    /// Crashes injected via the fault-injection hooks.
+    pub crashes_injected: u64,
+    /// Recoveries that restored `C_last` (the last checkpoint committed).
+    pub recoveries_to_clast: u64,
+    /// Recoveries that discarded an incomplete checkpoint and restored
+    /// `C_penult`.
+    pub recoveries_to_cpenult: u64,
+    /// Queued writes discarded by power loss before their device committed
+    /// them.
+    pub wq_writes_lost: u64,
+    /// Per-crash observability records, in injection order.
+    pub crash_events: Vec<CrashEvent>,
 }
 
 impl MemStats {
@@ -102,6 +179,17 @@ impl MemStats {
     pub fn record_dram_write(&mut self, bytes: u64) {
         self.dram_writes += 1;
         self.dram_write_bytes += bytes;
+    }
+
+    /// Records an injected crash: appends the event and bumps the outcome
+    /// counters.
+    pub fn record_crash(&mut self, event: CrashEvent) {
+        self.crashes_injected += 1;
+        match event.outcome {
+            RecoveryOutcome::CLast => self.recoveries_to_clast += 1,
+            RecoveryOutcome::CPenult => self.recoveries_to_cpenult += 1,
+        }
+        self.crash_events.push(event);
     }
 
     /// Total bytes written to NVM, all classes combined.
@@ -162,6 +250,11 @@ impl MemStats {
         self.service_cycles += other.service_cycles;
         self.pages_promoted += other.pages_promoted;
         self.pages_demoted += other.pages_demoted;
+        self.crashes_injected += other.crashes_injected;
+        self.recoveries_to_clast += other.recoveries_to_clast;
+        self.recoveries_to_cpenult += other.recoveries_to_cpenult;
+        self.wq_writes_lost += other.wq_writes_lost;
+        self.crash_events.extend(other.crash_events.iter().cloned());
     }
 }
 
@@ -179,7 +272,18 @@ impl fmt::Display for MemStats {
             self.epochs_completed,
             self.ckpt_busy_cycles,
             self.ckpt_stall_cycles,
-        )
+        )?;
+        if self.crashes_injected > 0 {
+            write!(
+                f,
+                " crashes={} (C_last={} C_penult={} wq_lost={})",
+                self.crashes_injected,
+                self.recoveries_to_clast,
+                self.recoveries_to_cpenult,
+                self.wq_writes_lost,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -259,5 +363,44 @@ mod tests {
         assert_eq!(NvmWriteClass::Cpu.to_string(), "cpu");
         assert_eq!(NvmWriteClass::Checkpoint.to_string(), "checkpoint");
         assert_eq!(NvmWriteClass::Migration.to_string(), "migration");
+        assert_eq!(CkptPhase::PageWriteback.to_string(), "page-writeback");
+        assert_eq!(RecoveryOutcome::CPenult.to_string(), "C_penult");
+    }
+
+    fn crash_event(cycle: u64, outcome: RecoveryOutcome) -> CrashEvent {
+        CrashEvent {
+            cycle: Cycle::new(cycle),
+            epoch: 3,
+            phase: CkptPhase::PersistBtt,
+            inflight_writebacks: 2,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn record_crash_bumps_outcome_counters() {
+        let mut s = MemStats::new();
+        s.record_crash(crash_event(100, RecoveryOutcome::CLast));
+        s.record_crash(crash_event(200, RecoveryOutcome::CPenult));
+        s.record_crash(crash_event(300, RecoveryOutcome::CPenult));
+        assert_eq!(s.crashes_injected, 3);
+        assert_eq!(s.recoveries_to_clast, 1);
+        assert_eq!(s.recoveries_to_cpenult, 2);
+        assert_eq!(s.crash_events.len(), 3);
+        assert_eq!(s.crash_events[1].cycle, Cycle::new(200));
+        assert!(s.to_string().contains("crashes=3"));
+    }
+
+    #[test]
+    fn merge_concatenates_crash_events() {
+        let mut a = MemStats::new();
+        a.record_crash(crash_event(1, RecoveryOutcome::CLast));
+        let mut b = MemStats::new();
+        b.record_crash(crash_event(2, RecoveryOutcome::CPenult));
+        b.wq_writes_lost = 5;
+        a.merge(&b);
+        assert_eq!(a.crashes_injected, 2);
+        assert_eq!(a.crash_events.len(), 2);
+        assert_eq!(a.wq_writes_lost, 5);
     }
 }

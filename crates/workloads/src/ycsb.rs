@@ -182,7 +182,6 @@ impl YcsbConfig {
 mod tests {
     use super::*;
     use crate::kv::hash::HashKv;
-    use crate::kv::KvStore as _;
 
     #[test]
     fn zipf_is_skewed_toward_few_keys() {

@@ -125,6 +125,30 @@ fn run_scenario(steps: Vec<Step>) {
     }
 }
 
+/// Regression: shrunk counterexample from proptest seed `1ebdb1a6…`
+/// (`crash_consistency.proptest-regressions`). The offline proptest shim
+/// cannot replay upstream seed hashes, so the shrunk input is pinned here
+/// explicitly. Exercises writes issued in the epoch *after* a recovery:
+/// stale BTT/PTT state surviving `crash_and_recover` would leak a pre-crash
+/// value (or lose a post-crash checkpoint) at addr 0.
+#[test]
+fn regression_1ebdb1a6_post_recovery_writes() {
+    use Step::*;
+    run_scenario(vec![
+        Checkpoint,
+        Write { addr: 0, len: 1, fill: 1 },
+        Checkpoint,
+        Crash,
+        Checkpoint,
+        Write { addr: 0, len: 1, fill: 0 },
+        Write { addr: 0, len: 1, fill: 0 },
+        Write { addr: 0, len: 1, fill: 0 },
+        Write { addr: 0, len: 1, fill: 0 },
+        Crash,
+        Write { addr: 0, len: 1, fill: 0 },
+    ]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 

@@ -11,6 +11,29 @@ use thynvm::types::{AccessKind, Cycle, HwAddr, PhysAddr, SystemConfig};
 use thynvm::workloads::kv::{btree::BTreeKv, KvOp, KvStore};
 use thynvm::workloads::{Arena, RbTreeKv};
 
+/// Regression: shrunk counterexample from proptest seed `dfd002ba…`
+/// (`model_checks.proptest-regressions`). The offline proptest shim cannot
+/// replay upstream seed hashes, so the shrunk input — a single high address
+/// near a set-index boundary — is pinned here explicitly, mirroring the
+/// `cache_capacity_and_hit_stability` property body.
+#[test]
+fn regression_dfd002ba_single_high_address() {
+    let addrs = [216891u64];
+    let mut cache = SetAssocCache::new(4096, 4); // 64 blocks
+    for &a in &addrs {
+        let addr = PhysAddr::new(a & !63);
+        if !cache.access(addr, a % 3 == 0) {
+            cache.fill(addr, a % 3 == 0);
+        }
+        assert!(cache.resident_blocks() <= 64);
+        assert!(cache.probe(addr), "freshly filled block must be resident");
+    }
+    let dirty_before = cache.dirty_blocks();
+    let cleaned = cache.clean_all();
+    assert_eq!(cleaned.len(), dirty_before, "clean_all returns every dirty block");
+    assert_eq!(cache.dirty_blocks(), 0, "clean_all leaves zero dirty blocks");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

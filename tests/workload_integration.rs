@@ -82,8 +82,8 @@ fn trace_files_roundtrip_through_a_simulation() {
 
     // The reloaded trace must simulate identically.
     let cfg = SystemConfig::paper();
-    let a = run_with_caches(SystemKind::ThyNvm, cfg, events.into_iter());
-    let b = run_with_caches(SystemKind::ThyNvm, cfg, loaded.into_iter());
+    let a = run_with_caches(SystemKind::ThyNvm, cfg, events);
+    let b = run_with_caches(SystemKind::ThyNvm, cfg, loaded);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.mem, b.mem);
 }
