@@ -1,0 +1,10 @@
+//! NVM media resilience; see thynvm_bench::experiments::e19_media_resilience.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e19_media_resilience`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    experiments::e19_media_resilience(Scale::from_env()).print();
+}

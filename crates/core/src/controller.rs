@@ -43,10 +43,11 @@
 
 use std::collections::{HashMap, HashSet};
 
-use thynvm_mem::{Device, DeviceKind, SparseStore, WriteQueue};
+use thynvm_mem::{Device, DeviceKind, FaultModel, SparseStore, WriteQueue};
 use thynvm_types::{
-    AccessKind, BlockIndex, CkptMode, Cycle, MemRequest, MemStats, MemorySystem, NvmWriteClass,
-    PageIndex, PhysAddr, SystemConfig, TraceEvent, BLOCK_BYTES, PAGE_BYTES,
+    AccessKind, BlockIndex, CkptMode, CkptPhase, Cycle, Error, FaultKind, HwAddr, MemRequest,
+    MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr, SystemConfig, TraceEvent,
+    BLOCK_BYTES, PAGE_BYTES,
 };
 
 use crate::epoch::{CkptJob, EpochState};
@@ -56,6 +57,41 @@ use crate::table::{bump_counter, Btt, Ptt, WactiveLoc};
 /// Bytes persisted per BTT/PTT entry when checkpointing metadata (Figure 5
 /// entries round up to 8 bytes).
 const META_ENTRY_BYTES: u64 = 8;
+
+/// CRC word appended to each serialized metadata image (BTT, PTT) and to
+/// the commit record when integrity protection is enabled.
+const META_CRC_BYTES: u64 = 8;
+
+/// Nanoseconds to compute/verify one 64 B block's CRC (a few XOR/shift
+/// stages in the controller pipeline).
+const CRC_NS_PER_BLOCK: u64 = 2;
+
+/// Words in the checkpoint commit record for torn-write modeling: the
+/// 64 B record is persisted as eight 8-byte device words.
+const COMMIT_RECORD_WORDS: usize = 8;
+
+/// A latent media fault injected into persisted checkpoint state.
+///
+/// The fault is consulted at the next recovery and applies to whichever
+/// checkpoint is `C_last` then; with no completed checkpoint it stays armed
+/// (there is no persisted state to corrupt yet). Integrity verification
+/// (when [`thynvm_types::MediaFaultConfig::integrity`] is on) detects the
+/// corruption and recovery falls back to `C_penult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediaFault {
+    /// The checkpoint's multi-word commit record is torn: only a prefix of
+    /// its words persisted, so its checksum can never verify.
+    TornCommitRecord,
+    /// A single bit of `C_last`'s checkpointed data flipped, failing that
+    /// block's per-64 B CRC.
+    ClastBitFlip {
+        /// Physical address of the corrupted byte.
+        addr: u64,
+    },
+    /// The serialized PTT metadata image in the backup region is corrupted,
+    /// failing its metadata checksum.
+    CorruptPttMetadata,
+}
 
 /// Result of a crash recovery (§4.5).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +104,10 @@ pub struct RecoveryReport {
     pub rolled_back_incomplete: bool,
     /// Pages restored from NVM into the DRAM working region.
     pub restored_pages: usize,
+    /// Whether `C_last` had *completed* but failed media-integrity
+    /// verification, so recovery discarded it and restored the retained
+    /// penultimate image instead.
+    pub integrity_fallback: bool,
     /// Simulated duration of the recovery procedure.
     pub recovery_cycles: Cycle,
 }
@@ -158,6 +198,36 @@ pub struct ThyNvm {
     crash_point: Option<Cycle>,
     /// Record of the most recent injected crash, until taken.
     injected_crash: Option<InjectedCrash>,
+
+    // ---- media faults & self-healing ----
+    /// The NVM media-fault model, when `cfg.media.enabled`.
+    fault: Option<FaultModel>,
+    /// The penultimate committed image — the fallback target when `C_last`
+    /// fails integrity verification at recovery. Maintained only while the
+    /// media subsystem is active.
+    committed_prev: SparseStore,
+    /// Persistent bad-block table: device block base → spare slot. Blocks
+    /// listed here have been permanently remapped away from worn-out cells;
+    /// the table survives crashes (it is persisted NVM metadata).
+    bad_blocks: HashMap<u64, u64>,
+    /// Next spare block slot to hand out.
+    next_spare_slot: u64,
+    /// A corruption detected on the current read but *not* healed (no
+    /// integrity checking): `(physical byte, XOR mask)` to apply to the
+    /// delivered buffer.
+    pending_corruption: Option<(u64, u8)>,
+    /// Injected latent fault: the next recovery's `C_last` commit record is
+    /// torn.
+    injected_torn_commit: bool,
+    /// Injected latent fault: a data bit of the next recovery's `C_last`
+    /// flipped at this physical address.
+    injected_clast_flip: Option<u64>,
+    /// Injected latent fault: the next recovery's serialized PTT metadata
+    /// is corrupted.
+    injected_meta_corrupt: bool,
+    /// The most recent unrecoverable-read error (retries exhausted before a
+    /// remap healed the block), for inspection.
+    last_media_error: Option<Error>,
 }
 
 impl ThyNvm {
@@ -191,6 +261,18 @@ impl ThyNvm {
             job_duration_hist: thynvm_types::Histogram::new(),
             crash_point: None,
             injected_crash: None,
+            fault: cfg
+                .media
+                .enabled
+                .then(|| FaultModel::new(&cfg.media, cfg.nvm_geometry.row_bytes)),
+            committed_prev: SparseStore::new(),
+            bad_blocks: HashMap::new(),
+            next_spare_slot: 0,
+            pending_corruption: None,
+            injected_torn_commit: false,
+            injected_clast_flip: None,
+            injected_meta_corrupt: false,
+            last_media_error: None,
             cfg,
         }
     }
@@ -315,7 +397,9 @@ impl ThyNvm {
         inflight += self.nvm_wq.len_at(at) + self.dram_wq.len_at(at);
 
         let report = self.crash_and_recover(at);
-        let outcome = if report.rolled_back_incomplete {
+        let outcome = if report.integrity_fallback {
+            thynvm_types::RecoveryOutcome::CPenultIntegrityFallback
+        } else if report.rolled_back_incomplete {
             thynvm_types::RecoveryOutcome::CPenult
         } else {
             thynvm_types::RecoveryOutcome::CLast
@@ -331,6 +415,180 @@ impl ThyNvm {
         let resume_at = at + report.recovery_cycles;
         self.injected_crash = Some(InjectedCrash { event, report, resume_at });
         resume_at
+    }
+
+    // ------------------------------------------------------------------
+    // Media faults & self-healing
+    // ------------------------------------------------------------------
+
+    /// The media-fault model, when `cfg.media.enabled` (inspection).
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
+    }
+
+    /// Mutable access to the media-fault model, e.g. to arm guaranteed
+    /// transient flips ([`FaultModel::arm_transient_flips`]) in tests and
+    /// demos.
+    pub fn fault_model_mut(&mut self) -> Option<&mut FaultModel> {
+        self.fault.as_mut()
+    }
+
+    /// Number of blocks permanently remapped to spare locations via the
+    /// bad-block table.
+    pub fn bad_block_remaps(&self) -> usize {
+        self.bad_blocks.len()
+    }
+
+    /// Takes the most recent unrecoverable-read error (a location whose
+    /// bounded retries all failed before the block was remapped), if any.
+    pub fn take_media_error(&mut self) -> Option<Error> {
+        self.last_media_error.take()
+    }
+
+    /// Arms a latent media fault in persisted checkpoint state. Consulted
+    /// at the next recovery: whichever checkpoint is `C_last` then fails
+    /// its integrity verification and recovery falls back to `C_penult`.
+    /// With no completed checkpoint at recovery time the fault stays armed.
+    pub fn inject_media_fault(&mut self, fault: MediaFault) {
+        match fault {
+            MediaFault::TornCommitRecord => self.injected_torn_commit = true,
+            MediaFault::ClastBitFlip { addr } => self.injected_clast_flip = Some(addr),
+            MediaFault::CorruptPttMetadata => self.injected_meta_corrupt = true,
+        }
+    }
+
+    /// Attributes CRC compute/verify work for `bytes` of data. Pure stats
+    /// (the CRC stages are pipelined with the burst transfers); attributed
+    /// only while integrity checking is enabled.
+    fn charge_crc(&mut self, bytes: u64) {
+        if !self.cfg.media.integrity {
+            return;
+        }
+        let blocks = bytes.div_ceil(BLOCK_BYTES).max(1);
+        self.stats.media.crc_checked_blocks += blocks;
+        self.stats.media.crc_check_cycles += Cycle::from_ns(CRC_NS_PER_BLOCK * blocks);
+    }
+
+    /// Feeds one NVM data write into the wear model. When the write pushes
+    /// its row across the stuck-at threshold a cell goes permanently bad;
+    /// the read path and the scrubber handle it from then on.
+    fn media_note_write(&mut self, hw: HwAddr, bytes: u32) {
+        let Some(fault) = self.fault.as_mut() else { return };
+        if fault.record_write(hw, bytes).is_some() {
+            self.stats.media.record_fault(FaultKind::StuckAt);
+        }
+    }
+
+    /// Resolves the bad-block indirection: accesses to a remapped block go
+    /// to its spare location instead of the worn-out original.
+    fn remapped(&self, hw: HwAddr) -> HwAddr {
+        if self.bad_blocks.is_empty() {
+            return hw;
+        }
+        let base = hw.raw() & !(BLOCK_BYTES - 1);
+        match self.bad_blocks.get(&base) {
+            Some(&slot) => self.space.spare_block(slot).offset(hw.raw() - base),
+            None => hw,
+        }
+    }
+
+    /// Remaps the block at device address `base` to a fresh spare slot: the
+    /// controller rewrites the block's good data (which it still holds) to
+    /// the spare location and records the indirection in the persistent
+    /// bad-block table. Each block is remapped at most once — later
+    /// accesses resolve through the table before touching the media.
+    fn remap_bad_block(&mut self, base: u64, now: Cycle) -> Cycle {
+        let slot = self.next_spare_slot;
+        self.next_spare_slot += 1;
+        self.bad_blocks.insert(base, slot);
+        let dst = self.space.spare_block(slot);
+        let done = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, now);
+        self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Migration);
+        self.media_note_write(dst, BLOCK_BYTES as u32);
+        self.stats.media.remaps += 1;
+        done
+    }
+
+    /// One NVM data read on the load path: applies the bad-block remap,
+    /// charges the device access, and — when media faults are modeled —
+    /// runs the detect/heal pipeline. With integrity checking on, a read
+    /// that fails its per-64 B CRC is retried with bounded backoff
+    /// (transient flips clear on retry); a location that keeps failing is
+    /// permanently bad and its block is remapped to a spare. With integrity
+    /// off, the corrupted bytes are silently delivered to software.
+    fn nvm_data_read(&mut self, block: BlockIndex, hw: HwAddr, bytes: u32, now: Cycle) -> Cycle {
+        let hw = self.remapped(hw);
+        self.stats.nvm_reads += 1;
+        self.stats.nvm_read_bytes += u64::from(bytes);
+        let mut done = self.nvm.access(hw, AccessKind::Read, bytes, now);
+        if self.fault.is_none() {
+            return done;
+        }
+        self.charge_crc(u64::from(bytes));
+        let Some(ev) = self.fault.as_mut().expect("checked above").read_fault(hw, bytes) else {
+            return done;
+        };
+        if ev.kind == FaultKind::BitFlip {
+            // Stuck-at cells were counted when the wear model created them.
+            self.stats.media.record_fault(FaultKind::BitFlip);
+        }
+        let fault_offset = ev.addr.saturating_sub(hw.raw()).min(u64::from(bytes) - 1);
+        if !self.cfg.media.integrity {
+            // No CRCs: nothing detects the corruption; the wrong bytes are
+            // delivered to software by the functional layer.
+            self.stats.media.silent_corruptions += 1;
+            self.pending_corruption = Some((block.base_addr().raw() + fault_offset, ev.mask));
+            return done;
+        }
+        // The CRC rejected the data: retry with bounded backoff.
+        let mut healed = false;
+        for attempt in 1..=self.cfg.media.max_read_retries {
+            done += Cycle::from_ns(self.cfg.media.retry_backoff_ns * u64::from(attempt));
+            done = self.nvm.access(hw, AccessKind::Read, bytes, done);
+            self.stats.nvm_reads += 1;
+            self.stats.nvm_read_bytes += u64::from(bytes);
+            self.stats.media.retries += 1;
+            self.charge_crc(u64::from(bytes));
+            if self.fault.as_mut().expect("checked above").read_fault(hw, bytes).is_none() {
+                healed = true;
+                break;
+            }
+        }
+        if !healed {
+            // Every retry failed: the location is permanently bad (a
+            // stuck-at cell). Remap the block away from it.
+            self.last_media_error = Some(Error::RetriesExhausted {
+                addr: PhysAddr::new(block.base_addr().raw() + fault_offset),
+                attempts: self.cfg.media.max_read_retries,
+            });
+            done = self.remap_bad_block(hw.raw() & !(BLOCK_BYTES - 1), done);
+        }
+        done
+    }
+
+    /// The background scrubber: proactively remaps every block whose cells
+    /// the wear model has marked stuck, repairing checkpoint regions before
+    /// the next epoch reads them. Runs at job retirement — between epochs,
+    /// off the critical path.
+    fn scrub_media(&mut self, now: Cycle) {
+        let cells: Vec<u64> = match self.fault.as_ref() {
+            Some(f) => f.stuck_cells().map(|(addr, _)| addr).collect(),
+            None => return,
+        };
+        let mut t = now;
+        for cell in cells {
+            let base = cell & !(BLOCK_BYTES - 1);
+            if self.bad_blocks.contains_key(&base) {
+                continue; // already remapped away from the bad cell
+            }
+            // Verify the block (NVM read + CRC), then remap it to a spare.
+            self.stats.nvm_reads += 1;
+            self.stats.nvm_read_bytes += BLOCK_BYTES;
+            t = self.nvm.access(HwAddr::new(base), AccessKind::Read, BLOCK_BYTES as u32, t);
+            self.charge_crc(BLOCK_BYTES);
+            t = self.remap_bad_block(base, t);
+            self.stats.media.scrub_repairs += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -413,6 +671,12 @@ impl ThyNvm {
         };
         let retire_at = job.done_at;
 
+        // The image about to be superseded becomes `C_penult` — the
+        // integrity-fallback target should `C_last` later fail verification.
+        if self.fault.is_some() || self.cfg.media.integrity {
+            self.committed_prev = self.committed.clone();
+        }
+
         // Functional commit: the checkpointed epoch's writes become durable.
         for (addr, data) in self.ckpting_log.drain(..) {
             self.committed.write(thynvm_types::HwAddr::new(addr), &data);
@@ -475,6 +739,12 @@ impl ThyNvm {
 
         // Deferred scheme switching (§3.4), now that the system is quiescent.
         self.apply_scheme_switches(retire_at);
+
+        // Background scrubbing between epochs: proactively remap blocks the
+        // wear model has marked stuck before the next epoch reads them.
+        if self.cfg.media.scrub {
+            self.scrub_media(retire_at);
+        }
 
         // Free table pressure: entries belonging only to committed
         // checkpoints are reclaimed once occupancy is high (§4.3 frees
@@ -591,13 +861,10 @@ impl ThyNvm {
         let Some(entry) = self.ptt.remove(page) else { return };
         let off = self.space.working_offset(self.space.working_page(entry.slot));
         self.working_read(off, PAGE_BYTES as u32, now);
-        self.nvm.access(
-            self.space.home(page.base_addr()),
-            AccessKind::Write,
-            PAGE_BYTES as u32,
-            now,
-        );
+        let dst = self.remapped(self.space.home(page.base_addr()));
+        self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, now);
         self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Migration);
+        self.media_note_write(dst, PAGE_BYTES as u32);
         self.stats.pages_demoted += 1;
     }
 
@@ -723,9 +990,10 @@ impl ThyNvm {
         };
         let entry = self.btt.get_mut(block).expect("present");
         entry.wactive = Some(WactiveLoc::Nvm(region));
-        let hw = self.space.checkpoint_block(region, block);
+        let hw = self.remapped(self.space.checkpoint_block(region, block));
         let done = self.nvm.access(hw, AccessKind::Write, bytes, now);
         self.stats.record_nvm_write(u64::from(bytes), class);
+        self.media_note_write(hw, bytes);
         self.nvm_wq.push(done, now)
     }
 
@@ -743,9 +1011,10 @@ impl ThyNvm {
                 self.nvm.access(src, AccessKind::Read, BLOCK_BYTES as u32, now);
                 self.stats.nvm_reads += 1;
                 self.stats.nvm_read_bytes += BLOCK_BYTES;
-                let dst = self.space.home(block.base_addr());
+                let dst = self.remapped(self.space.home(block.base_addr()));
                 self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, now);
                 self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Migration);
+                self.media_note_write(dst, BLOCK_BYTES as u32);
             }
             self.btt.remove(block);
             reclaimed += 1;
@@ -774,23 +1043,18 @@ impl ThyNvm {
                 }
                 Some(WactiveLoc::Nvm(region)) => {
                     let hw = self.space.checkpoint_block(region, block);
-                    self.stats.nvm_reads += 1;
-                    self.stats.nvm_read_bytes += u64::from(bytes);
-                    return self.nvm.access(hw, AccessKind::Read, bytes, now);
+                    return self.nvm_data_read(block, hw, bytes, now);
                 }
                 None => {
                     let region = entry.clast_region.unwrap_or(Region::B);
                     let hw = self.space.checkpoint_block(region, block);
-                    self.stats.nvm_reads += 1;
-                    self.stats.nvm_read_bytes += u64::from(bytes);
-                    return self.nvm.access(hw, AccessKind::Read, bytes, now);
+                    return self.nvm_data_read(block, hw, bytes, now);
                 }
             }
         }
         // Home Region.
-        self.stats.nvm_reads += 1;
-        self.stats.nvm_read_bytes += u64::from(bytes);
-        self.nvm.access(self.space.home(block.base_addr()), AccessKind::Read, bytes, now)
+        let hw = self.space.home(block.base_addr());
+        self.nvm_data_read(block, hw, bytes, now)
     }
 
     // ------------------------------------------------------------------
@@ -917,8 +1181,19 @@ impl ThyNvm {
             None => now,
         };
         self.visible.read(thynvm_types::HwAddr::new(addr.raw()), buf);
+        self.pending_corruption = None;
         let req = MemRequest::read(addr, u32::try_from(buf.len()).expect("read too large"));
-        self.access(&req, now)
+        let done = self.access(&req, now);
+        // Without integrity protection an undetected media fault reaches
+        // software: deliver the corrupted byte, not the stored one.
+        if let Some((paddr, mask)) = self.pending_corruption.take() {
+            if let Some(i) = paddr.checked_sub(addr.raw()) {
+                if let Some(b) = buf.get_mut(i as usize) {
+                    *b ^= mask;
+                }
+            }
+        }
+        done
     }
 
     /// Simulates a power failure at `now` followed by the §4.5 recovery
@@ -931,6 +1206,24 @@ impl ThyNvm {
     pub fn crash_and_recover(&mut self, now: Cycle) -> RecoveryReport {
         // A checkpoint that finished before the crash counts.
         self.retire_job_if_done(now);
+
+        // Ambient torn write: power failed mid-Finalize, while the 8-word
+        // commit record was streaming to NVM. Only a prefix of the record
+        // persists; recovery sees an unset/invalid commit flag, so the
+        // interrupted checkpoint is discarded exactly as §4.5 already does.
+        if self.cfg.media.torn_writes {
+            let in_finalize = self
+                .epoch
+                .job
+                .as_ref()
+                .is_some_and(|j| !j.is_done(now) && j.phase_at(now) == CkptPhase::Finalize);
+            if in_finalize {
+                if let Some(f) = self.fault.as_mut() {
+                    let _ = f.torn_words(COMMIT_RECORD_WORDS);
+                    self.stats.media.record_fault(FaultKind::TornWrite);
+                }
+            }
+        }
 
         // Anything in flight is lost.
         let rolled_back_incomplete = self.epoch.job.take().is_some();
@@ -945,6 +1238,34 @@ impl ThyNvm {
         self.nvm.power_cycle();
         self.epoch_dirty_blocks = 0;
         self.input_blocked_until = Cycle::ZERO;
+
+        // Integrity verification of `C_last` (checksummed commit record +
+        // BTT/PTT metadata + per-block data CRCs). A latent fault in any of
+        // them makes `C_last` unusable; recovery falls back to `C_penult`,
+        // which a completed checkpoint always leaves intact.
+        let mut integrity_fallback = false;
+        if self.cfg.media.integrity && self.epoch.completed > 0 {
+            self.charge_crc(64); // commit-record verification
+            let torn = std::mem::take(&mut self.injected_torn_commit);
+            let flip = self.injected_clast_flip.take();
+            let meta = std::mem::take(&mut self.injected_meta_corrupt);
+            if torn {
+                self.stats.media.record_fault(FaultKind::TornWrite);
+            }
+            if flip.is_some() {
+                self.stats.media.record_fault(FaultKind::BitFlip);
+            }
+            if meta {
+                self.stats.media.record_fault(FaultKind::Metadata);
+            }
+            if torn || flip.is_some() || meta {
+                self.committed = self.committed_prev.clone();
+                self.committed_prev = self.committed.clone();
+                self.epoch.completed -= 1;
+                self.stats.media.integrity_fallbacks += 1;
+                integrity_fallback = true;
+            }
+        }
 
         // Roll the visible image back to the committed checkpoint.
         self.visible = self.committed.clone();
@@ -1019,6 +1340,7 @@ impl ThyNvm {
             recovered_checkpoints: self.epoch.completed,
             rolled_back_incomplete,
             restored_pages: restored,
+            integrity_fallback,
             recovery_cycles: t.saturating_sub(now),
         };
         self.last_recovery = Some(report.clone());
@@ -1231,9 +1553,11 @@ impl ThyNvm {
             let read_done = self.working_read(off, BLOCK_BYTES as u32, ckpt_start);
             let entry = self.btt.get(block).expect("iterated above");
             let region = entry.clast_region.map_or(Region::A, Region::other);
-            let dst = self.space.checkpoint_block(region, block);
+            let dst = self.remapped(self.space.checkpoint_block(region, block));
             let write_done = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, read_done);
             self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Checkpoint);
+            self.media_note_write(dst, BLOCK_BYTES as u32);
+            self.charge_crc(BLOCK_BYTES); // per-64 B data CRC generation
             writeback_done.push(write_done);
             phase1_done = phase1_done.max(write_done);
             let entry = self.btt.get_mut(block).expect("present");
@@ -1250,8 +1574,10 @@ impl ThyNvm {
             + Cycle::from_ns(thynvm_mem::device::BURST_NS * bursts.saturating_sub(1));
         self.stats.record_nvm_write(cpu_state, NvmWriteClass::Checkpoint);
 
-        // (2) Checkpoint the BTT once the buffered drains are durable.
-        let btt_bytes = (self.btt.dirty_entries().max(1) as u64) * META_ENTRY_BYTES;
+        // (2) Checkpoint the BTT once the buffered drains are durable. With
+        // integrity protection the serialized table carries a trailing CRC.
+        let meta_crc = if self.cfg.media.integrity { META_CRC_BYTES } else { 0 };
+        let btt_bytes = (self.btt.dirty_entries().max(1) as u64) * META_ENTRY_BYTES + meta_crc;
         let btt_done = self.nvm.access(
             self.space.backup(8192),
             AccessKind::Write,
@@ -1259,6 +1585,7 @@ impl ThyNvm {
             phase1_done.max(resume_after_flush),
         );
         self.stats.record_nvm_write(btt_bytes, NvmWriteClass::Checkpoint);
+        self.charge_crc(btt_bytes);
 
         // Capture block versions: working copies in NVM become pending
         // checkpoints (no data movement, §3.2).
@@ -1282,9 +1609,11 @@ impl ThyNvm {
             entry.frozen = true;
             let off = self.space.working_offset(self.space.working_page(slot));
             let read_done = self.working_read(off, PAGE_BYTES as u32, btt_done);
-            let dst = self.space.checkpoint_page(target, page);
+            let dst = self.remapped(self.space.checkpoint_page(target, page));
             let write_done = self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, read_done);
             self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Checkpoint);
+            self.media_note_write(dst, PAGE_BYTES as u32);
+            self.charge_crc(PAGE_BYTES); // per-64 B data CRCs for the page
             writeback_done.push(write_done);
             phase3_done = phase3_done.max(write_done);
             self.pending_pages.insert(page, PendingPage { target });
@@ -1293,7 +1622,7 @@ impl ThyNvm {
 
         // (4) Checkpoint the PTT, flush the NVM write queue, set the
         // completion flag.
-        let ptt_bytes = (self.ptt.len().max(1) as u64) * META_ENTRY_BYTES;
+        let ptt_bytes = (self.ptt.len().max(1) as u64) * META_ENTRY_BYTES + meta_crc;
         let mut bg = self.nvm.access(
             self.space.backup(16384),
             AccessKind::Write,
@@ -1301,9 +1630,11 @@ impl ThyNvm {
             phase3_done,
         );
         self.stats.record_nvm_write(ptt_bytes, NvmWriteClass::Checkpoint);
+        self.charge_crc(ptt_bytes);
         bg = bg.max(self.nvm_wq.drain_time(bg));
         bg = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, bg);
         self.stats.record_nvm_write(1, NvmWriteClass::Checkpoint);
+        self.charge_crc(64); // checksummed commit record
 
         // Functional capture: the ending epoch's writes are now "being
         // checkpointed"; they commit when the job retires. Intermediate
@@ -1990,5 +2321,212 @@ mod tests {
         // The same record landed in the stats layer.
         assert_eq!(sys.stats().crash_events.len(), 1);
         assert_eq!(sys.stats().crash_events[0], crash.event);
+    }
+
+    // ------------------------------------------------------------------
+    // Media faults & self-healing
+    // ------------------------------------------------------------------
+
+    fn media_cfg(f: impl FnOnce(&mut thynvm_types::MediaFaultConfig)) -> SystemConfig {
+        let mut cfg = SystemConfig::small_test();
+        cfg.media = thynvm_types::MediaFaultConfig::hardened();
+        f(&mut cfg.media);
+        cfg.validate().expect("valid media config");
+        cfg
+    }
+
+    /// Stores `val` over block 0 and completes a full checkpoint.
+    fn store_and_checkpoint(sys: &mut ThyNvm, val: u8, t: Cycle) -> Cycle {
+        let t = sys.store_bytes(PhysAddr::new(0), &[val; 64], t);
+        let t = sys.force_checkpoint(t);
+        sys.drain(t)
+    }
+
+    #[test]
+    fn torn_commit_record_falls_back_to_cpenult() {
+        let mut sys = ThyNvm::new(media_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_media_fault(MediaFault::TornCommitRecord);
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback);
+        assert!(!report.rolled_back_incomplete);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64], "recovered to C_penult's contents");
+        assert_eq!(sys.stats().media.torn_writes, 1);
+        assert_eq!(sys.stats().media.integrity_fallbacks, 1);
+    }
+
+    #[test]
+    fn clast_bit_flip_falls_back_to_cpenult() {
+        let mut sys = ThyNvm::new(media_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_media_fault(MediaFault::ClastBitFlip { addr: 0 });
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64]);
+        assert_eq!(sys.stats().media.bit_flips, 1);
+    }
+
+    #[test]
+    fn corrupt_ptt_metadata_falls_back_to_cpenult() {
+        let mut sys = ThyNvm::new(media_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_media_fault(MediaFault::CorruptPttMetadata);
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64]);
+        assert_eq!(sys.stats().media.meta_corruptions, 1);
+    }
+
+    #[test]
+    fn injected_fault_stays_armed_until_a_checkpoint_exists() {
+        let mut sys = ThyNvm::new(media_cfg(|_| {}));
+        sys.inject_media_fault(MediaFault::TornCommitRecord);
+        // No completed checkpoint: nothing persisted to corrupt yet.
+        let report = sys.crash_and_recover(Cycle::new(100));
+        assert!(!report.integrity_fallback);
+        assert_eq!(sys.stats().media.integrity_fallbacks, 0);
+        // After the first checkpoint the armed fault fires and recovery
+        // falls back to the pre-checkpoint (empty) image.
+        let t = store_and_checkpoint(&mut sys, 3, Cycle::new(200));
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [0u8; 64], "fell back to the initial zero image");
+    }
+
+    #[test]
+    fn transient_flip_is_healed_by_retry() {
+        let mut sys = ThyNvm::new(media_cfg(|_| {}));
+        let t = sys.store_bytes(PhysAddr::new(0), &[0xAA; 64], Cycle::ZERO);
+        sys.fault_model_mut().expect("media on").arm_transient_flips(1);
+        let mut buf = [0u8; 64];
+        let t = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [0xAA; 64], "CRC+retry delivered the true bytes");
+        let m = sys.stats().media;
+        assert_eq!(m.bit_flips, 1);
+        assert_eq!(m.retries, 1, "one retry healed the transient flip");
+        assert_eq!(m.remaps, 0);
+        assert_eq!(m.integrity_fallbacks, 0);
+        assert!(sys.take_media_error().is_none());
+        // And the system keeps working afterwards.
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [0xAA; 64]);
+    }
+
+    #[test]
+    fn silent_corruption_reaches_software_without_integrity() {
+        let mut sys = ThyNvm::new(media_cfg(|m| {
+            m.integrity = false;
+            m.scrub = false;
+        }));
+        let t = sys.store_bytes(PhysAddr::new(0), &[0xAA; 64], Cycle::ZERO);
+        sys.fault_model_mut().expect("media on").arm_transient_flips(1);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_ne!(buf, [0xAA; 64], "no CRC, so the flip is delivered");
+        assert_eq!(sys.stats().media.silent_corruptions, 1);
+        assert_eq!(sys.stats().media.retries, 0);
+    }
+
+    #[test]
+    fn stuck_cell_is_remapped_exactly_once() {
+        let mut sys = ThyNvm::new(media_cfg(|m| {
+            m.stuck_at_threshold = 2;
+            m.scrub = false; // exercise the read path, not the scrubber
+        }));
+        // Two writes to the same row cross the wear threshold.
+        let t = sys.store_bytes(PhysAddr::new(0), &[7u8; 64], Cycle::ZERO);
+        let t = sys.store_bytes(PhysAddr::new(0), &[7u8; 64], t);
+        assert_eq!(sys.stats().media.stuck_faults, 1, "wear created a stuck cell");
+        let mut buf = [0u8; 64];
+        let t = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [7u8; 64], "functional contents survive the remap");
+        let m = sys.stats().media;
+        assert_eq!(m.remaps, 1, "retries exhausted, block remapped to spare");
+        assert_eq!(m.retries, 3, "all bounded retries failed on a stuck cell");
+        assert_eq!(sys.bad_block_remaps(), 1);
+        let err = sys.take_media_error().expect("retries-exhausted error");
+        assert!(matches!(err, Error::RetriesExhausted { attempts: 3, .. }));
+        // A second read resolves through the bad-block table: no new
+        // retries, no second remap.
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [7u8; 64]);
+        let m = sys.stats().media;
+        assert_eq!(m.remaps, 1, "a block is remapped at most once");
+        assert_eq!(m.retries, 3, "remapped reads are clean");
+    }
+
+    #[test]
+    fn scrubber_remaps_stuck_blocks_between_epochs() {
+        let mut sys = ThyNvm::new(media_cfg(|m| m.stuck_at_threshold = 2));
+        let t = sys.store_bytes(PhysAddr::new(0), &[5u8; 64], Cycle::ZERO);
+        let t = sys.store_bytes(PhysAddr::new(0), &[5u8; 64], t);
+        assert_eq!(sys.stats().media.stuck_faults, 1);
+        // Retiring the checkpoint runs the scrubber.
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        let m = sys.stats().media;
+        assert_eq!(m.scrub_repairs, 1, "scrubber proactively remapped the block");
+        assert_eq!(m.remaps, 1);
+        // Reads after scrubbing never hit the stuck cell.
+        let retries_before = m.retries;
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [5u8; 64]);
+        assert_eq!(sys.stats().media.retries, retries_before);
+    }
+
+    #[test]
+    fn zero_rate_media_model_matches_default_timing_and_stats() {
+        // With the model enabled but all fault sources at zero and
+        // integrity off, timing and stats are identical to media-off.
+        let mut cfg = SystemConfig::small_test();
+        cfg.media.enabled = true;
+        cfg.media.bit_flip_rate = 0.0;
+        let mut faulty = ThyNvm::new(cfg);
+        let mut plain = small();
+        let mut t_f = Cycle::ZERO;
+        let mut t_p = Cycle::ZERO;
+        for round in 0u8..4 {
+            for blk in 0u64..8 {
+                t_f = faulty.store_bytes(PhysAddr::new(blk * 64), &[round; 64], t_f);
+                t_p = plain.store_bytes(PhysAddr::new(blk * 64), &[round; 64], t_p);
+            }
+            t_f = faulty.force_checkpoint(t_f);
+            t_f = faulty.drain(t_f);
+            t_p = plain.force_checkpoint(t_p);
+            t_p = plain.drain(t_p);
+            let mut buf = [0u8; 64];
+            t_f = faulty.load_bytes(PhysAddr::new(64), &mut buf, t_f);
+            t_p = plain.load_bytes(PhysAddr::new(64), &mut buf, t_p);
+        }
+        assert_eq!(t_f, t_p, "zero-rate media model must not perturb timing");
+        assert_eq!(faulty.stats().nvm_reads, plain.stats().nvm_reads);
+        assert_eq!(faulty.stats().nvm_write_bytes_ckpt, plain.stats().nvm_write_bytes_ckpt);
+        assert!(!faulty.stats().media.any());
+        assert_eq!(faulty.stats().media.crc_check_cycles, Cycle::ZERO);
+    }
+
+    #[test]
+    fn integrity_crc_costs_are_stats_only() {
+        // CRC work is attributed to dedicated counters, never to the
+        // service-time accounting of the store/load paths.
+        let mut sys = ThyNvm::new(media_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 9, Cycle::ZERO);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        let m = sys.stats().media;
+        assert!(m.crc_checked_blocks > 0, "checkpoint + load verified CRCs");
+        assert!(m.crc_check_cycles > Cycle::ZERO);
     }
 }

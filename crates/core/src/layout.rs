@@ -50,6 +50,9 @@ const REGION_A_BASE: u64 = 1 << 40;
 const WORKING_BASE: u64 = 1 << 41;
 /// Base of the BTT/PTT/CPU Backup Region.
 const BACKUP_BASE: u64 = 1 << 42;
+/// Base of the spare NVM blocks that permanently-bad blocks are remapped to
+/// by the self-healing path.
+const SPARE_BASE: u64 = 1 << 43;
 
 /// Maps between physical addresses and the hardware address space regions.
 ///
@@ -135,6 +138,13 @@ impl AddressSpace {
     pub fn backup(self, offset: u64) -> HwAddr {
         HwAddr::new(BACKUP_BASE + offset)
     }
+
+    /// Hardware address of spare NVM block `slot`, the replacement target
+    /// when the bad-block table remaps a permanently-bad block away from a
+    /// worn-out location.
+    pub fn spare_block(self, slot: u64) -> HwAddr {
+        HwAddr::new(SPARE_BASE + slot * BLOCK_BYTES)
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +216,16 @@ mod tests {
     fn working_offset_roundtrip() {
         let s = AddressSpace::new();
         assert_eq!(s.working_offset(s.working_page(2)), 2 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn spare_blocks_are_disjoint_from_all_other_regions() {
+        let s = AddressSpace::new();
+        let spare = s.spare_block(0);
+        assert!(spare.raw() >= SPARE_BASE);
+        assert!(spare.raw() > s.backup(0).raw());
+        assert!(!s.is_dram(spare));
+        assert_eq!(s.spare_block(1).raw() - s.spare_block(0).raw(), BLOCK_BYTES);
     }
 
     #[test]

@@ -136,12 +136,60 @@ impl PersistenceOracle {
         }
     }
 
+    /// The byte image recovery must produce when `C_last` itself is
+    /// corrupt: the media-integrity check rejects the most recent completed
+    /// checkpoint, so the image falls back one more level — the *second*
+    /// most recent checkpoint whose commit record persisted by `crash`, or
+    /// the all-zero image.
+    pub fn expected_fallback_image_at(&self, crash: Cycle) -> BTreeMap<u64, u8> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .filter(|c| c.completes_at <= crash)
+            .nth(1)
+            .map(|c| c.image.clone())
+            .unwrap_or_default()
+    }
+
+    /// Which label §4.5 assigns to a crash at `crash` when `C_last` carries
+    /// a latent media fault (torn commit record, flipped data bit,
+    /// corrupted checkpoint metadata): if any checkpoint had completed, its
+    /// integrity verification fails at recovery and the outcome is
+    /// [`RecoveryOutcome::CPenultIntegrityFallback`]; with no completed
+    /// checkpoint there is nothing to verify and the clean-crash rules
+    /// apply unchanged.
+    pub fn expected_outcome_with_corrupt_clast(&self, crash: Cycle) -> RecoveryOutcome {
+        let any_completed = self.checkpoints.iter().any(|c| c.completes_at <= crash);
+        if any_completed {
+            RecoveryOutcome::CPenultIntegrityFallback
+        } else {
+            self.expected_outcome_at(crash)
+        }
+    }
+
     /// Diffs a recovered image against the oracle's prediction for a crash
     /// at `crash`, byte for byte over every touched address. `read` fetches
     /// one byte of the recovered image (e.g. a `load_bytes` wrapper).
     /// Returns every divergence; empty means recovery is oracle-identical.
-    pub fn diff(&self, crash: Cycle, mut read: impl FnMut(u64) -> u8) -> Vec<OracleMismatch> {
-        let expected = self.expected_image_at(crash);
+    pub fn diff(&self, crash: Cycle, read: impl FnMut(u64) -> u8) -> Vec<OracleMismatch> {
+        self.diff_against(&self.expected_image_at(crash), read)
+    }
+
+    /// Like [`PersistenceOracle::diff`], but for a crash where `C_last` is
+    /// corrupt and recovery must have fallen back one more checkpoint.
+    pub fn diff_with_corrupt_clast(
+        &self,
+        crash: Cycle,
+        read: impl FnMut(u64) -> u8,
+    ) -> Vec<OracleMismatch> {
+        self.diff_against(&self.expected_fallback_image_at(crash), read)
+    }
+
+    fn diff_against(
+        &self,
+        expected: &BTreeMap<u64, u8>,
+        mut read: impl FnMut(u64) -> u8,
+    ) -> Vec<OracleMismatch> {
         self.touched_addrs()
             .filter_map(|addr| {
                 let want = expected.get(&addr).copied().unwrap_or(0);
@@ -219,6 +267,63 @@ mod tests {
         assert_eq!(diffs, vec![OracleMismatch { addr: 1, expected: 2, actual: 99 }]);
         // And is empty when recovery matches.
         assert!(o.diff(Cycle::new(19), |_| 0).is_empty());
+    }
+
+    #[test]
+    fn fallback_image_skips_the_corrupt_clast() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(0, &[1]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        o.record_write(0, &[2]);
+        o.record_checkpoint(Cycle::new(200), Cycle::new(300));
+        o.record_write(0, &[3]);
+        o.record_checkpoint(Cycle::new(400), Cycle::new(500));
+
+        // Only one checkpoint completed: the fallback is the zero image.
+        assert!(o.expected_fallback_image_at(Cycle::new(100)).is_empty());
+        // Two completed: C_last (value 2) is rejected, C_penult (value 1)
+        // is the fallback.
+        assert_eq!(o.expected_fallback_image_at(Cycle::new(300)).get(&0), Some(&1));
+        // Crash mid-flight of the third: the in-flight one never counted,
+        // so the corrupt "C_last" is #2 and the fallback is still #1.
+        assert_eq!(o.expected_fallback_image_at(Cycle::new(450)).get(&0), Some(&1));
+        // Three completed: fallback is #2.
+        assert_eq!(o.expected_fallback_image_at(Cycle::new(500)).get(&0), Some(&2));
+    }
+
+    #[test]
+    fn corrupt_clast_outcome_labels_the_integrity_fallback() {
+        let mut o = PersistenceOracle::new();
+        // No checkpoint at all: nothing to verify, clean-crash rules apply.
+        assert_eq!(
+            o.expected_outcome_with_corrupt_clast(Cycle::ZERO),
+            RecoveryOutcome::CLast
+        );
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        // In flight and never completed: still plain CPenult.
+        assert_eq!(
+            o.expected_outcome_with_corrupt_clast(Cycle::new(50)),
+            RecoveryOutcome::CPenult
+        );
+        // Completed: its verification fails at recovery.
+        assert_eq!(
+            o.expected_outcome_with_corrupt_clast(Cycle::new(100)),
+            RecoveryOutcome::CPenultIntegrityFallback
+        );
+    }
+
+    #[test]
+    fn diff_with_corrupt_clast_checks_the_fallback_image() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(0, &[1]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        o.record_write(0, &[2]);
+        o.record_checkpoint(Cycle::new(200), Cycle::new(300));
+        // A recovered image holding the first checkpoint's value is correct
+        // when C_last is corrupt…
+        assert!(o.diff_with_corrupt_clast(Cycle::new(300), |_| 1).is_empty());
+        // …and wrong for a clean crash at the same cycle.
+        assert!(!o.diff(Cycle::new(300), |_| 1).is_empty());
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   NVM write queue is flushed at the end of every checkpoint (§4.4).
 //! * [`store::SparseStore`] — a byte-accurate backing store so that crash
 //!   and recovery tests can verify *contents*, not just timing.
+//! * [`fault::FaultModel`] — a deterministic, seedable NVM media-fault
+//!   model (transient bit flips, wear-induced stuck-at cells, torn
+//!   multi-word writes) that corrupts reads from the device/store so the
+//!   controller's integrity protection can be exercised.
 //!
 //! # Example
 //!
@@ -34,9 +38,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod device;
+pub mod fault;
 pub mod queue;
 pub mod store;
 
 pub use device::{Device, DeviceKind, DeviceStats, WearStats};
+pub use fault::{FaultEvent, FaultModel};
 pub use queue::WriteQueue;
 pub use store::SparseStore;

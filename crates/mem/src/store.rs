@@ -98,6 +98,20 @@ impl SparseStore {
         self.write(dst, &buf);
     }
 
+    /// Reads `buf.len()` bytes starting at `addr` through a media-fault
+    /// model: the true bytes are fetched, then corrupted as the device
+    /// would have corrupted them. Returns the fault kind when the buffer
+    /// was corrupted.
+    pub fn read_faulty(
+        &self,
+        addr: HwAddr,
+        buf: &mut [u8],
+        fault: &mut crate::fault::FaultModel,
+    ) -> Option<thynvm_types::FaultKind> {
+        self.read(addr, buf);
+        fault.corrupt_read(addr, buf)
+    }
+
     /// Discards all contents — the volatile-device crash model.
     pub fn clear(&mut self) {
         self.pages.clear();
@@ -216,6 +230,23 @@ mod tests {
         let mut idxs: Vec<u64> = m.iter_pages().map(|(i, _)| i).collect();
         idxs.sort_unstable();
         assert_eq!(idxs, vec![0, 3]);
+    }
+
+    #[test]
+    fn read_faulty_corrupts_through_the_model() {
+        use thynvm_types::MediaFaultConfig;
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(0), &[0u8; 64]);
+        let mut fault = crate::fault::FaultModel::new(
+            &MediaFaultConfig { enabled: true, bit_flip_rate: 1.0, ..Default::default() },
+            8192,
+        );
+        let mut buf = [0u8; 64];
+        let kind = m.read_faulty(HwAddr::new(0), &mut buf, &mut fault);
+        assert_eq!(kind, Some(thynvm_types::FaultKind::BitFlip));
+        assert_ne!(buf, [0u8; 64], "delivered bytes differ from stored bytes");
+        // The store itself is untouched.
+        assert_eq!(m.read_block(HwAddr::new(0)), [0u8; 64]);
     }
 
     #[test]

@@ -270,6 +270,81 @@ impl ThyNvmConfig {
     }
 }
 
+/// NVM media-fault model and integrity-protection configuration.
+///
+/// All fields default to "off": a default configuration models perfect
+/// media and adds zero cycles of integrity overhead, so baseline runs are
+/// byte- and cycle-identical to a build without the fault subsystem.
+///
+/// The model is fully deterministic: every fault decision is a pure
+/// function of `seed` and the sequence of device operations, so any run —
+/// including a crash replay — can be reproduced exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MediaFaultConfig {
+    /// Master switch for the fault model. When `false` no faults are ever
+    /// injected and no wear is tracked by the model.
+    pub enabled: bool,
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability that one 64 B read returns a transiently flipped bit.
+    /// Must be in `[0, 1]`.
+    pub bit_flip_rate: f64,
+    /// Number of writes to a device row after which one cell in the
+    /// just-written range becomes permanently stuck. `0` disables the wear
+    /// model.
+    pub stuck_at_threshold: u64,
+    /// Model torn multi-word commits: a crash during the checkpoint commit
+    /// record persists only a prefix of its words.
+    pub torn_writes: bool,
+    /// CRC-protect persisted state (per-64 B data CRCs in the checkpoint
+    /// regions, checksummed commit records and BTT/PTT metadata) and verify
+    /// it on reads and at recovery. Off: corrupted reads are delivered
+    /// silently.
+    pub integrity: bool,
+    /// Bounded retries for a read that fails its CRC before the block is
+    /// declared permanently bad.
+    pub max_read_retries: u32,
+    /// Backoff between read retries, in nanoseconds (scaled by the attempt
+    /// number).
+    pub retry_backoff_ns: u64,
+    /// Run the background scrubber: between epochs, remap blocks whose
+    /// cells the wear model marked stuck, repairing checkpoint regions
+    /// before the next epoch reads them. Requires `integrity` (CRCs are
+    /// what the scrubber verifies against).
+    pub scrub: bool,
+}
+
+impl Default for MediaFaultConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            seed: 0x7479_4e56_4d01,
+            bit_flip_rate: 0.0,
+            stuck_at_threshold: 0,
+            torn_writes: false,
+            integrity: false,
+            max_read_retries: 3,
+            retry_backoff_ns: 50,
+            scrub: false,
+        }
+    }
+}
+
+impl MediaFaultConfig {
+    /// A fully-armed configuration: faults on, CRC integrity on, torn
+    /// writes modeled, scrubber running. Fault rates are left for the
+    /// caller to choose (they default to zero).
+    pub fn hardened() -> Self {
+        Self {
+            enabled: true,
+            torn_writes: true,
+            integrity: true,
+            scrub: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Complete system configuration: one struct to construct any evaluated
 /// memory system with the paper's parameters.
 ///
@@ -293,6 +368,9 @@ pub struct SystemConfig {
     pub cache: CacheConfig,
     /// ThyNVM controller parameters.
     pub thynvm: ThyNvmConfig,
+    /// NVM media-fault model and integrity protection (default: perfect
+    /// media, no integrity overhead).
+    pub media: MediaFaultConfig,
 }
 
 impl Eq for SystemConfig {}
@@ -336,6 +414,12 @@ impl SystemConfig {
         }
         if t.nvm_write_queue == 0 || t.dram_write_queue == 0 {
             return fail("write queues must have nonzero capacity");
+        }
+        if !(0.0..=1.0).contains(&self.media.bit_flip_rate) {
+            return fail("media bit-flip rate must be a probability in [0, 1]");
+        }
+        if self.media.scrub && !self.media.integrity {
+            return fail("media scrubber requires integrity checking (CRCs detect the rot)");
         }
         Ok(())
     }
@@ -465,6 +549,35 @@ mod tests {
         let mut cfg = SystemConfig::paper();
         cfg.thynvm.nvm_write_queue = 0;
         assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper();
+        cfg.media.bit_flip_rate = 1.5;
+        assert!(cfg.validate().unwrap_err().to_string().contains("probability"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.media.scrub = true; // without integrity
+        assert!(cfg.validate().unwrap_err().to_string().contains("scrubber"));
+    }
+
+    #[test]
+    fn media_faults_default_off() {
+        let m = SystemConfig::paper().media;
+        assert!(!m.enabled);
+        assert!(!m.integrity);
+        assert!(!m.torn_writes);
+        assert!(!m.scrub);
+        assert_eq!(m.bit_flip_rate, 0.0);
+        assert_eq!(m.stuck_at_threshold, 0);
+    }
+
+    #[test]
+    fn hardened_media_preset_validates() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.media = MediaFaultConfig::hardened();
+        cfg.media.bit_flip_rate = 1e-4;
+        cfg.media.stuck_at_threshold = 1000;
+        cfg.validate().expect("hardened media config valid");
+        assert!(cfg.media.enabled && cfg.media.integrity && cfg.media.scrub);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::addr::PhysAddr;
+use crate::stats::FaultKind;
 
 /// Convenient result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -31,6 +32,22 @@ pub enum Error {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A read returned data that failed its integrity check: the media
+    /// corrupted it.
+    MediaCorruption {
+        /// Physical address of the corrupted data.
+        addr: PhysAddr,
+        /// What kind of media fault corrupted it.
+        kind: FaultKind,
+    },
+    /// Bounded read retries were exhausted without obtaining data that
+    /// passes its integrity check (the location is permanently bad).
+    RetriesExhausted {
+        /// Physical address of the unreadable data.
+        addr: PhysAddr,
+        /// How many retries were attempted before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -42,6 +59,12 @@ impl fmt::Display for Error {
             Error::TableFull { table } => write!(f, "{table} has no reclaimable entry"),
             Error::NoCheckpoint => f.write_str("no completed checkpoint to recover from"),
             Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::MediaCorruption { addr, kind } => {
+                write!(f, "media corruption ({kind}) at {addr}")
+            }
+            Error::RetriesExhausted { addr, attempts } => {
+                write!(f, "read retries exhausted at {addr} after {attempts} attempts")
+            }
         }
     }
 }
@@ -62,6 +85,12 @@ mod tests {
         assert!(!Error::NoCheckpoint.to_string().is_empty());
         let e = Error::InvalidConfig { reason: "dram too small".into() };
         assert!(e.to_string().contains("dram too small"));
+        let e = Error::MediaCorruption { addr: PhysAddr::new(0x40), kind: FaultKind::StuckAt };
+        assert!(e.to_string().contains("stuck-at"));
+        assert!(e.to_string().contains("0x40"));
+        let e = Error::RetriesExhausted { addr: PhysAddr::new(0x80), attempts: 3 };
+        assert!(e.to_string().contains("3 attempts"));
+        assert!(e.to_string().contains("0x80"));
     }
 
     #[test]

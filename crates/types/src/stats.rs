@@ -74,6 +74,10 @@ pub enum RecoveryOutcome {
     /// The last checkpoint was incomplete and was discarded: recovered to
     /// `C_penult`.
     CPenult,
+    /// The last checkpoint had completed but failed media-integrity
+    /// verification (torn commit record, corrupted data or metadata), so
+    /// recovery discarded it and fell back to `C_penult`.
+    CPenultIntegrityFallback,
 }
 
 impl fmt::Display for RecoveryOutcome {
@@ -81,7 +85,119 @@ impl fmt::Display for RecoveryOutcome {
         f.write_str(match self {
             RecoveryOutcome::CLast => "C_last",
             RecoveryOutcome::CPenult => "C_penult",
+            RecoveryOutcome::CPenultIntegrityFallback => "C_penult (integrity)",
         })
+    }
+}
+
+/// Kind of an NVM media fault, for classification in [`MediaStats`] and in
+/// [`crate::Error::MediaCorruption`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A transient bit flip: one read returns a flipped bit, a retry of the
+    /// same location reads back clean.
+    BitFlip,
+    /// A worn-out cell stuck at a fixed value: every read of the location
+    /// is corrupted until the block is remapped.
+    StuckAt,
+    /// A torn write: power was lost during a multi-word device commit and
+    /// only a prefix/subset of the words persisted.
+    TornWrite,
+    /// Corrupted serialized checkpoint metadata (BTT/PTT image or commit
+    /// record) in the backup region.
+    Metadata,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::StuckAt => "stuck-at",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::Metadata => "metadata",
+        })
+    }
+}
+
+/// Media-fault and integrity-protection counters (the self-healing
+/// telemetry of the hardened recovery path).
+///
+/// Fault counters classify by [`FaultKind`]: `bit_flips` counts transient
+/// flips observed on reads (plus injected `C_last` data corruption),
+/// `stuck_faults` counts cells the wear model marked permanently bad,
+/// `torn_writes` counts multi-word commits clipped by power loss, and
+/// `meta_corruptions` counts checkpoint-metadata images that failed their
+/// checksum. The remaining counters describe what the controller did about
+/// the faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediaStats {
+    /// Transient bit flips observed on reads.
+    pub bit_flips: u64,
+    /// Cells that became permanently stuck (wear model).
+    pub stuck_faults: u64,
+    /// Torn multi-word device commits.
+    pub torn_writes: u64,
+    /// Corrupted checkpoint-metadata images.
+    pub meta_corruptions: u64,
+    /// Read retries issued while healing detected corruption.
+    pub retries: u64,
+    /// Blocks remapped to spare locations via the persistent bad-block
+    /// table.
+    pub remaps: u64,
+    /// Blocks proactively repaired by the background scrubber between
+    /// epochs.
+    pub scrub_repairs: u64,
+    /// Recoveries that discarded a completed-but-corrupt `C_last` and fell
+    /// back to `C_penult`.
+    pub integrity_fallbacks: u64,
+    /// Corrupted reads delivered to software because integrity checking
+    /// was disabled.
+    pub silent_corruptions: u64,
+    /// 64 B blocks whose CRC was computed or verified.
+    pub crc_checked_blocks: u64,
+    /// Cycles spent computing/verifying CRCs (attributed only while
+    /// integrity checking is enabled).
+    pub crc_check_cycles: Cycle,
+}
+
+impl MediaStats {
+    /// Bumps the counter for one observed fault of `kind`.
+    pub fn record_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::BitFlip => self.bit_flips += 1,
+            FaultKind::StuckAt => self.stuck_faults += 1,
+            FaultKind::TornWrite => self.torn_writes += 1,
+            FaultKind::Metadata => self.meta_corruptions += 1,
+        }
+    }
+
+    /// Total faults observed, all kinds combined.
+    pub fn total_faults(&self) -> u64 {
+        self.bit_flips + self.stuck_faults + self.torn_writes + self.meta_corruptions
+    }
+
+    /// Whether any media-fault activity was recorded at all.
+    pub fn any(&self) -> bool {
+        self.total_faults() > 0
+            || self.retries > 0
+            || self.remaps > 0
+            || self.scrub_repairs > 0
+            || self.crc_checked_blocks > 0
+    }
+
+    /// Merges another record into this one (summing all fields).
+    pub fn merge(&mut self, other: &MediaStats) {
+        self.bit_flips += other.bit_flips;
+        self.stuck_faults += other.stuck_faults;
+        self.torn_writes += other.torn_writes;
+        self.meta_corruptions += other.meta_corruptions;
+        self.retries += other.retries;
+        self.remaps += other.remaps;
+        self.scrub_repairs += other.scrub_repairs;
+        self.integrity_fallbacks += other.integrity_fallbacks;
+        self.silent_corruptions += other.silent_corruptions;
+        self.crc_checked_blocks += other.crc_checked_blocks;
+        self.crc_check_cycles += other.crc_check_cycles;
     }
 }
 
@@ -155,6 +271,8 @@ pub struct MemStats {
     /// Queued writes discarded by power loss before their device committed
     /// them.
     pub wq_writes_lost: u64,
+    /// Media-fault and integrity-protection counters.
+    pub media: MediaStats,
     /// Per-crash observability records, in injection order.
     pub crash_events: Vec<CrashEvent>,
 }
@@ -187,7 +305,9 @@ impl MemStats {
         self.crashes_injected += 1;
         match event.outcome {
             RecoveryOutcome::CLast => self.recoveries_to_clast += 1,
-            RecoveryOutcome::CPenult => self.recoveries_to_cpenult += 1,
+            RecoveryOutcome::CPenult | RecoveryOutcome::CPenultIntegrityFallback => {
+                self.recoveries_to_cpenult += 1
+            }
         }
         self.crash_events.push(event);
     }
@@ -254,6 +374,7 @@ impl MemStats {
         self.recoveries_to_clast += other.recoveries_to_clast;
         self.recoveries_to_cpenult += other.recoveries_to_cpenult;
         self.wq_writes_lost += other.wq_writes_lost;
+        self.media.merge(&other.media);
         self.crash_events.extend(other.crash_events.iter().cloned());
     }
 }
@@ -281,6 +402,20 @@ impl fmt::Display for MemStats {
                 self.recoveries_to_clast,
                 self.recoveries_to_cpenult,
                 self.wq_writes_lost,
+            )?;
+        }
+        if self.media.any() {
+            write!(
+                f,
+                " media(flip={} stuck={} torn={} meta={} retries={} remaps={} scrubbed={} fallbacks={})",
+                self.media.bit_flips,
+                self.media.stuck_faults,
+                self.media.torn_writes,
+                self.media.meta_corruptions,
+                self.media.retries,
+                self.media.remaps,
+                self.media.scrub_repairs,
+                self.media.integrity_fallbacks,
             )?;
         }
         Ok(())
@@ -402,5 +537,74 @@ mod tests {
         assert_eq!(a.crashes_injected, 2);
         assert_eq!(a.crash_events.len(), 2);
         assert_eq!(a.wq_writes_lost, 5);
+    }
+
+    #[test]
+    fn fault_kind_display() {
+        assert_eq!(FaultKind::BitFlip.to_string(), "bit-flip");
+        assert_eq!(FaultKind::StuckAt.to_string(), "stuck-at");
+        assert_eq!(FaultKind::TornWrite.to_string(), "torn-write");
+        assert_eq!(FaultKind::Metadata.to_string(), "metadata");
+        assert_eq!(
+            RecoveryOutcome::CPenultIntegrityFallback.to_string(),
+            "C_penult (integrity)"
+        );
+    }
+
+    #[test]
+    fn media_stats_record_and_merge() {
+        let mut m = MediaStats::default();
+        assert!(!m.any());
+        m.record_fault(FaultKind::BitFlip);
+        m.record_fault(FaultKind::StuckAt);
+        m.record_fault(FaultKind::TornWrite);
+        m.record_fault(FaultKind::Metadata);
+        m.retries = 3;
+        assert_eq!(m.total_faults(), 4);
+        assert!(m.any());
+
+        let mut other = MediaStats::default();
+        other.record_fault(FaultKind::BitFlip);
+        other.remaps = 2;
+        other.crc_check_cycles = Cycle::new(10);
+        m.merge(&other);
+        assert_eq!(m.bit_flips, 2);
+        assert_eq!(m.remaps, 2);
+        assert_eq!(m.crc_check_cycles, Cycle::new(10));
+    }
+
+    #[test]
+    fn integrity_fallback_counts_as_cpenult_recovery() {
+        let mut s = MemStats::new();
+        s.record_crash(crash_event(10, RecoveryOutcome::CPenultIntegrityFallback));
+        assert_eq!(s.recoveries_to_cpenult, 1);
+        assert_eq!(s.recoveries_to_clast, 0);
+    }
+
+    #[test]
+    fn display_includes_media_section_when_active() {
+        let mut s = MemStats::new();
+        assert!(!s.to_string().contains("media("));
+        s.media.record_fault(FaultKind::StuckAt);
+        s.media.remaps = 1;
+        let text = s.to_string();
+        assert!(text.contains("media("), "text={text}");
+        assert!(text.contains("stuck=1"), "text={text}");
+    }
+
+    #[test]
+    fn media_stats_merge_via_memstats() {
+        let mut a = MemStats::new();
+        a.media.scrub_repairs = 1;
+        let mut b = MemStats::new();
+        b.media.scrub_repairs = 2;
+        b.media.integrity_fallbacks = 1;
+        b.media.silent_corruptions = 4;
+        b.media.crc_checked_blocks = 8;
+        a.merge(&b);
+        assert_eq!(a.media.scrub_repairs, 3);
+        assert_eq!(a.media.integrity_fallbacks, 1);
+        assert_eq!(a.media.silent_corruptions, 4);
+        assert_eq!(a.media.crc_checked_blocks, 8);
     }
 }
