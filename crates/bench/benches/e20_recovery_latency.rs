@@ -1,0 +1,10 @@
+//! Recovery latency vs nested-crash depth; see
+//! thynvm_bench::experiments::e20_recovery_latency.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e20_recovery_latency`.
+
+use thynvm_bench::experiments;
+
+fn main() {
+    experiments::e20_recovery_latency().print();
+}

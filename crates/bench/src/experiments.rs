@@ -799,6 +799,66 @@ pub fn e19_media_resilience(scale: Scale) -> Table {
     table
 }
 
+/// E20: recovery latency vs nested-crash depth. Recovery is restartable —
+/// a power failure *during* recovery restarts it from the persisted commit
+/// record — so each extra stacked crash pays one more (partial) recovery
+/// attempt. A probe run learns the recovery-step boundaries, then each
+/// depth queues that many crash points at step boundaries and reports the
+/// end-to-end recovery time (aborted attempts included), attempt count,
+/// and nested-crash count.
+pub fn e20_recovery_latency() -> Table {
+    use thynvm_types::{Cycle, PhysAddr, PAGE_BYTES};
+
+    // A fixed checkpointed working set: 64 promoted pages plus the
+    // metadata images, so recovery has real replay and re-arm work.
+    let build = || {
+        let mut cfg = SystemConfig::paper();
+        cfg.thynvm.promote_threshold = 1; // promote on first write
+        cfg.thynvm.demote_threshold = 0; // never demote
+        let mut sys = thynvm_core::ThyNvm::new(cfg);
+        let mut now = Cycle::ZERO;
+        for p in 0..64u64 {
+            now = now.max(sys.store_bytes(PhysAddr::new(p * PAGE_BYTES), &[1u8; 64], now));
+        }
+        let t = sys.force_checkpoint(now);
+        let t = thynvm_types::MemorySystem::drain(&mut sys, t);
+        (sys, t)
+    };
+
+    // Probe: one clean crash learns where each recovery step completes.
+    let (mut probe, t0) = build();
+    probe.arm_crash_point(t0);
+    probe.poll_crash(t0 + Cycle::new(1));
+    let probe_report = probe.take_crash_report().expect("probe crash fires").report;
+    let boundaries: Vec<Cycle> = probe_report.steps.iter().map(|&(_, end)| end).collect();
+    assert!(!boundaries.is_empty(), "recovery reported no steps");
+
+    let mut table = Table::new(
+        "Recovery latency vs nested-crash depth (restartable recovery)",
+        &["crash depth", "recovery µs", "attempts", "nested crashes"],
+    );
+    for depth in 0..=4usize {
+        let (mut sys, t) = build();
+        sys.arm_crash_point(t);
+        for i in 0..depth {
+            // One cycle short of a step boundary: the step is interrupted
+            // and redone by the next attempt. Cycling through the
+            // boundaries stacks crashes on successive restarts.
+            let b = boundaries[i % boundaries.len()];
+            sys.queue_crash_point(b.saturating_sub(Cycle::new(1)));
+        }
+        sys.poll_crash(t + Cycle::new(1));
+        let crash = sys.take_crash_report().expect("armed crash fires");
+        table.row(&[
+            depth.to_string(),
+            fmt_f(crash.report.recovery_cycles.as_ns() / 1e3),
+            crash.report.attempts.to_string(),
+            crash.report.nested_crashes.to_string(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -939,6 +999,33 @@ mod tests {
             .parse()
             .expect("numeric CRC blocks");
         assert!(crc_blocks > 0, "hardened run verified no CRCs: {hardened}");
+    }
+
+    #[test]
+    fn e20_latency_grows_with_crash_depth() {
+        let table = e20_recovery_latency();
+        assert_eq!(table.len(), 5, "depths 0 through 4");
+        let text = table.render();
+        // Depth-d rows report d nested crashes and d+1 attempts; the
+        // deepest storm must be strictly slower than the clean recovery.
+        let micros: Vec<f64> = text
+            .lines()
+            .filter_map(|l| {
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                match cols.as_slice() {
+                    [depth, us, attempts, nested] => {
+                        let d: u64 = depth.parse().ok()?;
+                        assert_eq!(nested.parse::<u64>().ok()?, d);
+                        assert_eq!(attempts.parse::<u64>().ok()?, d + 1);
+                        us.parse().ok()
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        assert_eq!(micros.len(), 5, "five parsed data rows: {text}");
+        assert!(micros[4] > micros[0], "nested crashes must cost cycles: {text}");
+        assert!(micros.windows(2).all(|w| w[1] >= w[0]), "latency not monotone: {text}");
     }
 
     #[test]

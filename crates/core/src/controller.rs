@@ -46,8 +46,8 @@ use std::collections::{HashMap, HashSet};
 use thynvm_mem::{Device, DeviceKind, FaultModel, SparseStore, WriteQueue};
 use thynvm_types::{
     AccessKind, BlockIndex, CkptMode, CkptPhase, Cycle, Error, FaultKind, HwAddr, MemRequest,
-    MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr, SystemConfig, TraceEvent,
-    BLOCK_BYTES, PAGE_BYTES,
+    MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr, RecoveryStep, SystemConfig,
+    TraceEvent, BLOCK_BYTES, PAGE_BYTES,
 };
 
 use crate::epoch::{CkptJob, EpochState};
@@ -108,8 +108,19 @@ pub struct RecoveryReport {
     /// verification, so recovery discarded it and restored the retained
     /// penultimate image instead.
     pub integrity_fallback: bool,
-    /// Simulated duration of the recovery procedure.
+    /// Simulated duration of the recovery procedure, including every
+    /// attempt aborted by a nested crash.
     pub recovery_cycles: Cycle,
+    /// The steps of the final (successful) recovery attempt, with the
+    /// cycle each completed at. Step boundaries are exactly where a
+    /// queued crash point can interrupt recovery.
+    pub steps: Vec<(RecoveryStep, Cycle)>,
+    /// Crash points that fired *during* this recovery (each aborted an
+    /// attempt, which then restarted from the persisted commit record).
+    pub nested_crashes: u64,
+    /// Recovery attempts run: `nested_crashes` aborted ones plus the
+    /// final successful pass.
+    pub attempts: u64,
 }
 
 /// Result of one crash injected through [`ThyNvm::arm_crash_point`]:
@@ -191,11 +202,15 @@ pub struct ThyNvm {
     job_duration_hist: thynvm_types::Histogram,
 
     // ---- fault injection ----
-    /// Armed crash point: power fails at this cycle. The crash fires at the
-    /// first request whose timeline reaches the armed cycle, and recovery
-    /// runs *as of the armed cycle* — effects scheduled to complete later
-    /// (an in-flight checkpoint's commit, queued writes) are lost.
-    crash_point: Option<Cycle>,
+    /// Queued crash points, sorted ascending: power fails at the end of
+    /// each listed cycle. The earliest fires at the first request whose
+    /// timeline passes it, and recovery runs *as of that cycle* — effects
+    /// scheduled to complete later (an in-flight checkpoint's commit,
+    /// queued writes) are lost. Points still queued when a crash fires
+    /// survive into the recovery phase and interrupt it at recovery-step
+    /// boundaries (nested crashes); points beyond the end of recovery
+    /// stay armed for later requests.
+    crash_points: Vec<Cycle>,
     /// Record of the most recent injected crash, until taken.
     injected_crash: Option<InjectedCrash>,
 
@@ -226,8 +241,11 @@ pub struct ThyNvm {
     /// is corrupted.
     injected_meta_corrupt: bool,
     /// The most recent unrecoverable-read error (retries exhausted before a
-    /// remap healed the block), for inspection.
+    /// remap healed the block, or the spare pool drained), for inspection.
     last_media_error: Option<Error>,
+    /// Sequence number of the next write-ahead-log record in the backup
+    /// region (bad-block remaps, recovery-side integrity fallbacks).
+    wal_seq: u64,
 }
 
 impl ThyNvm {
@@ -259,7 +277,7 @@ impl ThyNvm {
             archive_depth: 0,
             epoch_length_hist: thynvm_types::Histogram::new(),
             job_duration_hist: thynvm_types::Histogram::new(),
-            crash_point: None,
+            crash_points: Vec::new(),
             injected_crash: None,
             fault: cfg
                 .media
@@ -273,6 +291,7 @@ impl ThyNvm {
             injected_clast_flip: None,
             injected_meta_corrupt: false,
             last_media_error: None,
+            wal_seq: 0,
             cfg,
         }
     }
@@ -318,6 +337,15 @@ impl ThyNvm {
         self.last_recovery.as_ref()
     }
 
+    /// Content fingerprint of the software-visible byte image (see
+    /// [`SparseStore::fingerprint`]): equal fingerprints mean byte-identical
+    /// contents. Crash-storm harnesses use this to assert that every
+    /// nested-crash recovery converges to the exact image an uninterrupted
+    /// recovery produces.
+    pub fn visible_fingerprint(&self) -> u64 {
+        self.visible.fingerprint()
+    }
+
     // ------------------------------------------------------------------
     // Fault injection (crash points)
     // ------------------------------------------------------------------
@@ -334,22 +362,48 @@ impl ThyNvm {
     /// triggering request itself is dropped if it mutates state (power was
     /// already gone); loads proceed against the recovered image.
     ///
-    /// Re-arming replaces any previously armed point. Use
+    /// Re-arming replaces *all* previously queued points (use
+    /// [`ThyNvm::queue_crash_point`] to stack additional ones). Use
     /// [`ThyNvm::take_crash_report`] after each request to learn whether
     /// the crash fired.
     pub fn arm_crash_point(&mut self, at: Cycle) {
-        self.crash_point = Some(at);
+        self.crash_points.clear();
+        self.crash_points.push(at);
     }
 
-    /// The currently armed crash point, if any.
+    /// Queues an additional crash point without disturbing those already
+    /// armed. Points fire earliest-first; a point still queued when an
+    /// earlier one fires *survives into the recovery phase* and interrupts
+    /// it at the next recovery-step boundary (a nested crash), forcing
+    /// recovery to restart from the persisted commit record. Points beyond
+    /// the end of recovery stay armed for later requests.
+    pub fn queue_crash_point(&mut self, at: Cycle) {
+        let idx = self.crash_points.partition_point(|&p| p <= at);
+        self.crash_points.insert(idx, at);
+    }
+
+    /// The earliest queued crash point, if any.
     pub fn armed_crash_point(&self) -> Option<Cycle> {
-        self.crash_point
+        self.crash_points.first().copied()
     }
 
-    /// Disarms the crash point without firing it, returning the armed
-    /// cycle if one was set.
+    /// All queued crash points, earliest first.
+    pub fn armed_crash_points(&self) -> &[Cycle] {
+        &self.crash_points
+    }
+
+    /// Disarms the *earliest* queued crash point without firing it,
+    /// returning its cycle if one was queued. Later points stay armed.
+    ///
+    /// Disarming is the only way to stop a queued point from reaching the
+    /// recovery phase: once a crash fires, every still-queued point that
+    /// recovery's timeline overruns fires as a nested crash.
     pub fn disarm_crash_point(&mut self) -> Option<Cycle> {
-        self.crash_point.take()
+        if self.crash_points.is_empty() {
+            None
+        } else {
+            Some(self.crash_points.remove(0))
+        }
     }
 
     /// Takes the record of the most recent injected crash, if one fired
@@ -366,25 +420,25 @@ impl ThyNvm {
     /// Power fails at the *end* of the armed cycle, so a request entering
     /// exactly at it is still serviced; the crash fires strictly after.
     pub fn poll_crash(&mut self, now: Cycle) -> Option<Cycle> {
-        let at = self.crash_point?;
+        let at = *self.crash_points.first()?;
         if now <= at {
             return None;
         }
         Some(self.trigger_crash())
     }
 
-    /// Whether the armed crash point fires strictly before cycle `t` — used
-    /// where the controller is about to block until `t` (a checkpoint
-    /// stall, a drain): power fails mid-wait.
+    /// Whether the earliest queued crash point fires strictly before cycle
+    /// `t` — used where the controller is about to block until `t` (a
+    /// checkpoint stall, a drain): power fails mid-wait.
     fn crash_before(&self, t: Cycle) -> bool {
-        self.crash_point.is_some_and(|at| at < t)
+        self.crash_points.first().is_some_and(|&at| at < t)
     }
 
-    /// Performs the armed crash: classifies where it landed, runs §4.5
-    /// recovery as of the armed cycle, records the observability event, and
+    /// Performs the earliest queued crash: classifies where it landed, runs
+    /// §4.5 recovery as of that cycle, records the observability event, and
     /// returns the cycle at which the rebooted system resumes.
     fn trigger_crash(&mut self) -> Cycle {
-        let at = self.crash_point.take().expect("armed");
+        let at = self.crash_points.remove(0);
 
         // Classify the crash site before recovery tears the state down.
         let epoch_id = self.epoch.active_epoch;
@@ -410,6 +464,7 @@ impl ThyNvm {
             phase,
             inflight_writebacks: inflight,
             outcome,
+            recovery_step: None,
         };
         self.stats.record_crash(event.clone());
         let resume_at = at + report.recovery_cycles;
@@ -492,21 +547,52 @@ impl ThyNvm {
         }
     }
 
+    /// Whether the spare-block pool has been fully consumed: no further
+    /// bad-block remaps are possible and the device can no longer heal
+    /// itself (reads are still served through bounded CRC retries).
+    pub fn spares_exhausted(&self) -> bool {
+        self.next_spare_slot >= self.cfg.media.spare_blocks
+    }
+
     /// Remaps the block at device address `base` to a fresh spare slot: the
-    /// controller rewrites the block's good data (which it still holds) to
-    /// the spare location and records the indirection in the persistent
-    /// bad-block table. Each block is remapped at most once — later
-    /// accesses resolve through the table before touching the media.
-    fn remap_bad_block(&mut self, base: u64, now: Cycle) -> Cycle {
+    /// controller writes an intent record to the write-ahead log, rewrites
+    /// the block's good data (which it still holds) to the spare location,
+    /// and CRC-seals the log record — only then is the indirection in the
+    /// persistent bad-block table effective, so a crash mid-remap leaves a
+    /// torn record that is detected and redone, never compounded. Each
+    /// block is remapped at most once — later accesses resolve through the
+    /// table before touching the media.
+    ///
+    /// Returns the cycle the seal lands, or `None` when the spare pool is
+    /// exhausted: the remap is dropped, `spare_exhausted` is counted, and
+    /// the block keeps being served with per-read CRC retries (graceful
+    /// degradation).
+    fn remap_bad_block(&mut self, base: u64, now: Cycle) -> Option<Cycle> {
+        if self.spares_exhausted() {
+            self.stats.media.spare_exhausted += 1;
+            self.last_media_error = Some(Error::SpareExhausted { addr: PhysAddr::new(base) });
+            return None;
+        }
+        // WAL intent: the (bad block → spare slot) assignment.
+        let wal = self.space.backup_wal(self.wal_seq);
+        self.wal_seq += 1;
+        let mut t = self.nvm.access(wal, AccessKind::Write, 64, now);
+        self.stats.record_nvm_write(64, NvmWriteClass::Migration);
+        self.charge_crc(64);
         let slot = self.next_spare_slot;
         self.next_spare_slot += 1;
         self.bad_blocks.insert(base, slot);
         let dst = self.space.spare_block(slot);
-        let done = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, now);
+        t = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, t);
         self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Migration);
         self.media_note_write(dst, BLOCK_BYTES as u32);
+        // CRC seal: the remap commits when this lands.
+        t = self.nvm.access(wal, AccessKind::Write, 64, t);
+        self.stats.record_nvm_write(64, NvmWriteClass::Migration);
+        self.charge_crc(64);
+        self.stats.media.wal_seals += 1;
         self.stats.media.remaps += 1;
-        done
+        Some(t)
     }
 
     /// One NVM data read on the load path: applies the bad-block remap,
@@ -556,12 +642,13 @@ impl ThyNvm {
         }
         if !healed {
             // Every retry failed: the location is permanently bad (a
-            // stuck-at cell). Remap the block away from it.
+            // stuck-at cell). Remap the block away from it; with the spare
+            // pool drained the block keeps limping along on CRC retries.
             self.last_media_error = Some(Error::RetriesExhausted {
                 addr: PhysAddr::new(block.base_addr().raw() + fault_offset),
                 attempts: self.cfg.media.max_read_retries,
             });
-            done = self.remap_bad_block(hw.raw() & !(BLOCK_BYTES - 1), done);
+            done = self.remap_bad_block(hw.raw() & !(BLOCK_BYTES - 1), done).unwrap_or(done);
         }
         done
     }
@@ -577,6 +664,11 @@ impl ThyNvm {
         };
         let mut t = now;
         for cell in cells {
+            if self.spares_exhausted() {
+                // Nothing left to heal with: stop scrubbing; reads keep
+                // being served through bounded CRC retries.
+                break;
+            }
             let base = cell & !(BLOCK_BYTES - 1);
             if self.bad_blocks.contains_key(&base) {
                 continue; // already remapped away from the bad cell
@@ -586,8 +678,10 @@ impl ThyNvm {
             self.stats.nvm_read_bytes += BLOCK_BYTES;
             t = self.nvm.access(HwAddr::new(base), AccessKind::Read, BLOCK_BYTES as u32, t);
             self.charge_crc(BLOCK_BYTES);
-            t = self.remap_bad_block(base, t);
-            self.stats.media.scrub_repairs += 1;
+            if let Some(done) = self.remap_bad_block(base, t) {
+                t = done;
+                self.stats.media.scrub_repairs += 1;
+            }
         }
     }
 
@@ -661,7 +755,7 @@ impl ThyNvm {
         // A job whose completion lies at or beyond an armed crash point can
         // never commit: power fails first. Leaving it in place lets the
         // crash trigger find it and roll it back (`C_penult`).
-        if let (Some(at), Some(job)) = (self.crash_point, self.epoch.job.as_ref()) {
+        if let (Some(&at), Some(job)) = (self.crash_points.first(), self.epoch.job.as_ref()) {
             if job.done_at > at {
                 return;
             }
@@ -1203,6 +1297,13 @@ impl ThyNvm {
     /// the active epoch's working copies and any *incomplete* checkpoint)
     /// is lost; the software-visible image rolls back to the most recent
     /// completed checkpoint.
+    ///
+    /// Recovery itself is a cycle-accounted, interruptible step machine:
+    /// crash points still queued via [`ThyNvm::queue_crash_point`] fire at
+    /// recovery-step boundaries as *nested* crashes, aborting the attempt.
+    /// Every step is idempotent — the restarted attempt begins again from
+    /// the persisted commit record and converges to the same byte-identical
+    /// image an uninterrupted recovery produces.
     pub fn crash_and_recover(&mut self, now: Cycle) -> RecoveryReport {
         // A checkpoint that finished before the crash counts.
         self.retire_job_if_done(now);
@@ -1234,21 +1335,202 @@ impl ThyNvm {
         self.page_store_counts.clear();
         let lost = self.nvm_wq.discard_lost(now) + self.dram_wq.discard_lost(now);
         self.stats.wq_writes_lost += lost as u64;
-        self.dram.power_cycle();
-        self.nvm.power_cycle();
         self.epoch_dirty_blocks = 0;
         self.input_blocked_until = Cycle::ZERO;
 
-        // Integrity verification of `C_last` (checksummed commit record +
-        // BTT/PTT metadata + per-block data CRCs). A latent fault in any of
-        // them makes `C_last` unusable; recovery falls back to `C_penult`,
-        // which a completed checkpoint always leaves intact.
+        // Restartable recovery: run attempts until one completes. A queued
+        // crash point overrun by an attempt's timeline aborts it (a nested
+        // crash); the next attempt restarts at the interrupting cycle.
+        let nested_before = self.stats.nested_crashes;
         let mut integrity_fallback = false;
+        let mut attempts = 0u64;
+        let mut start = now;
+        let (steps, restored, end) = loop {
+            attempts += 1;
+            match self.recovery_attempt(start, rolled_back_incomplete, &mut integrity_fallback) {
+                Ok(done) => break done,
+                Err(at) => start = start.max(at),
+            }
+        };
+
+        // Roll the visible image back to the recovered checkpoint.
+        self.visible = self.committed.clone();
+
+        // Fresh epoch begins after recovery.
+        self.epoch = EpochState {
+            active_epoch: self.epoch.active_epoch,
+            epoch_start: end,
+            job: None,
+            overflow_pending: false,
+            completed: self.epoch.completed,
+        };
+
+        let report = RecoveryReport {
+            recovered_checkpoints: self.epoch.completed,
+            rolled_back_incomplete,
+            restored_pages: restored,
+            integrity_fallback,
+            recovery_cycles: end.saturating_sub(now),
+            steps,
+            nested_crashes: self.stats.nested_crashes - nested_before,
+            attempts,
+        };
+        self.stats.recovery_cycles += report.recovery_cycles;
+        self.last_recovery = Some(report.clone());
+        report
+    }
+
+    /// One pass of the §4.5 recovery step machine, beginning at `start`.
+    /// Returns the completed steps, pages restored, and end cycle — or
+    /// `Err(at)` when a queued crash point at cycle `at` aborted it, with
+    /// any unsealed recovery-side remaps rolled back (their torn WAL
+    /// records mean the next attempt redoes them from scratch).
+    #[allow(clippy::type_complexity)]
+    fn recovery_attempt(
+        &mut self,
+        start: Cycle,
+        rolled_back_incomplete: bool,
+        integrity_fallback: &mut bool,
+    ) -> Result<(Vec<(RecoveryStep, Cycle)>, usize, Cycle), Cycle> {
+        let mut remaps = Vec::new();
+        let result =
+            self.recovery_attempt_run(start, rolled_back_incomplete, integrity_fallback, &mut remaps);
+        if let Err(at) = result {
+            // Bad-block remaps whose WAL seal had not landed when power
+            // failed never took effect: drop the in-memory indirection and
+            // return the spare slots. Sealed remaps (seal ≤ at) persist.
+            for (base, sealed) in remaps.into_iter().rev() {
+                if sealed > at {
+                    self.bad_blocks.remove(&base);
+                    self.next_spare_slot -= 1;
+                    self.stats.media.wal_redos += 1;
+                }
+            }
+        }
+        result
+    }
+
+    /// Checks whether completing a recovery step at `t_end` overruns the
+    /// earliest queued crash point: if so, power failed mid-recovery. The
+    /// point is consumed, a nested crash is recorded against `step`, and
+    /// the attempt aborts.
+    fn recovery_interrupt(
+        &mut self,
+        step: RecoveryStep,
+        t_end: Cycle,
+        rolled_back_incomplete: bool,
+        integrity_fallback: bool,
+    ) -> Result<(), Cycle> {
+        let Some(&at) = self.crash_points.first() else {
+            return Ok(());
+        };
+        if t_end <= at {
+            return Ok(());
+        }
+        self.crash_points.remove(0);
+        let outcome = if integrity_fallback {
+            thynvm_types::RecoveryOutcome::CPenultIntegrityFallback
+        } else if rolled_back_incomplete {
+            thynvm_types::RecoveryOutcome::CPenult
+        } else {
+            thynvm_types::RecoveryOutcome::CLast
+        };
+        let event = thynvm_types::CrashEvent {
+            cycle: at,
+            epoch: self.epoch.active_epoch,
+            phase: CkptPhase::Execution,
+            inflight_writebacks: 0,
+            outcome,
+            recovery_step: Some(step),
+        };
+        self.stats.record_nested_crash(event);
+        Err(at)
+    }
+
+    /// One fault-aware NVM read on the recovery path: resolves the
+    /// bad-block indirection, pays the device latency, verifies CRCs, and
+    /// — when retries exhaust — remaps the block, recording the WAL seal
+    /// cycle in `remaps` so an aborted attempt can undo unsealed ones.
+    fn recovery_read(
+        &mut self,
+        hw: HwAddr,
+        bytes: u32,
+        now: Cycle,
+        remaps: &mut Vec<(u64, Cycle)>,
+    ) -> Cycle {
+        let hw = self.remapped(hw);
+        self.stats.nvm_reads += 1;
+        self.stats.nvm_read_bytes += u64::from(bytes);
+        let mut done = self.nvm.access(hw, AccessKind::Read, bytes, now);
+        self.charge_crc(u64::from(bytes));
+        if self.fault.is_none() || !self.cfg.media.integrity {
+            return done;
+        }
+        if self.fault.as_mut().expect("checked above").read_fault(hw, bytes).is_none() {
+            return done;
+        }
+        for attempt in 1..=self.cfg.media.max_read_retries {
+            done += Cycle::from_ns(self.cfg.media.retry_backoff_ns * u64::from(attempt));
+            done = self.nvm.access(hw, AccessKind::Read, bytes, done);
+            self.stats.nvm_reads += 1;
+            self.stats.nvm_read_bytes += u64::from(bytes);
+            self.stats.media.retries += 1;
+            self.charge_crc(u64::from(bytes));
+            if self.fault.as_mut().expect("checked above").read_fault(hw, bytes).is_none() {
+                return done;
+            }
+        }
+        let base = hw.raw() & !(BLOCK_BYTES - 1);
+        if let Some(sealed) = self.remap_bad_block(base, done) {
+            remaps.push((base, sealed));
+            done = sealed;
+        }
+        done
+    }
+
+    /// The body of one recovery attempt. Each step pays its modeled NVM
+    /// latency, then checks the queued crash points before its effects are
+    /// considered complete.
+    #[allow(clippy::type_complexity)]
+    fn recovery_attempt_run(
+        &mut self,
+        start: Cycle,
+        rolled_back_incomplete: bool,
+        integrity_fallback: &mut bool,
+        remaps: &mut Vec<(u64, Cycle)>,
+    ) -> Result<(Vec<(RecoveryStep, Cycle)>, usize, Cycle), Cycle> {
+        // Power restore: volatile device state (row buffers, bank busy
+        // times) starts fresh on every attempt.
+        self.dram.power_cycle();
+        self.nvm.power_cycle();
+        let mut steps = Vec::with_capacity(5);
+
+        // Step 1: read the checkpoint commit record.
+        let mut t = self.recovery_read(self.space.backup(0), 64, start, remaps);
+        self.recovery_interrupt(
+            RecoveryStep::ReadCommitRecord,
+            t,
+            rolled_back_incomplete,
+            *integrity_fallback,
+        )?;
+        steps.push((RecoveryStep::ReadCommitRecord, t));
+
+        // Step 2: verify `C_last`'s integrity (commit-record checksum +
+        // BTT/PTT metadata CRCs). A latent fault in any of them makes
+        // `C_last` unusable; step 3 then falls back to `C_penult`, which a
+        // completed checkpoint always leaves intact.
         if self.cfg.media.integrity && self.epoch.completed > 0 {
-            self.charge_crc(64); // commit-record verification
-            let torn = std::mem::take(&mut self.injected_torn_commit);
-            let flip = self.injected_clast_flip.take();
-            let meta = std::mem::take(&mut self.injected_meta_corrupt);
+            let meta_bytes = ((self.btt.len() + self.ptt.len()).max(1) as u64) * META_ENTRY_BYTES
+                + 2 * META_CRC_BYTES;
+            let meta_len =
+                u32::try_from(meta_bytes.min(u64::from(u32::MAX))).expect("bounded").max(64);
+            t = self.recovery_read(self.space.backup(8192), meta_len, t, remaps);
+            // Peek — never consume — the injected latent faults: whether
+            // `C_last` is corrupt is a property of the persisted bytes, so
+            // a restarted attempt must reach the same verdict.
+            let torn = self.injected_torn_commit;
+            let flip = self.injected_clast_flip;
+            let meta = self.injected_meta_corrupt;
             if torn {
                 self.stats.media.record_fault(FaultKind::TornWrite);
             }
@@ -1258,20 +1540,57 @@ impl ThyNvm {
             if meta {
                 self.stats.media.record_fault(FaultKind::Metadata);
             }
-            if torn || flip.is_some() || meta {
+            let corrupt = torn || flip.is_some() || meta;
+            self.recovery_interrupt(
+                RecoveryStep::VerifyClast,
+                t,
+                rolled_back_incomplete,
+                *integrity_fallback,
+            )?;
+            steps.push((RecoveryStep::VerifyClast, t));
+
+            // Step 3: fall back to `C_penult` — write-ahead + CRC-sealed,
+            // so an interruption leaves a torn WAL record that the next
+            // attempt detects and redoes, never a half-applied fallback.
+            if corrupt {
+                let wal = self.space.backup_wal(self.wal_seq);
+                self.wal_seq += 1;
+                let mut w = self.nvm.access(wal, AccessKind::Write, 64, t);
+                self.stats.record_nvm_write(64, NvmWriteClass::Migration);
+                self.charge_crc(64);
+                w = self.nvm.access(wal, AccessKind::Write, 64, w); // seal
+                self.stats.record_nvm_write(64, NvmWriteClass::Migration);
+                self.charge_crc(64);
+                if let Err(at) = self.recovery_interrupt(
+                    RecoveryStep::IntegrityFallback,
+                    w,
+                    rolled_back_incomplete,
+                    *integrity_fallback,
+                ) {
+                    // The seal never landed: nothing took effect. The next
+                    // attempt re-detects the corruption and redoes this.
+                    self.stats.media.wal_redos += 1;
+                    return Err(at);
+                }
+                self.stats.media.wal_seals += 1;
+                // Sealed: the fallback commits, and the corrupt `C_last`
+                // image is no longer reachable — consume the faults.
+                self.injected_torn_commit = false;
+                self.injected_clast_flip = None;
+                self.injected_meta_corrupt = false;
                 self.committed = self.committed_prev.clone();
                 self.committed_prev = self.committed.clone();
                 self.epoch.completed -= 1;
                 self.stats.media.integrity_fallbacks += 1;
-                integrity_fallback = true;
+                *integrity_fallback = true;
+                t = w;
+                steps.push((RecoveryStep::IntegrityFallback, t));
             }
         }
 
-        // Roll the visible image back to the committed checkpoint.
-        self.visible = self.committed.clone();
-
-        // Rebuild controller metadata from the checkpointed tables: drop
-        // uncommitted working copies.
+        // Step 4 (§4.5 step 1): replay BTT/PTT metadata from the backup
+        // region, dropping uncommitted working copies. Re-running this on
+        // already-normalized tables changes nothing.
         let stale: Vec<BlockIndex> = self
             .btt
             .iter_mut()
@@ -1290,20 +1609,21 @@ impl ThyNvm {
         for b in stale {
             self.btt.remove(b);
         }
+        let meta_bytes = (self.btt.len() + self.ptt.len()) as u64 * META_ENTRY_BYTES
+            + self.cfg.thynvm.cpu_state_bytes;
+        let meta_len =
+            u32::try_from(meta_bytes.max(64).min(u64::from(u32::MAX))).expect("bounded");
+        t = self.recovery_read(self.space.backup(0), meta_len, t, remaps);
+        self.recovery_interrupt(
+            RecoveryStep::ReplayMetadata,
+            t,
+            rolled_back_incomplete,
+            *integrity_fallback,
+        )?;
+        steps.push((RecoveryStep::ReplayMetadata, t));
 
-        // §4.5 step 1: reload BTT/PTT from the backup region.
-        let meta_bytes =
-            (self.btt.len() + self.ptt.len()) as u64 * META_ENTRY_BYTES + self.cfg.thynvm.cpu_state_bytes;
-        let mut t = self.nvm.access(
-            self.space.backup(0),
-            AccessKind::Read,
-            u32::try_from(meta_bytes.max(64).min(u64::from(u32::MAX))).expect("bounded"),
-            now,
-        );
-        self.stats.nvm_reads += 1;
-        self.stats.nvm_read_bytes += meta_bytes;
-
-        // §4.5 step 2: restore page-writeback pages into DRAM.
+        // Step 5 (§4.5 step 2): re-arm the DRAM working set — restore
+        // page-writeback pages from their checkpoint copies.
         let mut restored = 0usize;
         let mut pages: Vec<(PageIndex, u32, Option<Region>)> = self
             .ptt
@@ -1319,32 +1639,20 @@ impl ThyNvm {
         for (page, slot, clast) in pages {
             let region = clast.unwrap_or(Region::B);
             let src = self.space.checkpoint_page(region, page);
-            t = self.nvm.access(src, AccessKind::Read, PAGE_BYTES as u32, t);
-            self.stats.nvm_reads += 1;
-            self.stats.nvm_read_bytes += PAGE_BYTES;
+            t = self.recovery_read(src, PAGE_BYTES as u32, t, remaps);
             let off = self.space.working_offset(self.space.working_page(slot));
             t = self.working_write(off, PAGE_BYTES as u32, t);
             restored += 1;
         }
-
-        // Fresh epoch begins after recovery.
-        self.epoch = EpochState {
-            active_epoch: self.epoch.active_epoch,
-            epoch_start: t,
-            job: None,
-            overflow_pending: false,
-            completed: self.epoch.completed,
-        };
-
-        let report = RecoveryReport {
-            recovered_checkpoints: self.epoch.completed,
+        self.recovery_interrupt(
+            RecoveryStep::RearmWorkingSet,
+            t,
             rolled_back_incomplete,
-            restored_pages: restored,
-            integrity_fallback,
-            recovery_cycles: t.saturating_sub(now),
-        };
-        self.last_recovery = Some(report.clone());
-        report
+            *integrity_fallback,
+        )?;
+        steps.push((RecoveryStep::RearmWorkingSet, t));
+
+        Ok((steps, restored, t))
     }
 }
 
@@ -1487,9 +1795,9 @@ impl MemorySystem for ThyNvm {
         }
         self.retire_job_if_done(t);
         if self.has_uncheckpointed_writes() {
-            let was_armed = self.crash_point.is_some();
+            let crashes_before = self.stats.crashes_injected;
             t = self.begin_checkpoint(t, &[]);
-            if was_armed && self.crash_point.is_none() {
+            if self.stats.crashes_injected > crashes_before {
                 // The crash fired inside the checkpoint; `t` is the resume.
                 return t.max(now);
             }
@@ -2528,5 +2836,270 @@ mod tests {
         let m = sys.stats().media;
         assert!(m.crc_checked_blocks > 0, "checkpoint + load verified CRCs");
         assert!(m.crc_check_cycles > Cycle::ZERO);
+    }
+
+    // ------------------------------------------------------------------
+    // Restartable recovery & crash-point queue
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn recovery_is_cycle_accounted_and_reports_steps() {
+        let mut sys = small();
+        let t = store_and_checkpoint(&mut sys, 3, Cycle::ZERO);
+        let report = sys.crash_and_recover(t);
+        assert!(report.recovery_cycles > Cycle::ZERO, "recovery pays modeled latency");
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.nested_crashes, 0);
+        assert_eq!(report.steps.first().map(|&(s, _)| s), Some(RecoveryStep::ReadCommitRecord));
+        assert_eq!(report.steps.last().map(|&(s, _)| s), Some(RecoveryStep::RearmWorkingSet));
+        // Step-end cycles are strictly ordered along the recovery timeline.
+        for pair in report.steps.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "steps out of order: {:?}", report.steps);
+        }
+        assert_eq!(sys.stats().recovery_cycles, report.recovery_cycles);
+        assert_eq!(sys.stats().nested_crashes, 0);
+    }
+
+    #[test]
+    fn queue_crash_point_orders_and_disarm_pops_earliest() {
+        let mut sys = small();
+        sys.queue_crash_point(Cycle::new(300));
+        sys.queue_crash_point(Cycle::new(100));
+        sys.queue_crash_point(Cycle::new(200));
+        assert_eq!(
+            sys.armed_crash_points(),
+            &[Cycle::new(100), Cycle::new(200), Cycle::new(300)]
+        );
+        assert_eq!(sys.armed_crash_point(), Some(Cycle::new(100)));
+        // Disarm removes only the earliest; the rest stay queued.
+        assert_eq!(sys.disarm_crash_point(), Some(Cycle::new(100)));
+        assert_eq!(sys.armed_crash_point(), Some(Cycle::new(200)));
+        // Arming replaces the whole queue.
+        sys.arm_crash_point(Cycle::new(50));
+        assert_eq!(sys.armed_crash_points(), &[Cycle::new(50)]);
+        assert_eq!(sys.disarm_crash_point(), Some(Cycle::new(50)));
+        assert_eq!(sys.disarm_crash_point(), None);
+    }
+
+    #[test]
+    fn queued_point_survives_into_recovery_as_nested_crash() {
+        let mut sys = small();
+        let t = store_and_checkpoint(&mut sys, 5, Cycle::ZERO);
+        sys.arm_crash_point(t);
+        // One cycle after the crash: recovery's first step overruns it.
+        sys.queue_crash_point(t + Cycle::new(1));
+        let resume = sys.poll_crash(t + Cycle::new(2)).expect("crash fires");
+        let crash = sys.take_crash_report().expect("reported");
+        assert_eq!(crash.report.nested_crashes, 1, "queued point fired mid-recovery");
+        assert_eq!(crash.report.attempts, 2);
+        assert_eq!(sys.stats().crashes_injected, 1, "nested crashes are not top-level");
+        assert_eq!(sys.stats().nested_crashes, 1);
+        // The nested event names the interrupted recovery step.
+        let nested = sys
+            .stats()
+            .crash_events
+            .iter()
+            .find(|e| e.recovery_step.is_some())
+            .expect("nested event recorded");
+        assert_eq!(nested.recovery_step, Some(RecoveryStep::ReadCommitRecord));
+        assert_eq!(nested.cycle, t + Cycle::new(1));
+        // Both queued points are consumed; recovery still lands on C_last.
+        assert_eq!(sys.armed_crash_points(), &[] as &[Cycle]);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, resume);
+        assert_eq!(buf, [5u8; 64]);
+    }
+
+    #[test]
+    fn nested_crash_recovery_converges_to_the_uninterrupted_image() {
+        // Probe twin: identical workload, single crash — learns the step
+        // boundaries and the reference image.
+        let mut probe = small();
+        let mut trial = small();
+        let mut tp = Cycle::ZERO;
+        let mut tt = Cycle::ZERO;
+        for (i, val) in [(0u64, 1u8), (64, 2), (4096, 3), (8192, 4)] {
+            tp = probe.store_bytes(PhysAddr::new(i), &[val; 64], tp);
+            tt = trial.store_bytes(PhysAddr::new(i), &[val; 64], tt);
+        }
+        tp = probe.force_checkpoint(tp);
+        tp = probe.drain(tp);
+        tt = trial.force_checkpoint(tt);
+        tt = trial.drain(tt);
+        assert_eq!(tp, tt, "twins share a timeline");
+        probe.arm_crash_point(tp);
+        probe.poll_crash(tp + Cycle::new(1)).expect("probe crash");
+        let probe_report = probe.take_crash_report().expect("probe report").report;
+        assert_eq!(probe_report.nested_crashes, 0);
+
+        // Trial: nested crash points at every step boundary of the probe's
+        // recovery (one cycle before each completion).
+        trial.arm_crash_point(tt);
+        for &(_, end) in &probe_report.steps {
+            trial.queue_crash_point(end.saturating_sub(Cycle::new(1)));
+        }
+        trial.poll_crash(tt + Cycle::new(1)).expect("trial crash");
+        let trial_report = trial.take_crash_report().expect("trial report").report;
+        assert!(trial_report.nested_crashes > 0, "boundary points interrupted recovery");
+        assert_eq!(trial_report.attempts, trial_report.nested_crashes + 1);
+        // Idempotence: byte-identical to the uninterrupted recovery.
+        assert_eq!(trial.visible_fingerprint(), probe.visible_fingerprint());
+        assert_eq!(trial_report.recovered_checkpoints, probe_report.recovered_checkpoints);
+        assert_eq!(trial_report.restored_pages, probe_report.restored_pages);
+        // Interrupted recovery takes at least as long as the clean one.
+        assert!(trial_report.recovery_cycles >= probe_report.recovery_cycles);
+    }
+
+    #[test]
+    fn leftover_queued_points_stay_armed_after_recovery() {
+        let mut sys = small();
+        let t = store_and_checkpoint(&mut sys, 9, Cycle::ZERO);
+        sys.arm_crash_point(t);
+        // Far beyond the end of recovery: must NOT fire as a nested crash.
+        let far = t + Cycle::new(1_000_000_000);
+        sys.queue_crash_point(far);
+        let resume = sys.poll_crash(t + Cycle::new(1)).expect("first crash");
+        let first = sys.take_crash_report().expect("first report");
+        assert_eq!(first.report.nested_crashes, 0);
+        assert_eq!(sys.armed_crash_points(), &[far], "distant point survives recovery");
+        // It fires later as an ordinary top-level crash.
+        let resume2 = sys.poll_crash(far + Cycle::new(1)).expect("second crash");
+        assert!(resume2 > resume);
+        assert_eq!(sys.stats().crashes_injected, 2);
+        assert_eq!(sys.stats().nested_crashes, 0);
+    }
+
+    #[test]
+    fn disarm_prevents_a_queued_point_from_reaching_recovery() {
+        let mut sys = small();
+        let t = store_and_checkpoint(&mut sys, 7, Cycle::ZERO);
+        sys.arm_crash_point(t);
+        sys.queue_crash_point(t + Cycle::new(1));
+        // Disarming pops the earliest point: the nested-crash candidate at
+        // t+1 becomes the (only) top-level crash point.
+        assert_eq!(sys.disarm_crash_point(), Some(t));
+        sys.poll_crash(t + Cycle::new(2)).expect("remaining point fires");
+        let crash = sys.take_crash_report().expect("reported");
+        assert_eq!(crash.event.cycle, t + Cycle::new(1));
+        assert_eq!(crash.report.nested_crashes, 0, "no queued point left to nest");
+    }
+
+    #[test]
+    fn crash_during_integrity_fallback_still_lands_on_cpenult() {
+        // Probe twin learns where the IntegrityFallback step completes.
+        let mut probe = ThyNvm::new(media_cfg(|_| {}));
+        let mut trial = ThyNvm::new(media_cfg(|_| {}));
+        let tp = store_and_checkpoint(&mut probe, 1, Cycle::ZERO);
+        let tp = store_and_checkpoint(&mut probe, 2, tp);
+        let tt = store_and_checkpoint(&mut trial, 1, Cycle::ZERO);
+        let tt = store_and_checkpoint(&mut trial, 2, tt);
+        assert_eq!(tp, tt);
+        probe.inject_media_fault(MediaFault::TornCommitRecord);
+        probe.arm_crash_point(tp);
+        probe.poll_crash(tp + Cycle::new(1)).expect("probe crash");
+        let probe_report = probe.take_crash_report().expect("probe").report;
+        let fallback_end = probe_report
+            .steps
+            .iter()
+            .find(|&&(s, _)| s == RecoveryStep::IntegrityFallback)
+            .map(|&(_, end)| end)
+            .expect("probe recovery ran the fallback step");
+
+        // Trial: power fails again one cycle before the fallback's WAL
+        // seal lands — the fallback must be redone, never compounded.
+        trial.inject_media_fault(MediaFault::TornCommitRecord);
+        trial.arm_crash_point(tt);
+        trial.queue_crash_point(fallback_end.saturating_sub(Cycle::new(1)));
+        trial.poll_crash(tt + Cycle::new(1)).expect("trial crash");
+        let crash = trial.take_crash_report().expect("trial");
+        assert!(crash.report.integrity_fallback, "second recovery still picks C_penult");
+        assert_eq!(crash.event.outcome, thynvm_types::RecoveryOutcome::CPenultIntegrityFallback);
+        assert_eq!(crash.report.nested_crashes, 1);
+        let m = trial.stats().media;
+        assert_eq!(m.integrity_fallbacks, 1, "the fallback applied exactly once");
+        assert!(m.wal_redos >= 1, "the torn WAL record was detected and redone");
+        assert!(m.wal_seals >= 1);
+        // Byte-identical to the uninterrupted fallback recovery.
+        assert_eq!(trial.visible_fingerprint(), probe.visible_fingerprint());
+        let mut buf = [0u8; 64];
+        trial.load_bytes(PhysAddr::new(0), &mut buf, crash.resume_at);
+        assert_eq!(buf, [1u8; 64], "C_penult's contents");
+    }
+
+    #[test]
+    fn spare_pool_exhaustion_degrades_gracefully() {
+        // One spare, two worn-out blocks: the second remap must be refused
+        // without losing data or the first block's healing.
+        let mut sys = ThyNvm::new(media_cfg(|m| {
+            m.stuck_at_threshold = 2;
+            m.scrub = false;
+            m.spare_blocks = 1;
+        }));
+        let mut t = Cycle::ZERO;
+        for addr in [0u64, 16 * PAGE_BYTES] {
+            t = sys.store_bytes(PhysAddr::new(addr), &[0xAB; 64], t);
+            t = sys.store_bytes(PhysAddr::new(addr), &[0xAB; 64], t);
+        }
+        assert_eq!(sys.stats().media.stuck_faults, 2, "wear stuck both rows");
+        let mut buf = [0u8; 64];
+        // First bad block consumes the only spare.
+        t = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [0xAB; 64]);
+        assert_eq!(sys.bad_block_remaps(), 1);
+        assert!(!sys.spares_exhausted() || sys.config().media.spare_blocks == 1);
+        // Second bad block: no spare left. Served anyway, via CRC retries.
+        t = sys.load_bytes(PhysAddr::new(16 * PAGE_BYTES), &mut buf, t);
+        assert_eq!(buf, [0xAB; 64], "graceful degradation keeps serving data");
+        let m = sys.stats().media;
+        assert_eq!(m.remaps, 1, "the refused remap was not half-applied");
+        assert!(m.spare_exhausted >= 1);
+        assert_eq!(sys.bad_block_remaps(), 1);
+        assert!(sys.spares_exhausted());
+        let err = sys.take_media_error().expect("spare-exhausted error surfaced");
+        assert!(matches!(err, Error::SpareExhausted { .. }), "got {err:?}");
+        // Every later read of the unhealed block keeps paying retries —
+        // degraded, but correct.
+        let retries_before = sys.stats().media.retries;
+        sys.load_bytes(PhysAddr::new(16 * PAGE_BYTES), &mut buf, t);
+        assert_eq!(buf, [0xAB; 64]);
+        assert!(sys.stats().media.retries > retries_before);
+    }
+
+    #[test]
+    fn btt_emergency_spill_forces_an_early_checkpoint_and_drains() {
+        // Tiny BTT; fill it while a checkpoint is in flight so inserts must
+        // spill, then verify the overflow handshake ends the epoch and the
+        // spilled entry is drained into the checkpoint.
+        let mut cfg = SystemConfig::small_test();
+        cfg.thynvm.btt_entries = 4;
+        cfg.thynvm.promote_threshold = 255; // keep everything under block remapping
+        let mut sys = ThyNvm::new(cfg);
+        let mut t = Cycle::ZERO;
+        for i in 0..4u64 {
+            t = sys.store_bytes(PhysAddr::new(i * 64), &[i as u8; 64], t);
+        }
+        // Start a checkpoint but do NOT wait for it: the job is in flight.
+        t = sys.force_checkpoint(t);
+        assert!(sys.epoch_state().job_running(t), "checkpoint must be in flight");
+        // New blocks while the BTT is full and nothing is reclaimable.
+        for i in 4..9u64 {
+            t = sys.store_bytes(PhysAddr::new(i * 64), &[i as u8; 64], t);
+        }
+        assert!(sys.btt_spills() >= 1, "inserts past capacity spilled");
+        assert!(sys.epoch_state().overflow_pending, "spill demanded an early epoch end");
+        // The platform's next event fires the forced early checkpoint.
+        assert!(sys.checkpoint_due(t), "overflow makes the checkpoint due immediately");
+        let epochs_before = sys.stats().epochs_completed;
+        t = sys.force_checkpoint(t);
+        t = sys.drain(t);
+        assert!(sys.stats().epochs_completed > epochs_before, "early checkpoint fired");
+        assert!(!sys.epoch_state().overflow_pending, "spill drained");
+        // The spilled blocks' contents are durable: crash and verify.
+        let report = sys.crash_and_recover(t);
+        let mut buf = [0u8; 64];
+        for i in 0..9u64 {
+            sys.load_bytes(PhysAddr::new(i * 64), &mut buf, t + report.recovery_cycles);
+            assert_eq!(buf, [i as u8; 64], "block {i} survived the spill");
+        }
     }
 }

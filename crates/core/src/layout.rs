@@ -145,6 +145,21 @@ impl AddressSpace {
     pub fn spare_block(self, slot: u64) -> HwAddr {
         HwAddr::new(SPARE_BASE + slot * BLOCK_BYTES)
     }
+
+    /// Hardware address of write-ahead-log record `seq` in the backup
+    /// region.
+    ///
+    /// Recovery-side NVM mutations (bad-block remaps, integrity fallbacks)
+    /// are made restartable by writing an intent record here, applying the
+    /// mutation, then CRC-sealing the record: a crash between intent and
+    /// seal leaves a torn record that the next recovery detects and redoes.
+    /// The log is a small ring of 64 B slots placed above the PTT image so
+    /// it never collides with checkpoint metadata.
+    pub fn backup_wal(self, seq: u64) -> HwAddr {
+        const WAL_OFFSET: u64 = 1 << 20; // 1 MiB into the backup region
+        const WAL_SLOTS: u64 = 1 << 10; // ring of 1024 records
+        self.backup(WAL_OFFSET + (seq % WAL_SLOTS) * BLOCK_BYTES)
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +241,17 @@ mod tests {
         assert!(spare.raw() > s.backup(0).raw());
         assert!(!s.is_dram(spare));
         assert_eq!(s.spare_block(1).raw() - s.spare_block(0).raw(), BLOCK_BYTES);
+    }
+
+    #[test]
+    fn wal_records_live_in_backup_clear_of_metadata_images() {
+        let s = AddressSpace::new();
+        // Above the commit record / BTT / PTT images (first 64 KiB)…
+        assert!(s.backup_wal(0).raw() >= s.backup(1 << 16).raw());
+        // …below the spare blocks, 64 B apart, and wrapping as a ring.
+        assert!(s.backup_wal(0).raw() < s.spare_block(0).raw());
+        assert_eq!(s.backup_wal(1).raw() - s.backup_wal(0).raw(), BLOCK_BYTES);
+        assert_eq!(s.backup_wal(1 << 10), s.backup_wal(0));
     }
 
     #[test]

@@ -167,12 +167,74 @@ impl PersistenceOracle {
         }
     }
 
+    /// The byte image an arbitrary *sequence* of stacked crashes must
+    /// converge to. `crashes` holds the crash cycles in firing order: the
+    /// first entry is the initial power failure; later entries are nested
+    /// crashes that interrupted recovery (or immediate re-crashes after
+    /// it). No checkpoint can complete while recovery is running, so the
+    /// *first* crash alone determines which checkpoint survives — every
+    /// restarted recovery must land on the same image, which is exactly
+    /// the idempotence property the controller guarantees.
+    ///
+    /// With `clast_corrupt` the media-integrity check rejects `C_last` and
+    /// the image falls back one more checkpoint — and *stays* there: a
+    /// crash during the integrity fallback redoes the fallback, it never
+    /// falls back twice. An empty sequence means no crash at all: the
+    /// current (live) image.
+    pub fn expected_image_after_crash_sequence(
+        &self,
+        crashes: &[Cycle],
+        clast_corrupt: bool,
+    ) -> BTreeMap<u64, u8> {
+        let Some(&first) = crashes.first() else {
+            return self.current.clone();
+        };
+        if clast_corrupt {
+            self.expected_fallback_image_at(first)
+        } else {
+            self.expected_image_at(first)
+        }
+    }
+
+    /// Which label §4.5 assigns to the recovery governed by the *first*
+    /// crash of a stacked-crash sequence (see
+    /// [`PersistenceOracle::expected_image_after_crash_sequence`]). Nested
+    /// crashes restart recovery but never change which image it converges
+    /// to, so the label of the governing recovery is invariant across the
+    /// whole sequence. An empty sequence is no crash: `CLast`.
+    pub fn expected_outcome_after_crash_sequence(
+        &self,
+        crashes: &[Cycle],
+        clast_corrupt: bool,
+    ) -> RecoveryOutcome {
+        let Some(&first) = crashes.first() else {
+            return RecoveryOutcome::CLast;
+        };
+        if clast_corrupt {
+            self.expected_outcome_with_corrupt_clast(first)
+        } else {
+            self.expected_outcome_at(first)
+        }
+    }
+
     /// Diffs a recovered image against the oracle's prediction for a crash
     /// at `crash`, byte for byte over every touched address. `read` fetches
     /// one byte of the recovered image (e.g. a `load_bytes` wrapper).
     /// Returns every divergence; empty means recovery is oracle-identical.
     pub fn diff(&self, crash: Cycle, read: impl FnMut(u64) -> u8) -> Vec<OracleMismatch> {
         self.diff_against(&self.expected_image_at(crash), read)
+    }
+
+    /// Like [`PersistenceOracle::diff`], but against the image a whole
+    /// stacked-crash sequence must converge to
+    /// ([`PersistenceOracle::expected_image_after_crash_sequence`]).
+    pub fn diff_after_crash_sequence(
+        &self,
+        crashes: &[Cycle],
+        clast_corrupt: bool,
+        read: impl FnMut(u64) -> u8,
+    ) -> Vec<OracleMismatch> {
+        self.diff_against(&self.expected_image_after_crash_sequence(crashes, clast_corrupt), read)
     }
 
     /// Like [`PersistenceOracle::diff`], but for a crash where `C_last` is
@@ -324,6 +386,51 @@ mod tests {
         assert!(o.diff_with_corrupt_clast(Cycle::new(300), |_| 1).is_empty());
         // …and wrong for a clean crash at the same cycle.
         assert!(!o.diff(Cycle::new(300), |_| 1).is_empty());
+    }
+
+    #[test]
+    fn crash_sequence_is_governed_by_its_first_crash() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(0, &[1]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        o.record_write(0, &[2]);
+        o.record_checkpoint(Cycle::new(200), Cycle::new(300));
+        o.record_write(0, &[3]); // W_active: always lost
+
+        // Empty sequence: no crash — the live image, labeled CLast.
+        assert_eq!(o.expected_image_after_crash_sequence(&[], false).get(&0), Some(&3));
+        assert_eq!(
+            o.expected_outcome_after_crash_sequence(&[], false),
+            RecoveryOutcome::CLast
+        );
+
+        // Nested crashes during recovery never change the converged image:
+        // any suffix of stacked crashes matches the single-crash answer.
+        let first = Cycle::new(300);
+        let stacked = [first, Cycle::new(310), Cycle::new(350), Cycle::new(9_999)];
+        assert_eq!(
+            o.expected_image_after_crash_sequence(&stacked, false),
+            o.expected_image_at(first)
+        );
+        assert_eq!(
+            o.expected_outcome_after_crash_sequence(&stacked, false),
+            o.expected_outcome_at(first)
+        );
+
+        // Crash during the integrity fallback: the second recovery still
+        // picks C_penult — never a double fallback.
+        assert_eq!(
+            o.expected_image_after_crash_sequence(&stacked, true),
+            o.expected_fallback_image_at(first)
+        );
+        assert_eq!(
+            o.expected_outcome_after_crash_sequence(&stacked, true),
+            RecoveryOutcome::CPenultIntegrityFallback
+        );
+        assert!(o
+            .diff_after_crash_sequence(&stacked, true, |_| 1)
+            .is_empty());
+        assert!(!o.diff_after_crash_sequence(&stacked, false, |_| 1).is_empty());
     }
 
     #[test]

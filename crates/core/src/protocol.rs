@@ -335,6 +335,26 @@ mod tests {
         }
     }
 
+    /// The nested-crash theorem behind restartable recovery: crashing
+    /// *again* while recovering changes nothing. One crash already discards
+    /// every volatile version, so a second (and any further) crash is a
+    /// fixed point — which is why recovery can be interrupted at any step
+    /// and re-run to the same image.
+    #[test]
+    fn nested_crash_is_idempotent() {
+        for s in VersionState::all() {
+            let once = s.apply(Event::Crash).unwrap();
+            let twice = once.apply(Event::Crash).unwrap();
+            assert_eq!(once, twice, "second crash must be a no-op from {s}");
+            // And so is any deeper stack of crashes.
+            let mut deep = once;
+            for _ in 0..6 {
+                deep = deep.apply(Event::Crash).unwrap();
+            }
+            assert_eq!(once, deep);
+        }
+    }
+
     #[test]
     fn recovery_never_targets_uncommitted_versions() {
         for s in VersionState::all() {

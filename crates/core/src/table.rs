@@ -223,19 +223,27 @@ pub struct PttEntry {
 #[derive(Debug, Clone)]
 pub struct Ptt {
     entries: HashMap<PageIndex, PttEntry>,
-    free_slots: Vec<u32>,
+    /// Slots returned by [`Ptt::remove`], reused before fresh ones.
+    recycled_slots: Vec<u32>,
+    /// Next never-used slot; slots are handed out lazily so construction
+    /// never allocates (or panics on) a slot free-list.
+    next_fresh_slot: u32,
     capacity: usize,
     peak: usize,
 }
 
 impl Ptt {
     /// Creates a PTT with `capacity` entries (and as many DRAM page slots).
+    ///
+    /// Capacities beyond `u32` slot addressing are rejected up front by
+    /// [`thynvm_types::SystemConfig::validate`]; construction itself never
+    /// panics — slots are allocated lazily and insertion simply fails once
+    /// slot addressing is exhausted.
     pub fn new(capacity: usize) -> Self {
-        let capacity_u32 =
-            u32::try_from(capacity).expect("PTT capacity exceeds DRAM slot addressing");
         Self {
             entries: HashMap::new(),
-            free_slots: (0..capacity_u32).rev().collect(),
+            recycled_slots: Vec::new(),
+            next_fresh_slot: 0,
             capacity,
             peak: 0,
         }
@@ -280,10 +288,18 @@ impl Ptt {
     /// slot, or `None` if the table (equivalently, DRAM) is full or the page
     /// is already present.
     pub fn insert(&mut self, page: PageIndex) -> Option<u32> {
-        if self.entries.contains_key(&page) {
+        if self.entries.contains_key(&page) || self.entries.len() >= self.capacity {
             return None;
         }
-        let slot = self.free_slots.pop()?;
+        let slot = match self.recycled_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                // Fresh slot: fails (no panic) if u32 addressing runs out.
+                let slot = self.next_fresh_slot;
+                self.next_fresh_slot = self.next_fresh_slot.checked_add(1)?;
+                slot
+            }
+        };
         self.entries.insert(
             page,
             PttEntry { slot, dirty: false, clast_region: None, frozen: false, store_count: 0 },
@@ -295,7 +311,7 @@ impl Ptt {
     /// Removes the entry for `page`, freeing its DRAM slot.
     pub fn remove(&mut self, page: PageIndex) -> Option<PttEntry> {
         let entry = self.entries.remove(&page)?;
-        self.free_slots.push(entry.slot);
+        self.recycled_slots.push(entry.slot);
         Some(entry)
     }
 
@@ -429,6 +445,18 @@ mod tests {
         ptt.remove(PageIndex::new(1));
         assert_eq!(ptt.peak(), 2);
         assert_eq!(ptt.len(), 1);
+    }
+
+    /// Construction with an absurd capacity must neither panic nor
+    /// eagerly allocate a slot free-list; misconfigurations are caught by
+    /// `SystemConfig::validate` instead.
+    #[test]
+    fn ptt_huge_capacity_constructs_lazily() {
+        let mut ptt = Ptt::new(usize::MAX);
+        assert_eq!(ptt.capacity(), usize::MAX);
+        // The table still works; slots are minted on demand.
+        assert_eq!(ptt.insert(PageIndex::new(1)), Some(0));
+        assert_eq!(ptt.insert(PageIndex::new(2)), Some(1));
     }
 
     #[test]

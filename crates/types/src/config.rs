@@ -312,6 +312,11 @@ pub struct MediaFaultConfig {
     /// before the next epoch reads them. Requires `integrity` (CRCs are
     /// what the scrubber verifies against).
     pub scrub: bool,
+    /// Number of spare blocks available for bad-block remapping. When the
+    /// pool is exhausted further remap attempts degrade gracefully: the bad
+    /// block keeps being served through bounded CRC retries and
+    /// `MediaStats::spare_exhausted` counts the abandoned remaps.
+    pub spare_blocks: u64,
 }
 
 impl Default for MediaFaultConfig {
@@ -326,6 +331,7 @@ impl Default for MediaFaultConfig {
             max_read_retries: 3,
             retry_backoff_ns: 50,
             scrub: false,
+            spare_blocks: 4096,
         }
     }
 }
@@ -408,6 +414,9 @@ impl SystemConfig {
         }
         if t.ptt_entries as u64 > t.dram_pages() {
             return fail("PTT entries exceed DRAM page capacity");
+        }
+        if t.ptt_entries as u64 > u64::from(u32::MAX) {
+            return fail("PTT capacity exceeds DRAM slot addressing (u32 slots)");
         }
         if t.epoch_max_ms == 0 {
             return fail("epoch length must be nonzero");
@@ -557,6 +566,25 @@ mod tests {
         let mut cfg = SystemConfig::paper();
         cfg.media.scrub = true; // without integrity
         assert!(cfg.validate().unwrap_err().to_string().contains("scrubber"));
+    }
+
+    /// An absurd PTT capacity fails at config time with a clear reason
+    /// instead of panicking deep inside `Ptt` construction.
+    #[test]
+    fn validation_rejects_ptt_beyond_slot_addressing() {
+        let mut cfg = SystemConfig::paper();
+        // Enough DRAM that the page-capacity check passes; the slot-width
+        // check must still reject the table.
+        cfg.thynvm.dram_bytes = u64::MAX / 2;
+        cfg.thynvm.ptt_entries = u32::MAX as usize + 1;
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("slot addressing"), "err={err}");
+    }
+
+    #[test]
+    fn spare_pool_defaults_and_hardened_inherit() {
+        assert_eq!(MediaFaultConfig::default().spare_blocks, 4096);
+        assert_eq!(MediaFaultConfig::hardened().spare_blocks, 4096);
     }
 
     #[test]

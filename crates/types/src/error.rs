@@ -48,6 +48,13 @@ pub enum Error {
         /// How many retries were attempted before giving up.
         attempts: u32,
     },
+    /// A bad block needed remapping but every spare block is already in
+    /// use. The block is still served — each read pays bounded CRC retries
+    /// — but the device can no longer heal itself.
+    SpareExhausted {
+        /// Physical address of the block that could not be remapped.
+        addr: PhysAddr,
+    },
 }
 
 impl fmt::Display for Error {
@@ -64,6 +71,9 @@ impl fmt::Display for Error {
             }
             Error::RetriesExhausted { addr, attempts } => {
                 write!(f, "read retries exhausted at {addr} after {attempts} attempts")
+            }
+            Error::SpareExhausted { addr } => {
+                write!(f, "no spare block left to remap bad block at {addr}")
             }
         }
     }
@@ -91,6 +101,9 @@ mod tests {
         let e = Error::RetriesExhausted { addr: PhysAddr::new(0x80), attempts: 3 };
         assert!(e.to_string().contains("3 attempts"));
         assert!(e.to_string().contains("0x80"));
+        let e = Error::SpareExhausted { addr: PhysAddr::new(0xc0) };
+        assert!(e.to_string().contains("no spare block"));
+        assert!(e.to_string().contains("0xc0"));
     }
 
     #[test]

@@ -52,5 +52,6 @@ pub use hist::Histogram;
 pub use req::{AccessKind, MemRequest, TraceEvent};
 pub use stats::{
     CkptPhase, CrashEvent, FaultKind, MediaStats, MemStats, NvmWriteClass, RecoveryOutcome,
+    RecoveryStep,
 };
 pub use system::{MemorySystem, PersistentMemory};

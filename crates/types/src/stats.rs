@@ -90,6 +90,40 @@ impl fmt::Display for RecoveryOutcome {
     }
 }
 
+/// One step of the restartable §4.5 recovery sequence.
+///
+/// Recovery is modeled as a cycle-accounted step machine rather than an
+/// instantaneous call, so a crash point can land *inside* recovery. Each
+/// step is idempotent: a nested crash restarts the whole sequence from the
+/// persisted commit record and converges to the same image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecoveryStep {
+    /// Read the 64 B commit record from the backup region to locate the
+    /// newest completed checkpoint.
+    ReadCommitRecord,
+    /// Verify the CRCs of `C_last` (commit record, data, metadata images).
+    VerifyClast,
+    /// `C_last` failed verification: write-ahead, then durably void it and
+    /// promote `C_penult`, sealing the decision with a CRC'd record.
+    IntegrityFallback,
+    /// Replay the persisted BTT/PTT metadata images (§4.5 step 1).
+    ReplayMetadata,
+    /// Reload checkpointed pages into the DRAM working set (§4.5 step 2).
+    RearmWorkingSet,
+}
+
+impl fmt::Display for RecoveryStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryStep::ReadCommitRecord => "read-commit-record",
+            RecoveryStep::VerifyClast => "verify-clast",
+            RecoveryStep::IntegrityFallback => "integrity-fallback",
+            RecoveryStep::ReplayMetadata => "replay-metadata",
+            RecoveryStep::RearmWorkingSet => "rearm-working-set",
+        })
+    }
+}
+
 /// Kind of an NVM media fault, for classification in [`MediaStats`] and in
 /// [`crate::Error::MediaCorruption`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -153,6 +187,15 @@ pub struct MediaStats {
     /// Corrupted reads delivered to software because integrity checking
     /// was disabled.
     pub silent_corruptions: u64,
+    /// Remap attempts abandoned because every spare block was already in
+    /// use; the affected block keeps being served through CRC retries.
+    pub spare_exhausted: u64,
+    /// Write-ahead records durably sealed for recovery-side NVM mutations
+    /// (bad-block remaps, integrity fallbacks).
+    pub wal_seals: u64,
+    /// Write-ahead records found torn (unsealed) after a nested crash and
+    /// redone from scratch instead of compounded.
+    pub wal_redos: u64,
     /// 64 B blocks whose CRC was computed or verified.
     pub crc_checked_blocks: u64,
     /// Cycles spent computing/verifying CRCs (attributed only while
@@ -183,6 +226,9 @@ impl MediaStats {
             || self.remaps > 0
             || self.scrub_repairs > 0
             || self.crc_checked_blocks > 0
+            || self.spare_exhausted > 0
+            || self.wal_seals > 0
+            || self.wal_redos > 0
     }
 
     /// Merges another record into this one (summing all fields).
@@ -196,6 +242,9 @@ impl MediaStats {
         self.scrub_repairs += other.scrub_repairs;
         self.integrity_fallbacks += other.integrity_fallbacks;
         self.silent_corruptions += other.silent_corruptions;
+        self.spare_exhausted += other.spare_exhausted;
+        self.wal_seals += other.wal_seals;
+        self.wal_redos += other.wal_redos;
         self.crc_checked_blocks += other.crc_checked_blocks;
         self.crc_check_cycles += other.crc_check_cycles;
     }
@@ -215,6 +264,10 @@ pub struct CrashEvent {
     pub inflight_writebacks: usize,
     /// Which checkpoint image the recovery restored.
     pub outcome: RecoveryOutcome,
+    /// `Some(step)` when power was lost *inside* a running recovery (a
+    /// nested crash): the recovery step the crash interrupted. `None` for
+    /// a top-level crash during normal execution.
+    pub recovery_step: Option<RecoveryStep>,
 }
 
 /// Aggregated statistics of one memory-system run.
@@ -271,6 +324,15 @@ pub struct MemStats {
     /// Queued writes discarded by power loss before their device committed
     /// them.
     pub wq_writes_lost: u64,
+    /// Crashes that interrupted a recovery already in progress; each aborts
+    /// the current recovery attempt, which restarts from the persisted
+    /// commit record. Counted separately from `crashes_injected` so that
+    /// `crashes_injected == recoveries_to_clast + recoveries_to_cpenult`
+    /// stays an invariant.
+    pub nested_crashes: u64,
+    /// Total simulated cycles spent in recovery, including attempts that
+    /// were themselves interrupted by a nested crash.
+    pub recovery_cycles: Cycle,
     /// Media-fault and integrity-protection counters.
     pub media: MediaStats,
     /// Per-crash observability records, in injection order.
@@ -309,6 +371,16 @@ impl MemStats {
                 self.recoveries_to_cpenult += 1
             }
         }
+        self.crash_events.push(event);
+    }
+
+    /// Records a crash that interrupted a running recovery. The aborted
+    /// attempt is not a completed recovery, so the per-outcome counters and
+    /// `crashes_injected` are left untouched; only `nested_crashes` and the
+    /// event log grow.
+    pub fn record_nested_crash(&mut self, event: CrashEvent) {
+        debug_assert!(event.recovery_step.is_some(), "nested crash must name a recovery step");
+        self.nested_crashes += 1;
         self.crash_events.push(event);
     }
 
@@ -374,6 +446,8 @@ impl MemStats {
         self.recoveries_to_clast += other.recoveries_to_clast;
         self.recoveries_to_cpenult += other.recoveries_to_cpenult;
         self.wq_writes_lost += other.wq_writes_lost;
+        self.nested_crashes += other.nested_crashes;
+        self.recovery_cycles += other.recovery_cycles;
         self.media.merge(&other.media);
         self.crash_events.extend(other.crash_events.iter().cloned());
     }
@@ -394,20 +468,22 @@ impl fmt::Display for MemStats {
             self.ckpt_busy_cycles,
             self.ckpt_stall_cycles,
         )?;
-        if self.crashes_injected > 0 {
+        if self.crashes_injected > 0 || self.nested_crashes > 0 {
             write!(
                 f,
-                " crashes={} (C_last={} C_penult={} wq_lost={})",
+                " crashes={} (C_last={} C_penult={} nested={} wq_lost={} recovery_cycles={})",
                 self.crashes_injected,
                 self.recoveries_to_clast,
                 self.recoveries_to_cpenult,
+                self.nested_crashes,
                 self.wq_writes_lost,
+                self.recovery_cycles,
             )?;
         }
         if self.media.any() {
             write!(
                 f,
-                " media(flip={} stuck={} torn={} meta={} retries={} remaps={} scrubbed={} fallbacks={})",
+                " media(flip={} stuck={} torn={} meta={} retries={} remaps={} scrubbed={} fallbacks={} spare_exhausted={} wal={}+{})",
                 self.media.bit_flips,
                 self.media.stuck_faults,
                 self.media.torn_writes,
@@ -416,6 +492,9 @@ impl fmt::Display for MemStats {
                 self.media.remaps,
                 self.media.scrub_repairs,
                 self.media.integrity_fallbacks,
+                self.media.spare_exhausted,
+                self.media.wal_seals,
+                self.media.wal_redos,
             )?;
         }
         Ok(())
@@ -509,6 +588,7 @@ mod tests {
             phase: CkptPhase::PersistBtt,
             inflight_writebacks: 2,
             outcome,
+            recovery_step: None,
         }
     }
 
@@ -571,6 +651,65 @@ mod tests {
         assert_eq!(m.bit_flips, 2);
         assert_eq!(m.remaps, 2);
         assert_eq!(m.crc_check_cycles, Cycle::new(10));
+    }
+
+    #[test]
+    fn nested_crash_counts_separately_from_injected() {
+        let mut s = MemStats::new();
+        s.record_crash(crash_event(100, RecoveryOutcome::CLast));
+        let mut nested = crash_event(150, RecoveryOutcome::CLast);
+        nested.recovery_step = Some(RecoveryStep::RearmWorkingSet);
+        s.record_nested_crash(nested);
+        assert_eq!(s.crashes_injected, 1);
+        assert_eq!(s.nested_crashes, 1);
+        assert_eq!(s.recoveries_to_clast, 1, "aborted attempt is not a completed recovery");
+        assert_eq!(s.crash_events.len(), 2);
+        assert_eq!(
+            s.crash_events[1].recovery_step,
+            Some(RecoveryStep::RearmWorkingSet)
+        );
+        assert!(s.to_string().contains("nested=1"));
+    }
+
+    #[test]
+    fn merge_sums_nested_and_recovery_cycles() {
+        let mut a = MemStats::new();
+        a.nested_crashes = 2;
+        a.recovery_cycles = Cycle::new(100);
+        let mut b = MemStats::new();
+        b.nested_crashes = 3;
+        b.recovery_cycles = Cycle::new(50);
+        a.merge(&b);
+        assert_eq!(a.nested_crashes, 5);
+        assert_eq!(a.recovery_cycles, Cycle::new(150));
+    }
+
+    #[test]
+    fn recovery_step_display() {
+        assert_eq!(RecoveryStep::ReadCommitRecord.to_string(), "read-commit-record");
+        assert_eq!(RecoveryStep::VerifyClast.to_string(), "verify-clast");
+        assert_eq!(RecoveryStep::IntegrityFallback.to_string(), "integrity-fallback");
+        assert_eq!(RecoveryStep::ReplayMetadata.to_string(), "replay-metadata");
+        assert_eq!(RecoveryStep::RearmWorkingSet.to_string(), "rearm-working-set");
+    }
+
+    #[test]
+    fn wal_and_spare_counters_merge_and_show() {
+        let mut m = MediaStats::default();
+        assert!(!m.any());
+        m.spare_exhausted = 1;
+        assert!(m.any(), "spare exhaustion alone is media activity");
+        let mut other = MediaStats::default();
+        other.wal_seals = 4;
+        other.wal_redos = 2;
+        assert!(other.any());
+        m.merge(&other);
+        assert_eq!((m.spare_exhausted, m.wal_seals, m.wal_redos), (1, 4, 2));
+        let mut s = MemStats::new();
+        s.media = m;
+        let text = s.to_string();
+        assert!(text.contains("spare_exhausted=1"), "text={text}");
+        assert!(text.contains("wal=4+2"), "text={text}");
     }
 
     #[test]
