@@ -829,7 +829,10 @@ pub fn e20_recovery_latency() -> Table {
     let (mut probe, t0) = build();
     probe.arm_crash_point(t0);
     probe.poll_crash(t0 + Cycle::new(1));
-    let probe_report = probe.take_crash_report().expect("probe crash fires").report;
+    let probe_report = probe
+        .take_crash_report()
+        .expect("invariant: crash point armed before poll")
+        .report;
     let boundaries: Vec<Cycle> = probe_report.steps.iter().map(|&(_, end)| end).collect();
     assert!(!boundaries.is_empty(), "recovery reported no steps");
 
@@ -848,7 +851,9 @@ pub fn e20_recovery_latency() -> Table {
             sys.queue_crash_point(b.saturating_sub(Cycle::new(1)));
         }
         sys.poll_crash(t + Cycle::new(1));
-        let crash = sys.take_crash_report().expect("armed crash fires");
+        let crash = sys
+            .take_crash_report()
+            .expect("invariant: crash point armed before poll");
         table.row(&[
             depth.to_string(),
             fmt_f(crash.report.recovery_cycles.as_ns() / 1e3),

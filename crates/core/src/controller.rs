@@ -94,6 +94,7 @@ pub enum MediaFault {
 }
 
 /// Result of a crash recovery (§4.5).
+#[must_use = "the report says which checkpoint survived — dropping it hides rollbacks"]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Number of epochs whose checkpoints had completed — the state the
@@ -243,6 +244,10 @@ pub struct ThyNvm {
     /// The most recent unrecoverable-read error (retries exhausted before a
     /// remap healed the block, or the spare pool drained), for inspection.
     last_media_error: Option<Error>,
+    /// The most recent unabsorbable BTT overflow: a spill was demanded
+    /// while the previous spill's early epoch end had not yet drained, so
+    /// the table genuinely could not recover by ending the epoch.
+    last_overflow_error: Option<Error>,
     /// Sequence number of the next write-ahead-log record in the backup
     /// region (bad-block remaps, recovery-side integrity fallbacks).
     wal_seq: u64,
@@ -291,6 +296,7 @@ impl ThyNvm {
             injected_clast_flip: None,
             injected_meta_corrupt: false,
             last_media_error: None,
+            last_overflow_error: None,
             wal_seq: 0,
             cfg,
         }
@@ -500,6 +506,15 @@ impl ThyNvm {
         self.last_media_error.take()
     }
 
+    /// Takes the most recent table-overflow error: a BTT spill demanded
+    /// while the previous spill's early epoch end was still pending, i.e.
+    /// write pressure the overflow handshake could not absorb. The write is
+    /// still force-inserted (correctness is preserved); the error reports
+    /// that the table was undersized for the workload.
+    pub fn take_overflow_error(&mut self) -> Option<Error> {
+        self.last_overflow_error.take()
+    }
+
     /// Arms a latent media fault in persisted checkpoint state. Consulted
     /// at the next recovery: whichever checkpoint is `C_last` then fails
     /// its integrity verification and recovery falls back to `C_penult`.
@@ -567,6 +582,7 @@ impl ThyNvm {
     /// exhausted: the remap is dropped, `spare_exhausted` is counted, and
     /// the block keeps being served with per-read CRC retries (graceful
     /// degradation).
+    // lint: recovery-path
     fn remap_bad_block(&mut self, base: u64, now: Cycle) -> Option<Cycle> {
         if self.spares_exhausted() {
             self.stats.media.spare_exhausted += 1;
@@ -602,6 +618,7 @@ impl ThyNvm {
     /// (transient flips clear on retry); a location that keeps failing is
     /// permanently bad and its block is remapped to a spare. With integrity
     /// off, the corrupted bytes are silently delivered to software.
+    // lint: recovery-path
     fn nvm_data_read(&mut self, block: BlockIndex, hw: HwAddr, bytes: u32, now: Cycle) -> Cycle {
         let hw = self.remapped(hw);
         self.stats.nvm_reads += 1;
@@ -611,7 +628,7 @@ impl ThyNvm {
             return done;
         }
         self.charge_crc(u64::from(bytes));
-        let Some(ev) = self.fault.as_mut().expect("checked above").read_fault(hw, bytes) else {
+        let Some(ev) = self.fault.as_mut().expect("invariant: is_none() checked above").read_fault(hw, bytes) else {
             return done;
         };
         if ev.kind == FaultKind::BitFlip {
@@ -623,6 +640,10 @@ impl ThyNvm {
             // No CRCs: nothing detects the corruption; the wrong bytes are
             // delivered to software by the functional layer.
             self.stats.media.silent_corruptions += 1;
+            self.last_media_error = Some(Error::MediaCorruption {
+                addr: PhysAddr::new(block.base_addr().raw() + fault_offset),
+                kind: ev.kind,
+            });
             self.pending_corruption = Some((block.base_addr().raw() + fault_offset, ev.mask));
             return done;
         }
@@ -635,7 +656,7 @@ impl ThyNvm {
             self.stats.nvm_read_bytes += u64::from(bytes);
             self.stats.media.retries += 1;
             self.charge_crc(u64::from(bytes));
-            if self.fault.as_mut().expect("checked above").read_fault(hw, bytes).is_none() {
+            if self.fault.as_mut().expect("invariant: is_none() checked above").read_fault(hw, bytes).is_none() {
                 healed = true;
                 break;
             }
@@ -988,6 +1009,9 @@ impl ThyNvm {
             // if nothing is reclaimable, flag an early epoch end and spill
             // (bounded by one platform event).
             if self.reclaim_quiescent(now, 64) == 0 {
+                if self.epoch.overflow_pending {
+                    self.last_overflow_error = Some(Error::TableFull { table: "BTT" });
+                }
                 self.epoch.overflow_pending = true;
                 self.btt_spills += 1;
             }
@@ -1061,6 +1085,9 @@ impl ThyNvm {
                 // §4.3: replace a committed entry if possible; only when no
                 // entry can be replaced does the epoch end early.
                 if self.reclaim_quiescent(now, 64) == 0 {
+                    if self.epoch.overflow_pending {
+                        self.last_overflow_error = Some(Error::TableFull { table: "BTT" });
+                    }
                     self.epoch.overflow_pending = true;
                     self.btt_spills += 1;
                     self.btt.force_insert(block)
@@ -1265,6 +1292,40 @@ impl ThyNvm {
         self.access(&req, now)
     }
 
+    /// Bounds-checked variant of [`ThyNvm::store_bytes`]: rejects spans
+    /// that leave the identity-mapped Home Region (they would alias
+    /// checkpoint storage) instead of wrapping into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`thynvm_types::Error::AddressOutOfRange`] when
+    /// `[addr, addr + data.len())` crosses [`crate::PHYS_LIMIT`].
+    pub fn try_store_bytes(
+        &mut self,
+        addr: PhysAddr,
+        data: &[u8],
+        now: Cycle,
+    ) -> Result<Cycle, Error> {
+        self.space.check_phys(addr, data.len() as u64)?;
+        Ok(self.store_bytes(addr, data, now))
+    }
+
+    /// Bounds-checked variant of [`ThyNvm::load_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`thynvm_types::Error::AddressOutOfRange`] when
+    /// `[addr, addr + buf.len())` crosses [`crate::PHYS_LIMIT`].
+    pub fn try_load_bytes(
+        &mut self,
+        addr: PhysAddr,
+        buf: &mut [u8],
+        now: Cycle,
+    ) -> Result<Cycle, Error> {
+        self.space.check_phys(addr, buf.len() as u64)?;
+        Ok(self.load_bytes(addr, buf, now))
+    }
+
     /// Reads `buf.len()` bytes at physical address `addr` from the
     /// software-visible image, paying the timing cost. Returns the cycle at
     /// which the load completes.
@@ -1466,7 +1527,7 @@ impl ThyNvm {
         if self.fault.is_none() || !self.cfg.media.integrity {
             return done;
         }
-        if self.fault.as_mut().expect("checked above").read_fault(hw, bytes).is_none() {
+        if self.fault.as_mut().expect("invariant: is_none() checked above").read_fault(hw, bytes).is_none() {
             return done;
         }
         for attempt in 1..=self.cfg.media.max_read_retries {
@@ -1476,7 +1537,7 @@ impl ThyNvm {
             self.stats.nvm_read_bytes += u64::from(bytes);
             self.stats.media.retries += 1;
             self.charge_crc(u64::from(bytes));
-            if self.fault.as_mut().expect("checked above").read_fault(hw, bytes).is_none() {
+            if self.fault.as_mut().expect("invariant: is_none() checked above").read_fault(hw, bytes).is_none() {
                 return done;
             }
         }
@@ -1522,8 +1583,9 @@ impl ThyNvm {
         if self.cfg.media.integrity && self.epoch.completed > 0 {
             let meta_bytes = ((self.btt.len() + self.ptt.len()).max(1) as u64) * META_ENTRY_BYTES
                 + 2 * META_CRC_BYTES;
-            let meta_len =
-                u32::try_from(meta_bytes.min(u64::from(u32::MAX))).expect("bounded").max(64);
+            let meta_len = u32::try_from(meta_bytes.min(u64::from(u32::MAX)))
+                .expect("invariant: value clamped to u32::MAX on the previous line")
+                .max(64);
             t = self.recovery_read(self.space.backup(8192), meta_len, t, remaps);
             // Peek — never consume — the injected latent faults: whether
             // `C_last` is corrupt is a property of the persisted bytes, so
@@ -1611,8 +1673,8 @@ impl ThyNvm {
         }
         let meta_bytes = (self.btt.len() + self.ptt.len()) as u64 * META_ENTRY_BYTES
             + self.cfg.thynvm.cpu_state_bytes;
-        let meta_len =
-            u32::try_from(meta_bytes.max(64).min(u64::from(u32::MAX))).expect("bounded");
+        let meta_len = u32::try_from(meta_bytes.max(64).min(u64::from(u32::MAX)))
+            .expect("invariant: value clamped to u32::MAX on the previous line");
         t = self.recovery_read(self.space.backup(0), meta_len, t, remaps);
         self.recovery_interrupt(
             RecoveryStep::ReplayMetadata,
@@ -2400,7 +2462,7 @@ mod tests {
         let t = sys.persist_barrier(t);
         let t = sys.drain(t);
         let t2 = sys.store_bytes(PhysAddr::new(64), b"after!", t);
-        sys.crash_and_recover(t2);
+        let _ = sys.crash_and_recover(t2);
         let mut a = [0u8; 6];
         let mut b = [0u8; 6];
         sys.load_bytes(PhysAddr::new(0), &mut a, t2);
@@ -2444,7 +2506,7 @@ mod tests {
         let archived = sys.archived_checkpoints();
         assert_eq!(archived.len(), 3);
         // Roll back to the first checkpoint (value 1).
-        sys.rollback_to_checkpoint(archived[0], t).expect("in archive");
+        let _ = sys.rollback_to_checkpoint(archived[0], t).expect("in archive");
         let mut buf = [0u8; 1];
         sys.load_bytes(PhysAddr::new(0), &mut buf, t);
         assert_eq!(buf[0], 1, "the 'bug-free' past image is restored");
@@ -2470,7 +2532,7 @@ mod tests {
         let t = sys.store_bytes(PhysAddr::new(0x40), b"nvm-working", Cycle::ZERO);
         let t = sys.force_checkpoint(t);
         let t = sys.drain(t);
-        sys.crash_and_recover(t);
+        let _ = sys.crash_and_recover(t);
         let mut buf = [0u8; 11];
         sys.load_bytes(PhysAddr::new(0x40), &mut buf, t);
         assert_eq!(&buf, b"nvm-working");
@@ -2744,6 +2806,12 @@ mod tests {
         assert_ne!(buf, [0xAA; 64], "no CRC, so the flip is delivered");
         assert_eq!(sys.stats().media.silent_corruptions, 1);
         assert_eq!(sys.stats().media.retries, 0);
+        // The fault model still records what software never saw.
+        let err = sys.take_media_error().expect("invariant: a corruption was just delivered");
+        assert!(
+            matches!(err, Error::MediaCorruption { kind: FaultKind::BitFlip, .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -3066,6 +3134,32 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_accesses_are_rejected_not_wrapped() {
+        let mut sys = ThyNvm::new(SystemConfig::small_test());
+        let mut t = Cycle::ZERO;
+        // In range: behaves exactly like the unchecked API.
+        t = sys
+            .try_store_bytes(PhysAddr::new(0), &[5u8; 64], t)
+            .expect("invariant: address 0 is in range");
+        let mut buf = [0u8; 64];
+        sys.try_load_bytes(PhysAddr::new(0), &mut buf, t)
+            .expect("invariant: address 0 is in range");
+        assert_eq!(buf, [5u8; 64]);
+        // Out of range: rejected with the offending address and the limit.
+        let bad = PhysAddr::new(crate::PHYS_LIMIT);
+        let err = sys.try_store_bytes(bad, &[1u8; 64], t).expect_err("must reject");
+        assert_eq!(err, Error::AddressOutOfRange { addr: bad, limit: crate::PHYS_LIMIT });
+        let err = sys.try_load_bytes(bad, &mut buf, t).expect_err("must reject");
+        assert!(matches!(err, Error::AddressOutOfRange { .. }));
+        // A span that *ends* out of range is rejected too.
+        let edge = PhysAddr::new(crate::PHYS_LIMIT - 32);
+        assert!(matches!(
+            sys.try_store_bytes(edge, &[1u8; 64], t),
+            Err(Error::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
     fn btt_emergency_spill_forces_an_early_checkpoint_and_drains() {
         // Tiny BTT; fill it while a checkpoint is in flight so inserts must
         // spill, then verify the overflow handshake ends the epoch and the
@@ -3087,6 +3181,11 @@ mod tests {
         }
         assert!(sys.btt_spills() >= 1, "inserts past capacity spilled");
         assert!(sys.epoch_state().overflow_pending, "spill demanded an early epoch end");
+        // Spills kept arriving while the first spill's early epoch end was
+        // still pending: the table was genuinely full.
+        let err = sys.take_overflow_error().expect("invariant: repeated spills recorded");
+        assert!(matches!(err, Error::TableFull { table: "BTT" }), "got {err:?}");
+        assert!(sys.take_overflow_error().is_none(), "error is taken once");
         // The platform's next event fires the forced early checkpoint.
         assert!(sys.checkpoint_due(t), "overflow makes the checkpoint due immediately");
         let epochs_before = sys.stats().epochs_completed;

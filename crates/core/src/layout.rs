@@ -19,7 +19,7 @@
 //! address used by the workloads, so the mapping is trivially invertible
 //! and regions can never collide.
 
-use thynvm_types::{BlockIndex, HwAddr, PageIndex, PhysAddr, BLOCK_BYTES, PAGE_BYTES};
+use thynvm_types::{BlockIndex, Error, HwAddr, PageIndex, PhysAddr, BLOCK_BYTES, PAGE_BYTES};
 
 /// One of the two alternating NVM checkpoint regions.
 ///
@@ -44,8 +44,13 @@ impl Region {
     }
 }
 
+/// Highest physical address (exclusive) the software-visible space can
+/// reach: the Home Region maps physical addresses at identity, so anything
+/// at or above Checkpoint Region A's base would alias checkpoint storage.
+pub const PHYS_LIMIT: u64 = 1 << 40;
+
 /// Base of Checkpoint Region A in the hardware address space.
-const REGION_A_BASE: u64 = 1 << 40;
+const REGION_A_BASE: u64 = PHYS_LIMIT;
 /// Base of the Working Data Region (DRAM) in the hardware address space.
 const WORKING_BASE: u64 = 1 << 41;
 /// Base of the BTT/PTT/CPU Backup Region.
@@ -82,6 +87,20 @@ impl AddressSpace {
     /// Hardware address of `p` in the Home Region (identity mapping).
     pub fn home(self, p: PhysAddr) -> HwAddr {
         HwAddr::new(p.raw())
+    }
+
+    /// Checks that the physical span `[p, p + len)` fits the identity-mapped
+    /// Home Region without reaching into Checkpoint Region A.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AddressOutOfRange`] when the span crosses
+    /// [`PHYS_LIMIT`].
+    pub fn check_phys(self, p: PhysAddr, len: u64) -> Result<(), Error> {
+        if p.raw().saturating_add(len) > PHYS_LIMIT {
+            return Err(Error::AddressOutOfRange { addr: p, limit: PHYS_LIMIT });
+        }
+        Ok(())
     }
 
     /// Hardware address of `p`'s copy in checkpoint region `r`.
@@ -252,6 +271,26 @@ mod tests {
         assert!(s.backup_wal(0).raw() < s.spare_block(0).raw());
         assert_eq!(s.backup_wal(1).raw() - s.backup_wal(0).raw(), BLOCK_BYTES);
         assert_eq!(s.backup_wal(1 << 10), s.backup_wal(0));
+    }
+
+    #[test]
+    fn phys_bounds_are_enforced() {
+        let s = AddressSpace::new();
+        assert_eq!(s.check_phys(PhysAddr::new(0), PHYS_LIMIT), Ok(()));
+        assert_eq!(s.check_phys(PhysAddr::new(PHYS_LIMIT - 64), 64), Ok(()));
+        // One byte over the limit aliases Checkpoint Region A.
+        let err = s.check_phys(PhysAddr::new(PHYS_LIMIT - 63), 64);
+        assert_eq!(
+            err,
+            Err(Error::AddressOutOfRange {
+                addr: PhysAddr::new(PHYS_LIMIT - 63),
+                limit: PHYS_LIMIT
+            })
+        );
+        assert!(matches!(
+            s.check_phys(PhysAddr::new(u64::MAX), 64),
+            Err(Error::AddressOutOfRange { .. })
+        ));
     }
 
     #[test]

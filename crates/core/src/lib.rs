@@ -50,7 +50,7 @@
 //! let t = sys.force_checkpoint(Cycle::new(1_000));
 //! let t = sys.drain(t);
 //! // …crash! Recovery restores the checkpointed value.
-//! sys.crash_and_recover(t);
+//! let _ = sys.crash_and_recover(t);
 //! let mut buf = [0u8; 7];
 //! sys.load_bytes(PhysAddr::new(0x1000), &mut buf, t);
 //! assert_eq!(&buf, b"durable");
@@ -70,5 +70,5 @@ pub use controller::{InjectedCrash, MediaFault, RecoveryReport, ThyNvm};
 pub use oracle::{OracleMismatch, PersistenceOracle};
 pub use protocol::{Event as ProtocolEvent, ProtocolError, VersionState};
 pub use epoch::{CkptJob, EpochState};
-pub use layout::{AddressSpace, Region};
+pub use layout::{AddressSpace, Region, PHYS_LIMIT};
 pub use table::{Btt, BttEntry, Ptt, PttEntry, WactiveLoc};

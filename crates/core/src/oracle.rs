@@ -95,6 +95,7 @@ impl PersistenceOracle {
 
     /// Every address the program has ever written (the verification
     /// domain: all other bytes are zero in both oracle and controller).
+    #[must_use = "the verification domain is the whole point of querying it"]
     pub fn touched_addrs(&self) -> impl Iterator<Item = u64> + '_ {
         self.current.keys().copied()
     }
@@ -102,6 +103,7 @@ impl PersistenceOracle {
     /// The full byte image a crash at `crash` must recover to: the most
     /// recent checkpoint whose commit record persisted by `crash`, or the
     /// all-zero image if none has.
+    #[must_use]
     pub fn expected_image_at(&self, crash: Cycle) -> BTreeMap<u64, u8> {
         self.checkpoints
             .iter()
@@ -112,6 +114,7 @@ impl PersistenceOracle {
     }
 
     /// The single byte at `addr` a crash at `crash` must recover to.
+    #[must_use]
     pub fn expected_byte_at(&self, addr: u64, crash: Cycle) -> u8 {
         self.checkpoints
             .iter()
@@ -124,6 +127,7 @@ impl PersistenceOracle {
     /// Which image label §4.5 assigns to a crash at `crash`: `CPenult` if a
     /// checkpoint had been initiated but its commit record had not yet
     /// persisted (that checkpoint is discarded), `CLast` otherwise.
+    #[must_use]
     pub fn expected_outcome_at(&self, crash: Cycle) -> RecoveryOutcome {
         let incomplete = self
             .checkpoints
@@ -141,6 +145,7 @@ impl PersistenceOracle {
     /// checkpoint, so the image falls back one more level — the *second*
     /// most recent checkpoint whose commit record persisted by `crash`, or
     /// the all-zero image.
+    #[must_use]
     pub fn expected_fallback_image_at(&self, crash: Cycle) -> BTreeMap<u64, u8> {
         self.checkpoints
             .iter()
@@ -158,6 +163,7 @@ impl PersistenceOracle {
     /// [`RecoveryOutcome::CPenultIntegrityFallback`]; with no completed
     /// checkpoint there is nothing to verify and the clean-crash rules
     /// apply unchanged.
+    #[must_use]
     pub fn expected_outcome_with_corrupt_clast(&self, crash: Cycle) -> RecoveryOutcome {
         let any_completed = self.checkpoints.iter().any(|c| c.completes_at <= crash);
         if any_completed {
@@ -181,6 +187,7 @@ impl PersistenceOracle {
     /// crash during the integrity fallback redoes the fallback, it never
     /// falls back twice. An empty sequence means no crash at all: the
     /// current (live) image.
+    #[must_use]
     pub fn expected_image_after_crash_sequence(
         &self,
         crashes: &[Cycle],
@@ -202,6 +209,7 @@ impl PersistenceOracle {
     /// crashes restart recovery but never change which image it converges
     /// to, so the label of the governing recovery is invariant across the
     /// whole sequence. An empty sequence is no crash: `CLast`.
+    #[must_use]
     pub fn expected_outcome_after_crash_sequence(
         &self,
         crashes: &[Cycle],
@@ -221,6 +229,7 @@ impl PersistenceOracle {
     /// at `crash`, byte for byte over every touched address. `read` fetches
     /// one byte of the recovered image (e.g. a `load_bytes` wrapper).
     /// Returns every divergence; empty means recovery is oracle-identical.
+    #[must_use = "a non-empty diff means recovery diverged from the oracle"]
     pub fn diff(&self, crash: Cycle, read: impl FnMut(u64) -> u8) -> Vec<OracleMismatch> {
         self.diff_against(&self.expected_image_at(crash), read)
     }
@@ -228,6 +237,7 @@ impl PersistenceOracle {
     /// Like [`PersistenceOracle::diff`], but against the image a whole
     /// stacked-crash sequence must converge to
     /// ([`PersistenceOracle::expected_image_after_crash_sequence`]).
+    #[must_use = "a non-empty diff means recovery diverged from the oracle"]
     pub fn diff_after_crash_sequence(
         &self,
         crashes: &[Cycle],
@@ -239,6 +249,7 @@ impl PersistenceOracle {
 
     /// Like [`PersistenceOracle::diff`], but for a crash where `C_last` is
     /// corrupt and recovery must have fallen back one more checkpoint.
+    #[must_use = "a non-empty diff means recovery diverged from the oracle"]
     pub fn diff_with_corrupt_clast(
         &self,
         crash: Cycle,

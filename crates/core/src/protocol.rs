@@ -267,13 +267,13 @@ mod tests {
     #[test]
     fn write_capture_commit_lifecycle() {
         let s = VersionState::HOME;
-        let s = s.apply(Event::Write).unwrap();
+        let s = s.apply(Event::Write).expect("invariant: write is legal from Home");
         assert_eq!(s.to_string(), "W");
         assert_eq!(s.visible(), VisibleVersion::Working);
-        let s = s.apply(Event::Capture).unwrap();
+        let s = s.apply(Event::Capture).expect("invariant: capture is legal with a working copy");
         assert_eq!(s.to_string(), "K");
         assert_eq!(s.visible(), VisibleVersion::InFlightCheckpoint);
-        let s = s.apply(Event::Commit).unwrap();
+        let s = s.apply(Event::Commit).expect("invariant: commit is legal while in flight");
         assert_eq!(s.to_string(), "L");
         assert_eq!(s.visible(), VisibleVersion::LastCheckpoint);
         assert_eq!(s.recovery_target(), RecoveryTarget::LastCheckpoint);
@@ -286,7 +286,7 @@ mod tests {
             .apply(Event::Write)
             .and_then(|s| s.apply(Event::Capture))
             .and_then(|s| s.apply(Event::Write))
-            .unwrap();
+            .expect("invariant: write/capture/write is a legal overlap sequence");
         assert_eq!(s.to_string(), "W+K");
         // Crash now: both W and K are lost; only Home remains.
         assert_eq!(s.recovery_target(), RecoveryTarget::HomeOriginal);
@@ -328,7 +328,7 @@ mod tests {
     #[test]
     fn crash_discards_exactly_volatile_state() {
         for s in VersionState::all() {
-            let after = s.apply(Event::Crash).unwrap();
+            let after = s.apply(Event::Crash).expect("invariant: crash is legal from every state");
             assert!(!after.working);
             assert!(!after.in_flight);
             assert_eq!(after.durable, s.durable, "durable state survives {s}");
@@ -343,13 +343,14 @@ mod tests {
     #[test]
     fn nested_crash_is_idempotent() {
         for s in VersionState::all() {
-            let once = s.apply(Event::Crash).unwrap();
-            let twice = once.apply(Event::Crash).unwrap();
+            let once = s.apply(Event::Crash).expect("invariant: crash is legal from every state");
+            let twice =
+                once.apply(Event::Crash).expect("invariant: crash is legal from every state");
             assert_eq!(once, twice, "second crash must be a no-op from {s}");
             // And so is any deeper stack of crashes.
             let mut deep = once;
             for _ in 0..6 {
-                deep = deep.apply(Event::Crash).unwrap();
+                deep = deep.apply(Event::Crash).expect("invariant: crash is legal from every state");
             }
             assert_eq!(once, deep);
         }
@@ -399,7 +400,9 @@ mod tests {
             for event in Event::ALL {
                 if let Ok(next) = s.apply(event) {
                     // A crash from `next` must never invent durability.
-                    let crashed = next.apply(Event::Crash).unwrap();
+                    let crashed = next
+                        .apply(Event::Crash)
+                        .expect("invariant: crash is legal from every state");
                     assert!(
                         !crashed.durable || next.durable,
                         "crash created durability: {s} --{event:?}--> {next}"

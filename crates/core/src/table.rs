@@ -383,17 +383,19 @@ mod tests {
         let mut btt = Btt::new(4);
         let a = BlockIndex::new(1);
         let b = BlockIndex::new(2);
-        btt.entry_or_insert(a).unwrap().wactive = Some(WactiveLoc::Nvm(Region::A));
-        btt.entry_or_insert(b).unwrap().clast_region = Some(Region::A);
-        assert!(!btt.get(a).unwrap().is_quiescent());
-        assert!(btt.get(b).unwrap().is_quiescent());
+        btt.entry_or_insert(a).expect("invariant: BTT below capacity").wactive =
+            Some(WactiveLoc::Nvm(Region::A));
+        btt.entry_or_insert(b).expect("invariant: BTT below capacity").clast_region =
+            Some(Region::A);
+        assert!(!btt.get(a).expect("invariant: inserted above").is_quiescent());
+        assert!(btt.get(b).expect("invariant: inserted above").is_quiescent());
         assert_eq!(btt.reclaimable(), vec![b]);
     }
 
     #[test]
     fn btt_dirty_entries_counts_working_copies() {
         let mut btt = Btt::new(4);
-        btt.entry_or_insert(BlockIndex::new(1)).unwrap().wactive =
+        btt.entry_or_insert(BlockIndex::new(1)).expect("invariant: BTT below capacity").wactive =
             Some(WactiveLoc::DramBuffered { slot: 0 });
         btt.entry_or_insert(BlockIndex::new(2));
         assert_eq!(btt.dirty_entries(), 1);
@@ -402,19 +404,24 @@ mod tests {
     #[test]
     fn btt_counter_reset() {
         let mut btt = Btt::new(4);
-        btt.entry_or_insert(BlockIndex::new(1)).unwrap().store_count = 10;
+        btt.entry_or_insert(BlockIndex::new(1))
+            .expect("invariant: BTT below capacity")
+            .store_count = 10;
         btt.reset_store_counters();
-        assert_eq!(btt.get(BlockIndex::new(1)).unwrap().store_count, 0);
+        assert_eq!(
+            btt.get(BlockIndex::new(1)).expect("invariant: inserted above").store_count,
+            0
+        );
     }
 
     #[test]
     fn ptt_slot_allocation_and_reuse() {
         let mut ptt = Ptt::new(2);
-        let s0 = ptt.insert(PageIndex::new(10)).unwrap();
-        let s1 = ptt.insert(PageIndex::new(20)).unwrap();
+        let s0 = ptt.insert(PageIndex::new(10)).expect("invariant: PTT has free slots");
+        let s1 = ptt.insert(PageIndex::new(20)).expect("invariant: PTT has free slots");
         assert_ne!(s0, s1);
         assert!(ptt.insert(PageIndex::new(30)).is_none()); // full
-        let removed = ptt.remove(PageIndex::new(10)).unwrap();
+        let removed = ptt.remove(PageIndex::new(10)).expect("invariant: inserted above");
         assert_eq!(removed.slot, s0);
         // Slot is recycled.
         assert_eq!(ptt.insert(PageIndex::new(30)), Some(s0));
@@ -433,7 +440,7 @@ mod tests {
         let mut ptt = Ptt::new(4);
         ptt.insert(PageIndex::new(1));
         ptt.insert(PageIndex::new(2));
-        ptt.get_mut(PageIndex::new(2)).unwrap().dirty = true;
+        ptt.get_mut(PageIndex::new(2)).expect("invariant: inserted above").dirty = true;
         assert_eq!(ptt.dirty_pages(), vec![PageIndex::new(2)]);
     }
 

@@ -1,0 +1,192 @@
+//! The `lint.baseline` suppression file.
+//!
+//! Each line suppresses exactly one diagnostic and must carry a reviewed
+//! justification:
+//!
+//! ```text
+//! # comment
+//! L5 crates/types/src/config.rs:288 — any u64 is a valid deterministic seed
+//! ```
+//!
+//! The separator between the location and the justification is `—`, `--`,
+//! or just whitespace. An entry without a justification is a hard error
+//! (exit 2): an unexplained suppression is indistinguishable from a
+//! swept-under-the-rug bug. An entry that no longer matches any diagnostic
+//! is *stale* and reported as a violation so the baseline shrinks over
+//! time instead of fossilizing.
+
+use std::collections::HashSet;
+
+use crate::rules::Diagnostic;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule ID (`"L1"`..`"L5"`).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the suppressed diagnostic.
+    pub line: u32,
+    /// Why this suppression is sound.
+    pub justification: String,
+    /// Line of the entry in `lint.baseline` (for error reporting).
+    pub at: u32,
+}
+
+/// A malformed baseline (exit code 2).
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line in `lint.baseline`.
+    pub at: u32,
+    /// What is wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.baseline:{}: {}", self.at, self.msg)
+    }
+}
+
+/// Parses the baseline text. Empty/whitespace lines and `#` comments are
+/// skipped.
+pub fn parse(text: &str) -> Result<Vec<Entry>, ParseError> {
+    let mut entries = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let at = u32::try_from(n).unwrap_or(u32::MAX).saturating_add(1);
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let rule = parts.next().unwrap_or_default();
+        let loc = parts.next().unwrap_or_default();
+        let rest = parts.next().unwrap_or_default().trim();
+        if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5") {
+            return Err(ParseError {
+                at,
+                msg: format!("unknown rule `{rule}` (expected L1..L5)"),
+            });
+        }
+        let Some((file, line_no)) = loc.rsplit_once(':') else {
+            return Err(ParseError {
+                at,
+                msg: format!("bad location `{loc}` (expected file:line)"),
+            });
+        };
+        let Ok(line_no) = line_no.parse::<u32>() else {
+            return Err(ParseError {
+                at,
+                msg: format!("bad line number in `{loc}`"),
+            });
+        };
+        let justification = rest
+            .trim_start_matches(['—', '-'])
+            .trim()
+            .to_owned();
+        if justification.is_empty() {
+            return Err(ParseError {
+                at,
+                msg: "entry has no justification — every suppression must say why it is sound"
+                    .to_owned(),
+            });
+        }
+        entries.push(Entry {
+            rule: rule.to_owned(),
+            file: file.to_owned(),
+            line: line_no,
+            justification,
+            at,
+        });
+    }
+    Ok(entries)
+}
+
+/// Splits diagnostics into (unsuppressed, stale-entry diagnostics).
+///
+/// A baseline entry matches a diagnostic on (rule, file, line). Entries
+/// that match nothing come back as synthetic diagnostics so the run still
+/// fails — a stale suppression means the code moved and the baseline must
+/// be re-reviewed.
+pub fn apply(diags: Vec<Diagnostic>, baseline: &[Entry]) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let keys: HashSet<(String, String, u32)> = baseline
+        .iter()
+        .map(|e| (e.rule.clone(), e.file.clone(), e.line))
+        .collect();
+    let mut used: HashSet<(String, String, u32)> = HashSet::new();
+    let mut remaining = Vec::new();
+    for d in diags {
+        let key = (d.rule.to_owned(), d.file.clone(), d.line);
+        if keys.contains(&key) {
+            used.insert(key);
+        } else {
+            remaining.push(d);
+        }
+    }
+    let stale = baseline
+        .iter()
+        .filter(|e| !used.contains(&(e.rule.clone(), e.file.clone(), e.line)))
+        .map(|e| Diagnostic {
+            rule: "L0",
+            file: "lint.baseline".to_owned(),
+            line: e.at,
+            msg: format!(
+                "stale baseline entry `{} {}:{}` matches no current diagnostic",
+                e.rule, e.file, e.line
+            ),
+        })
+        .collect();
+    (remaining, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let text = "# header\n\nL5 crates/types/src/config.rs:288 — any u64 seed is valid\n";
+        let entries = parse(text).expect("valid baseline");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "L5");
+        assert_eq!(entries[0].file, "crates/types/src/config.rs");
+        assert_eq!(entries[0].line, 288);
+        assert_eq!(entries[0].justification, "any u64 seed is valid");
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        let err = parse("L2 a.rs:10\n").expect_err("must reject");
+        assert!(err.msg.contains("justification"), "{err}");
+        assert_eq!(err.at, 1);
+        let err = parse("L2 a.rs:10 —  \n").expect_err("must reject");
+        assert!(err.msg.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_rule_and_location() {
+        assert!(parse("L9 a.rs:1 x\n").is_err());
+        assert!(parse("L1 a.rs x\n").is_err());
+        assert!(parse("L1 a.rs:zz x\n").is_err());
+    }
+
+    fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic { rule, file: file.to_owned(), line, msg: "m".to_owned() }
+    }
+
+    #[test]
+    fn suppresses_matching_and_reports_stale() {
+        let baseline = parse(
+            "L1 a.rs:5 — sealed by design\nL2 gone.rs:7 — obsolete entry\n",
+        )
+        .expect("valid");
+        let (remaining, stale) =
+            apply(vec![diag("L1", "a.rs", 5), diag("L1", "a.rs", 6)], &baseline);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].line, 6);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].msg.contains("gone.rs:7"), "{}", stale[0].msg);
+        assert_eq!(stale[0].line, 2);
+    }
+}

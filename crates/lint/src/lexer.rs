@@ -1,0 +1,491 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The linter needs exactly enough lexical structure to walk token streams
+//! with reliable line numbers: identifiers, literals (so that braces and
+//! quotes inside strings never confuse the structural pass), multi-character
+//! operators (so `+=` and `::` are single tokens), and comments (kept in a
+//! side channel so `// lint: …` annotations can tag functions).
+//!
+//! It is deliberately *not* a full parser — no syn, no proc-macro2, nothing
+//! that would need vendoring in the offline build environment. Rules match
+//! on token patterns plus the lightweight item index built in
+//! [`crate::source`].
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `unwrap`, `MemStats`, `r#type`).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`), distinguished from char literals.
+    Lifetime(String),
+    /// A numeric literal, raw text (`0x40`, `1_000`, `2.5e-9`, `63u8`).
+    Num(String),
+    /// A string or byte-string literal; the *cooked* prefix matters only for
+    /// `expect("invariant: …")` checks, so the raw source content between
+    /// the quotes is stored unprocessed.
+    Str(String),
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Punctuation / operator, longest-match (`::`, `+=`, `..=`, `->`).
+    Punct(&'static str),
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(q) if *q == p)
+    }
+
+    /// Whether this token is the given identifier/keyword.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == name)
+    }
+
+    /// Whether this numeric literal is a plain integer (decimal, hex, octal
+    /// or binary — possibly suffixed), as opposed to a float.
+    pub fn is_int(&self) -> bool {
+        match self {
+            Tok::Num(s) => !s.contains('.') || s.starts_with("0x") || s.starts_with("0X"),
+            _ => false,
+        }
+    }
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the given punctuation (delegates to the kind).
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind.is_punct(p)
+    }
+}
+
+/// One comment (line or block) with its 1-based starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Single-character punctuation, interned as static strings.
+fn single_punct(c: char) -> Option<&'static str> {
+    Some(match c {
+        '(' => "(",
+        ')' => ")",
+        '[' => "[",
+        ']' => "]",
+        '{' => "{",
+        '}' => "}",
+        ',' => ",",
+        ';' => ";",
+        ':' => ":",
+        '.' => ".",
+        '=' => "=",
+        '<' => "<",
+        '>' => ">",
+        '+' => "+",
+        '-' => "-",
+        '*' => "*",
+        '/' => "/",
+        '%' => "%",
+        '!' => "!",
+        '?' => "?",
+        '&' => "&",
+        '|' => "|",
+        '^' => "^",
+        '#' => "#",
+        '@' => "@",
+        '$' => "$",
+        '~' => "~",
+        _ => return None,
+    })
+}
+
+/// Lexes `src`, returning the token stream and the comments.
+///
+/// The lexer is total: bytes it cannot classify are skipped, so a rule pass
+/// never aborts on exotic source. Line counting is byte-exact.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances over `n` bytes, counting newlines.
+    macro_rules! advance {
+        ($n:expr) => {{
+            let n: usize = $n;
+            for &c in &b[i..(i + n).min(b.len())] {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+            i = (i + n).min(b.len());
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                let start_line = line;
+                let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
+                comments.push(Comment {
+                    text: src[i + 2..end].trim_start_matches(['/', '!']).trim().to_owned(),
+                    line: start_line,
+                });
+                advance!(end - i);
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: src[start..j.saturating_sub(2).max(start)].trim().to_owned(),
+                    line: start_line,
+                });
+                advance!(j - i);
+                continue;
+            }
+        }
+        // Raw / byte string prefixes and raw identifiers.
+        if c == 'r' || c == 'b' {
+            if let Some(len) = raw_or_byte_string_len(&src[i..]) {
+                let tok_line = line;
+                tokens.push(Token { kind: string_tok(&src[i..i + len]), line: tok_line });
+                advance!(len);
+                continue;
+            }
+            if src[i..].starts_with("r#") {
+                // Raw identifier `r#type`.
+                let start = i + 2;
+                let end = ident_end(b, start);
+                if end > start {
+                    tokens.push(Token {
+                        kind: Tok::Ident(src[start..end].to_owned()),
+                        line,
+                    });
+                    advance!(end - i);
+                    continue;
+                }
+            }
+            if src[i..].starts_with("b'") {
+                let len = char_literal_len(&src[i + 1..]).map_or(2, |n| n + 1);
+                tokens.push(Token { kind: Tok::Char, line });
+                advance!(len);
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let end = ident_end(b, i);
+            tokens.push(Token { kind: Tok::Ident(src[i..end].to_owned()), line });
+            advance!(end - i);
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let end = number_end(b, i);
+            tokens.push(Token { kind: Tok::Num(src[i..end].to_owned()), line });
+            advance!(end - i);
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let tok_line = line;
+            let len = cooked_string_len(&src[i..]);
+            tokens.push(Token { kind: string_tok(&src[i..i + len]), line: tok_line });
+            advance!(len);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if let Some(len) = char_literal_len(&src[i..]) {
+                tokens.push(Token { kind: Tok::Char, line });
+                advance!(len);
+            } else {
+                let start = i + 1;
+                let end = ident_end(b, start);
+                tokens.push(Token { kind: Tok::Lifetime(src[start..end].to_owned()), line });
+                advance!(end.max(start) - i);
+            }
+            continue;
+        }
+        // Operators, longest match first.
+        if let Some(op) = OPERATORS.iter().find(|op| src[i..].starts_with(**op)) {
+            tokens.push(Token { kind: Tok::Punct(op), line });
+            advance!(op.len());
+            continue;
+        }
+        if let Some(p) = single_punct(c) {
+            tokens.push(Token { kind: Tok::Punct(p), line });
+            advance!(1);
+            continue;
+        }
+        // Unclassifiable byte (non-ASCII in code, stray symbol): skip.
+        advance!(src[i..].chars().next().map_or(1, char::len_utf8));
+    }
+    (tokens, comments)
+}
+
+/// Extracts the content between the quotes of a lexed string literal slice.
+fn string_tok(raw: &str) -> Tok {
+    let inner = raw
+        .trim_start_matches(['r', 'b'])
+        .trim_start_matches('#')
+        .trim_start_matches('"')
+        .trim_end_matches('#')
+        .trim_end_matches('"');
+    Tok::Str(inner.to_owned())
+}
+
+/// Byte index just past the end of an identifier starting at `start`.
+fn ident_end(b: &[u8], start: usize) -> usize {
+    let mut j = start;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    j
+}
+
+/// Byte index just past the end of a numeric literal starting at `start`.
+///
+/// Consumes digits, underscores, radix/type-suffix letters, one `.` followed
+/// by a digit (so `1..2` stays a range), and exponent signs after `e`/`E`.
+fn number_end(b: &[u8], start: usize) -> usize {
+    let mut j = start;
+    let mut seen_dot = false;
+    while j < b.len() {
+        let c = b[j];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            j += 1;
+        } else if c == b'.'
+            && !seen_dot
+            && j + 1 < b.len()
+            && b[j + 1].is_ascii_digit()
+        {
+            seen_dot = true;
+            j += 1;
+        } else if (c == b'+' || c == b'-')
+            && j > start
+            && (b[j - 1] == b'e' || b[j - 1] == b'E')
+        {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+/// Length of a cooked string literal (`"…"` with escapes) starting at a `"`.
+fn cooked_string_len(s: &str) -> usize {
+    let b = s.as_bytes();
+    let mut j = 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Length of a raw or byte(-raw) string literal (`r"…"`, `r#"…"#`, `b"…"`,
+/// `br##"…"##`) starting at its prefix, or `None` if `s` starts with no such
+/// literal.
+fn raw_or_byte_string_len(s: &str) -> Option<usize> {
+    let rest = s.strip_prefix("br").or_else(|| s.strip_prefix("rb")).unwrap_or(
+        s.strip_prefix('r').or_else(|| s.strip_prefix('b')).unwrap_or(s),
+    );
+    let prefix_len = s.len() - rest.len();
+    if prefix_len == 0 {
+        return None;
+    }
+    let hashes = rest.len() - rest.trim_start_matches('#').len();
+    let after = &rest[hashes..];
+    if !after.starts_with('"') {
+        return None;
+    }
+    if hashes == 0 && s.starts_with('b') && prefix_len == 1 {
+        // b"…": cooked byte string with escapes.
+        return Some(prefix_len + cooked_string_len(after));
+    }
+    if hashes == 0 {
+        // r"…": raw, no escapes, terminated by the first quote.
+        let end = after[1..].find('"').map_or(after.len(), |n| n + 2);
+        return Some(prefix_len + end);
+    }
+    let close: String = format!("\"{}", "#".repeat(hashes));
+    let end = after[1..].find(&close).map_or(after.len(), |n| n + 1 + close.len());
+    Some(prefix_len + hashes + end)
+}
+
+/// Length of a char/byte-char literal starting at `'`, or `None` when the
+/// quote introduces a lifetime instead.
+fn char_literal_len(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    if b.len() < 2 {
+        return None;
+    }
+    if b[1] == b'\\' {
+        // Escaped char: find the closing quote.
+        let mut j = 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return Some((j + 1).min(b.len()));
+    }
+    // `'x'` is a char; `'x` followed by anything else is a lifetime.
+    let ch_len = s[1..].chars().next().map_or(1, char::len_utf8);
+    if b.get(1 + ch_len) == Some(&b'\'') {
+        Some(2 + ch_len)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).0.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("self.stats.media.retries += 1;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("self".into()),
+                Tok::Punct("."),
+                Tok::Ident("stats".into()),
+                Tok::Punct("."),
+                Tok::Ident("media".into()),
+                Tok::Punct("."),
+                Tok::Ident("retries".into()),
+                Tok::Punct("+="),
+                Tok::Num("1".into()),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let (toks, comments) = lex("fn a() {\n    // note\n    b()\n}\n");
+        let b_tok = toks.iter().find(|t| t.kind.is_ident("b")).expect("b lexed");
+        assert_eq!(b_tok.line, 3);
+        assert_eq!(comments[0].line, 2);
+        assert_eq!(comments[0].text, "note");
+    }
+
+    #[test]
+    fn strings_hide_braces_and_quotes() {
+        let toks = kinds(r#"let s = "a { b \" } c"; x"#);
+        assert!(toks.contains(&Tok::Str("a { b \\\" } c".into())));
+        assert!(toks.contains(&Tok::Ident("x".into())));
+        assert!(!toks.contains(&Tok::Punct("{")));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"inner " quote"#; y"###);
+        assert!(toks.contains(&Tok::Str("inner \" quote".into())));
+        assert!(toks.contains(&Tok::Ident("y".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'z'; let n = '\\n'; }");
+        assert!(toks.contains(&Tok::Lifetime("a".into())));
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* outer /* inner */ still */ fn x() {}");
+        assert_eq!(comments.len(), 1);
+        assert!(toks.iter().any(|t| t.kind.is_ident("fn")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 1..=3 { a[0]; b = 0x4F; f = 2.5; }");
+        assert!(toks.contains(&Tok::Num("1".into())));
+        assert!(toks.contains(&Tok::Punct("..=")));
+        assert!(toks.contains(&Tok::Num("3".into())));
+        assert!(toks.contains(&Tok::Num("0x4F".into())));
+        assert!(toks.contains(&Tok::Num("2.5".into())));
+        assert!(Tok::Num("0".into()).is_int());
+        assert!(!Tok::Num("2.5".into()).is_int());
+    }
+
+    #[test]
+    fn doc_comments_are_comments_not_code() {
+        let (toks, comments) = lex("/// let x = y.unwrap();\nfn ok() {}");
+        assert!(!toks.iter().any(|t| t.kind.is_ident("unwrap")));
+        assert!(comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let toks = kinds("a::b -> c => d == e != f += g");
+        for op in ["::", "->", "=>", "==", "!=", "+="] {
+            assert!(toks.iter().any(|t| t.is_punct(op)), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let toks = kinds(r#"let s = b"hello"; let r#type = 1;"#);
+        assert!(toks.contains(&Tok::Str("hello".into())));
+        assert!(toks.contains(&Tok::Ident("type".into())));
+    }
+}

@@ -1,0 +1,70 @@
+//! CLI entry point: lint the workspace, apply `lint.baseline`, print
+//! `file:line` diagnostics, exit nonzero on any violation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Optional positional arg: workspace root. Default: walk up from the
+    // current directory (cargo runs binaries with cwd = invocation dir).
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match thynvm_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("thynvm-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let baseline_path = root.join("lint.baseline");
+    let entries = if baseline_path.is_file() {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("thynvm-lint: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match thynvm_lint::baseline::parse(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("thynvm-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let report = match thynvm_lint::run(&root, &entries) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("thynvm-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in report.violations.iter().chain(&report.stale) {
+        println!("{d}");
+    }
+    let n = report.violations.len() + report.stale.len();
+    if report.is_failure() {
+        eprintln!(
+            "thynvm-lint: {n} violation(s) across {} file(s) scanned",
+            report.files_scanned
+        );
+        ExitCode::from(1)
+    } else {
+        eprintln!(
+            "thynvm-lint: clean ({} file(s) scanned, {} baselined suppression(s))",
+            report.files_scanned,
+            entries.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,615 @@
+//! The five workspace invariants, as token-pattern rules.
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L1   | Raw `SparseStore` mutations only inside `crates/mem` + sealed allowlist |
+//! | L2   | Recovery paths are panic-free (no `unwrap`, bare `expect`, `panic!`, literal indexing) |
+//! | L3   | Every `MemStats`/`MediaStats` counter is mutated in production code and read by a test |
+//! | L4   | Every `types::Error` variant is constructed in production code and matched in a test |
+//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`SystemConfig` field is checked in `validate()` |
+//!
+//! Rules work on the token stream plus the [`FileIndex`] item index — no
+//! type information. That makes them conservative pattern matchers; the
+//! escape hatch for a justified exception is `lint.baseline`, never an
+//! in-code `#[allow]`.
+
+use std::collections::HashSet;
+
+use crate::lexer::Tok;
+use crate::source::FileIndex;
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Diagnostic {
+    /// Rule ID (`"L1"`..`"L5"`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}:{} {}", self.rule, self.file, self.line, self.msg)
+    }
+}
+
+/// Fields of the controller/baselines that hold a raw `SparseStore`, plus
+/// the conventional local name `store`. A call `<receiver>.<mutator>(…)`
+/// outside the sanctioned sites is a raw NVM write escaping the sealed
+/// persistence APIs.
+const STORE_RECEIVERS: &[&str] = &["store", "committed", "committed_prev", "visible", "buffer_data"];
+
+/// `SparseStore` mutating methods.
+const STORE_MUTATORS: &[&str] = &["write", "write_words", "copy_within", "clear"];
+
+/// L1 allowlist: (file, functions) where raw store mutation is sealed by
+/// WAL/commit protocol or models power-loss volatility.
+const L1_ALLOW: &[(&str, &[&str])] = &[
+    // Commit point of a retired checkpoint job; CPU-visible store-through.
+    ("crates/core/src/controller.rs", &["retire_job_if_done", "store_bytes"]),
+    // Journal flush (redo applied under the commit record) + buffer fill.
+    ("crates/baselines/src/journal.rs", &["flush", "store_bytes", "power_fail"]),
+    // Shadow-paging flush, copy-on-write buffer fill, volatility model.
+    ("crates/baselines/src/shadow.rs", &["flush", "ensure_buffered", "store_bytes", "power_fail"]),
+];
+
+/// Files where the panic-free discipline applies to every function — the
+/// translation tables and version-state machine are recovery-critical end
+/// to end, tests included (a test `unwrap` hides the invariant it relies
+/// on; `expect("invariant: …")` states it).
+const PANIC_FREE_FILES: &[&str] = &["crates/core/src/table.rs", "crates/core/src/protocol.rs"];
+
+/// Underscore-separated name segments that mark a function as part of the
+/// recovery/replay/scrub machinery.
+const RECOVERY_SEGMENTS: &[&str] = &["recover", "recovery", "replay", "scrub", "wal", "redo"];
+
+/// Annotation comment that opts a function into the L2 recovery scope.
+const RECOVERY_ANNOTATION: &str = "lint: recovery-path";
+
+/// Macros that abort the process.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// `expect` messages the lint accepts: a statement of the invariant that
+/// makes the call infallible.
+const EXPECT_PREFIX: &str = "invariant:";
+
+/// Runs every rule over the indexed workspace.
+pub fn check_all(files: &[FileIndex]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        rule_l1(f, &mut out);
+        rule_l2(f, &mut out);
+    }
+    rule_l3(files, &mut out);
+    rule_l4(files, &mut out);
+    rule_l5(files, &mut out);
+    // Deduplicate (a fn can be in scope via both its name and its file) and
+    // order deterministically.
+    let mut seen = HashSet::new();
+    out.retain(|d| seen.insert((d.rule, d.file.clone(), d.line, d.msg.clone())));
+    out.sort_by(|a, b| {
+        (a.rule, &a.file, a.line, &a.msg).cmp(&(b.rule, &b.file, b.line, &b.msg))
+    });
+    out
+}
+
+/// Whether `rel_path` is an integration-test file (everything under a
+/// `tests/` directory is test code even without `#[cfg(test)]`).
+fn is_test_file(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/") || rel_path.contains("/tests/")
+}
+
+/// Whether token `i` of `f` is test code (mask or test file).
+fn in_test(f: &FileIndex, i: usize) -> bool {
+    is_test_file(&f.rel_path) || f.is_test(i)
+}
+
+// ---------------------------------------------------------------- L1 ----
+
+/// L1: raw-NVM-write confinement.
+fn rule_l1(f: &FileIndex, out: &mut Vec<Diagnostic>) {
+    if f.rel_path.starts_with("crates/mem/") {
+        return; // the store's home crate
+    }
+    let allow: &[&str] = L1_ALLOW
+        .iter()
+        .find(|(path, _)| *path == f.rel_path)
+        .map_or(&[], |(_, fns)| fns);
+    let toks = &f.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        if !toks[i + 1].is_punct(".") {
+            continue;
+        }
+        let (Some(recv), Some(method)) = (toks[i].kind.ident(), toks[i + 2].kind.ident()) else {
+            continue;
+        };
+        if !STORE_RECEIVERS.contains(&recv)
+            || !STORE_MUTATORS.contains(&method)
+            || !toks[i + 3].is_punct("(")
+        {
+            continue;
+        }
+        if in_test(f, i) {
+            continue;
+        }
+        if let Some(func) = f.enclosing_fn(i) {
+            if allow.contains(&func.name.as_str()) {
+                continue;
+            }
+        }
+        out.push(Diagnostic {
+            rule: "L1",
+            file: f.rel_path.clone(),
+            line: toks[i].line,
+            msg: format!(
+                "raw SparseStore mutation `{recv}.{method}(..)` outside crates/mem and the \
+                 WAL/commit-sealed allowlist"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------- L2 ----
+
+/// Whether a function name marks it as recovery machinery.
+fn l2_name_in_scope(name: &str) -> bool {
+    name.split('_').any(|seg| {
+        RECOVERY_SEGMENTS.contains(&seg) || seg.starts_with("recover") || seg.starts_with("scrub")
+    })
+}
+
+/// L2: panic-free recovery.
+fn rule_l2(f: &FileIndex, out: &mut Vec<Diagnostic>) {
+    let whole_file = PANIC_FREE_FILES.contains(&f.rel_path.as_str());
+    if whole_file {
+        // Tests in these files get the unwrap/expect discipline only
+        // (asserts and literal indices are the point of a test); production
+        // code gets the full rule.
+        scan_l2(f, 0, f.tokens.len(), true, out);
+    }
+    for func in &f.fns {
+        if func.in_test || is_test_file(&f.rel_path) {
+            continue;
+        }
+        let annotated = f.comment_above(func.line, 5, RECOVERY_ANNOTATION);
+        if !(l2_name_in_scope(&func.name) || annotated) {
+            continue;
+        }
+        if let Some(start) = func.body_start {
+            scan_l2(f, start, func.body_end, false, out);
+        }
+    }
+}
+
+/// Scans a token range for L2 violations. With `relax_tests`, tokens in
+/// test code are only checked for `unwrap`/bare `expect`.
+fn scan_l2(f: &FileIndex, from: usize, to: usize, relax_tests: bool, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    let to = to.min(toks.len());
+    let mut push = |line: u32, msg: String| {
+        out.push(Diagnostic { rule: "L2", file: f.rel_path.clone(), line, msg });
+    };
+    for i in from..to {
+        let test_here = in_test(f, i);
+        if relax_tests && test_here {
+            // fall through: unwrap/expect still checked below
+        } else if !relax_tests && test_here {
+            continue;
+        }
+        // `.unwrap()` / `.expect(…)`.
+        if toks[i].is_punct(".") {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.kind.ident()) {
+                if name == "unwrap" && toks.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+                    push(toks[i].line, "`.unwrap()` on a recovery path".to_owned());
+                    continue;
+                }
+                if name == "expect" && toks.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+                    let ok = matches!(
+                        toks.get(i + 3).map(|t| &t.kind),
+                        Some(Tok::Str(msg)) if msg.trim_start().starts_with(EXPECT_PREFIX)
+                    );
+                    if !ok {
+                        push(
+                            toks[i].line,
+                            format!(
+                                "`.expect(..)` without an `\"{EXPECT_PREFIX} …\"` message \
+                                 stating why it cannot fail"
+                            ),
+                        );
+                    }
+                    continue;
+                }
+            }
+        }
+        if test_here {
+            continue; // relaxed region: only the checks above apply
+        }
+        // Aborting macros: `panic!(` etc.
+        if let Some(name) = toks[i].kind.ident() {
+            if PANIC_MACROS.contains(&name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct("(") || t.is_punct("["))
+            {
+                push(toks[i].line, format!("`{name}!` on a recovery path"));
+                continue;
+            }
+        }
+        // Literal indexing `ident[0]` — a hidden bounds panic.
+        if toks[i].kind.ident().is_some()
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("["))
+            && toks.get(i + 2).is_some_and(|t| t.kind.is_int())
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("]"))
+        {
+            push(
+                toks[i].line,
+                "literal slice index on a recovery path (use `.get(..)`)".to_owned(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L3 ----
+
+const STATS_FILE: &str = "crates/types/src/stats.rs";
+const STATS_STRUCTS: &[&str] = &["MemStats", "MediaStats"];
+/// Functions that touch every field wholesale; counting them would make the
+/// mutation check vacuous.
+const L3_EXEMPT_FNS: &[&str] = &["merge", "reset", "clear"];
+/// Collection growth calls that count as mutating a `Vec` field.
+const GROW_CALLS: &[&str] = &["push", "insert", "extend", "append"];
+
+/// L3: counter conservation.
+fn rule_l3(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
+    let Some(stats) = files.iter().find(|f| f.rel_path == STATS_FILE) else {
+        return;
+    };
+    for field in &stats.fields {
+        if !STATS_STRUCTS.contains(&field.owner.as_str()) {
+            continue;
+        }
+        if field.ty == "MediaStats" {
+            continue; // aggregate of counters, each checked individually
+        }
+        let mut mutated = false;
+        let mut tested = false;
+        for f in files {
+            let toks = &f.tokens;
+            for i in 0..toks.len() {
+                if !toks[i].kind.is_ident(&field.name) {
+                    continue;
+                }
+                if in_test(f, i) {
+                    tested = true;
+                    continue;
+                }
+                if mutated || i == 0 || !toks[i - 1].is_punct(".") {
+                    continue;
+                }
+                let writes = match toks.get(i + 1).map(|t| &t.kind) {
+                    Some(Tok::Punct("+=" | "-=" | "=")) => true,
+                    Some(Tok::Punct(".")) => {
+                        toks.get(i + 2)
+                            .and_then(|t| t.kind.ident())
+                            .is_some_and(|m| GROW_CALLS.contains(&m))
+                            && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+                    }
+                    _ => false,
+                };
+                if writes
+                    && !f
+                        .enclosing_fn(i)
+                        .is_some_and(|func| L3_EXEMPT_FNS.contains(&func.name.as_str()))
+                {
+                    mutated = true;
+                }
+            }
+        }
+        if !mutated {
+            out.push(Diagnostic {
+                rule: "L3",
+                file: STATS_FILE.to_owned(),
+                line: field.line,
+                msg: format!(
+                    "dead counter `{}::{}`: never mutated in non-test code (outside merge/reset)",
+                    field.owner, field.name
+                ),
+            });
+        }
+        if !tested {
+            out.push(Diagnostic {
+                rule: "L3",
+                file: STATS_FILE.to_owned(),
+                line: field.line,
+                msg: format!(
+                    "unverified counter `{}::{}`: never referenced by any test",
+                    field.owner, field.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L4 ----
+
+const ERROR_FILE: &str = "crates/types/src/error.rs";
+
+/// L4: error-variant coverage.
+fn rule_l4(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
+    let Some(errors) = files.iter().find(|f| f.rel_path == ERROR_FILE) else {
+        return;
+    };
+    for variant in errors.variants.iter().filter(|v| v.owner == "Error") {
+        let mut constructed = false;
+        let mut tested = false;
+        for f in files {
+            let toks = &f.tokens;
+            for i in 0..toks.len().saturating_sub(2) {
+                if !(toks[i].kind.is_ident("Error")
+                    && toks[i + 1].is_punct("::")
+                    && toks[i + 2].kind.is_ident(&variant.name))
+                {
+                    continue;
+                }
+                if in_test(f, i) {
+                    tested = true;
+                } else if f.rel_path != ERROR_FILE {
+                    // Display/From impls in error.rs itself don't count as a
+                    // production use.
+                    constructed = true;
+                }
+            }
+        }
+        if !constructed {
+            out.push(Diagnostic {
+                rule: "L4",
+                file: ERROR_FILE.to_owned(),
+                line: variant.line,
+                msg: format!(
+                    "error variant `Error::{}` is never constructed in production code",
+                    variant.name
+                ),
+            });
+        }
+        if !tested {
+            out.push(Diagnostic {
+                rule: "L4",
+                file: ERROR_FILE.to_owned(),
+                line: variant.line,
+                msg: format!(
+                    "error variant `Error::{}` is never matched in any test",
+                    variant.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L5 ----
+
+const CONFIG_FILE: &str = "crates/types/src/config.rs";
+const CONFIG_STRUCTS: &[&str] = &["SystemConfig", "ThyNvmConfig", "MediaFaultConfig"];
+const NUMERIC_TYPES: &[&str] = &["u8", "u16", "u32", "u64", "u128", "usize", "f32", "f64"];
+
+/// L5: config-validation completeness (numeric fields — booleans and
+/// sub-structs carry no range to check).
+fn rule_l5(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
+    let Some(config) = files.iter().find(|f| f.rel_path == CONFIG_FILE) else {
+        return;
+    };
+    // Idents mentioned anywhere inside `fn validate` bodies.
+    let mut checked: HashSet<&str> = HashSet::new();
+    for func in config.fns.iter().filter(|f| f.name == "validate") {
+        if let Some(start) = func.body_start {
+            for t in &config.tokens[start..func.body_end.min(config.tokens.len())] {
+                if let Some(id) = t.kind.ident() {
+                    checked.insert(id);
+                }
+            }
+        }
+    }
+    for field in &config.fields {
+        if !CONFIG_STRUCTS.contains(&field.owner.as_str())
+            || !NUMERIC_TYPES.contains(&field.ty.as_str())
+        {
+            continue;
+        }
+        if !checked.contains(field.name.as_str()) {
+            out.push(Diagnostic {
+                rule: "L5",
+                file: CONFIG_FILE.to_owned(),
+                line: field.line,
+                msg: format!(
+                    "config field `{}::{}` is not checked in validate()",
+                    field.owner, field.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(rel: &str, src: &str) -> Vec<Diagnostic> {
+        check_all(&[FileIndex::parse(rel, src)])
+    }
+
+    #[test]
+    fn l1_flags_rogue_store_write() {
+        let diags = one(
+            "crates/core/src/rogue.rs",
+            "fn sneak(&mut self) { self.committed.write(a, b); }",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "L1");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn l1_allows_mem_crate_and_allowlist_and_tests() {
+        assert!(one(
+            "crates/mem/src/store.rs",
+            "fn write_impl(&mut self) { self.committed.write(a, b); }"
+        )
+        .is_empty());
+        assert!(one(
+            "crates/core/src/controller.rs",
+            "fn retire_job_if_done(&mut self) { self.committed.write(a, b); }"
+        )
+        .is_empty());
+        assert!(one(
+            "crates/core/src/x.rs",
+            "#[cfg(test)] mod t { fn f() { store.write(a, b); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l2_scopes_by_name_and_annotation() {
+        let diags = one(
+            "crates/core/src/r.rs",
+            "fn recovery_step(&self) { x.unwrap(); }\nfn helper(&self) { y.unwrap(); }\n",
+        );
+        assert_eq!(diags.len(), 1, "only the recovery fn is in scope: {diags:?}");
+        assert_eq!(diags[0].line, 1);
+
+        let diags = one(
+            "crates/core/src/r.rs",
+            "// lint: recovery-path\nfn helper(&self) { y.unwrap(); }\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn l2_accepts_invariant_expect_only() {
+        let src = concat!(
+            "fn scrub_pass(&self) {\n",
+            "    a.expect(\"invariant: scheduled earlier\");\n",
+            "    b.expect(\"just because\");\n",
+            "}\n",
+        );
+        let diags = one("crates/core/src/s.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn l2_flags_panics_and_literal_indexing() {
+        let src = concat!(
+            "fn redo_log(&self) {\n",
+            "    if bad { panic!(\"no\"); }\n",
+            "    let v = slots[0];\n",
+            "    let w = slots[i];\n", // variable index: allowed
+            "}\n",
+        );
+        let diags = one("crates/core/src/s.rs", src);
+        let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn l2_panic_free_file_covers_tests_for_unwrap_only() {
+        let src = concat!(
+            "fn plain(&self) { x.unwrap(); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { assert_eq!(v[0], 1); y.unwrap(); }\n",
+            "}\n",
+        );
+        let diags = check_all(&[FileIndex::parse("crates/core/src/table.rs", src)]);
+        // Production unwrap at line 1, test unwrap at line 5; the test's
+        // literal index is tolerated.
+        let lines: Vec<u32> = diags.iter().filter(|d| d.rule == "L2").map(|d| d.line).collect();
+        assert_eq!(lines, vec![1, 5]);
+    }
+
+    const STATS_SRC: &str = concat!(
+        "pub struct MemStats {\n",
+        "    pub reads: u64,\n",
+        "    pub writes: u64,\n",
+        "}\n",
+        "impl MemStats {\n",
+        "    pub fn merge(&mut self, o: &MemStats) { self.reads += o.reads; self.writes += o.writes; }\n",
+        "}\n",
+    );
+
+    #[test]
+    fn l3_flags_dead_and_unverified_counters() {
+        let user = concat!(
+            "fn work(&mut self) { self.stats.reads += 1; }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { assert_eq!(s.reads, 1); }\n",
+            "}\n",
+        );
+        let files = [
+            FileIndex::parse("crates/types/src/stats.rs", STATS_SRC),
+            FileIndex::parse("crates/core/src/x.rs", user),
+        ];
+        let diags: Vec<_> =
+            check_all(&files).into_iter().filter(|d| d.rule == "L3").collect();
+        // `reads` is mutated + tested; `writes` is only touched by merge
+        // (exempt) and never tested → two diagnostics, both at line 3.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.line == 3));
+        assert!(diags.iter().any(|d| d.msg.contains("dead counter")));
+        assert!(diags.iter().any(|d| d.msg.contains("unverified counter")));
+    }
+
+    const ERROR_SRC: &str = concat!(
+        "pub enum Error {\n",
+        "    NoCheckpoint,\n",
+        "    TableFull { table: &'static str },\n",
+        "}\n",
+    );
+
+    #[test]
+    fn l4_flags_unconstructed_and_untested_variants() {
+        let user = concat!(
+            "fn f() -> Result<(), Error> { Err(Error::NoCheckpoint) }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { assert!(matches!(f(), Err(Error::NoCheckpoint))); }\n",
+            "}\n",
+        );
+        let files = [
+            FileIndex::parse("crates/types/src/error.rs", ERROR_SRC),
+            FileIndex::parse("crates/core/src/x.rs", user),
+        ];
+        let diags: Vec<_> =
+            check_all(&files).into_iter().filter(|d| d.rule == "L4").collect();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.line == 3 && d.msg.contains("TableFull")));
+    }
+
+    #[test]
+    fn l5_flags_unvalidated_numeric_fields_only() {
+        let src = concat!(
+            "pub struct MediaFaultConfig {\n",
+            "    pub enabled: bool,\n",
+            "    pub seed: u64,\n",
+            "    pub max_read_retries: u32,\n",
+            "}\n",
+            "impl SystemConfig {\n",
+            "    pub fn validate(&self) -> Result<()> {\n",
+            "        if self.media.max_read_retries == 0 { return err(); }\n",
+            "        Ok(())\n",
+            "    }\n",
+            "}\n",
+        );
+        let diags = one("crates/types/src/config.rs", src);
+        let l5: Vec<_> = diags.iter().filter(|d| d.rule == "L5").collect();
+        assert_eq!(l5.len(), 1, "{l5:?}");
+        assert_eq!(l5[0].line, 3);
+        assert!(l5[0].msg.contains("seed"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Clean file: near-miss patterns every rule must tolerate. Parsed as
+//! `crates/core/src/clean.rs`.
+
+pub fn recover_from_checkpoint(log: &[u64], n: usize) -> Option<u64> {
+    let head = log.get(0)?;
+    let tail = log[n];
+    let seq = next_seq().expect("invariant: the ring is never empty");
+    Some(head + tail + seq)
+}
+
+pub fn arena_writes_are_not_store_writes(arena: &mut Arena) {
+    arena.write(0, &[1, 2, 3]);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_touch_stores() {
+        store.write(0, &[1]);
+        let v = maybe().unwrap();
+        assert_eq!(v, 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Known-bad: a raw `SparseStore` write outside `crates/mem` and the
+//! WAL/commit-sealed allowlist. Parsed as `crates/core/src/rogue.rs`.
+
+pub struct Rogue {
+    committed: SparseStore,
+}
+
+impl Rogue {
+    pub fn sneak(&mut self, addr: u64, bytes: &[u8]) {
+        self.committed.write(addr, bytes);
+    }
+}

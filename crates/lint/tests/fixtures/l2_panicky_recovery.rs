@@ -1,0 +1,22 @@
+//! Known-bad: every class of panic risk inside recovery-scope functions,
+//! one scoped by name, one by annotation. Parsed as
+//! `crates/core/src/replay.rs`.
+
+pub fn recover_metadata(slots: &[u64]) -> u64 {
+    let first = slots[0];
+    let parsed = decode(first).unwrap();
+    let checked = verify(parsed).expect("should work");
+    if checked == 0 {
+        panic!("no recovery state");
+    }
+    checked
+}
+
+// lint: recovery-path
+pub fn annotated_helper(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn out_of_scope(x: Option<u64>) -> u64 {
+    x.unwrap_or(7)
+}

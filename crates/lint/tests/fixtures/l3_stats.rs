@@ -1,0 +1,30 @@
+//! Known-bad: a `MemStats` with a dead counter (only `merge` touches it)
+//! and an unverified one (mutated, never asserted). Parsed as
+//! `crates/types/src/stats.rs`.
+
+pub struct MemStats {
+    pub reads: u64,
+    pub dead_counter: u64,
+    pub untested_counter: u64,
+}
+
+impl MemStats {
+    pub fn bump(&mut self) {
+        self.reads += 1;
+        self.untested_counter += 1;
+    }
+
+    pub fn merge(&mut self, o: &MemStats) {
+        self.reads += o.reads;
+        self.dead_counter += o.dead_counter;
+        self.untested_counter += o.untested_counter;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reads_are_counted() {
+        assert_eq!(MemStats::default().reads, 0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Known-bad: `Error` variants missing production construction or test
+//! coverage (see `l4_error_user.rs` for the uses). Parsed as
+//! `crates/types/src/error.rs`.
+
+pub enum Error {
+    Covered,
+    NeverBuilt,
+    NeverTested,
+}

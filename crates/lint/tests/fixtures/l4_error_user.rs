@@ -1,0 +1,19 @@
+//! Companion to `l4_error_enum.rs`: constructs and tests `Covered`,
+//! constructs `NeverTested` without ever matching it in a test. Parsed as
+//! `crates/core/src/faults.rs`.
+
+pub fn fail_covered() -> Error {
+    Error::Covered
+}
+
+pub fn fail_never_tested() -> Error {
+    Error::NeverTested
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covered_roundtrip() {
+        assert!(matches!(fail_covered(), Error::Covered));
+    }
+}

@@ -1,0 +1,18 @@
+//! Known-bad: a numeric config field that `validate()` never checks (the
+//! boolean is exempt — no range to check). Parsed as
+//! `crates/types/src/config.rs`.
+
+pub struct ThyNvmConfig {
+    pub epoch_cycles: u64,
+    pub unchecked_knob: u32,
+    pub verbose: bool,
+}
+
+impl ThyNvmConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_cycles == 0 {
+            return Err("epoch length cannot be zero".to_owned());
+        }
+        Ok(())
+    }
+}

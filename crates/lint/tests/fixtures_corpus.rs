@@ -1,0 +1,124 @@
+//! The fixture corpus: one known-bad snippet per rule plus a clean
+//! near-miss file, pinned to exact rule IDs and line numbers, and the
+//! baseline round trip (suppression, stale detection, justification
+//! enforcement) through the public `run()` entry point.
+//!
+//! The fixtures live under `tests/fixtures/`, which [`thynvm_lint::run`]
+//! never descends into — they are lint *inputs*, not workspace code.
+
+use thynvm_lint::baseline;
+use thynvm_lint::rules::{check_all, Diagnostic};
+use thynvm_lint::source::FileIndex;
+
+fn lint_one(rel: &str, src: &str) -> Vec<Diagnostic> {
+    check_all(&[FileIndex::parse(rel, src)])
+}
+
+/// (rule, line) pairs in the engine's deterministic order.
+fn keyed(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn l1_fixture_flags_the_rogue_store_write() {
+    let diags =
+        lint_one("crates/core/src/rogue.rs", include_str!("fixtures/l1_rogue_store.rs"));
+    assert_eq!(keyed(&diags), vec![("L1", 10)], "{diags:?}");
+    assert!(diags[0].msg.contains("committed.write"), "{}", diags[0].msg);
+}
+
+#[test]
+fn l2_fixture_flags_every_panic_class_in_scope_only() {
+    let diags =
+        lint_one("crates/core/src/replay.rs", include_str!("fixtures/l2_panicky_recovery.rs"));
+    // Literal index, unwrap, bare expect, panic! in the name-scoped fn;
+    // unwrap in the annotation-scoped fn; nothing from `out_of_scope`.
+    assert_eq!(
+        keyed(&diags),
+        vec![("L2", 6), ("L2", 7), ("L2", 8), ("L2", 10), ("L2", 17)],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn l3_fixture_flags_dead_and_unverified_counters() {
+    let diags = lint_one("crates/types/src/stats.rs", include_str!("fixtures/l3_stats.rs"));
+    // `dead_counter` (line 7) is both dead (only `merge` writes it) and
+    // unverified; `untested_counter` (line 8) is mutated but never asserted.
+    assert_eq!(keyed(&diags), vec![("L3", 7), ("L3", 7), ("L3", 8)], "{diags:?}");
+    assert!(diags.iter().any(|d| d.msg.contains("dead counter `MemStats::dead_counter`")));
+    assert!(diags.iter().any(|d| d.msg.contains("unverified counter `MemStats::dead_counter`")));
+    assert!(diags.iter().any(|d| d.msg.contains("unverified counter `MemStats::untested_counter`")));
+}
+
+#[test]
+fn l4_fixture_flags_unconstructed_and_untested_variants() {
+    let files = [
+        FileIndex::parse("crates/types/src/error.rs", include_str!("fixtures/l4_error_enum.rs")),
+        FileIndex::parse("crates/core/src/faults.rs", include_str!("fixtures/l4_error_user.rs")),
+    ];
+    let diags = check_all(&files);
+    // `NeverBuilt` (line 7) has neither a production construction nor a
+    // test match; `NeverTested` (line 8) is built but never matched.
+    assert_eq!(keyed(&diags), vec![("L4", 7), ("L4", 7), ("L4", 8)], "{diags:?}");
+    assert!(diags.iter().all(|d| d.file == "crates/types/src/error.rs"));
+    assert!(diags[2].msg.contains("`Error::NeverTested` is never matched"), "{}", diags[2].msg);
+}
+
+#[test]
+fn l5_fixture_flags_the_unchecked_numeric_field_only() {
+    let diags = lint_one("crates/types/src/config.rs", include_str!("fixtures/l5_config.rs"));
+    assert_eq!(keyed(&diags), vec![("L5", 7)], "{diags:?}");
+    assert!(diags[0].msg.contains("`ThyNvmConfig::unchecked_knob`"), "{}", diags[0].msg);
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    let diags = lint_one("crates/core/src/clean.rs", include_str!("fixtures/clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn end_to_end_run_suppresses_with_baseline_and_reports_stale_entries() {
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_e2e");
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+    std::fs::write(src_dir.join("rogue.rs"), include_str!("fixtures/l1_rogue_store.rs"))
+        .expect("write fixture");
+
+    // Unsuppressed: the violation fails the run.
+    let report = thynvm_lint::run(&root, &[]).expect("lint run");
+    assert!(report.is_failure());
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(keyed(&report.violations), vec![("L1", 10)]);
+
+    // A justified baseline entry suppresses it: clean.
+    let entries = baseline::parse(
+        "L1 crates/core/src/rogue.rs:10 — fixture: sealed by the commit record\n",
+    )
+    .expect("valid baseline");
+    let report = thynvm_lint::run(&root, &entries).expect("lint run");
+    assert!(!report.is_failure(), "{:?}", report.violations);
+
+    // A stale entry fails the run even when no live violation remains.
+    let entries = baseline::parse(
+        "L1 crates/core/src/rogue.rs:10 — fixture: sealed by the commit record\n\
+         L2 crates/core/src/gone.rs:3 — the file this covered was deleted\n",
+    )
+    .expect("valid baseline");
+    let report = thynvm_lint::run(&root, &entries).expect("lint run");
+    assert!(report.is_failure());
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.stale.len(), 1);
+    assert_eq!(report.stale[0].rule, "L0");
+    assert_eq!(report.stale[0].line, 2, "stale diagnostic points at the baseline line");
+}
+
+#[test]
+fn baseline_rejects_entries_without_a_justification() {
+    let err = baseline::parse("L1 crates/core/src/rogue.rs:10\n").expect_err("must reject");
+    assert!(err.msg.contains("justification"), "{err}");
+    assert!(err.to_string().starts_with("lint.baseline:1:"), "{err}");
+    // A separator with nothing after it is still no justification.
+    assert!(baseline::parse("L1 crates/core/src/rogue.rs:10 —\n").is_err());
+}

@@ -424,11 +424,23 @@ impl SystemConfig {
         if t.nvm_write_queue == 0 || t.dram_write_queue == 0 {
             return fail("write queues must have nonzero capacity");
         }
+        if t.cpu_state_bytes == 0 {
+            return fail("checkpointed CPU state must occupy at least one byte");
+        }
         if !(0.0..=1.0).contains(&self.media.bit_flip_rate) {
             return fail("media bit-flip rate must be a probability in [0, 1]");
         }
         if self.media.scrub && !self.media.integrity {
             return fail("media scrubber requires integrity checking (CRCs detect the rot)");
+        }
+        if self.media.integrity && self.media.max_read_retries == 0 {
+            return fail("integrity checking needs at least one read retry to heal transients");
+        }
+        if self.media.retry_backoff_ns > 1_000_000_000 {
+            return fail("read-retry backoff above one second dwarfs any device latency");
+        }
+        if self.media.spare_blocks > (1 << 32) {
+            return fail("spare pool exceeds the spare region's addressable blocks");
         }
         Ok(())
     }
@@ -566,6 +578,23 @@ mod tests {
         let mut cfg = SystemConfig::paper();
         cfg.media.scrub = true; // without integrity
         assert!(cfg.validate().unwrap_err().to_string().contains("scrubber"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.thynvm.cpu_state_bytes = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("CPU state"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.media.integrity = true;
+        cfg.media.max_read_retries = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("retry"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.media.retry_backoff_ns = 2_000_000_000;
+        assert!(cfg.validate().unwrap_err().to_string().contains("backoff"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.media.spare_blocks = (1 << 32) + 1;
+        assert!(cfg.validate().unwrap_err().to_string().contains("spare"));
     }
 
     /// An absurd PTT capacity fails at config time with a clear reason

@@ -215,11 +215,13 @@ impl MediaStats {
     }
 
     /// Total faults observed, all kinds combined.
+    #[must_use]
     pub fn total_faults(&self) -> u64 {
         self.bit_flips + self.stuck_faults + self.torn_writes + self.meta_corruptions
     }
 
     /// Whether any media-fault activity was recorded at all.
+    #[must_use]
     pub fn any(&self) -> bool {
         self.total_faults() > 0
             || self.retries > 0
@@ -385,17 +387,20 @@ impl MemStats {
     }
 
     /// Total bytes written to NVM, all classes combined.
+    #[must_use]
     pub fn nvm_write_bytes_total(&self) -> u64 {
         self.nvm_write_bytes_cpu + self.nvm_write_bytes_ckpt + self.nvm_write_bytes_migration
     }
 
     /// Total requests serviced.
+    #[must_use]
     pub fn total_accesses(&self) -> u64 {
         self.reads + self.writes
     }
 
     /// Fraction of `total_cycles` spent on checkpoint work, in percent
     /// (the "% exec. time spent on ckpt." series of Figure 8).
+    #[must_use]
     pub fn ckpt_time_share(&self, total_cycles: Cycle) -> f64 {
         if total_cycles == Cycle::ZERO {
             return 0.0;
@@ -405,6 +410,7 @@ impl MemStats {
 
     /// Average NVM write bandwidth over `total_cycles`, in MB/s
     /// (Figure 10; 1 MB = 10^6 bytes as in the paper's axis).
+    #[must_use]
     pub fn nvm_write_bandwidth_mbps(&self, total_cycles: Cycle) -> f64 {
         let secs = total_cycles.as_secs();
         if secs == 0.0 {
@@ -414,6 +420,7 @@ impl MemStats {
     }
 
     /// Average DRAM write bandwidth over `total_cycles`, in MB/s.
+    #[must_use]
     pub fn dram_write_bandwidth_mbps(&self, total_cycles: Cycle) -> f64 {
         let secs = total_cycles.as_secs();
         if secs == 0.0 {
@@ -699,9 +706,7 @@ mod tests {
         assert!(!m.any());
         m.spare_exhausted = 1;
         assert!(m.any(), "spare exhaustion alone is media activity");
-        let mut other = MediaStats::default();
-        other.wal_seals = 4;
-        other.wal_redos = 2;
+        let other = MediaStats { wal_seals: 4, wal_redos: 2, ..Default::default() };
         assert!(other.any());
         m.merge(&other);
         assert_eq!((m.spare_exhausted, m.wal_seals, m.wal_redos), (1, 4, 2));

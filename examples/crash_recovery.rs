@@ -57,7 +57,7 @@ fn main() {
     let t = sys.drain(t);
 
     // Crash again, *after* the checkpoint completed.
-    sys.crash_and_recover(t + Cycle::from_us(1));
+    let _ = sys.crash_and_recover(t + Cycle::from_us(1));
     let (a, b) = balances(&mut sys, t);
     println!("retried transfer, checkpointed, crashed again — A={a}, B={b}");
     assert_eq!((a, b), (600, 400));

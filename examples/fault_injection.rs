@@ -74,7 +74,10 @@ fn replay_with_crash(ops: &[Op], at: Cycle) -> (InjectedCrash, ThyNvm) {
         }
     }
     sys.poll_crash(now.max(at) + Cycle::new(1));
-    (sys.take_crash_report().expect("armed crash must fire"), sys)
+    (
+        sys.take_crash_report().expect("invariant: poll_crash past the armed cycle fires it"),
+        sys,
+    )
 }
 
 fn main() {

@@ -62,7 +62,7 @@ fn main() {
 
     // …so a crash cannot corrupt the table (the §2.1 complaint about
     // Figure 1(a) was exactly the programmer burden of guaranteeing this).
-    sys.crash_and_recover(now + Cycle::from_us(5));
+    let _ = sys.crash_and_recover(now + Cycle::from_us(5));
     println!("crashed and recovered — no transactional code was ever written.");
     println!();
     println!("Figure 1(a) needed: TM_ARGDECL, TMLIST_FIND, persistent");

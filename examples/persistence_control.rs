@@ -20,7 +20,7 @@ fn main() {
     let t = sys.persist_barrier(t); // everything before this is captured
     let t = sys.drain(t);
     let t2 = sys.store_bytes(PhysAddr::new(0), &[9], t); // after the barrier
-    sys.crash_and_recover(t2);
+    let _ = sys.crash_and_recover(t2);
     println!("after barrier + crash: value = {} (expected 7)", read_u8(&mut sys, 0, t2));
     assert_eq!(read_u8(&mut sys, 0, t2), 7);
 
@@ -42,7 +42,7 @@ fn main() {
     // the first archived checkpoint.
     let archive = sys.archived_checkpoints();
     println!("archive holds checkpoints {archive:?}");
-    sys.rollback_to_checkpoint(archive[0], t).expect("archived");
+    let _ = sys.rollback_to_checkpoint(archive[0], t).expect("archived");
     let v = read_u8(&mut sys, 64, t);
     println!("after rollback to checkpoint {}: value = {v} (expected 1)", archive[0]);
     assert_eq!(v, 1);

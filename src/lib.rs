@@ -34,7 +34,7 @@
 //! let t = sys.drain(t);
 //!
 //! // …and a power failure cannot hurt it.
-//! sys.crash_and_recover(t);
+//! let _ = sys.crash_and_recover(t);
 //! let mut buf = [0u8; 23];
 //! sys.load_bytes(PhysAddr::new(0x100), &mut buf, t);
 //! assert_eq!(&buf, b"hello, persistent world");

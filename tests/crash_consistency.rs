@@ -95,7 +95,7 @@ fn run_scenario(steps: Vec<Step>) {
                 // forever: prune them from the model.
                 model.checkpoints.retain(|(done, _)| *done <= now);
                 let expected = model.expected_at(now);
-                sys.crash_and_recover(now);
+                let _ = sys.crash_and_recover(now);
                 // Every byte the program ever touched must match the
                 // expected checkpoint image (unwritten bytes read as 0).
                 let keys: Vec<u64> = model.current.keys().copied().collect();
@@ -117,7 +117,7 @@ fn run_scenario(steps: Vec<Step>) {
 
     // Terminal crash: the invariant must hold at the end of every scenario.
     let expected = model.expected_at(now);
-    sys.crash_and_recover(now);
+    let _ = sys.crash_and_recover(now);
     for (&addr, &want) in &expected {
         let mut buf = [0u8; 1];
         sys.load_bytes(PhysAddr::new(addr), &mut buf, now);
@@ -203,7 +203,7 @@ proptest! {
         for (addr, fill) in &second {
             now = now.max(sys.store_bytes(PhysAddr::new(*addr), &[*fill], now));
         }
-        sys.crash_and_recover(now);
+        let _ = sys.crash_and_recover(now);
         // Rebuild the expected image from the first batch only.
         let mut expected: HashMap<u64, u8> = HashMap::new();
         for (addr, fill) in first {
@@ -228,14 +228,14 @@ proptest! {
             now = now.max(sys.store_bytes(PhysAddr::new(*addr), &[*fill], now));
         }
         now = sys.drain(now);
-        sys.crash_and_recover(now);
+        let _ = sys.crash_and_recover(now);
         let mut first_image = Vec::new();
         for (addr, _) in &writes {
             let mut buf = [0u8; 1];
             sys.load_bytes(PhysAddr::new(*addr), &mut buf, now);
             first_image.push(buf[0]);
         }
-        sys.crash_and_recover(now + Cycle::new(1));
+        let _ = sys.crash_and_recover(now + Cycle::new(1));
         for ((addr, _), want) in writes.iter().zip(first_image) {
             let mut buf = [0u8; 1];
             sys.load_bytes(PhysAddr::new(*addr), &mut buf, now);

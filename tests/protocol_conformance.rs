@@ -75,7 +75,7 @@ proptest! {
                 Act::Checkpoint => now = now.max(sys.force_checkpoint(now)),
                 Act::Wait(c) => now += Cycle::new(c),
                 Act::Crash => {
-                    sys.crash_and_recover(now);
+                    let _ = sys.crash_and_recover(now);
                 }
             }
             for (block, entry) in sys.btt().iter() {
@@ -103,7 +103,7 @@ proptest! {
         if do_ckpt {
             now = sys.force_checkpoint(now);
         }
-        sys.crash_and_recover(now);
+        let _ = sys.crash_and_recover(now);
         for (block, entry) in sys.btt().iter() {
             let s = abstract_state(entry);
             prop_assert!(!s.working, "{block} kept a working copy through power loss");
@@ -127,7 +127,7 @@ fn spec_recovery_matches_controller_on_canonical_scenarios() {
         spec.recovery_target(),
         thynvm::core::protocol::RecoveryTarget::LastCheckpoint
     );
-    sys.crash_and_recover(t);
+    let _ = sys.crash_and_recover(t);
     let mut buf = [0u8; 1];
     sys.load_bytes(PhysAddr::new(0), &mut buf, t);
     assert_eq!(buf[0], 5, "controller agrees: last checkpoint restored");
@@ -143,7 +143,7 @@ fn spec_recovery_matches_controller_on_canonical_scenarios() {
         spec.recovery_target(),
         thynvm::core::protocol::RecoveryTarget::HomeOriginal
     );
-    sys.crash_and_recover(resume);
+    let _ = sys.crash_and_recover(resume);
     let mut buf = [9u8; 1];
     sys.load_bytes(PhysAddr::new(0), &mut buf, resume);
     assert_eq!(buf[0], 0, "controller agrees: home original restored");

@@ -110,6 +110,27 @@ fn stall_shares_never_exceed_execution_time() {
 }
 
 #[test]
+fn service_cycles_accumulate_and_are_bounded_by_the_run() {
+    // `service_cycles` sums per-request (done − issue) latencies; it must
+    // grow whenever the controller serves traffic and can never exceed
+    // #accesses × run length (each request completes within the run).
+    let cfg = SystemConfig::paper();
+    let micro = MicroConfig::new(MicroPattern::Random);
+    let mut sys = ThyNvm::new(cfg);
+    let mut core = CoreModel::new(cfg.cache);
+    let end = core.run_trace(micro.events(30_000), &mut sys);
+    let stats = MemorySystem::stats(&sys);
+    assert!(stats.service_cycles.raw() > 0, "traffic was served but no latency accrued");
+    let accesses = stats.total_accesses();
+    assert!(accesses > 0);
+    assert!(
+        stats.service_cycles.raw() <= accesses.saturating_mul(end.raw()),
+        "aggregate service latency {} exceeds accesses×run bound",
+        stats.service_cycles
+    );
+}
+
+#[test]
 fn epoch_histograms_agree_with_checkpoint_count() {
     let cfg = SystemConfig::paper();
     let micro = MicroConfig::new(MicroPattern::Random);
