@@ -1,0 +1,10 @@
+//! DRAM resilience ladder; see thynvm_bench::experiments::e21_dram_resilience.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e21_dram_resilience`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    experiments::e21_dram_resilience(Scale::from_env()).print();
+}

@@ -864,6 +864,66 @@ pub fn e20_recovery_latency() -> Table {
     table
 }
 
+/// E21: DRAM resilience. Runs the hash-table KV trace on ThyNVM with the
+/// DRAM ECC fault model disabled and then at escalating fault pressure,
+/// and reports the containment ledger: corrected single-bit flips,
+/// poisoned (uncorrectable) blocks, transparent refetches from the NVM
+/// checkpoint copy, quarantined dirty pages with the bytes they dropped,
+/// and the execution-time cost relative to the fault-free run.
+pub fn e21_dram_resilience(scale: Scale) -> Table {
+    use thynvm_cache::CoreModel;
+    use thynvm_types::{DramFaultConfig, MemorySystem as _};
+
+    let kv_cfg = KvConfig::new(256);
+    let mut store = HashKv::new(16 * 1024);
+    kv_cfg.populate(&mut store, scale.kv_prepopulate);
+    let (events, _) = kv_cfg.trace(&mut store, scale.kv_ops);
+
+    let mut table = Table::new(
+        "DRAM resilience (hash-table KV): ECC pressure vs containment cost",
+        &[
+            "dram model",
+            "rel time",
+            "corrected",
+            "poisoned",
+            "refetched",
+            "quarantined",
+            "dropped KiB",
+        ],
+    );
+
+    // Rates are per ECC-checked DRAM read — far above field rates, chosen
+    // so the ladder exercises every containment path at bench scale.
+    let hardened = DramFaultConfig::hardened();
+    let ladder = [
+        ("off", DramFaultConfig::default()),
+        ("flips 5e-2", DramFaultConfig { flip_rate: 5e-2, ..hardened }),
+        ("poison 5e-2", DramFaultConfig { poison_rate: 5e-2, ..hardened }),
+        ("flips+poison 2e-1", DramFaultConfig { flip_rate: 2e-1, poison_rate: 2e-1, ..hardened }),
+    ];
+    let mut baseline = None;
+    for (label, dram) in ladder {
+        let mut cfg = SystemConfig::paper();
+        cfg.dram_fault = dram;
+        cfg.validate().expect("valid dram config");
+        let mut sys = thynvm_core::ThyNvm::new(cfg);
+        let mut core = CoreModel::new(cfg.cache);
+        let end = core.run_trace(events.iter().copied(), &mut sys);
+        let base = *baseline.get_or_insert(end.raw().max(1));
+        let d = sys.stats().dram;
+        table.row(&[
+            label.to_owned(),
+            fmt_f(end.raw() as f64 / base as f64),
+            d.corrected_flips.to_string(),
+            d.poisoned_blocks.to_string(),
+            d.poison_refetched.to_string(),
+            d.quarantined_pages.to_string(),
+            fmt_f(d.quarantine_dropped_bytes as f64 / 1024.0),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1004,6 +1064,32 @@ mod tests {
             .parse()
             .expect("numeric CRC blocks");
         assert!(crc_blocks > 0, "hardened run verified no CRCs: {hardened}");
+    }
+
+    #[test]
+    fn e21_dram_ladder_reports_containment_ledger() {
+        let table = e21_dram_resilience(Scale::test());
+        assert_eq!(table.len(), 4, "off plus three pressure rungs");
+        let text = table.render();
+        let count = |row: &str, col_from_end: usize| -> u64 {
+            text.lines()
+                .find(|l| l.contains(row))
+                .and_then(|l| l.split_whitespace().rev().nth(col_from_end))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{row}: no numeric column {col_from_end}: {text}"))
+        };
+        // The off row must report an all-zero ledger.
+        for col in 1..=4 {
+            assert_eq!(count("off", col), 0, "disabled model produced faults: {text}");
+        }
+        // Flips correct inline; poison is observed and every poisoned block
+        // is either refetched (clean) or quarantined (dirty), never leaked.
+        assert!(count("flips 5e-2", 4) > 0, "no corrected flips: {text}");
+        let poisoned = count("flips+poison 2e-1", 3);
+        let refetched = count("flips+poison 2e-1", 2);
+        assert!(poisoned > 0, "no poison at the top rung: {text}");
+        assert!(refetched > 0, "no transparent refetches: {text}");
+        assert!(refetched <= poisoned, "refetched more than poisoned: {text}");
     }
 
     #[test]

@@ -43,7 +43,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use thynvm_mem::{Device, DeviceKind, FaultModel, SparseStore, WriteQueue};
+use thynvm_mem::{Device, DeviceKind, DramEccModel, EccReadFault, FaultModel, SparseStore, WriteQueue};
 use thynvm_types::{
     AccessKind, BlockIndex, CkptMode, CkptPhase, Cycle, Error, FaultKind, HwAddr, MemRequest,
     MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr, RecoveryStep, SystemConfig,
@@ -251,6 +251,16 @@ pub struct ThyNvm {
     /// Sequence number of the next write-ahead-log record in the backup
     /// region (bad-block remaps, recovery-side integrity fallbacks).
     wal_seq: u64,
+
+    // ---- DRAM fault domain (ECC, poison, quarantine) ----
+    /// The DRAM SEC-DED ECC model, when `cfg.dram_fault.enabled`.
+    dram_fault: Option<DramEccModel>,
+    /// Quarantine events not yet drained by the harness: `(physical base,
+    /// length)` ranges whose dirty data was dropped and rolled back to the
+    /// last checkpoint because of uncorrectable DRAM errors.
+    quarantine_events: Vec<(u64, u64)>,
+    /// The most recent poison-loss error, for inspection.
+    last_poison_error: Option<Error>,
 }
 
 impl ThyNvm {
@@ -298,6 +308,9 @@ impl ThyNvm {
             last_media_error: None,
             last_overflow_error: None,
             wal_seq: 0,
+            dram_fault: cfg.dram_fault.enabled.then(|| DramEccModel::new(&cfg.dram_fault)),
+            quarantine_events: Vec::new(),
+            last_poison_error: None,
             cfg,
         }
     }
@@ -527,6 +540,188 @@ impl ThyNvm {
         }
     }
 
+    // ------------------------------------------------------------------
+    // DRAM fault domain (ECC, poison containment, quarantine)
+    // ------------------------------------------------------------------
+
+    /// The DRAM SEC-DED ECC model, when `cfg.dram_fault.enabled`
+    /// (inspection).
+    pub fn dram_ecc(&self) -> Option<&DramEccModel> {
+        self.dram_fault.as_ref()
+    }
+
+    /// Mutable access to the DRAM ECC model, e.g. to arm guaranteed
+    /// corrected flips ([`DramEccModel::arm_corrected_flips`]) or poison
+    /// ([`DramEccModel::arm_poison`]) in tests and demos.
+    pub fn dram_ecc_mut(&mut self) -> Option<&mut DramEccModel> {
+        self.dram_fault.as_mut()
+    }
+
+    /// Takes the most recent DRAM poison-loss error — an uncorrectable
+    /// error under *dirty* data, whose range was quarantined and rolled
+    /// back to the last checkpoint — if one occurred since the last call.
+    pub fn take_poison_error(&mut self) -> Option<Error> {
+        self.last_poison_error.take()
+    }
+
+    /// Drains the quarantine events recorded since the last call: the
+    /// `(physical base, length)` ranges whose dirty data was dropped and
+    /// rolled back to the last checkpoint. Harnesses feed these to
+    /// [`crate::PersistenceOracle::record_quarantine`] so the §4.5
+    /// prediction tracks what the controller actually kept.
+    pub fn take_quarantine_events(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.quarantine_events)
+    }
+
+    /// Poisoned 64 B working-region blocks intersecting `[off, off+len)`,
+    /// or empty when the ECC model is off or the working region is not
+    /// DRAM (NVM placement carries the media model's protection instead).
+    fn dram_poisoned_in(&self, off: u64, len: u64) -> Vec<u64> {
+        if self.cfg.thynvm.working_region != thynvm_types::WorkingRegion::Dram {
+            return Vec::new();
+        }
+        self.dram_fault.as_ref().map_or_else(Vec::new, |e| e.poisoned_in(off, len))
+    }
+
+    /// Functional side of a quarantine: the software-visible bytes of
+    /// `[base, base + len)` roll back to the last captured checkpoint
+    /// (committed contents plus any captured-but-not-yet-retired writes),
+    /// and the active epoch's write log drops the portions falling inside
+    /// the range — the poisoned dirty data must not survive anywhere.
+    // lint: recovery-path
+    fn quarantine_rollback(&mut self, base: u64, len: u64) {
+        let end = base + len;
+        // Drop (or split) working-log entries overlapping the range.
+        let entries = std::mem::take(&mut self.working_log);
+        for (addr, data) in entries {
+            let a_end = addr + data.len() as u64;
+            if a_end <= base || addr >= end {
+                self.working_log.push((addr, data));
+                continue;
+            }
+            if addr < base {
+                self.working_log.push((addr, data[..(base - addr) as usize].to_vec()));
+            }
+            if a_end > end {
+                self.working_log.push((end, data[(end - addr) as usize..].to_vec()));
+            }
+        }
+        // Rebuild the range from the last checkpoint plus captured writes.
+        let mut img = vec![0u8; len as usize];
+        self.committed.read(thynvm_types::HwAddr::new(base), &mut img);
+        for (addr, data) in &self.ckpting_log {
+            let a_end = *addr + data.len() as u64;
+            if a_end <= base || *addr >= end {
+                continue;
+            }
+            let from = base.max(*addr);
+            let to = end.min(a_end);
+            img[(from - base) as usize..(to - base) as usize]
+                .copy_from_slice(&data[(from - addr) as usize..(to - addr) as usize]);
+        }
+        self.visible.write(thynvm_types::HwAddr::new(base), &img);
+        self.quarantine_events.push((base, len));
+    }
+
+    /// Quarantines a poisoned *dirty* PTT page: its dirty data is dropped
+    /// (the poison must never reach NVM and become durable corruption),
+    /// the software-visible range rolls back to the last checkpoint, and
+    /// the page leaves the page-writeback scheme — it re-enters through
+    /// the ordinary §3.3 promotion counters if it stays hot. When the
+    /// page's `C_last` lives in a checkpoint region it is copied home
+    /// NVM-to-NVM so reads keep resolving after the PTT entry is freed;
+    /// the poisoned DRAM copy is never the source. Returns the cycle the
+    /// copy-home lands.
+    // lint: recovery-path
+    fn quarantine_page(&mut self, page: PageIndex, now: Cycle) -> Cycle {
+        let Some(entry) = self.ptt.remove(page) else { return now };
+        let off = self.space.working_offset(self.space.working_page(entry.slot));
+        let mut done = now;
+        if let Some(region) = entry.clast_region {
+            let src = self.space.checkpoint_page(region, page);
+            done = self.nvm.access(src, AccessKind::Read, PAGE_BYTES as u32, done);
+            self.stats.nvm_reads += 1;
+            self.stats.nvm_read_bytes += PAGE_BYTES;
+            let dst = self.remapped(self.space.home(page.base_addr()));
+            done = self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, done);
+            self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Migration);
+            self.media_note_write(dst, PAGE_BYTES as u32);
+        }
+        // With no checkpointed copy the Home Region still holds the page's
+        // pre-promotion bytes — nothing durable ever left it — so no copy
+        // is needed.
+        let poisoned = self.dram_poisoned_in(off, PAGE_BYTES);
+        if let Some(ecc) = self.dram_fault.as_mut() {
+            for b in &poisoned {
+                ecc.clear_block(*b);
+            }
+        }
+        self.stats.dram.poison_dropped += poisoned.len() as u64;
+        self.quarantine_rollback(page.base_addr().raw(), PAGE_BYTES);
+        self.stats.dram.quarantined_pages += 1;
+        self.stats.dram.quarantine_dropped_bytes += PAGE_BYTES;
+        self.stats.pages_demoted += 1;
+        self.last_poison_error =
+            Some(Error::DramPoisonLost { addr: page.base_addr(), bytes: PAGE_BYTES });
+        done
+    }
+
+    /// Quarantines a poisoned DRAM-buffered block working copy (block
+    /// remapping's cooperation/overlap buffer): the block's dirty data is
+    /// dropped and its visible bytes roll back to the last checkpoint; the
+    /// BTT entry keeps only its checkpointed versions. `off` is the
+    /// block-aligned working-region offset of the buffer slot.
+    // lint: recovery-path
+    fn quarantine_buffered_block(&mut self, block: BlockIndex, off: u64, now: Cycle) -> Cycle {
+        let poisoned = self.dram_poisoned_in(off, BLOCK_BYTES);
+        if let Some(ecc) = self.dram_fault.as_mut() {
+            for b in &poisoned {
+                ecc.clear_block(*b);
+            }
+        }
+        self.stats.dram.poison_dropped += poisoned.len() as u64;
+        let drop_entry = match self.btt.get_mut(block) {
+            Some(e) => {
+                e.wactive = None;
+                e.pending.is_none() && e.clast_region.is_none()
+            }
+            None => false,
+        };
+        if drop_entry {
+            self.btt.remove(block);
+        }
+        self.quarantine_rollback(block.base_addr().raw(), BLOCK_BYTES);
+        self.stats.dram.quarantine_dropped_bytes += BLOCK_BYTES;
+        self.last_poison_error =
+            Some(Error::DramPoisonLost { addr: block.base_addr(), bytes: BLOCK_BYTES });
+        now
+    }
+
+    /// Heals a poisoned-but-recoverable DRAM block: bounded DRAM re-reads
+    /// (each still fails — the stored bits themselves are corrupt), then
+    /// one NVM read of the checkpointed copy at `src` and a DRAM rewrite.
+    /// The caller guarantees the DRAM block is clean, i.e. `src` holds its
+    /// exact bytes, so the visible image is untouched. Returns the cycle
+    /// the healing DRAM write lands.
+    // lint: recovery-path
+    fn dram_refetch_block(&mut self, block: BlockIndex, off: u64, src: HwAddr, now: Cycle) -> Cycle {
+        let mut done = now;
+        for attempt in 1..=self.cfg.dram_fault.max_refetch_retries {
+            done += Cycle::from_ns(self.cfg.dram_fault.refetch_backoff_ns * u64::from(attempt));
+            done = self.dram.access(HwAddr::new(off), AccessKind::Read, BLOCK_BYTES as u32, done);
+            self.stats.dram_reads += 1;
+            self.stats.dram_read_bytes += BLOCK_BYTES;
+            self.stats.dram.refetch_retries += 1;
+        }
+        done = self.nvm_data_read(block, src, BLOCK_BYTES as u32, done);
+        if let Some(ecc) = self.dram_fault.as_mut() {
+            if ecc.clear_block(off & !(BLOCK_BYTES - 1)) {
+                self.stats.dram.poison_refetched += 1;
+            }
+        }
+        self.working_write(off, BLOCK_BYTES as u32, done)
+    }
+
     /// Attributes CRC compute/verify work for `bytes` of data. Pure stats
     /// (the CRC stages are pipelined with the burst transfers); attributed
     /// only while integrity checking is enabled.
@@ -724,6 +919,11 @@ impl ThyNvm {
                     .dram
                     .access(thynvm_types::HwAddr::new(off), AccessKind::Write, bytes, now);
                 self.stats.record_dram_write(u64::from(bytes));
+                // A whole-block rewrite re-encodes the ECC word: any poison
+                // fully covered by the write is gone with the bad bits.
+                if let Some(ecc) = self.dram_fault.as_mut() {
+                    self.stats.dram.poison_overwritten += ecc.note_write(off, bytes) as u64;
+                }
                 done
             }
             thynvm_types::WorkingRegion::Nvm => {
@@ -748,6 +948,19 @@ impl ThyNvm {
                     self.dram.access(thynvm_types::HwAddr::new(off), AccessKind::Read, bytes, now);
                 self.stats.dram_reads += 1;
                 self.stats.dram_read_bytes += u64::from(bytes);
+                // Every DRAM read passes through the SEC-DED check: count
+                // corrections and register fresh poison here; the *response*
+                // (refetch or quarantine) is the caller's, who knows whether
+                // the data under the poison is dirty.
+                if let Some(ecc) = self.dram_fault.as_mut() {
+                    match ecc.observe_read(off, bytes) {
+                        Some(EccReadFault::Corrected) => self.stats.dram.corrected_flips += 1,
+                        Some(EccReadFault::Poisoned { fresh: true, .. }) => {
+                            self.stats.dram.poisoned_blocks += 1;
+                        }
+                        _ => {}
+                    }
+                }
                 done
             }
             thynvm_types::WorkingRegion::Nvm => {
@@ -976,6 +1189,33 @@ impl ThyNvm {
         let Some(entry) = self.ptt.remove(page) else { return };
         let off = self.space.working_offset(self.space.working_page(entry.slot));
         self.working_read(off, PAGE_BYTES as u32, now);
+        let poisoned = self.dram_poisoned_in(off, PAGE_BYTES);
+        if !poisoned.is_empty() {
+            // The page is clean (demotion skips dirty pages), so its exact
+            // bytes exist intact in NVM: source the migration copy from
+            // `C_last` instead of the poisoned DRAM — NVM-to-NVM, counted
+            // as refetches because no data is lost.
+            if let Some(ecc) = self.dram_fault.as_mut() {
+                for b in &poisoned {
+                    ecc.clear_block(*b);
+                }
+            }
+            self.stats.dram.poison_refetched += poisoned.len() as u64;
+            if let Some(region) = entry.clast_region {
+                let src = self.space.checkpoint_page(region, page);
+                self.nvm.access(src, AccessKind::Read, PAGE_BYTES as u32, now);
+                self.stats.nvm_reads += 1;
+                self.stats.nvm_read_bytes += PAGE_BYTES;
+                let dst = self.remapped(self.space.home(page.base_addr()));
+                self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, now);
+                self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Migration);
+                self.media_note_write(dst, PAGE_BYTES as u32);
+            }
+            // With no checkpointed copy the Home Region already holds the
+            // page's bytes, so the demotion is pure bookkeeping.
+            self.stats.pages_demoted += 1;
+            return;
+        }
         let dst = self.remapped(self.space.home(page.base_addr()));
         self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, now);
         self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Migration);
@@ -1147,12 +1387,34 @@ impl ThyNvm {
     fn read_block(&mut self, block: BlockIndex, bytes: u32, now: Cycle) -> Cycle {
         let page = block.page();
         if let Some(entry) = self.ptt.get(page) {
+            let (slot, dirty, frozen, clast) =
+                (entry.slot, entry.dirty, entry.frozen, entry.clast_region);
             let hw = self
                 .space
-                .working_page(entry.slot)
+                .working_page(slot)
                 .offset(block.slot_in_page() * BLOCK_BYTES);
             let off = self.space.working_offset(hw);
-            return self.working_read(off, bytes, now);
+            let done = self.working_read(off, bytes, now);
+            if self.dram_poisoned_in(off, u64::from(bytes)).is_empty() {
+                return done;
+            }
+            if dirty {
+                // Dirty data under the poison: the bytes exist nowhere
+                // else, so there is nothing to re-fetch. Quarantine now
+                // rather than let the poison age toward a checkpoint.
+                return self.quarantine_page(page, done);
+            }
+            // Clean (or frozen-and-captured) page: the block's exact bytes
+            // sit intact in NVM — re-fetch them and heal the DRAM copy.
+            let in_page = block.slot_in_page() * BLOCK_BYTES;
+            let src = match self.pending_pages.get(&page) {
+                Some(p) if frozen => self.space.checkpoint_page(p.target, page).offset(in_page),
+                _ => match clast {
+                    Some(r) => self.space.checkpoint_page(r, page).offset(in_page),
+                    None => self.space.home(block.base_addr()),
+                },
+            };
+            return self.dram_refetch_block(block, off, src, done);
         }
         if let Some(entry) = self.btt.get(block) {
             let loc = entry.wactive.or(entry.pending);
@@ -1160,7 +1422,23 @@ impl ThyNvm {
                 Some(WactiveLoc::DramBuffered { slot }) => {
                     let hw = self.space.working_block(slot, self.ptt.capacity());
                     let off = self.space.working_offset(hw);
-                    return self.working_read(off, bytes, now);
+                    let done = self.working_read(off, bytes, now);
+                    if self.dram_poisoned_in(off, u64::from(bytes)).is_empty() {
+                        return done;
+                    }
+                    // A buffered working copy is dirty by construction:
+                    // quarantine the block, then serve the rolled-back
+                    // bytes from its surviving checkpointed copy.
+                    let done = self.quarantine_buffered_block(block, off, done);
+                    let entry = self.btt.get(block);
+                    let src = match entry.and_then(|e| e.pending) {
+                        Some(WactiveLoc::Nvm(r)) => self.space.checkpoint_block(r, block),
+                        _ => match entry.and_then(|e| e.clast_region) {
+                            Some(r) => self.space.checkpoint_block(r, block),
+                            None => self.space.home(block.base_addr()),
+                        },
+                    };
+                    return self.nvm_data_read(block, src, bytes, done);
                 }
                 Some(WactiveLoc::Nvm(region)) => {
                     let hw = self.space.checkpoint_block(region, block);
@@ -1337,8 +1615,15 @@ impl ThyNvm {
         };
         self.visible.read(thynvm_types::HwAddr::new(addr.raw()), buf);
         self.pending_corruption = None;
+        let q0 = self.stats.dram.quarantine_dropped_bytes;
         let req = MemRequest::read(addr, u32::try_from(buf.len()).expect("read too large"));
         let done = self.access(&req, now);
+        // A poisoned range was quarantined while servicing this load: the
+        // visible image just rolled back, so the bytes captured above are
+        // stale — deliver the rolled-back contents instead.
+        if self.stats.dram.quarantine_dropped_bytes != q0 {
+            self.visible.read(thynvm_types::HwAddr::new(addr.raw()), buf);
+        }
         // Without integrity protection an undetected media fault reaches
         // software: deliver the corrupted byte, not the stored one.
         if let Some((paddr, mask)) = self.pending_corruption.take() {
@@ -1398,6 +1683,12 @@ impl ThyNvm {
         self.stats.wq_writes_lost += lost as u64;
         self.epoch_dirty_blocks = 0;
         self.input_blocked_until = Cycle::ZERO;
+        // DRAM contents vanish with power — and with them any outstanding
+        // poison (the next boot re-reads everything from NVM, which the
+        // quarantine discipline kept poison-free).
+        if let Some(ecc) = self.dram_fault.as_mut() {
+            self.stats.dram.poison_cleared_by_crash += ecc.clear_all() as u64;
+        }
 
         // Restartable recovery: run attempts until one completes. A queued
         // crash point overrun by an attempt's timeline aborts it (a nested
@@ -1921,6 +2212,13 @@ impl ThyNvm {
             let src = self.space.working_block(slot, self.ptt.capacity());
             let off = self.space.working_offset(src);
             let read_done = self.working_read(off, BLOCK_BYTES as u32, ckpt_start);
+            if !self.dram_poisoned_in(off, BLOCK_BYTES).is_empty() {
+                // Poison must never reach NVM: drop the block's dirty data
+                // instead of draining it.
+                let q_done = self.quarantine_buffered_block(block, off, read_done);
+                phase1_done = phase1_done.max(q_done);
+                continue;
+            }
             let entry = self.btt.get(block).expect("iterated above");
             let region = entry.clast_region.map_or(Region::A, Region::other);
             let dst = self.remapped(self.space.checkpoint_block(region, block));
@@ -1972,13 +2270,22 @@ impl ThyNvm {
         let mut frozen = HashSet::with_capacity(dirty_pages.len());
         let mut phase3_done = btt_done;
         for page in dirty_pages {
+            let slot = self.ptt.get(page).expect("dirty page listed").slot;
+            let off = self.space.working_offset(self.space.working_page(slot));
+            let read_done = self.working_read(off, PAGE_BYTES as u32, btt_done);
+            if !self.dram_poisoned_in(off, PAGE_BYTES).is_empty() {
+                // An uncorrectable DRAM error sits under this page's dirty
+                // data: writing it back would make the corruption durable.
+                // Quarantine instead — the dirty epoch is dropped, the page
+                // rolls back to `C_last` and leaves the page scheme.
+                let q_done = self.quarantine_page(page, read_done);
+                phase3_done = phase3_done.max(q_done);
+                continue;
+            }
             let entry = self.ptt.get_mut(page).expect("dirty page listed");
-            let slot = entry.slot;
             let target = entry.clast_region.map_or(Region::A, Region::other);
             entry.dirty = false;
             entry.frozen = true;
-            let off = self.space.working_offset(self.space.working_page(slot));
-            let read_done = self.working_read(off, PAGE_BYTES as u32, btt_done);
             let dst = self.remapped(self.space.checkpoint_page(target, page));
             let write_done = self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, read_done);
             self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Checkpoint);
@@ -3200,5 +3507,236 @@ mod tests {
             sys.load_bytes(PhysAddr::new(i * 64), &mut buf, t + report.recovery_cycles);
             assert_eq!(buf, [i as u8; 64], "block {i} survived the spill");
         }
+    }
+
+    // ------------------------------------------------------------------
+    // DRAM fault domain (ECC, poison containment, quarantine)
+    // ------------------------------------------------------------------
+
+    fn dram_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::small_test();
+        cfg.dram_fault = thynvm_types::DramFaultConfig::hardened();
+        cfg.validate().expect("valid dram-fault config");
+        cfg
+    }
+
+    /// Promotes page 0 (22 stores of `val` across its first 22 blocks) and
+    /// completes a checkpoint, so the page sits clean under page writeback
+    /// with `val` durable. Returns the resume cycle.
+    fn promote_and_checkpoint(sys: &mut ThyNvm, val: u8, mut t: Cycle) -> Cycle {
+        for i in 0..22u64 {
+            t = sys.store_bytes(PhysAddr::new(i * 64), &[val; 64], t);
+        }
+        assert!(sys.ptt().get(PageIndex::new(0)).is_some(), "page promoted");
+        t = sys.force_checkpoint(t);
+        sys.drain(t)
+    }
+
+    /// Working-region offset of block `i` of page 0's DRAM slot.
+    fn page0_block_off(sys: &ThyNvm, i: u64) -> u64 {
+        let slot = sys.ptt().get(PageIndex::new(0)).expect("resident").slot;
+        u64::from(slot) * PAGE_BYTES + i * BLOCK_BYTES
+    }
+
+    #[test]
+    fn ecc_model_disabled_keeps_timing_and_contents_identical() {
+        // An enabled model with zero fault rates must behave exactly like
+        // the disabled one: no extra device traffic, identical bytes.
+        let mut plain = small();
+        let mut armed = ThyNvm::new(dram_cfg());
+        let mut tp = Cycle::ZERO;
+        let mut ta = Cycle::ZERO;
+        for round in 0u8..3 {
+            tp = promote_and_checkpoint(&mut plain, round + 1, tp);
+            ta = promote_and_checkpoint(&mut armed, round + 1, ta);
+        }
+        assert_eq!(tp, ta, "cycle-identical timelines");
+        assert_eq!(plain.visible_fingerprint(), armed.visible_fingerprint());
+        assert!(!armed.stats().dram.any(), "quiet model left no counters");
+    }
+
+    #[test]
+    fn corrected_flips_are_counted_and_harmless() {
+        let mut sys = ThyNvm::new(dram_cfg());
+        let t = promote_and_checkpoint(&mut sys, 5, Cycle::ZERO);
+        sys.dram_ecc_mut().expect("model on").arm_corrected_flips(1);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [5u8; 64], "corrected data is good data");
+        assert_eq!(sys.stats().dram.corrected_flips, 1);
+        assert_eq!(sys.stats().dram.poisoned_blocks, 0);
+        assert!(sys.take_poison_error().is_none());
+    }
+
+    #[test]
+    fn poisoned_clean_block_refetches_from_nvm() {
+        let mut sys = ThyNvm::new(dram_cfg());
+        let t = promote_and_checkpoint(&mut sys, 5, Cycle::ZERO);
+        sys.dram_ecc_mut().expect("model on").arm_poison(1);
+        let mut buf = [0u8; 64];
+        let done = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [5u8; 64], "clean data healed transparently");
+        let d = &sys.stats().dram;
+        assert_eq!(d.poisoned_blocks, 1);
+        assert_eq!(d.poison_refetched, 1);
+        assert_eq!(d.refetch_retries, 2, "paid the configured retry budget");
+        assert_eq!(d.quarantined_pages, 0, "no data was lost");
+        assert_eq!(sys.dram_ecc().expect("model on").outstanding(), 0);
+        assert!(sys.ptt().get(PageIndex::new(0)).is_some(), "page stays resident");
+        assert!(done > t, "healing costs cycles");
+        assert!(sys.take_poison_error().is_none(), "nothing was lost");
+    }
+
+    #[test]
+    fn poisoned_dirty_page_is_quarantined_at_checkpoint() {
+        let mut sys = ThyNvm::new(dram_cfg());
+        let mut t = promote_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        // Dirty the page, then poison a block under the dirty data.
+        t = sys.store_bytes(PhysAddr::new(0), &[9u8; 64], t);
+        let off = page0_block_off(&sys, 0);
+        sys.dram_ecc_mut().expect("model on").poison_block(off);
+        // The checkpoint must refuse to persist the poisoned page.
+        t = sys.force_checkpoint(t);
+        t = sys.drain(t);
+        assert!(sys.ptt().get(PageIndex::new(0)).is_none(), "page left the page scheme");
+        let d = &sys.stats().dram;
+        assert_eq!(d.quarantined_pages, 1);
+        assert_eq!(d.poison_dropped, 1);
+        assert_eq!(d.quarantine_dropped_bytes, PAGE_BYTES);
+        let err = sys.take_poison_error().expect("loss surfaced");
+        assert!(
+            matches!(err, Error::DramPoisonLost { bytes: PAGE_BYTES, .. }),
+            "got {err:?}"
+        );
+        assert_eq!(sys.take_quarantine_events(), vec![(0, PAGE_BYTES)]);
+        assert!(sys.take_quarantine_events().is_empty(), "events drain once");
+        // The dirty write is gone; the checkpointed bytes survive.
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [1u8; 64], "rolled back to C_last");
+        // And the rollback is durable: crash and re-verify.
+        let report = sys.crash_and_recover(t);
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64], "recovered image is poison-free");
+    }
+
+    #[test]
+    fn poison_under_dirty_read_quarantines_immediately() {
+        let mut sys = ThyNvm::new(dram_cfg());
+        let mut t = promote_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        t = sys.store_bytes(PhysAddr::new(0), &[9u8; 64], t);
+        sys.dram_ecc_mut().expect("model on").arm_poison(1);
+        // The load itself discovers the poison; the delivered bytes must be
+        // the rolled-back ones, not the stale pre-quarantine snapshot.
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [1u8; 64], "load observes the rollback");
+        assert_eq!(sys.stats().dram.quarantined_pages, 1);
+        assert!(sys.ptt().get(PageIndex::new(0)).is_none());
+        assert!(matches!(
+            sys.take_poison_error(),
+            Some(Error::DramPoisonLost { .. })
+        ));
+    }
+
+    #[test]
+    fn full_block_overwrite_clears_poison_in_place() {
+        let mut sys = ThyNvm::new(dram_cfg());
+        let mut t = promote_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let off = page0_block_off(&sys, 0);
+        sys.dram_ecc_mut().expect("model on").poison_block(off);
+        // A whole-block store re-encodes the ECC word: nothing is lost.
+        t = sys.store_bytes(PhysAddr::new(0), &[7u8; 64], t);
+        assert_eq!(sys.stats().dram.poison_overwritten, 1);
+        assert_eq!(sys.dram_ecc().expect("model on").outstanding(), 0);
+        t = sys.force_checkpoint(t);
+        t = sys.drain(t);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [7u8; 64], "overwrite persisted normally");
+        assert_eq!(sys.stats().dram.quarantined_pages, 0);
+    }
+
+    #[test]
+    fn crash_clears_outstanding_poison() {
+        let mut sys = ThyNvm::new(dram_cfg());
+        let t = promote_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let off = page0_block_off(&sys, 0);
+        sys.dram_ecc_mut().expect("model on").poison_block(off);
+        let report = sys.crash_and_recover(t);
+        assert_eq!(sys.stats().dram.poison_cleared_by_crash, 1);
+        assert_eq!(sys.dram_ecc().expect("model on").outstanding(), 0);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64], "DRAM poison never taints recovery");
+    }
+
+    #[test]
+    fn poisoned_buffered_block_is_quarantined_not_drained() {
+        // Block under block remapping, buffered in DRAM during an in-flight
+        // checkpoint (§4.1), with poison landing on the buffer slot.
+        let mut cfg = dram_cfg();
+        cfg.thynvm.promote_threshold = 255; // stay under block remapping
+        let mut sys = ThyNvm::new(cfg);
+        let mut t = sys.store_bytes(PhysAddr::new(0), &[1u8; 64], Cycle::ZERO);
+        t = sys.force_checkpoint(t);
+        t = sys.drain(t);
+        // Start a checkpoint and write the block mid-flight: DRAM-buffered.
+        t = sys.store_bytes(PhysAddr::new(64), &[2u8; 64], t);
+        t = sys.force_checkpoint(t);
+        let during = sys.epoch_state().job.as_ref().map(|j| j.started).unwrap_or(t);
+        let mut t2 = sys.store_bytes(PhysAddr::new(0), &[9u8; 64], during);
+        // Reading it back now poisons the buffer slot: the dirty block is
+        // dropped and rolls back to its checkpointed value.
+        sys.dram_ecc_mut().expect("model on").arm_poison(1);
+        let mut buf = [0u8; 64];
+        t2 = sys.load_bytes(PhysAddr::new(0), &mut buf, t2);
+        assert_eq!(buf, [1u8; 64], "buffered dirty block rolled back");
+        let d = &sys.stats().dram;
+        assert_eq!(d.poison_dropped, 1);
+        assert_eq!(d.quarantine_dropped_bytes, BLOCK_BYTES);
+        assert!(matches!(
+            sys.take_poison_error(),
+            Some(Error::DramPoisonLost { bytes: BLOCK_BYTES, .. })
+        ));
+        assert_eq!(sys.take_quarantine_events(), vec![(0, BLOCK_BYTES)]);
+        // The rollback is durable across the checkpoint and a crash.
+        t2 = sys.drain(t2);
+        let report = sys.crash_and_recover(t2);
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t2 + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64]);
+    }
+
+    #[test]
+    fn quarantined_page_repromotes_when_hot_again() {
+        // Satellite: a quarantine-demoted page that turns write-dense again
+        // re-enters page writeback via the §3.3 counters, and the visible
+        // fingerprint is stable across the demote/re-promote round trip.
+        let mut sys = ThyNvm::new(dram_cfg());
+        let mut t = promote_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        t = sys.store_bytes(PhysAddr::new(0), &[9u8; 64], t);
+        let off = page0_block_off(&sys, 0);
+        sys.dram_ecc_mut().expect("model on").poison_block(off);
+        t = sys.force_checkpoint(t);
+        t = sys.drain(t);
+        assert!(sys.ptt().get(PageIndex::new(0)).is_none(), "quarantine demoted");
+        let fp = sys.visible_fingerprint();
+        // Write-dense again, storing the bytes the page already holds so the
+        // visible image is untouched by the re-promotion mechanics.
+        for i in 0..22u64 {
+            t = sys.store_bytes(PhysAddr::new(i * 64), &[1u8; 64], t);
+        }
+        assert!(
+            sys.ptt().get(PageIndex::new(0)).is_some(),
+            "hot page re-promoted after quarantine"
+        );
+        assert_eq!(sys.visible_fingerprint(), fp, "round trip preserved contents");
+        // And the re-promoted page checkpoints normally.
+        t = sys.force_checkpoint(t);
+        t = sys.drain(t);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(buf, [1u8; 64]);
+        assert_eq!(sys.stats().dram.quarantined_pages, 1, "no second quarantine");
     }
 }

@@ -93,6 +93,27 @@ impl PersistenceOracle {
         });
     }
 
+    /// Records a DRAM-poison quarantine of `[base, base + len)`: the
+    /// controller dropped that range's uncheckpointed writes and rolled its
+    /// visible bytes back to the last captured checkpoint, so the oracle's
+    /// live image must forget them too. Bytes the last snapshot never held
+    /// revert to zero (fresh memory). Feed this from
+    /// [`crate::ThyNvm::take_quarantine_events`] *before* recording any
+    /// checkpoint the quarantine preceded.
+    pub fn record_quarantine(&mut self, base: u64, len: u64) {
+        let prev = self.checkpoints.last().map(|c| &c.image);
+        for a in base..base.saturating_add(len) {
+            match prev.and_then(|img| img.get(&a)) {
+                Some(&b) => {
+                    self.current.insert(a, b);
+                }
+                None => {
+                    self.current.remove(&a);
+                }
+            }
+        }
+    }
+
     /// Every address the program has ever written (the verification
     /// domain: all other bytes are zero in both oracle and controller).
     #[must_use = "the verification domain is the whole point of querying it"]
@@ -451,5 +472,32 @@ mod tests {
         o.record_checkpoint(Cycle::ZERO, Cycle::ZERO);
         assert_eq!(o.expected_byte_at(104, Cycle::ZERO), b'o');
         assert_eq!(o.touched_addrs().count(), 5);
+    }
+
+    #[test]
+    fn quarantine_rolls_the_live_image_back_to_the_last_snapshot() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(0x40, &[1, 1]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        o.record_write(0x40, &[2]);
+        o.record_write(0x80, &[9]); // outside the quarantined range
+        // Poison under the dirty 0x40 block: the controller dropped its
+        // epoch writes and rolled it back to the checkpointed bytes.
+        o.record_quarantine(0x40, 64);
+        o.record_checkpoint(Cycle::new(200), Cycle::new(300));
+        let img = o.expected_image_at(Cycle::new(300));
+        assert_eq!(img.get(&0x40), Some(&1), "rolled back to the snapshot");
+        assert_eq!(img.get(&0x41), Some(&1));
+        assert_eq!(img.get(&0x80), Some(&9), "outside range untouched");
+    }
+
+    #[test]
+    fn quarantine_with_no_snapshot_reverts_to_zero() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(0x40, &[7]);
+        o.record_quarantine(0x40, 64);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        // The dropped byte never reached any checkpoint: fresh memory.
+        assert_eq!(o.expected_byte_at(0x40, Cycle::new(100)), 0);
     }
 }

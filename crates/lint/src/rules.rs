@@ -4,9 +4,9 @@
 //! |------|-----------|
 //! | L1   | Raw `SparseStore` mutations only inside `crates/mem` + sealed allowlist |
 //! | L2   | Recovery paths are panic-free (no `unwrap`, bare `expect`, `panic!`, literal indexing) |
-//! | L3   | Every `MemStats`/`MediaStats` counter is mutated in production code and read by a test |
+//! | L3   | Every `MemStats`/`MediaStats`/`DramStats` counter is mutated in production code and read by a test |
 //! | L4   | Every `types::Error` variant is constructed in production code and matched in a test |
-//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`SystemConfig` field is checked in `validate()` |
+//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SystemConfig` field is checked in `validate()` |
 //!
 //! Rules work on the token stream plus the [`FileIndex`] item index — no
 //! type information. That makes them conservative pattern matchers; the
@@ -49,8 +49,9 @@ const STORE_MUTATORS: &[&str] = &["write", "write_words", "copy_within", "clear"
 /// L1 allowlist: (file, functions) where raw store mutation is sealed by
 /// WAL/commit protocol or models power-loss volatility.
 const L1_ALLOW: &[(&str, &[&str])] = &[
-    // Commit point of a retired checkpoint job; CPU-visible store-through.
-    ("crates/core/src/controller.rs", &["retire_job_if_done", "store_bytes"]),
+    // Commit point of a retired checkpoint job; CPU-visible store-through;
+    // DRAM-poison quarantine rolling visible bytes back to the checkpoint.
+    ("crates/core/src/controller.rs", &["retire_job_if_done", "store_bytes", "quarantine_rollback"]),
     // Journal flush (redo applied under the commit record) + buffer fill.
     ("crates/baselines/src/journal.rs", &["flush", "store_bytes", "power_fail"]),
     // Shadow-paging flush, copy-on-write buffer fill, volatility model.
@@ -255,7 +256,7 @@ fn scan_l2(f: &FileIndex, from: usize, to: usize, relax_tests: bool, out: &mut V
 // ---------------------------------------------------------------- L3 ----
 
 const STATS_FILE: &str = "crates/types/src/stats.rs";
-const STATS_STRUCTS: &[&str] = &["MemStats", "MediaStats"];
+const STATS_STRUCTS: &[&str] = &["MemStats", "MediaStats", "DramStats"];
 /// Functions that touch every field wholesale; counting them would make the
 /// mutation check vacuous.
 const L3_EXEMPT_FNS: &[&str] = &["merge", "reset", "clear"];
@@ -271,7 +272,7 @@ fn rule_l3(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
         if !STATS_STRUCTS.contains(&field.owner.as_str()) {
             continue;
         }
-        if field.ty == "MediaStats" {
+        if field.ty == "MediaStats" || field.ty == "DramStats" {
             continue; // aggregate of counters, each checked individually
         }
         let mut mutated = false;
@@ -391,7 +392,8 @@ fn rule_l4(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------- L5 ----
 
 const CONFIG_FILE: &str = "crates/types/src/config.rs";
-const CONFIG_STRUCTS: &[&str] = &["SystemConfig", "ThyNvmConfig", "MediaFaultConfig"];
+const CONFIG_STRUCTS: &[&str] =
+    &["SystemConfig", "ThyNvmConfig", "MediaFaultConfig", "DramFaultConfig"];
 const NUMERIC_TYPES: &[&str] = &["u8", "u16", "u32", "u64", "u128", "usize", "f32", "f64"];
 
 /// L5: config-validation completeness (numeric fields — booleans and

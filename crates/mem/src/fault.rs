@@ -15,9 +15,9 @@
 //! replay upstream seed hashes, so determinism must come from the model
 //! itself).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use thynvm_types::{FaultKind, HwAddr, MediaFaultConfig};
+use thynvm_types::{DramFaultConfig, FaultKind, HwAddr, MediaFaultConfig, BLOCK_BYTES};
 
 use crate::device::WearStats;
 
@@ -215,6 +215,185 @@ impl FaultModel {
     }
 }
 
+/// Outcome of one SEC-DED-checked DRAM read, as decided by
+/// [`DramEccModel::observe_read`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccReadFault {
+    /// A single-bit transient the SEC-DED code corrected: the delivered
+    /// data is good, the event only needs counting.
+    Corrected,
+    /// A multi-bit error the code can detect but not correct: the 64 B
+    /// block at device offset `block` is poisoned. `fresh` is `true` the
+    /// first time the block is reported and `false` on every re-read of an
+    /// already-poisoned block.
+    Poisoned {
+        /// Block-aligned device offset of the poisoned 64 B block.
+        block: u64,
+        /// Whether this read created the poison (count it once).
+        fresh: bool,
+    },
+}
+
+/// Deterministic, seedable SEC-DED ECC model for the DRAM working region.
+///
+/// Mirrors [`FaultModel`]'s determinism contract: every decision is a pure
+/// function of the configured seed and the read counter, so fault
+/// schedules replay exactly across runs. Single-bit transients are
+/// corrected in place by the code; multi-bit errors poison whole 64 B
+/// blocks, which stay poisoned (the stored data itself is corrupt, so
+/// re-reads keep failing) until the block is rewritten whole, re-fetched
+/// from NVM, or power is lost — DRAM poison is volatile.
+#[derive(Debug, Clone)]
+pub struct DramEccModel {
+    seed: u64,
+    flip_rate: f64,
+    poison_rate: f64,
+    reads_seen: u64,
+    forced_flips: u32,
+    forced_poisons: u32,
+    poisoned: BTreeSet<u64>,
+}
+
+/// Domain-separation tags for the DRAM ECC streams (distinct from the NVM
+/// model's `TAG_READ`/`TAG_WEAR`/`TAG_TORN` so equal seeds would still
+/// decorrelate — though the config layer additionally rejects equal seeds).
+const TAG_ECC_FLIP: u64 = 0x4543_4346; // "ECCF"
+const TAG_ECC_POISON: u64 = 0x4543_4350; // "ECCP"
+
+impl DramEccModel {
+    /// Builds a model from the configuration.
+    pub fn new(cfg: &DramFaultConfig) -> Self {
+        Self {
+            seed: cfg.seed,
+            flip_rate: cfg.flip_rate,
+            poison_rate: cfg.poison_rate,
+            reads_seen: 0,
+            forced_flips: 0,
+            forced_poisons: 0,
+            poisoned: BTreeSet::new(),
+        }
+    }
+
+    /// Observes one ECC-checked DRAM read of `bytes` at device offset
+    /// `off` and decides its outcome.
+    ///
+    /// A read covering an already-poisoned block always reports that block
+    /// (`fresh: false`): its stored data is corrupt, so the check keeps
+    /// failing. Otherwise the seeded streams decide — a multi-bit error
+    /// poisons one block inside the span, a single-bit transient is
+    /// corrected. Both streams advance on every read, so the downstream
+    /// schedule does not depend on which branch was taken.
+    pub fn observe_read(&mut self, off: u64, bytes: u32) -> Option<EccReadFault> {
+        self.reads_seen += 1;
+        let span = u64::from(bytes).max(1);
+        if self.forced_poisons > 0 {
+            self.forced_poisons -= 1;
+            let block = off & !(BLOCK_BYTES - 1);
+            let fresh = self.poisoned.insert(block);
+            return Some(EccReadFault::Poisoned { block, fresh });
+        }
+        if let Some(&block) = self.poisoned_in(off, span).first() {
+            return Some(EccReadFault::Poisoned { block, fresh: false });
+        }
+        if self.forced_flips > 0 {
+            self.forced_flips -= 1;
+            return Some(EccReadFault::Corrected);
+        }
+        let hp = mix(self.seed ^ TAG_ECC_POISON, self.reads_seen);
+        if self.poison_rate > 0.0 && unit(hp) < self.poison_rate {
+            let block = (off + (hp >> 17) % span) & !(BLOCK_BYTES - 1);
+            self.poisoned.insert(block);
+            return Some(EccReadFault::Poisoned { block, fresh: true });
+        }
+        let hf = mix(self.seed ^ TAG_ECC_FLIP, self.reads_seen);
+        if self.flip_rate > 0.0 && unit(hf) < self.flip_rate {
+            return Some(EccReadFault::Corrected);
+        }
+        None
+    }
+
+    /// Observes one DRAM write: blocks *fully* covered by
+    /// `[off, off + bytes)` are rewritten with a freshly encoded ECC word,
+    /// clearing their poison. Partial overwrites leave the poison in place
+    /// (the ECC word still covers stale corrupt bytes). Returns how many
+    /// poisoned blocks the write cleared.
+    pub fn note_write(&mut self, off: u64, bytes: u32) -> usize {
+        if self.poisoned.is_empty() {
+            return 0;
+        }
+        let end = off + u64::from(bytes);
+        let first = off.next_multiple_of(BLOCK_BYTES);
+        let last = end & !(BLOCK_BYTES - 1);
+        if first >= last {
+            return 0;
+        }
+        let cleared: Vec<u64> = self.poisoned.range(first..last).copied().collect();
+        for b in &cleared {
+            self.poisoned.remove(b);
+        }
+        cleared.len()
+    }
+
+    /// Poisoned blocks intersecting `[off, off + len)`, in address order.
+    pub fn poisoned_in(&self, off: u64, len: u64) -> Vec<u64> {
+        let start = off.saturating_sub(BLOCK_BYTES - 1) & !(BLOCK_BYTES - 1);
+        self.poisoned
+            .range(start..off.saturating_add(len.max(1)))
+            .copied()
+            .filter(|&b| b + BLOCK_BYTES > off)
+            .collect()
+    }
+
+    /// Whether any block in `[off, off + bytes)` is poisoned.
+    pub fn is_poisoned(&self, off: u64, bytes: u32) -> bool {
+        !self.poisoned_in(off, u64::from(bytes)).is_empty()
+    }
+
+    /// Clears the poison on the block at block-aligned offset `block`
+    /// (models a re-fetch from the NVM checkpoint copy rewriting it).
+    /// Returns whether the block was actually poisoned.
+    pub fn clear_block(&mut self, block: u64) -> bool {
+        self.poisoned.remove(&block)
+    }
+
+    /// Power loss: DRAM contents — and with them all poison — vanish.
+    /// Returns how many poisoned blocks were outstanding.
+    pub fn clear_all(&mut self) -> usize {
+        let n = self.poisoned.len();
+        self.poisoned.clear();
+        n
+    }
+
+    /// Number of currently poisoned blocks.
+    pub fn outstanding(&self) -> usize {
+        self.poisoned.len()
+    }
+
+    /// All currently poisoned block offsets, in address order.
+    pub fn poisoned_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.poisoned.iter().copied()
+    }
+
+    /// Arms `n` guaranteed corrected single-bit transients on the next `n`
+    /// reads (test/demo hook).
+    pub fn arm_corrected_flips(&mut self, n: u32) {
+        self.forced_flips += n;
+    }
+
+    /// Arms `n` guaranteed multi-bit errors: each of the next `n` reads
+    /// poisons the first block of its span (test/demo hook).
+    pub fn arm_poison(&mut self, n: u32) {
+        self.forced_poisons += n;
+    }
+
+    /// Directly poisons the block containing device offset `off`
+    /// (test/demo hook). Returns `true` if the block was not already
+    /// poisoned.
+    pub fn poison_block(&mut self, off: u64) -> bool {
+        self.poisoned.insert(off & !(BLOCK_BYTES - 1))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +546,116 @@ mod tests {
         assert_eq!(w.total_writes, 3);
         assert_eq!(w.max_row_writes, 2);
         assert!(w.imbalance > 1.0);
+    }
+
+    fn ecc(seed: u64, flip: f64, poison: f64) -> DramEccModel {
+        DramEccModel::new(&DramFaultConfig {
+            enabled: true,
+            seed,
+            flip_rate: flip,
+            poison_rate: poison,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn ecc_same_seed_replays_identically() {
+        let mut a = ecc(7, 0.05, 0.02);
+        let mut b = ecc(7, 0.05, 0.02);
+        for i in 0..2000u64 {
+            let off = (i * 24) % 8192;
+            assert_eq!(a.observe_read(off, 64), b.observe_read(off, 64));
+        }
+        assert_eq!(
+            a.poisoned_blocks().collect::<Vec<_>>(),
+            b.poisoned_blocks().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ecc_different_seeds_diverge() {
+        let mut a = ecc(7, 0.05, 0.02);
+        let mut b = ecc(8, 0.05, 0.02);
+        let fa: Vec<_> = (0..500u64).map(|i| a.observe_read(i * 64 % 4096, 64)).collect();
+        let fb: Vec<_> = (0..500u64).map(|i| b.observe_read(i * 64 % 4096, 64)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn ecc_rate_zero_never_faults_rate_one_always() {
+        let mut quiet = ecc(1, 0.0, 0.0);
+        for i in 0..1000u64 {
+            assert_eq!(quiet.observe_read(i * 64, 64), None);
+        }
+        let mut noisy = ecc(1, 1.0, 0.0);
+        for i in 0..100u64 {
+            assert_eq!(noisy.observe_read(i * 64, 64), Some(EccReadFault::Corrected));
+        }
+        let mut toxic = ecc(1, 0.0, 1.0);
+        match toxic.observe_read(0, 64) {
+            Some(EccReadFault::Poisoned { block: 0, fresh: true }) => {}
+            other => panic!("expected fresh poison at block 0, got {other:?}"),
+        }
+        // The block stays poisoned on re-read, now stale.
+        assert_eq!(
+            toxic.observe_read(0, 64),
+            Some(EccReadFault::Poisoned { block: 0, fresh: false })
+        );
+        assert_eq!(toxic.outstanding(), 1);
+    }
+
+    #[test]
+    fn ecc_armed_hooks_fire_once_each() {
+        let mut m = ecc(3, 0.0, 0.0);
+        m.arm_corrected_flips(1);
+        m.arm_poison(1);
+        // Poison hook takes precedence, then the corrected flip, then quiet.
+        assert_eq!(m.observe_read(128, 64), Some(EccReadFault::Poisoned { block: 128, fresh: true }));
+        // The poisoned block keeps reporting; read elsewhere for the flip.
+        assert_eq!(m.observe_read(1024, 64), Some(EccReadFault::Corrected));
+        assert_eq!(m.observe_read(1024, 64), None);
+        assert!(m.is_poisoned(128, 64));
+        assert!(!m.is_poisoned(192, 64));
+    }
+
+    #[test]
+    fn ecc_full_overwrite_clears_partial_does_not() {
+        let mut m = ecc(4, 0.0, 0.0);
+        m.poison_block(256);
+        m.poison_block(320);
+        // Partial overwrite of block 256 leaves poison in place.
+        assert_eq!(m.note_write(256, 32), 0);
+        assert!(m.is_poisoned(256, 64));
+        // Whole-block overwrite clears exactly the covered blocks.
+        assert_eq!(m.note_write(256, 64), 1);
+        assert!(!m.is_poisoned(256, 64));
+        assert!(m.is_poisoned(320, 64));
+        // Unaligned span that happens to cover block 320 entirely clears it.
+        assert_eq!(m.note_write(300, 120), 1);
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn ecc_clear_all_reports_outstanding_count() {
+        let mut m = ecc(5, 0.0, 0.0);
+        m.poison_block(0);
+        m.poison_block(4096);
+        m.poison_block(4096); // duplicate is idempotent
+        assert_eq!(m.outstanding(), 2);
+        assert_eq!(m.clear_all(), 2);
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.clear_all(), 0);
+    }
+
+    #[test]
+    fn ecc_poisoned_in_finds_straddling_blocks() {
+        let mut m = ecc(6, 0.0, 0.0);
+        m.poison_block(64);
+        // A 1-byte read at offset 100 sits inside block 64..128.
+        assert_eq!(m.poisoned_in(100, 1), vec![64]);
+        // A span ending exactly at the block start does not touch it.
+        assert!(m.poisoned_in(0, 64).is_empty());
+        assert!(m.clear_block(64));
+        assert!(!m.clear_block(64));
     }
 }

@@ -16,6 +16,10 @@
 //!   model (transient bit flips, wear-induced stuck-at cells, torn
 //!   multi-word writes) that corrupts reads from the device/store so the
 //!   controller's integrity protection can be exercised.
+//! * [`fault::DramEccModel`] — a deterministic, seedable SEC-DED ECC model
+//!   for the DRAM working region: single-bit transients are corrected and
+//!   counted, multi-bit errors poison 64 B blocks that the controller must
+//!   quarantine before they can reach NVM.
 //!
 //! # Example
 //!
@@ -43,6 +47,6 @@ pub mod queue;
 pub mod store;
 
 pub use device::{Device, DeviceKind, DeviceStats, WearStats};
-pub use fault::{FaultEvent, FaultModel};
+pub use fault::{DramEccModel, EccReadFault, FaultEvent, FaultModel};
 pub use queue::WriteQueue;
 pub use store::SparseStore;

@@ -351,6 +351,67 @@ impl MediaFaultConfig {
     }
 }
 
+/// DRAM fault-domain configuration: a seedable SEC-DED ECC model on the
+/// DRAM working-data region.
+///
+/// All fields default to "off": a default configuration models perfect
+/// DRAM and the controller's data path is cycle- and byte-identical to a
+/// build without the subsystem.
+///
+/// With the model enabled, single-bit transients are corrected by the
+/// SEC-DED code and counted; multi-bit errors are detected but
+/// uncorrectable and *poison* the affected 64 B block. Poison is volatile
+/// (DRAM loses it with power) but must never propagate to NVM: the
+/// controller quarantines poisoned dirty pages at checkpoint time and
+/// re-fetches poisoned clean blocks from their checkpoint copies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramFaultConfig {
+    /// Master switch for the DRAM ECC model. When `false` no DRAM faults
+    /// are ever injected and the controller adds zero overhead.
+    pub enabled: bool,
+    /// Seed for the deterministic fault schedule. Must differ from
+    /// [`MediaFaultConfig::seed`] when both models are enabled, so the two
+    /// fault streams stay statistically independent.
+    pub seed: u64,
+    /// Probability that one DRAM read suffers a single-bit transient the
+    /// SEC-DED code corrects. Must be in `[0, 1]`.
+    pub flip_rate: f64,
+    /// Probability that one DRAM read suffers a multi-bit error the code
+    /// can only detect: one 64 B block of the read span becomes poisoned.
+    /// Must be in `[0, 1]`.
+    pub poison_rate: f64,
+    /// Bounded DRAM re-read attempts on a poisoned block before the
+    /// controller gives up on the DRAM copy and re-fetches the block from
+    /// its NVM checkpoint copy. At least one attempt is required when the
+    /// model is enabled.
+    pub max_refetch_retries: u32,
+    /// Backoff between DRAM re-read attempts, in nanoseconds (scaled by
+    /// the attempt number).
+    pub refetch_backoff_ns: u64,
+}
+
+impl Default for DramFaultConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            seed: 0x4452_414d_4543, // "DRAMEC"
+            flip_rate: 0.0,
+            poison_rate: 0.0,
+            max_refetch_retries: 2,
+            refetch_backoff_ns: 30,
+        }
+    }
+}
+
+impl DramFaultConfig {
+    /// A fully-armed configuration: the ECC model on with the default
+    /// retry budget. Fault rates are left for the caller to choose (they
+    /// default to zero).
+    pub fn hardened() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
 /// Complete system configuration: one struct to construct any evaluated
 /// memory system with the paper's parameters.
 ///
@@ -377,6 +438,8 @@ pub struct SystemConfig {
     /// NVM media-fault model and integrity protection (default: perfect
     /// media, no integrity overhead).
     pub media: MediaFaultConfig,
+    /// DRAM ECC fault model (default: perfect DRAM, zero overhead).
+    pub dram_fault: DramFaultConfig,
 }
 
 impl Eq for SystemConfig {}
@@ -441,6 +504,24 @@ impl SystemConfig {
         }
         if self.media.spare_blocks > (1 << 32) {
             return fail("spare pool exceeds the spare region's addressable blocks");
+        }
+        let d = &self.dram_fault;
+        if !(0.0..=1.0).contains(&d.flip_rate) {
+            return fail("DRAM single-bit flip rate must be a probability in [0, 1]");
+        }
+        if !(0.0..=1.0).contains(&d.poison_rate) {
+            return fail("DRAM poison rate must be a probability in [0, 1]");
+        }
+        if d.enabled && d.max_refetch_retries == 0 {
+            return fail("DRAM ECC model needs at least one refetch retry to recover poison");
+        }
+        if d.refetch_backoff_ns > 1_000_000_000 {
+            return fail("DRAM refetch backoff above one second dwarfs any device latency");
+        }
+        if d.enabled && self.media.enabled && d.seed == self.media.seed {
+            return fail(
+                "DRAM fault seed must differ from the NVM media seed so the fault streams stay independent",
+            );
         }
         Ok(())
     }
@@ -635,6 +716,53 @@ mod tests {
         cfg.media.stuck_at_threshold = 1000;
         cfg.validate().expect("hardened media config valid");
         assert!(cfg.media.enabled && cfg.media.integrity && cfg.media.scrub);
+    }
+
+    #[test]
+    fn dram_faults_default_off() {
+        let d = SystemConfig::paper().dram_fault;
+        assert!(!d.enabled);
+        assert_eq!(d.flip_rate, 0.0);
+        assert_eq!(d.poison_rate, 0.0);
+        assert_eq!(d.max_refetch_retries, 2);
+        assert_eq!(d.refetch_backoff_ns, 30);
+        assert_ne!(d.seed, MediaFaultConfig::default().seed);
+    }
+
+    #[test]
+    fn hardened_dram_preset_validates() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.dram_fault = DramFaultConfig::hardened();
+        cfg.dram_fault.flip_rate = 1e-4;
+        cfg.dram_fault.poison_rate = 1e-5;
+        cfg.validate().expect("hardened DRAM config valid");
+        assert!(cfg.dram_fault.enabled);
+    }
+
+    #[test]
+    fn validation_rejects_bad_dram_fault_combinations() {
+        let mut cfg = SystemConfig::paper();
+        cfg.dram_fault.flip_rate = 1.5;
+        assert!(cfg.validate().unwrap_err().to_string().contains("probability"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.dram_fault.poison_rate = -0.1;
+        assert!(cfg.validate().unwrap_err().to_string().contains("probability"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.dram_fault.enabled = true;
+        cfg.dram_fault.max_refetch_retries = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("refetch"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.dram_fault.refetch_backoff_ns = 2_000_000_000;
+        assert!(cfg.validate().unwrap_err().to_string().contains("backoff"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.media = MediaFaultConfig::hardened();
+        cfg.dram_fault = DramFaultConfig::hardened();
+        cfg.dram_fault.seed = cfg.media.seed;
+        assert!(cfg.validate().unwrap_err().to_string().contains("seed"));
     }
 
     #[test]

@@ -55,6 +55,16 @@ pub enum Error {
         /// Physical address of the block that could not be remapped.
         addr: PhysAddr,
     },
+    /// An uncorrectable DRAM error poisoned dirty working data: the
+    /// affected range was quarantined — its writes were dropped and the
+    /// contents rolled back to the last checkpoint — instead of letting the
+    /// poison reach NVM and become durable corruption.
+    DramPoisonLost {
+        /// Physical base address of the quarantined range.
+        addr: PhysAddr,
+        /// Bytes rolled back to their checkpointed contents.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -74,6 +84,12 @@ impl fmt::Display for Error {
             }
             Error::SpareExhausted { addr } => {
                 write!(f, "no spare block left to remap bad block at {addr}")
+            }
+            Error::DramPoisonLost { addr, bytes } => {
+                write!(
+                    f,
+                    "uncorrectable DRAM error: {bytes} dirty bytes at {addr} quarantined and rolled back to the last checkpoint"
+                )
             }
         }
     }
@@ -104,6 +120,10 @@ mod tests {
         let e = Error::SpareExhausted { addr: PhysAddr::new(0xc0) };
         assert!(e.to_string().contains("no spare block"));
         assert!(e.to_string().contains("0xc0"));
+        let e = Error::DramPoisonLost { addr: PhysAddr::new(0x2000), bytes: 4096 };
+        assert!(e.to_string().contains("quarantined"));
+        assert!(e.to_string().contains("0x2000"));
+        assert!(e.to_string().contains("4096"));
     }
 
     #[test]

@@ -43,15 +43,15 @@ pub mod system;
 
 pub use addr::{BlockIndex, HwAddr, PageIndex, PhysAddr, BLOCK_BYTES, BLOCKS_PER_PAGE, PAGE_BYTES};
 pub use config::{
-    CacheConfig, CkptMode, DeviceGeometry, MediaFaultConfig, SystemConfig, ThyNvmConfig,
-    TimingConfig, WorkingRegion, CPU_FREQ_GHZ,
+    CacheConfig, CkptMode, DeviceGeometry, DramFaultConfig, MediaFaultConfig, SystemConfig,
+    ThyNvmConfig, TimingConfig, WorkingRegion, CPU_FREQ_GHZ,
 };
 pub use cycle::Cycle;
 pub use error::{Error, Result};
 pub use hist::Histogram;
 pub use req::{AccessKind, MemRequest, TraceEvent};
 pub use stats::{
-    CkptPhase, CrashEvent, FaultKind, MediaStats, MemStats, NvmWriteClass, RecoveryOutcome,
-    RecoveryStep,
+    CkptPhase, CrashEvent, DramStats, FaultKind, MediaStats, MemStats, NvmWriteClass,
+    RecoveryOutcome, RecoveryStep,
 };
 pub use system::{MemorySystem, PersistentMemory};

@@ -252,6 +252,82 @@ impl MediaStats {
     }
 }
 
+/// DRAM fault-domain counters: SEC-DED ECC corrections, poisoned 64 B
+/// blocks, and what the controller did about the poison.
+///
+/// Poison bookkeeping is conservative by construction: every block the ECC
+/// model poisons is eventually re-fetched from its checkpoint copy
+/// (`poison_refetched`), dropped by a quarantine (`poison_dropped`),
+/// overwritten whole by a fresh store (`poison_overwritten`), or wiped by a
+/// power cycle (`poison_cleared_by_crash`) — so
+/// `poisoned_blocks == poison_accounted() + outstanding poison`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Single-bit transients corrected by the SEC-DED code.
+    pub corrected_flips: u64,
+    /// 64 B blocks poisoned by detected-but-uncorrectable multi-bit errors.
+    pub poisoned_blocks: u64,
+    /// Poisoned blocks healed by transparently re-fetching the block from
+    /// its NVM checkpoint copy (clean data, nothing lost).
+    pub poison_refetched: u64,
+    /// Bounded DRAM re-read attempts spent on poisoned blocks before
+    /// falling back to the checkpoint copy.
+    pub refetch_retries: u64,
+    /// Poisoned blocks whose dirty data was dropped by a quarantine (the
+    /// only path where poison costs data — surfaced as
+    /// [`crate::Error::DramPoisonLost`], never silently persisted).
+    pub poison_dropped: u64,
+    /// Poisoned blocks cleared because a store overwrote the whole block
+    /// with fresh data (the write re-encodes the ECC word).
+    pub poison_overwritten: u64,
+    /// Poisoned blocks wiped by a power cycle — DRAM poison is volatile,
+    /// and recovery re-arms the working set from NVM checkpoint copies.
+    pub poison_cleared_by_crash: u64,
+    /// Dirty PTT pages quarantined at checkpoint time: their writeback was
+    /// suppressed and the page rolled back to its `C_last` version.
+    pub quarantined_pages: u64,
+    /// Dirty bytes dropped by quarantine rollbacks (page- and
+    /// block-granularity combined).
+    pub quarantine_dropped_bytes: u64,
+}
+
+impl DramStats {
+    /// Poisoned blocks whose fate has been decided (healed, dropped,
+    /// overwritten, or wiped by power loss). The difference
+    /// `poisoned_blocks - poison_accounted()` is the poison still
+    /// outstanding in DRAM.
+    #[must_use]
+    pub fn poison_accounted(&self) -> u64 {
+        self.poison_refetched
+            + self.poison_dropped
+            + self.poison_overwritten
+            + self.poison_cleared_by_crash
+    }
+
+    /// Whether any DRAM fault activity was recorded at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.corrected_flips > 0
+            || self.poisoned_blocks > 0
+            || self.refetch_retries > 0
+            || self.quarantined_pages > 0
+            || self.quarantine_dropped_bytes > 0
+    }
+
+    /// Merges another record into this one (summing all fields).
+    pub fn merge(&mut self, other: &DramStats) {
+        self.corrected_flips += other.corrected_flips;
+        self.poisoned_blocks += other.poisoned_blocks;
+        self.poison_refetched += other.poison_refetched;
+        self.refetch_retries += other.refetch_retries;
+        self.poison_dropped += other.poison_dropped;
+        self.poison_overwritten += other.poison_overwritten;
+        self.poison_cleared_by_crash += other.poison_cleared_by_crash;
+        self.quarantined_pages += other.quarantined_pages;
+        self.quarantine_dropped_bytes += other.quarantine_dropped_bytes;
+    }
+}
+
 /// Observability record of one injected crash and its recovery.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrashEvent {
@@ -337,6 +413,8 @@ pub struct MemStats {
     pub recovery_cycles: Cycle,
     /// Media-fault and integrity-protection counters.
     pub media: MediaStats,
+    /// DRAM ECC fault-domain counters.
+    pub dram: DramStats,
     /// Per-crash observability records, in injection order.
     pub crash_events: Vec<CrashEvent>,
 }
@@ -456,6 +534,7 @@ impl MemStats {
         self.nested_crashes += other.nested_crashes;
         self.recovery_cycles += other.recovery_cycles;
         self.media.merge(&other.media);
+        self.dram.merge(&other.dram);
         self.crash_events.extend(other.crash_events.iter().cloned());
     }
 }
@@ -502,6 +581,21 @@ impl fmt::Display for MemStats {
                 self.media.spare_exhausted,
                 self.media.wal_seals,
                 self.media.wal_redos,
+            )?;
+        }
+        if self.dram.any() {
+            write!(
+                f,
+                " dram(corrected={} poisoned={} refetched={} retries={} dropped={} overwritten={} crash_cleared={} quarantines={} lost_bytes={})",
+                self.dram.corrected_flips,
+                self.dram.poisoned_blocks,
+                self.dram.poison_refetched,
+                self.dram.refetch_retries,
+                self.dram.poison_dropped,
+                self.dram.poison_overwritten,
+                self.dram.poison_cleared_by_crash,
+                self.dram.quarantined_pages,
+                self.dram.quarantine_dropped_bytes,
             )?;
         }
         Ok(())
@@ -734,6 +828,44 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("media("), "text={text}");
         assert!(text.contains("stuck=1"), "text={text}");
+    }
+
+    #[test]
+    fn dram_stats_conserve_merge_and_show() {
+        let mut d = DramStats::default();
+        assert!(!d.any());
+        d.corrected_flips = 5;
+        d.poisoned_blocks = 4;
+        d.poison_refetched = 1;
+        d.refetch_retries = 2;
+        d.poison_dropped = 1;
+        d.poison_overwritten = 1;
+        d.poison_cleared_by_crash = 1;
+        d.quarantined_pages = 1;
+        d.quarantine_dropped_bytes = 4096;
+        assert!(d.any());
+        // All four fates accounted: no poison outstanding.
+        assert_eq!(d.poison_accounted(), d.poisoned_blocks);
+
+        let mut a = MemStats::new();
+        a.dram.merge(&d);
+        let mut b = MemStats::new();
+        b.dram.merge(&d);
+        a.merge(&b);
+        assert_eq!(a.dram.corrected_flips, 10);
+        assert_eq!(a.dram.poisoned_blocks, 8);
+        assert_eq!(a.dram.poison_refetched, 2);
+        assert_eq!(a.dram.refetch_retries, 4);
+        assert_eq!(a.dram.poison_dropped, 2);
+        assert_eq!(a.dram.poison_overwritten, 2);
+        assert_eq!(a.dram.poison_cleared_by_crash, 2);
+        assert_eq!(a.dram.quarantined_pages, 2);
+        assert_eq!(a.dram.quarantine_dropped_bytes, 8192);
+
+        let text = a.to_string();
+        assert!(text.contains("dram("), "text={text}");
+        assert!(text.contains("quarantines=2"), "text={text}");
+        assert!(!MemStats::new().to_string().contains("dram("));
     }
 
     #[test]

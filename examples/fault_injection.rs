@@ -16,10 +16,19 @@
 //! bit flip, corrupted PTT metadata — and shows the self-healing recovery
 //! path: integrity verification rejects `C_last` and restores `C_penult`.
 //!
+//! A third section arms *DRAM* faults against the working copies: a
+//! corrected single-bit flip (counted, harmless), poison under clean data
+//! (healed transparently by re-fetching the NVM checkpoint copy) and
+//! poison under dirty data (the page is quarantined — dirty bytes roll
+//! back to the last checkpoint and the loss is surfaced, never silently
+//! persisted).
+//!
 //! Run with `cargo run --release --example fault_injection`.
 
 use thynvm::core::{InjectedCrash, MediaFault, PersistenceOracle, ThyNvm};
-use thynvm::types::{Cycle, MediaFaultConfig, MemorySystem, PhysAddr, SystemConfig};
+use thynvm::types::{
+    Cycle, DramFaultConfig, Error, MediaFaultConfig, MemorySystem, PhysAddr, SystemConfig,
+};
 
 const PAGE: u64 = 4096;
 const EPOCHS: u64 = 4;
@@ -183,5 +192,62 @@ fn main() {
     println!(
         "  {:<22} healed by retry without fallback (flips={} retries={} remaps={})",
         "transient read flip", m.bit_flips, m.retries, m.remaps
+    );
+
+    // ------------------------------------------------------------------
+    // DRAM faults: ECC correction, transparent refetch, quarantine.
+    // ------------------------------------------------------------------
+    println!();
+    println!("DRAM fault domain (SEC-DED model on):");
+    let mut cfg = SystemConfig::small_test();
+    cfg.dram_fault = DramFaultConfig::hardened();
+    cfg.validate().expect("hardened DRAM config is valid");
+    let mut sys = ThyNvm::new(cfg);
+
+    // Promote page 0 past the write-density threshold, then checkpoint so a
+    // clean DRAM working copy with an NVM checkpoint twin exists.
+    let mut t = Cycle::ZERO;
+    for blk in 0..cfg.thynvm.promote_threshold {
+        t = sys.store_bytes(PhysAddr::new(u64::from(blk) * 64), &[0x5A; 64], t);
+    }
+    t = sys.force_checkpoint(t);
+    t = sys.drain(t);
+
+    // (a) A correctable single-bit flip: ECC fixes it inline; only counted.
+    sys.dram_ecc_mut().expect("dram model enabled").arm_corrected_flips(1);
+    let mut buf = [0u8; 64];
+    t = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+    assert_eq!(buf, [0x5A; 64]);
+    println!(
+        "  {:<26} data intact (corrected_flips={})",
+        "corrected single-bit flip",
+        sys.stats().dram.corrected_flips
+    );
+
+    // (b) Poison under *clean* data: the working copy is a cache of the NVM
+    // checkpoint copy, so the block re-fetches transparently.
+    sys.dram_ecc_mut().expect("dram model enabled").arm_poison(1);
+    t = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+    assert_eq!(buf, [0x5A; 64]);
+    let d = sys.stats().dram;
+    println!(
+        "  {:<26} healed from NVM checkpoint copy (refetched={} retries={})",
+        "poison under clean page", d.poison_refetched, d.refetch_retries
+    );
+
+    // (c) Poison under *dirty* data: the only copy is corrupt, so the page
+    // is quarantined — dirty bytes roll back to the last checkpoint, the
+    // page demotes to block remapping and the loss is surfaced as an error.
+    t = sys.store_bytes(PhysAddr::new(0), &[0x77; 64], t);
+    sys.dram_ecc_mut().expect("dram model enabled").arm_poison(1);
+    sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+    assert_eq!(buf, [0x5A; 64], "dirty write rolled back to the last checkpoint");
+    let err = sys.take_poison_error().expect("quarantine surfaces an error");
+    assert!(matches!(err, Error::DramPoisonLost { .. }));
+    let events = sys.take_quarantine_events();
+    let d = sys.stats().dram;
+    println!(
+        "  {:<26} {err} (quarantined_pages={} dropped_bytes={} events={events:?})",
+        "poison under dirty page", d.quarantined_pages, d.quarantine_dropped_bytes
     );
 }

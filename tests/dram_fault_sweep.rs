@@ -1,0 +1,394 @@
+//! DRAM fault-domain soak: seeded ECC faults (corrected flips + poisoned
+//! blocks) crossed with crash cycles and NVM media faults, validated
+//! against the quarantine-aware persistence oracle.
+//!
+//! The DRAM fault domain's containment claim: an uncorrectable DRAM error
+//! never becomes durable corruption. Poison under *clean* data heals
+//! transparently (re-fetch from the NVM checkpoint copy); poison under
+//! *dirty* data is quarantined — the dirty range rolls back to the last
+//! checkpoint and the loss is surfaced, never silently persisted. This
+//! suite stress-tests that claim three ways:
+//!
+//! 1. **Randomized sweep**: ≥ 500 seeded trials across six config combos
+//!    (poison only, flips only, both, poison × NVM media faults, both ×
+//!    media, and a rates-zero control), each crashing at a random cycle
+//!    and asserting the recovered image is byte-identical to the
+//!    quarantine-aware oracle — so no recovered byte ever comes from a
+//!    poisoned block — plus per-trial poison-lifecycle conservation:
+//!    `poisoned_blocks == refetched + dropped + overwritten +
+//!    crash_cleared + outstanding`.
+//! 2. **Disabled twin**: with `DramFaultConfig.enabled = false` (even with
+//!    nonzero rates configured) the timeline and visible fingerprint are
+//!    bit-identical to a default-config run — the model adds zero cost
+//!    when off.
+//! 3. **Containment floor**: the sweep must actually exercise the
+//!    machinery — corrected flips, transparent refetches and quarantines
+//!    all occur across the population.
+//!
+//! Seeds come from `DRAM_FAULT_SEED` (CI runs a small fixed matrix); the
+//! default seed keeps local runs deterministic.
+
+use thynvm::core::{MediaFault, PersistenceOracle, ThyNvm};
+use thynvm::types::{
+    Cycle, DramFaultConfig, MediaFaultConfig, MemorySystem, PhysAddr, SystemConfig,
+};
+
+/// One step of the deterministic workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `len` bytes of `fill` at `addr`.
+    Write { addr: u64, len: usize, fill: u8 },
+    /// Read `len` bytes at `addr` (drives the ECC check on DRAM copies).
+    Read { addr: u64, len: usize },
+    /// End the epoch (checkpoint start; execution overlaps the job).
+    Checkpoint,
+    /// Let simulated time pass.
+    Advance { cycles: u64 },
+}
+
+const PAGE: u64 = 4096;
+
+/// A three-epoch workload touching both schemes — hot pages that cross the
+/// promotion threshold (PTT) plus scattered cold blocks (BTT) — and, unlike
+/// the crash-storm workload, *reading its own data back* every epoch so the
+/// DRAM ECC check runs against dirty and clean working copies alike.
+fn workload() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for epoch in 0u64..3 {
+        for rep in 0..4u64 {
+            for page in 0..3u64 {
+                for blk in 0..8u64 {
+                    ops.push(Op::Write {
+                        addr: page * PAGE + blk * 64,
+                        len: 64,
+                        fill: (1 + epoch * 50 + page * 11 + blk + rep * 3) as u8,
+                    });
+                }
+            }
+        }
+        for i in 0..10u64 {
+            let block = (i * 13 + epoch * 7) % 64;
+            ops.push(Op::Write {
+                addr: 8 * PAGE + block * 64,
+                len: 8,
+                fill: (100 + epoch * 17 + i) as u8,
+            });
+        }
+        // Read the hot pages back mid-epoch: ECC checks on dirty data.
+        for page in 0..3u64 {
+            for blk in 0..8u64 {
+                ops.push(Op::Read { addr: page * PAGE + blk * 64, len: 64 });
+            }
+        }
+        ops.push(Op::Checkpoint);
+        ops.push(Op::Advance { cycles: 400_000 });
+        // Read again post-checkpoint: ECC checks on clean (refetchable) data.
+        for page in 0..3u64 {
+            ops.push(Op::Read { addr: page * PAGE, len: 64 });
+        }
+    }
+    ops.push(Op::Advance { cycles: 2_000_000 });
+    // Uncheckpointed tail writes no recovery may ever surface.
+    for blk in 0..6u64 {
+        ops.push(Op::Write { addr: blk * 64, len: 64, fill: 0xEE });
+    }
+    ops
+}
+
+/// Applies one op, returning the advanced timeline.
+fn apply(sys: &mut ThyNvm, op: &Op, now: Cycle) -> Cycle {
+    match op {
+        Op::Write { addr, len, fill } => {
+            let data = vec![*fill; *len];
+            now.max(sys.store_bytes(PhysAddr::new(*addr), &data, now))
+        }
+        Op::Read { addr, len } => {
+            let mut buf = vec![0u8; *len];
+            now.max(sys.load_bytes(PhysAddr::new(*addr), &mut buf, now))
+        }
+        Op::Checkpoint => now.max(sys.force_checkpoint(now)),
+        Op::Advance { cycles } => now + Cycle::new(*cycles),
+    }
+}
+
+/// Checkpoint completion times learned from the crash-free reference run.
+#[derive(Debug, Clone, Copy)]
+struct CkptTimes {
+    done_at: Cycle,
+}
+
+/// Runs the workload crash-free, feeding the oracle — including every
+/// quarantine the seeded DRAM fault schedule produces, drained through
+/// [`ThyNvm::take_quarantine_events`] in op order so each lands before the
+/// checkpoint snapshot it preceded.
+fn reference_run(ops: &[Op], cfg: SystemConfig) -> (PersistenceOracle, Vec<CkptTimes>, Cycle) {
+    let mut sys = ThyNvm::new(cfg);
+    let mut oracle = PersistenceOracle::new();
+    let mut ckpts = Vec::new();
+    let mut now = Cycle::ZERO;
+    for op in ops {
+        if let Op::Write { addr, len, fill } = op {
+            oracle.record_write(*addr, &vec![*fill; *len]);
+        }
+        let before = now;
+        now = apply(&mut sys, op, now);
+        for (base, len) in sys.take_quarantine_events() {
+            oracle.record_quarantine(base, len);
+        }
+        if matches!(op, Op::Checkpoint) {
+            let times = match sys.epoch_state().job.as_ref() {
+                Some(j) => CkptTimes { done_at: j.done_at },
+                None => CkptTimes { done_at: now },
+            };
+            let started = sys.epoch_state().job.as_ref().map_or(before, |j| j.started);
+            oracle.record_checkpoint(started, times.done_at);
+            ckpts.push(times);
+        }
+    }
+    (oracle, ckpts, now)
+}
+
+/// Replays the workload with a crash armed at `at` (plus `extra` stacked
+/// points), drains every leftover point, and returns the settled system.
+fn crash_replay(
+    ops: &[Op],
+    cfg: SystemConfig,
+    inject: Option<MediaFault>,
+    at: Cycle,
+    extra: &[Cycle],
+) -> ThyNvm {
+    let mut sys = ThyNvm::new(cfg);
+    if let Some(fault) = inject {
+        sys.inject_media_fault(fault);
+    }
+    sys.arm_crash_point(at);
+    for &p in extra {
+        assert!(p > at, "stacked points must lie past the first crash");
+        sys.queue_crash_point(p);
+    }
+    let mut now = Cycle::ZERO;
+    let mut fired = false;
+    for op in ops {
+        now = apply(&mut sys, op, now);
+        if sys.take_crash_report().is_some() {
+            fired = true;
+            break;
+        }
+    }
+    if !fired {
+        sys.poll_crash(now.max(at) + Cycle::new(1));
+        sys.take_crash_report().expect("armed crash must fire");
+    }
+    while let Some(p) = sys.armed_crash_point() {
+        now = sys.poll_crash(now.max(p) + Cycle::new(1)).expect("leftover point fires");
+        sys.take_crash_report().expect("leftover crash reported");
+    }
+    sys
+}
+
+/// Asserts one settled trial: recovered bytes match the quarantine-aware
+/// oracle (so no poisoned byte survived) and the poison lifecycle conserves.
+fn verify_trial(
+    oracle: &PersistenceOracle,
+    sys: &mut ThyNvm,
+    seq: &[Cycle],
+    clast_corrupt: bool,
+    label: &str,
+) {
+    let t = Cycle::new(u64::MAX / 2);
+    let diffs = oracle.diff_after_crash_sequence(seq, clast_corrupt, |addr| {
+        let mut buf = [0u8; 1];
+        sys.load_bytes(PhysAddr::new(addr), &mut buf, t);
+        buf[0]
+    });
+    assert!(
+        diffs.is_empty(),
+        "{label}: {} divergent byte(s) vs quarantine-aware oracle, first {:?}",
+        diffs.len(),
+        diffs.first()
+    );
+    // Poison lifecycle conservation: every poisoned block met exactly one
+    // fate (refetched, dropped by quarantine, overwritten whole, cleared by
+    // power loss) or is still outstanding.
+    let outstanding = sys.dram_ecc().map_or(0, |e| e.outstanding() as u64);
+    let d = &sys.stats().dram;
+    assert_eq!(
+        d.poisoned_blocks,
+        d.poison_accounted() + outstanding,
+        "{label}: poison leaked from the lifecycle accounting ({d:?})"
+    );
+}
+
+/// A tiny deterministic PRNG (splitmix64) so trials are reproducible from
+/// the seed alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn sweep_seed() -> u64 {
+    std::env::var("DRAM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD4A3_FA01)
+}
+
+/// One config combo of the sweep population.
+#[derive(Debug, Clone, Copy)]
+struct Combo {
+    flip_rate: f64,
+    poison_rate: f64,
+    media: bool,
+}
+
+const COMBOS: &[Combo] = &[
+    Combo { flip_rate: 0.0, poison_rate: 0.03, media: false }, // poison only
+    Combo { flip_rate: 0.10, poison_rate: 0.0, media: false }, // flips only
+    Combo { flip_rate: 0.05, poison_rate: 0.02, media: false }, // both
+    Combo { flip_rate: 0.0, poison_rate: 0.03, media: true },  // poison × NVM faults
+    Combo { flip_rate: 0.05, poison_rate: 0.02, media: true }, // both × NVM faults
+    Combo { flip_rate: 0.0, poison_rate: 0.0, media: false },  // armed-but-quiet control
+];
+
+fn combo_cfg(c: Combo, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::small_test();
+    cfg.dram_fault = DramFaultConfig {
+        flip_rate: c.flip_rate,
+        poison_rate: c.poison_rate,
+        seed,
+        ..DramFaultConfig::hardened()
+    };
+    if c.media {
+        cfg.media = MediaFaultConfig::hardened();
+    }
+    cfg.validate().expect("valid sweep config");
+    cfg
+}
+
+/// Randomized sweep: ≥ 500 seeded trials crossing DRAM poison, crash
+/// cycles and NVM media faults. Every recovered image must match the
+/// quarantine-aware oracle byte-for-byte — a recovered byte sourced from a
+/// poisoned block would diverge — and every trial's poison counters must
+/// conserve.
+#[test]
+fn seeded_dram_fault_sweep_never_persists_poison() {
+    let ops = workload();
+    let base_seed = sweep_seed();
+
+    // One crash-free reference per combo: the oracle learns that combo's
+    // deterministic quarantine schedule alongside the checkpoint times.
+    let refs: Vec<(SystemConfig, PersistenceOracle, Vec<CkptTimes>, Cycle)> = COMBOS
+        .iter()
+        .map(|&c| {
+            let cfg = combo_cfg(c, base_seed | 1);
+            let (oracle, ckpts, end) = reference_run(&ops, cfg);
+            assert_eq!(ckpts.len(), 3, "workload must reach all three checkpoints");
+            (cfg, oracle, ckpts, end)
+        })
+        .collect();
+
+    let mut rng = base_seed;
+    let mut quarantines = 0u64;
+    let mut refetches = 0u64;
+    let mut corrected = 0u64;
+    const TRIALS: usize = 510;
+    for trial in 0..TRIALS {
+        let ci = (splitmix64(&mut rng) % COMBOS.len() as u64) as usize;
+        let combo = COMBOS[ci];
+        let (cfg, oracle, ckpts, end) = &refs[ci];
+        let inject = if combo.media {
+            // Latent NVM faults void C_last at recovery — crossing the DRAM
+            // quarantine rollback with the NVM integrity fallback.
+            Some(if trial % 2 == 0 {
+                MediaFault::TornCommitRecord
+            } else {
+                MediaFault::ClastBitFlip { addr: 0 }
+            })
+        } else {
+            None
+        };
+        // Media faults only matter once a commit exists.
+        let lo = if combo.media { ckpts[0].done_at.raw() + 1 } else { 1 };
+        let at = Cycle::new(lo + splitmix64(&mut rng) % (end.raw() - lo));
+        let depth = (splitmix64(&mut rng) % 3) as usize; // 0–2 stacked points
+        let mut extra = Vec::new();
+        while extra.len() < depth {
+            let p = at + Cycle::new(1 + splitmix64(&mut rng) % 2_000_000);
+            if !extra.contains(&p) {
+                extra.push(p);
+            }
+        }
+        extra.sort_unstable();
+        let mut sys = crash_replay(&ops, *cfg, inject, at, &extra);
+        let mut seq = vec![at];
+        seq.extend_from_slice(&extra);
+        verify_trial(
+            oracle,
+            &mut sys,
+            &seq,
+            inject.is_some(),
+            &format!("trial {trial} combo {ci} at {at} depth {depth} fault {inject:?}"),
+        );
+        let d = &sys.stats().dram;
+        quarantines += d.quarantined_pages + u64::from(!d.quarantine_dropped_bytes.is_multiple_of(PAGE));
+        refetches += d.poison_refetched;
+        corrected += d.corrected_flips;
+        if combo.flip_rate == 0.0 && combo.poison_rate == 0.0 {
+            assert!(!d.any(), "trial {trial}: quiet control produced DRAM fault counters");
+        }
+    }
+    // Containment floor: the sweep exercised the whole machinery.
+    assert!(quarantines > 0, "sweep never quarantined a dirty range");
+    assert!(refetches > 0, "sweep never healed a clean block by refetch");
+    assert!(corrected > 0, "sweep never corrected a single-bit flip");
+}
+
+/// Disabled twin: with `enabled = false` the model must be absent, not
+/// merely quiet — even with aggressive rates configured, the timeline and
+/// the visible fingerprint are bit-identical to a default-config run.
+#[test]
+fn disabled_dram_fault_config_is_bit_identical_to_default() {
+    let ops = workload();
+    let plain = SystemConfig::small_test();
+    let mut disabled = SystemConfig::small_test();
+    disabled.dram_fault =
+        DramFaultConfig { enabled: false, flip_rate: 0.9, poison_rate: 0.9, ..Default::default() };
+    disabled.validate().expect("disabled model with rates set is still valid");
+
+    let run = |cfg: SystemConfig| {
+        let mut sys = ThyNvm::new(cfg);
+        let mut now = Cycle::ZERO;
+        for op in &ops {
+            now = apply(&mut sys, op, now);
+        }
+        now = sys.drain(now);
+        (now, sys.visible_fingerprint(), sys.stats().clone())
+    };
+    let (t_plain, fp_plain, s_plain) = run(plain);
+    let (t_off, fp_off, s_off) = run(disabled);
+    assert_eq!(t_plain, t_off, "disabled model changed the timeline");
+    assert_eq!(fp_plain, fp_off, "disabled model changed the contents");
+    assert!(!s_off.dram.any(), "disabled model left DRAM fault counters");
+    assert_eq!(s_plain.nvm_writes, s_off.nvm_writes);
+    assert_eq!(s_plain.dram_reads, s_off.dram_reads);
+    assert_eq!(s_plain.service_cycles, s_off.service_cycles);
+}
+
+/// Crash-while-poison-outstanding: arm fresh poison, crash before anything
+/// observes it, and assert recovery lands on a consistent pre-poison image
+/// with the loss accounted to `poison_cleared_by_crash`.
+#[test]
+fn crash_with_outstanding_poison_recovers_a_consistent_image() {
+    let ops = workload();
+    let cfg = combo_cfg(COMBOS[0], sweep_seed() | 1);
+    let (oracle, ckpts, _end) = reference_run(&ops, cfg);
+
+    // Crash shortly after the second checkpoint commits: whatever poison
+    // the schedule had outstanding right then is lost with DRAM power.
+    let at = ckpts[1].done_at + Cycle::new(10);
+    let mut sys = crash_replay(&ops, cfg, None, at, &[]);
+    verify_trial(&oracle, &mut sys, &[at], false, "outstanding-poison crash");
+}
