@@ -10,11 +10,10 @@
 //! checkpointing-time share the paper reports for this baseline (18.9 % on
 //! the micro-benchmarks, §5.2).
 
-use std::collections::HashMap;
 
 use thynvm_mem::{Device, DeviceKind, SparseStore};
 use thynvm_types::{
-    AccessKind, BlockIndex, Cycle, HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass,
+    AccessKind, BlockIndex, Cycle, FxHashMap, HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass,
     PersistentMemory, PhysAddr, SystemConfig, BLOCK_BYTES,
 };
 
@@ -33,7 +32,7 @@ pub struct Journaling {
     dram: Device,
     nvm: Device,
     /// Physical block → DRAM buffer slot.
-    table: HashMap<BlockIndex, u32>,
+    table: FxHashMap<BlockIndex, u32>,
     capacity: usize,
     next_slot: u32,
     epoch_start: Cycle,
@@ -51,7 +50,7 @@ impl Journaling {
         Self {
             dram: Device::new(DeviceKind::Dram, cfg.timing, cfg.dram_geometry),
             nvm: Device::new(DeviceKind::Nvm, cfg.timing, cfg.nvm_geometry),
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             capacity: cfg.thynvm.btt_entries + cfg.thynvm.ptt_entries,
             next_slot: 0,
             epoch_start: Cycle::ZERO,

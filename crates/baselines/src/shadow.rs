@@ -10,11 +10,10 @@
 //! writes each *entire 4 KiB page* to NVM — wasting bandwidth and stalling
 //! the application, since the flush is stop-the-world.
 
-use std::collections::HashMap;
 
 use thynvm_mem::{Device, DeviceKind, SparseStore};
 use thynvm_types::{
-    AccessKind, Cycle, HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass, PageIndex,
+    AccessKind, Cycle, FxHashMap, HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass, PageIndex,
     PersistentMemory, PhysAddr, SystemConfig, PAGE_BYTES,
 };
 
@@ -38,7 +37,7 @@ pub struct ShadowPaging {
     cfg: SystemConfig,
     dram: Device,
     nvm: Device,
-    pages: HashMap<PageIndex, BufferedPage>,
+    pages: FxHashMap<PageIndex, BufferedPage>,
     free_slots: Vec<u32>,
     epoch_start: Cycle,
     stats: MemStats,
@@ -55,7 +54,7 @@ impl ShadowPaging {
         Self {
             dram: Device::new(DeviceKind::Dram, cfg.timing, cfg.dram_geometry),
             nvm: Device::new(DeviceKind::Nvm, cfg.timing, cfg.nvm_geometry),
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
             free_slots: (0..slots).rev().collect(),
             epoch_start: Cycle::ZERO,
             stats: MemStats::new(),

@@ -9,6 +9,8 @@
 //!   Figure 12, Table 1, Table 2, plus the §5.3 overlap ablation), each
 //!   scalable so unit tests run in milliseconds and `cargo bench` runs at
 //!   full scale.
+//! * [`simspeed`] — measures the *simulator's own* throughput and maintains
+//!   the `BENCH_simspeed.json` trajectory behind the CI regression gate.
 //!
 //! Run all experiments with:
 //!
@@ -22,7 +24,8 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod simspeed;
 
 pub use experiments::Scale;
-pub use report::Table;
+pub use report::{Json, Table};
 pub use runner::{RunResult, SystemKind};

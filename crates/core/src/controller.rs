@@ -41,13 +41,12 @@
 //!   DRAM page when the job retires (one DRAM write each) instead of being
 //!   persisted twice.
 
-use std::collections::{HashMap, HashSet};
 
 use thynvm_mem::{Device, DeviceKind, DramEccModel, EccReadFault, FaultModel, SparseStore, WriteQueue};
 use thynvm_types::{
-    AccessKind, BlockIndex, CkptMode, CkptPhase, Cycle, Error, FaultKind, HwAddr, MemRequest,
-    MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr, RecoveryStep, SystemConfig,
-    TraceEvent, BLOCK_BYTES, PAGE_BYTES,
+    AccessKind, BlockIndex, CkptMode, CkptPhase, Cycle, Error, FaultKind, FxHashMap, FxHashSet,
+    HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr, RecoveryStep,
+    SystemConfig, TraceEvent, BLOCK_BYTES, PAGE_BYTES,
 };
 
 use crate::epoch::{CkptJob, EpochState};
@@ -162,11 +161,11 @@ pub struct ThyNvm {
     stats: MemStats,
 
     /// Per-epoch page-granularity store counts driving scheme switching.
-    page_store_counts: HashMap<PageIndex, u32>,
+    page_store_counts: FxHashMap<PageIndex, u32>,
     /// Counts snapshotted at checkpoint start, applied at job retirement.
-    pending_switch_counts: HashMap<PageIndex, u32>,
+    pending_switch_counts: FxHashMap<PageIndex, u32>,
     /// Pages captured by the in-flight job, with their target regions.
-    pending_pages: HashMap<PageIndex, PendingPage>,
+    pending_pages: FxHashMap<PageIndex, PendingPage>,
     /// Next DRAM block-buffer slot (round-robin).
     next_block_slot: u32,
     /// BTT spills: inserts forced past capacity while an overflow-triggered
@@ -225,7 +224,14 @@ pub struct ThyNvm {
     /// Persistent bad-block table: device block base → spare slot. Blocks
     /// listed here have been permanently remapped away from worn-out cells;
     /// the table survives crashes (it is persisted NVM metadata).
-    bad_blocks: HashMap<u64, u64>,
+    bad_blocks: FxHashMap<u64, u64>,
+    /// Retired scheme-switch snapshot, recycled into the next epoch's
+    /// `pending_switch_counts` so the per-epoch snapshot reuses one
+    /// allocation instead of growing a fresh map from empty every time.
+    switch_scratch: FxHashMap<PageIndex, u32>,
+    /// Reused victim buffer for [`Self::reclaim_quiescent`], so the
+    /// overflow path does not allocate on every table-pressure event.
+    reclaim_scratch: Vec<BlockIndex>,
     /// Next spare block slot to hand out.
     next_spare_slot: u64,
     /// A corruption detected on the current read but *not* healed (no
@@ -276,9 +282,9 @@ impl ThyNvm {
             ptt: Ptt::new(cfg.thynvm.ptt_entries.min(cfg.thynvm.dram_pages() as usize)),
             epoch: EpochState::new(),
             stats: MemStats::new(),
-            page_store_counts: HashMap::new(),
-            pending_switch_counts: HashMap::new(),
-            pending_pages: HashMap::new(),
+            page_store_counts: FxHashMap::with_capacity_and_hasher(1024, Default::default()),
+            pending_switch_counts: FxHashMap::default(),
+            pending_pages: FxHashMap::default(),
             next_block_slot: 0,
             btt_spills: 0,
             epoch_dirty_blocks: 0,
@@ -299,7 +305,9 @@ impl ThyNvm {
                 .enabled
                 .then(|| FaultModel::new(&cfg.media, cfg.nvm_geometry.row_bytes)),
             committed_prev: SparseStore::new(),
-            bad_blocks: HashMap::new(),
+            bad_blocks: FxHashMap::default(),
+            switch_scratch: FxHashMap::default(),
+            reclaim_scratch: Vec::new(),
             next_spare_slot: 0,
             pending_corruption: None,
             injected_torn_commit: false,
@@ -583,6 +591,16 @@ impl ThyNvm {
         self.dram_fault.as_ref().map_or_else(Vec::new, |e| e.poisoned_in(off, len))
     }
 
+    /// Whether `[off, off+len)` of the working region is free of DRAM
+    /// poison — the allocation-free form of [`Self::dram_poisoned_in`] for
+    /// the per-access load path, where the answer is almost always "yes".
+    fn dram_poison_free(&self, off: u64, len: u64) -> bool {
+        if self.cfg.thynvm.working_region != thynvm_types::WorkingRegion::Dram {
+            return true;
+        }
+        self.dram_fault.as_ref().is_none_or(|e| e.first_poisoned_in(off, len).is_none())
+    }
+
     /// Functional side of a quarantine: the software-visible bytes of
     /// `[base, base + len)` roll back to the last captured checkpoint
     /// (committed contents plus any captured-but-not-yet-retired writes),
@@ -680,15 +698,19 @@ impl ThyNvm {
             }
         }
         self.stats.dram.poison_dropped += poisoned.len() as u64;
-        let drop_entry = match self.btt.get_mut(block) {
-            Some(e) => {
-                e.wactive = None;
-                e.pending.is_none() && e.clast_region.is_none()
+        let state = self.btt.get_mut(block).map(|e| {
+            e.wactive = None;
+            (e.pending.is_none(), e.clast_region.is_none())
+        });
+        match state {
+            // Nothing checkpointed either: the entry is empty, drop it.
+            Some((true, true)) => {
+                self.btt.remove(block);
             }
-            None => false,
-        };
-        if drop_entry {
-            self.btt.remove(block);
+            // Only checkpointed copies remain: the entry just went
+            // quiescent, so hint it for victim selection.
+            Some((true, false)) => self.btt.note_quiescent(block),
+            _ => {}
         }
         self.quarantine_rollback(block.base_addr().raw(), BLOCK_BYTES);
         self.stats.dram.quarantine_dropped_bytes += BLOCK_BYTES;
@@ -729,7 +751,14 @@ impl ThyNvm {
         if !self.cfg.media.integrity {
             return;
         }
-        let blocks = bytes.div_ceil(BLOCK_BYTES).max(1);
+        // Zero bytes touch zero CRC blocks: attribute nothing. (This once
+        // charged `max(1)` blocks, so a zero-length transfer inflated
+        // `crc_checked_blocks`; no current call site passes zero, but the
+        // accounting must not rely on that.)
+        let blocks = bytes.div_ceil(BLOCK_BYTES);
+        if blocks == 0 {
+            return;
+        }
         self.stats.media.crc_checked_blocks += blocks;
         self.stats.media.crc_check_cycles += Cycle::from_ns(CRC_NS_PER_BLOCK * blocks);
     }
@@ -823,7 +852,16 @@ impl ThyNvm {
             return done;
         }
         self.charge_crc(u64::from(bytes));
-        let Some(ev) = self.fault.as_mut().expect("invariant: is_none() checked above").read_fault(hw, bytes) else {
+        let fault = self.fault.as_mut().expect("invariant: is_none() checked above");
+        if fault.is_quiet() {
+            // Zero rates, nothing armed, nothing stuck: the model cannot
+            // produce a fault and its streams are never consulted, so the
+            // consultation is skipped wholesale (counted for the simspeed
+            // harness).
+            self.stats.perf.nvm_quiet_reads += 1;
+            return done;
+        }
+        let Some(ev) = fault.read_fault(hw, bytes) else {
             return done;
         };
         if ev.kind == FaultKind::BitFlip {
@@ -953,12 +991,20 @@ impl ThyNvm {
                 // (refetch or quarantine) is the caller's, who knows whether
                 // the data under the poison is dirty.
                 if let Some(ecc) = self.dram_fault.as_mut() {
-                    match ecc.observe_read(off, bytes) {
-                        Some(EccReadFault::Corrected) => self.stats.dram.corrected_flips += 1,
-                        Some(EccReadFault::Poisoned { fresh: true, .. }) => {
-                            self.stats.dram.poisoned_blocks += 1;
+                    if ecc.is_quiet() {
+                        // The SEC-DED model cannot fault: skip the check
+                        // (counted for the simspeed harness).
+                        self.stats.perf.dram_quiet_reads += 1;
+                    } else {
+                        match ecc.observe_read(off, bytes) {
+                            Some(EccReadFault::Corrected) => {
+                                self.stats.dram.corrected_flips += 1;
+                            }
+                            Some(EccReadFault::Poisoned { fresh: true, .. }) => {
+                                self.stats.dram.poisoned_blocks += 1;
+                            }
+                            _ => {}
                         }
-                        _ => {}
                     }
                 }
                 done
@@ -1022,6 +1068,7 @@ impl ThyNvm {
         // here; the merge lists are sorted before their DRAM writes below).
         let mut merge_blocks: Vec<(BlockIndex, u32)> = Vec::new();
         let mut drop_blocks: Vec<BlockIndex> = Vec::new();
+        let mut newly_quiescent: Vec<BlockIndex> = Vec::new();
         for (block, entry) in self.btt.iter_mut() {
             if let Some(loc) = entry.pending.take() {
                 let region = match loc {
@@ -1034,6 +1081,9 @@ impl ThyNvm {
                     }
                 };
                 entry.clast_region = Some(region);
+                if entry.wactive.is_none() {
+                    newly_quiescent.push(block);
+                }
             }
             if entry.is_quiescent() && self.pending_pages.contains_key(&block.page()) {
                 // Cooperation block for a page under page writeback: the
@@ -1043,6 +1093,11 @@ impl ThyNvm {
                     drop_blocks.push(block);
                 }
             }
+        }
+        // Hint the freshly-quiescent entries for victim selection (ones the
+        // merge below drops become stale hints, discarded lazily).
+        for block in newly_quiescent {
+            self.btt.note_quiescent(block);
         }
         merge_blocks.sort_unstable_by_key(|(b, _)| *b);
         for (block, slot) in merge_blocks {
@@ -1089,6 +1144,15 @@ impl ThyNvm {
     /// counters.
     fn apply_scheme_switches(&mut self, now: Cycle) {
         let counts = std::mem::take(&mut self.pending_switch_counts);
+        self.apply_scheme_switches_with(&counts, now);
+        // Recycle the snapshot's allocation for the next epoch.
+        self.switch_scratch = counts;
+        self.switch_scratch.clear();
+    }
+
+    /// The body of [`Self::apply_scheme_switches`], with the store-counter
+    /// snapshot borrowed so its allocation can be recycled by the caller.
+    fn apply_scheme_switches_with(&mut self, counts: &FxHashMap<PageIndex, u32>, now: Cycle) {
         if self.cfg.thynvm.mode == CkptMode::BlockOnly {
             return;
         }
@@ -1337,6 +1401,7 @@ impl ThyNvm {
             }
         };
         bump_counter(&mut entry.store_count);
+        let mut newly_dirty = false;
         let region = match entry.wactive {
             Some(WactiveLoc::Nvm(r)) => r, // coalesce in place
             Some(WactiveLoc::DramBuffered { .. }) => {
@@ -1345,12 +1410,14 @@ impl ThyNvm {
                 return self.buffered_block_write(block, bytes, now);
             }
             None => {
-                self.epoch_dirty_blocks += 1;
+                newly_dirty = true;
                 entry.clast_region.map_or(Region::A, Region::other)
             }
         };
-        let entry = self.btt.get_mut(block).expect("present");
         entry.wactive = Some(WactiveLoc::Nvm(region));
+        if newly_dirty {
+            self.epoch_dirty_blocks += 1;
+        }
         let hw = self.remapped(self.space.checkpoint_block(region, block));
         let done = self.nvm.access(hw, AccessKind::Write, bytes, now);
         self.stats.record_nvm_write(u64::from(bytes), class);
@@ -1361,10 +1428,11 @@ impl ThyNvm {
     /// Reclaims quiescent BTT entries, migrating `C_last` home when needed
     /// (§4.3 overflow handling). Returns the number reclaimed.
     fn reclaim_quiescent(&mut self, now: Cycle, max: usize) -> usize {
-        let victims = self.btt.reclaimable();
+        let mut victims = std::mem::take(&mut self.reclaim_scratch);
+        self.btt.reclaimable_victims_into(max, &mut victims);
         let mut reclaimed = 0;
-        for block in victims.into_iter().take(max) {
-            let entry = self.btt.get(block).expect("listed as reclaimable");
+        for &block in &victims {
+            let entry = self.btt.remove(block).expect("listed as reclaimable");
             if entry.clast_region == Some(Region::A) {
                 // C_last lives in Region A: copy it to the Home Region so
                 // the entry can be dropped.
@@ -1377,9 +1445,9 @@ impl ThyNvm {
                 self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Migration);
                 self.media_note_write(dst, BLOCK_BYTES as u32);
             }
-            self.btt.remove(block);
             reclaimed += 1;
         }
+        self.reclaim_scratch = victims;
         reclaimed
     }
 
@@ -1395,7 +1463,7 @@ impl ThyNvm {
                 .offset(block.slot_in_page() * BLOCK_BYTES);
             let off = self.space.working_offset(hw);
             let done = self.working_read(off, bytes, now);
-            if self.dram_poisoned_in(off, u64::from(bytes)).is_empty() {
+            if self.dram_poison_free(off, u64::from(bytes)) {
                 return done;
             }
             if dirty {
@@ -1423,7 +1491,7 @@ impl ThyNvm {
                     let hw = self.space.working_block(slot, self.ptt.capacity());
                     let off = self.space.working_offset(hw);
                     let done = self.working_read(off, bytes, now);
-                    if self.dram_poisoned_in(off, u64::from(bytes)).is_empty() {
+                    if self.dram_poison_free(off, u64::from(bytes)) {
                         return done;
                     }
                     // A buffered working copy is dirty by construction:
@@ -1962,6 +2030,9 @@ impl ThyNvm {
         for b in stale {
             self.btt.remove(b);
         }
+        // The surgery above can quiesce any number of entries at once:
+        // re-derive the victim-selection hints from the live table.
+        self.btt.rebuild_quiescent_hints();
         let meta_bytes = (self.btt.len() + self.ptt.len()) as u64 * META_ENTRY_BYTES
             + self.cfg.thynvm.cpu_state_bytes;
         let meta_len = u32::try_from(meta_bytes.max(64).min(u64::from(u32::MAX)))
@@ -2088,7 +2159,9 @@ impl MemorySystem for ThyNvm {
         // reset, so aging preserves hotness across short epochs while cold
         // pages still decay below the demotion threshold within a couple of
         // boundaries.
-        self.pending_switch_counts = self.page_store_counts.clone();
+        let mut snap = std::mem::take(&mut self.switch_scratch);
+        snap.clone_from(&self.page_store_counts);
+        self.pending_switch_counts = snap;
         self.page_store_counts.retain(|_, c| {
             *c /= 2;
             *c > 0
@@ -2212,7 +2285,7 @@ impl ThyNvm {
             let src = self.space.working_block(slot, self.ptt.capacity());
             let off = self.space.working_offset(src);
             let read_done = self.working_read(off, BLOCK_BYTES as u32, ckpt_start);
-            if !self.dram_poisoned_in(off, BLOCK_BYTES).is_empty() {
+            if !self.dram_poison_free(off, BLOCK_BYTES) {
                 // Poison must never reach NVM: drop the block's dirty data
                 // instead of draining it.
                 let q_done = self.quarantine_buffered_block(block, off, read_done);
@@ -2267,13 +2340,13 @@ impl ThyNvm {
 
         // (3) Write dirty pages back to the alternate checkpoint region.
         let dirty_pages = self.ptt.dirty_pages();
-        let mut frozen = HashSet::with_capacity(dirty_pages.len());
+        let mut frozen = FxHashSet::with_capacity_and_hasher(dirty_pages.len(), Default::default());
         let mut phase3_done = btt_done;
         for page in dirty_pages {
             let slot = self.ptt.get(page).expect("dirty page listed").slot;
             let off = self.space.working_offset(self.space.working_page(slot));
             let read_done = self.working_read(off, PAGE_BYTES as u32, btt_done);
-            if !self.dram_poisoned_in(off, PAGE_BYTES).is_empty() {
+            if !self.dram_poison_free(off, PAGE_BYTES) {
                 // An uncorrectable DRAM error sits under this page's dirty
                 // data: writing it back would make the corruption durable.
                 // Quarantine instead — the dirty epoch is dropped, the page
@@ -3553,6 +3626,38 @@ mod tests {
         assert_eq!(tp, ta, "cycle-identical timelines");
         assert_eq!(plain.visible_fingerprint(), armed.visible_fingerprint());
         assert!(!armed.stats().dram.any(), "quiet model left no counters");
+    }
+
+    #[test]
+    fn quiet_fault_models_are_skipped_and_the_skips_are_counted() {
+        // Hardened models with every rate at zero are "quiet": the
+        // controller skips their per-read consultation entirely. The perf
+        // counters witness the skip so the fast path cannot silently rot.
+        let mut cfg = SystemConfig::small_test();
+        cfg.media = thynvm_types::MediaFaultConfig::hardened();
+        cfg.dram_fault = thynvm_types::DramFaultConfig::hardened();
+        cfg.validate().expect("valid config");
+        let mut sys = ThyNvm::new(cfg);
+        let t = promote_and_checkpoint(&mut sys, 7, Cycle::ZERO);
+
+        // Page-scheme read: lands in the DRAM working region, where the
+        // quiet SEC-DED model is skipped.
+        let dram_skips = sys.stats().perf.dram_quiet_reads;
+        let t = sys.access(&MemRequest::read(PhysAddr::new(0), 64), t);
+        assert!(
+            sys.stats().perf.dram_quiet_reads > dram_skips,
+            "DRAM read must take the quiet fast path"
+        );
+
+        // Block-scheme read of an untouched block: served from the NVM home
+        // region, where the quiet media model is skipped.
+        let nvm_skips = sys.stats().perf.nvm_quiet_reads;
+        let _ = sys.access(&MemRequest::read(PhysAddr::new(PAGE_BYTES * 4), 64), t);
+        assert!(
+            sys.stats().perf.nvm_quiet_reads > nvm_skips,
+            "NVM read must take the quiet fast path"
+        );
+        assert!(!sys.stats().dram.any(), "no DRAM fault counters moved");
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! checkpointing phase until epoch *N*'s has completed — when both are due,
 //! the processor stalls (the Figure 3(b) corner case).
 
-use std::collections::HashSet;
-
-use thynvm_types::{CkptPhase, Cycle, PageIndex};
+use thynvm_types::{CkptPhase, Cycle, FxHashSet, PageIndex};
 
 /// An in-flight checkpointing phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,7 +30,7 @@ pub struct CkptJob {
     /// an arbitrary crash cycle.
     pub writeback_done: Vec<Cycle>,
     /// Pages whose DRAM copies are frozen while this job writes them back.
-    pub frozen_pages: HashSet<PageIndex>,
+    pub frozen_pages: FxHashSet<PageIndex>,
 }
 
 impl CkptJob {
@@ -151,7 +149,7 @@ mod tests {
             btt_at: Cycle::new(started + span / 2),
             pages_at: Cycle::new(started + 3 * span / 4),
             writeback_done: Vec::new(),
-            frozen_pages: HashSet::new(),
+            frozen_pages: FxHashSet::default(),
         }
     }
 

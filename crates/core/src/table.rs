@@ -12,9 +12,10 @@
 //! forces the controller to end the epoch early so that entries belonging
 //! to the penultimate checkpoint can be reclaimed (§4.3).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-use thynvm_types::{BlockIndex, PageIndex};
+use thynvm_types::{BlockIndex, FxHashMap, PageIndex};
 
 use crate::layout::Region;
 
@@ -79,15 +80,32 @@ impl BttEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Btt {
-    entries: HashMap<BlockIndex, BttEntry>,
+    entries: FxHashMap<BlockIndex, BttEntry>,
     capacity: usize,
     peak: usize,
+    /// Min-heap of blocks that *may* be quiescent — a superset of the truly
+    /// quiescent entries, maintained by [`Btt::note_quiescent`] at the
+    /// controller's quiescence-transition points and validated lazily
+    /// against `entries` when victims are selected. This turns every
+    /// overflow reclaim from a full-table scan-and-partition (the top entry
+    /// in the simulator's profile) into `O(victims)` heap pops.
+    quiescent_hints: BinaryHeap<Reverse<BlockIndex>>,
 }
 
 impl Btt {
     /// Creates a BTT with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Self { entries: HashMap::new(), capacity, peak: 0 }
+        Self {
+            // +1: `force_insert` may spill one entry past capacity.
+            // Bounded so absurd configured capacities stay constructible.
+            entries: FxHashMap::with_capacity_and_hasher(
+                capacity.saturating_add(1).min(4096),
+                Default::default(),
+            ),
+            capacity,
+            peak: 0,
+            quiescent_hints: BinaryHeap::new(),
+        }
     }
 
     /// Number of live entries.
@@ -170,17 +188,75 @@ impl Btt {
 
     /// Blocks whose entries are quiescent and thus reclaimable. Entries
     /// whose `C_last` sits in Region A must first be migrated home; the
-    /// controller handles that using the returned list.
+    /// controller handles that using the returned list. This is the
+    /// full-scan diagnostic view; the reclaim hot path uses
+    /// [`Self::reclaimable_victims_into`].
     pub fn reclaimable(&self) -> Vec<BlockIndex> {
-        let mut v: Vec<BlockIndex> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.is_quiescent())
-            .map(|(&b, _)| b)
-            .collect();
+        self.scan_victims(usize::MAX)
+    }
+
+    /// Ground truth for victim selection: every quiescent block, smallest
+    /// `max` first, in ascending order.
+    fn scan_victims(&self, max: usize) -> Vec<BlockIndex> {
+        let mut v: Vec<BlockIndex> =
+            self.entries.iter().filter(|(_, e)| e.is_quiescent()).map(|(&b, _)| b).collect();
+        if v.len() > max {
+            // Partition so v[..max] holds the smallest `max` indices.
+            v.select_nth_unstable(max.saturating_sub(1));
+            v.truncate(max);
+        }
         // Deterministic victim order (hash maps iterate randomly).
         v.sort_unstable();
         v
+    }
+
+    /// Records that `block`'s entry may have become quiescent. Every code
+    /// path that can take an entry from non-quiescent to quiescent must
+    /// call this (or [`Self::rebuild_quiescent_hints`]); victim selection
+    /// only considers hinted blocks. Over-approximation is fine — hints are
+    /// re-validated against the live entry when consumed — but a *missing*
+    /// hint would silently shrink the victim set, so selection cross-checks
+    /// itself against a full scan in debug builds.
+    pub fn note_quiescent(&mut self, block: BlockIndex) {
+        self.quiescent_hints.push(Reverse(block));
+    }
+
+    /// Rebuilds the quiescence hint index from the live entries. Used after
+    /// bulk table surgery (recovery's metadata replay), where per-entry
+    /// hinting would be noise.
+    pub fn rebuild_quiescent_hints(&mut self) {
+        self.quiescent_hints.clear();
+        self.quiescent_hints
+            .extend(self.entries.iter().filter(|(_, e)| e.is_quiescent()).map(|(&b, _)| Reverse(b)));
+    }
+
+    /// Fills `out` with the first `max` reclaimable entries in block-index
+    /// order — exactly the prefix of [`Self::reclaimable`], served from the
+    /// quiescence hint heap in `O(victims log hints)` instead of a
+    /// scan-and-partition over the whole table (the overflow path reclaims
+    /// 64 victims on every table-pressure event, so the full scan dominated
+    /// the simulator's profile). Hints are popped as they are consumed:
+    /// the caller must reclaim (remove) every returned block, or its hint
+    /// is lost.
+    pub fn reclaimable_victims_into(&mut self, max: usize, out: &mut Vec<BlockIndex>) {
+        out.clear();
+        while out.len() < max {
+            let Some(Reverse(block)) = self.quiescent_hints.pop() else { break };
+            // A block hinted twice (quiescent, rewritten, quiescent again)
+            // pops its duplicates adjacently from the min-heap.
+            if out.last() == Some(&block) {
+                continue;
+            }
+            // Stale hint: the entry was rewritten or reclaimed since.
+            if self.entries.get(&block).is_some_and(BttEntry::is_quiescent) {
+                out.push(block);
+            }
+        }
+        debug_assert_eq!(
+            *out,
+            self.scan_victims(max),
+            "quiescence hints out of sync with entries: a transition site is missing note_quiescent"
+        );
     }
 
     /// Number of entries touched in the current epoch (with a working copy),
@@ -222,7 +298,7 @@ pub struct PttEntry {
 /// by demotion; slots index the DRAM Working Data Region.
 #[derive(Debug, Clone)]
 pub struct Ptt {
-    entries: HashMap<PageIndex, PttEntry>,
+    entries: FxHashMap<PageIndex, PttEntry>,
     /// Slots returned by [`Ptt::remove`], reused before fresh ones.
     recycled_slots: Vec<u32>,
     /// Next never-used slot; slots are handed out lazily so construction
@@ -241,7 +317,9 @@ impl Ptt {
     /// slot addressing is exhausted.
     pub fn new(capacity: usize) -> Self {
         Self {
-            entries: HashMap::new(),
+            // Bounded pre-size: construction must stay allocation-light
+            // even for absurd configured capacities (tested).
+            entries: FxHashMap::with_capacity_and_hasher(capacity.min(4096), Default::default()),
             recycled_slots: Vec::new(),
             next_fresh_slot: 0,
             capacity,
@@ -390,6 +468,60 @@ mod tests {
         assert!(!btt.get(a).expect("invariant: inserted above").is_quiescent());
         assert!(btt.get(b).expect("invariant: inserted above").is_quiescent());
         assert_eq!(btt.reclaimable(), vec![b]);
+    }
+
+    /// Victim selection is hint-driven: hinted quiescent entries come back
+    /// smallest-first, stale hints (entries rewritten or removed since) are
+    /// discarded lazily, and duplicate hints yield one victim.
+    #[test]
+    fn btt_victim_selection_consumes_hints_lazily() {
+        let mut btt = Btt::new(8);
+        for i in [5u64, 1, 3, 7] {
+            let b = BlockIndex::new(i);
+            btt.entry_or_insert(b).expect("invariant: BTT below capacity").clast_region =
+                Some(Region::A);
+            btt.note_quiescent(b);
+        }
+        // A duplicate hint for an already-hinted block.
+        btt.note_quiescent(BlockIndex::new(3));
+        // Stale hints: one entry rewritten, one removed outright.
+        btt.get_mut(BlockIndex::new(5)).expect("invariant: inserted above").wactive =
+            Some(WactiveLoc::Nvm(Region::B));
+        btt.remove(BlockIndex::new(7));
+
+        let mut out = Vec::new();
+        btt.reclaimable_victims_into(1, &mut out);
+        assert_eq!(out, vec![BlockIndex::new(1)]);
+        btt.remove(BlockIndex::new(1)); // consumed hints must be reclaimed
+
+        btt.reclaimable_victims_into(8, &mut out);
+        assert_eq!(out, vec![BlockIndex::new(3)]);
+        btt.remove(BlockIndex::new(3));
+
+        // Everything left is non-quiescent or gone: no victims.
+        btt.reclaimable_victims_into(8, &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// `rebuild_quiescent_hints` re-derives the hint index from the live
+    /// entries, covering bulk surgery that bypasses `note_quiescent`.
+    #[test]
+    fn btt_hint_rebuild_after_bulk_surgery() {
+        let mut btt = Btt::new(8);
+        for i in 0..4u64 {
+            btt.entry_or_insert(BlockIndex::new(i))
+                .expect("invariant: BTT below capacity")
+                .wactive = Some(WactiveLoc::Nvm(Region::A));
+        }
+        // Bulk normalization without per-entry hints (recovery's replay).
+        for (_, e) in btt.iter_mut() {
+            e.wactive = None;
+            e.clast_region = Some(Region::B);
+        }
+        btt.rebuild_quiescent_hints();
+        let mut out = Vec::new();
+        btt.reclaimable_victims_into(2, &mut out);
+        assert_eq!(out, vec![BlockIndex::new(0), BlockIndex::new(1)]);
     }
 
     #[test]

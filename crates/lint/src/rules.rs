@@ -4,7 +4,7 @@
 //! |------|-----------|
 //! | L1   | Raw `SparseStore` mutations only inside `crates/mem` + sealed allowlist |
 //! | L2   | Recovery paths are panic-free (no `unwrap`, bare `expect`, `panic!`, literal indexing) |
-//! | L3   | Every `MemStats`/`MediaStats`/`DramStats` counter is mutated in production code and read by a test |
+//! | L3   | Every `MemStats`/`MediaStats`/`DramStats`/`PerfStats` counter is mutated in production code and read by a test |
 //! | L4   | Every `types::Error` variant is constructed in production code and matched in a test |
 //! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SystemConfig` field is checked in `validate()` |
 //!
@@ -256,7 +256,7 @@ fn scan_l2(f: &FileIndex, from: usize, to: usize, relax_tests: bool, out: &mut V
 // ---------------------------------------------------------------- L3 ----
 
 const STATS_FILE: &str = "crates/types/src/stats.rs";
-const STATS_STRUCTS: &[&str] = &["MemStats", "MediaStats", "DramStats"];
+const STATS_STRUCTS: &[&str] = &["MemStats", "MediaStats", "DramStats", "PerfStats"];
 /// Functions that touch every field wholesale; counting them would make the
 /// mutation check vacuous.
 const L3_EXEMPT_FNS: &[&str] = &["merge", "reset", "clear"];
@@ -272,7 +272,7 @@ fn rule_l3(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
         if !STATS_STRUCTS.contains(&field.owner.as_str()) {
             continue;
         }
-        if field.ty == "MediaStats" || field.ty == "DramStats" {
+        if field.ty == "MediaStats" || field.ty == "DramStats" || field.ty == "PerfStats" {
             continue; // aggregate of counters, each checked individually
         }
         let mut mutated = false;

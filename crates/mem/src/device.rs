@@ -12,9 +12,7 @@
 //! serialize while accesses to different banks proceed in parallel. Data
 //! transfer beyond the first 64 B burst is pipelined at the DDR3 burst rate.
 
-use std::collections::HashMap;
-
-use thynvm_types::{AccessKind, Cycle, DeviceGeometry, HwAddr, TimingConfig};
+use thynvm_types::{AccessKind, Cycle, DeviceGeometry, FxHashMap, HwAddr, TimingConfig};
 
 /// Additional data-transfer time per extra 64 B burst, in nanoseconds
 /// (DDR3-1600: 8 beats × 0.625 ns ≈ 5 ns per 64 B burst).
@@ -104,12 +102,25 @@ pub struct WearStats {
 #[derive(Debug, Clone)]
 pub struct Device {
     kind: DeviceKind,
-    timing: TimingConfig,
     geometry: DeviceGeometry,
     banks: Vec<Bank>,
     stats: DeviceStats,
     /// Per-row write counts (sparse), for endurance analysis.
-    row_writes: HashMap<u64, u64>,
+    row_writes: FxHashMap<u64, u64>,
+    /// `log2(row_bytes)` when the row size is a power of two, so the
+    /// per-access address split is a shift instead of a 64-bit divide.
+    row_shift: Option<u32>,
+    /// `total_banks - 1` when the bank count is a power of two, so the
+    /// bank fold is a mask instead of a 64-bit modulo.
+    bank_mask: Option<u64>,
+    /// Row-hit latency, resolved from [`TimingConfig`] once at construction
+    /// so the per-access path does no ns→cycle conversions.
+    hit_lat: Cycle,
+    /// Clean row-miss latency (row buffer empty or clean).
+    clean_miss_lat: Cycle,
+    /// Dirty row-miss latency; equals the plain miss latency for DRAM,
+    /// which has no writeback asymmetry.
+    dirty_miss_lat: Cycle,
 }
 
 impl Device {
@@ -121,13 +132,30 @@ impl Device {
     pub fn new(kind: DeviceKind, timing: TimingConfig, geometry: DeviceGeometry) -> Self {
         assert!(geometry.total_banks() > 0, "device must have at least one bank");
         assert!(geometry.row_bytes > 0, "row size must be nonzero");
+        let (hit_lat, clean_miss_lat, dirty_miss_lat) = match kind {
+            DeviceKind::Dram => {
+                (timing.dram_row_hit(), timing.dram_row_miss(), timing.dram_row_miss())
+            }
+            DeviceKind::Nvm => {
+                (timing.nvm_row_hit(), timing.nvm_clean_miss(), timing.nvm_dirty_miss())
+            }
+        };
         Self {
             kind,
-            timing,
             geometry,
             banks: vec![Bank::default(); geometry.total_banks() as usize],
             stats: DeviceStats::default(),
-            row_writes: HashMap::new(),
+            // Pre-sized: one entry per written row accrues from the first
+            // access on; growing from empty showed up as rehash churn.
+            row_writes: FxHashMap::with_capacity_and_hasher(1024, Default::default()),
+            row_shift: geometry.row_bytes.is_power_of_two().then(|| geometry.row_bytes.trailing_zeros()),
+            bank_mask: geometry
+                .total_banks()
+                .is_power_of_two()
+                .then(|| u64::from(geometry.total_banks()) - 1),
+            hit_lat,
+            clean_miss_lat,
+            dirty_miss_lat,
         }
     }
 
@@ -152,31 +180,27 @@ impl Device {
     /// different banks (row-interleaving), while accesses within one row
     /// stay in one bank and enjoy row-buffer locality.
     fn map(&self, addr: HwAddr) -> (usize, u64) {
-        let row = addr.raw() / self.geometry.row_bytes;
-        let bank = (row % u64::from(self.geometry.total_banks())) as usize;
+        let row = match self.row_shift {
+            Some(shift) => addr.raw() >> shift,
+            None => addr.raw() / self.geometry.row_bytes,
+        };
+        let bank = match self.bank_mask {
+            Some(mask) => (row & mask) as usize,
+            None => (row % u64::from(self.geometry.total_banks())) as usize,
+        };
         (bank, row)
     }
 
     /// Latency of the row activation for this access, given bank state.
+    /// DRAM's dirty-miss latency equals its clean-miss latency, so the
+    /// dirty branch is technology-agnostic here.
     fn row_latency(&self, bank: &Bank, row: u64) -> (Cycle, bool) {
         if bank.open_row == Some(row) {
-            let lat = match self.kind {
-                DeviceKind::Dram => self.timing.dram_row_hit(),
-                DeviceKind::Nvm => self.timing.nvm_row_hit(),
-            };
-            (lat, true)
+            (self.hit_lat, true)
+        } else if bank.row_dirty && bank.open_row.is_some() {
+            (self.dirty_miss_lat, false)
         } else {
-            let lat = match self.kind {
-                DeviceKind::Dram => self.timing.dram_row_miss(),
-                DeviceKind::Nvm => {
-                    if bank.row_dirty && bank.open_row.is_some() {
-                        self.timing.nvm_dirty_miss()
-                    } else {
-                        self.timing.nvm_clean_miss()
-                    }
-                }
-            };
-            (lat, false)
+            (self.clean_miss_lat, false)
         }
     }
 
@@ -193,14 +217,8 @@ impl Device {
     pub fn access(&mut self, addr: HwAddr, kind: AccessKind, bytes: u32, now: Cycle) -> Cycle {
         assert!(bytes > 0, "device access must move at least one byte");
         let (bank_idx, row) = self.map(addr);
-        let (row_lat, hit) = {
-            let bank = &self.banks[bank_idx];
-            self.row_latency(bank, row)
-        };
-        let hit_lat = match self.kind {
-            DeviceKind::Dram => self.timing.dram_row_hit(),
-            DeviceKind::Nvm => self.timing.nvm_row_hit(),
-        };
+        let (row_lat, hit) = self.row_latency(&self.banks[bank_idx], row);
+        let hit_lat = self.hit_lat;
 
         let bursts = u64::from(bytes).div_ceil(64);
         let transfer = Cycle::from_ns(BURST_NS * bursts);

@@ -146,6 +146,17 @@ impl FaultModel {
         None
     }
 
+    /// Whether this model can currently corrupt any read: the transient
+    /// rate is zero (immutable after construction), no flip is armed, and
+    /// no cell is stuck. Callers may skip [`FaultModel::read_fault`] for a
+    /// quiet model — the transient stream is only consulted when the rate
+    /// is nonzero, so the skipped `reads_seen` increments are unobservable
+    /// and the fault schedule stays bit-identical. Wear and torn-write
+    /// state do not affect read decisions and are tracked separately.
+    pub fn is_quiet(&self) -> bool {
+        self.bit_flip_rate == 0.0 && self.forced_flips == 0 && self.stuck.is_empty()
+    }
+
     /// Applies a fault (if any) to a buffer just read from `addr`, XOR-ing
     /// the corrupted byte in place. Returns the fault kind when the buffer
     /// was corrupted.
@@ -292,24 +303,48 @@ impl DramEccModel {
             let fresh = self.poisoned.insert(block);
             return Some(EccReadFault::Poisoned { block, fresh });
         }
-        if let Some(&block) = self.poisoned_in(off, span).first() {
+        if let Some(block) = self.first_poisoned_in(off, span) {
             return Some(EccReadFault::Poisoned { block, fresh: false });
         }
         if self.forced_flips > 0 {
             self.forced_flips -= 1;
             return Some(EccReadFault::Corrected);
         }
-        let hp = mix(self.seed ^ TAG_ECC_POISON, self.reads_seen);
-        if self.poison_rate > 0.0 && unit(hp) < self.poison_rate {
-            let block = (off + (hp >> 17) % span) & !(BLOCK_BYTES - 1);
-            self.poisoned.insert(block);
-            return Some(EccReadFault::Poisoned { block, fresh: true });
+        // The hashes are only *consulted* when the corresponding rate is
+        // armed; computing them lazily keeps the zero-rate path to a
+        // counter increment without changing any armed schedule (each
+        // stream is a pure function of seed and `reads_seen`).
+        if self.poison_rate > 0.0 {
+            let hp = mix(self.seed ^ TAG_ECC_POISON, self.reads_seen);
+            if unit(hp) < self.poison_rate {
+                let block = (off + (hp >> 17) % span) & !(BLOCK_BYTES - 1);
+                self.poisoned.insert(block);
+                return Some(EccReadFault::Poisoned { block, fresh: true });
+            }
         }
-        let hf = mix(self.seed ^ TAG_ECC_FLIP, self.reads_seen);
-        if self.flip_rate > 0.0 && unit(hf) < self.flip_rate {
-            return Some(EccReadFault::Corrected);
+        if self.flip_rate > 0.0 {
+            let hf = mix(self.seed ^ TAG_ECC_FLIP, self.reads_seen);
+            if unit(hf) < self.flip_rate {
+                return Some(EccReadFault::Corrected);
+            }
         }
         None
+    }
+
+    /// Whether this model can currently produce any fault at all: both
+    /// rates are zero (immutable after construction), no test hook is
+    /// armed, and no block is poisoned. Callers may skip [`observe_read`]
+    /// entirely for a quiet model — the seeded streams are only consulted
+    /// when a rate is nonzero, so the skipped counter increments are
+    /// unobservable and the fault schedule stays bit-identical.
+    ///
+    /// [`observe_read`]: DramEccModel::observe_read
+    pub fn is_quiet(&self) -> bool {
+        self.flip_rate == 0.0
+            && self.poison_rate == 0.0
+            && self.forced_flips == 0
+            && self.forced_poisons == 0
+            && self.poisoned.is_empty()
     }
 
     /// Observes one DRAM write: blocks *fully* covered by
@@ -344,9 +379,22 @@ impl DramEccModel {
             .collect()
     }
 
+    /// The lowest poisoned block intersecting `[off, off + len)`, without
+    /// allocating — the hot-path form of [`DramEccModel::poisoned_in`].
+    pub fn first_poisoned_in(&self, off: u64, len: u64) -> Option<u64> {
+        if self.poisoned.is_empty() {
+            return None;
+        }
+        let start = off.saturating_sub(BLOCK_BYTES - 1) & !(BLOCK_BYTES - 1);
+        self.poisoned
+            .range(start..off.saturating_add(len.max(1)))
+            .copied()
+            .find(|&b| b + BLOCK_BYTES > off)
+    }
+
     /// Whether any block in `[off, off + bytes)` is poisoned.
     pub fn is_poisoned(&self, off: u64, bytes: u32) -> bool {
-        !self.poisoned_in(off, u64::from(bytes)).is_empty()
+        self.first_poisoned_in(off, u64::from(bytes)).is_some()
     }
 
     /// Clears the poison on the block at block-aligned offset `block`
@@ -645,6 +693,61 @@ mod tests {
         assert_eq!(m.clear_all(), 2);
         assert_eq!(m.outstanding(), 0);
         assert_eq!(m.clear_all(), 0);
+    }
+
+    #[test]
+    fn quiet_models_report_quiet_and_skipping_is_unobservable() {
+        // NVM model: zero rate, nothing armed, nothing stuck => quiet.
+        let mut m = FaultModel::new(&MediaFaultConfig { enabled: true, ..Default::default() }, 8192);
+        assert!(m.is_quiet());
+        m.arm_transient_flips(1);
+        assert!(!m.is_quiet());
+        m.read_fault(HwAddr::new(0), 64);
+        assert!(m.is_quiet(), "armed flip consumed");
+        // A stuck cell silences the fast path.
+        let mut worn = FaultModel::new(
+            &MediaFaultConfig { enabled: true, stuck_at_threshold: 1, ..Default::default() },
+            8192,
+        );
+        worn.record_write(HwAddr::new(0), 64);
+        assert!(!worn.is_quiet());
+        // A nonzero transient rate is never quiet.
+        let hot = FaultModel::new(
+            &MediaFaultConfig { enabled: true, bit_flip_rate: 0.1, ..Default::default() },
+            8192,
+        );
+        assert!(!hot.is_quiet());
+
+        // ECC model: skipping observe_read while quiet must not change any
+        // later decision. `a` makes 100 quiet reads, `b` skips them; both
+        // then arm the same hook and must agree.
+        let mut a = ecc(11, 0.0, 0.0);
+        let mut b = ecc(11, 0.0, 0.0);
+        assert!(a.is_quiet());
+        for i in 0..100u64 {
+            assert_eq!(a.observe_read(i * 64, 64), None);
+        }
+        a.arm_poison(1);
+        b.arm_poison(1);
+        assert!(!a.is_quiet() && !b.is_quiet());
+        assert_eq!(a.observe_read(640, 64), b.observe_read(640, 64));
+        let noisy = ecc(11, 0.5, 0.0);
+        assert!(!noisy.is_quiet());
+    }
+
+    #[test]
+    fn first_poisoned_in_matches_poisoned_in() {
+        let mut m = ecc(6, 0.0, 0.0);
+        assert_eq!(m.first_poisoned_in(0, 4096), None);
+        m.poison_block(64);
+        m.poison_block(256);
+        for (off, len) in [(0u64, 4096u64), (100, 1), (0, 64), (128, 64), (200, 100)] {
+            assert_eq!(
+                m.first_poisoned_in(off, len),
+                m.poisoned_in(off, len).first().copied(),
+                "divergence at off={off} len={len}"
+            );
+        }
     }
 
     #[test]

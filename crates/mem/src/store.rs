@@ -7,14 +7,34 @@
 //! metadata backup region) with real bytes, allocated lazily page by page.
 //!
 //! Unwritten memory reads as zero, matching a freshly initialized device.
+//!
+//! # Hot-path structure
+//!
+//! Page payloads live in a `Vec` arena; a deterministic-hash index maps
+//! page number to arena slot. Splitting storage from the index enables a
+//! one-entry *last-page cache* ([`std::cell::Cell`] of `(page, slot)`):
+//! consecutive small accesses to the same 4 KiB page — the common case for
+//! the 64 B block traffic the controller generates — skip the hash lookup
+//! entirely. The cache is purely an index shortcut; it never affects
+//! contents.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
-use thynvm_types::{HwAddr, PAGE_BYTES};
+use thynvm_types::{FxHashMap, HwAddr, PAGE_BYTES};
 
 const PAGE: usize = PAGE_BYTES as usize;
 
+/// Sentinel page number for an empty last-page cache. No reachable page
+/// uses it: page numbers are `addr / 4096 <= u64::MAX / 4096`.
+const NO_PAGE: u64 = u64::MAX;
+
 /// A sparse, byte-addressable memory with lazy 4 KiB page allocation.
+///
+/// Equality is *content-based*: a page that was allocated and holds only
+/// zeros compares equal to a page that was never allocated, exactly as
+/// [`SparseStore::fingerprint`] treats them. (A derived `PartialEq` once
+/// distinguished the two, so `a == b` and `a.fingerprint() ==
+/// b.fingerprint()` could disagree on byte-identical stores.)
 ///
 /// # Example
 ///
@@ -28,20 +48,56 @@ const PAGE: usize = PAGE_BYTES as usize;
 /// m.read(HwAddr::new(9), &mut buf);
 /// assert_eq!(buf, [0, 1, 2, 3]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct SparseStore {
-    pages: HashMap<u64, Box<[u8; PAGE]>>,
+    /// Page number → slot in `arena`.
+    index: FxHashMap<u64, u32>,
+    /// Page payloads; slots are never freed individually (only [`clear`]
+    /// drops them), so cached slot numbers stay valid.
+    ///
+    /// [`clear`]: SparseStore::clear
+    arena: Vec<Box<[u8; PAGE]>>,
+    /// Last `(page number, arena slot)` resolved, to short-circuit the
+    /// index lookup on consecutive accesses to one page.
+    last: Cell<(u64, u32)>,
 }
 
 impl SparseStore {
     /// Creates an empty store; all bytes read as zero.
     pub fn new() -> Self {
-        Self::default()
+        Self { index: FxHashMap::default(), arena: Vec::new(), last: Cell::new((NO_PAGE, 0)) }
     }
 
     /// Number of 4 KiB pages actually allocated.
     pub fn allocated_pages(&self) -> usize {
-        self.pages.len()
+        self.arena.len()
+    }
+
+    /// Resolves a page number to its arena slot through the one-entry
+    /// cache, or `None` when the page was never allocated.
+    #[inline]
+    fn slot_of(&self, page: u64) -> Option<u32> {
+        let (cached_page, cached_slot) = self.last.get();
+        if cached_page == page {
+            return Some(cached_slot);
+        }
+        let slot = *self.index.get(&page)?;
+        self.last.set((page, slot));
+        Some(slot)
+    }
+
+    /// Resolves a page number to its arena slot, allocating a zeroed page
+    /// on first touch.
+    #[inline]
+    fn slot_of_mut(&mut self, page: u64) -> u32 {
+        if let Some(slot) = self.slot_of(page) {
+            return slot;
+        }
+        let slot = u32::try_from(self.arena.len()).expect("fewer than 2^32 allocated pages");
+        self.arena.push(Box::new([0u8; PAGE]));
+        self.index.insert(page, slot);
+        self.last.set((page, slot));
+        slot
     }
 
     /// Reads `buf.len()` bytes starting at `addr`. Unallocated ranges read
@@ -53,8 +109,11 @@ impl SparseStore {
             let page = pos / PAGE_BYTES;
             let in_page = (pos % PAGE_BYTES) as usize;
             let n = (PAGE - in_page).min(buf.len() - off);
-            match self.pages.get(&page) {
-                Some(data) => buf[off..off + n].copy_from_slice(&data[in_page..in_page + n]),
+            match self.slot_of(page) {
+                Some(slot) => {
+                    let data = &self.arena[slot as usize];
+                    buf[off..off + n].copy_from_slice(&data[in_page..in_page + n]);
+                }
                 None => buf[off..off + n].fill(0),
             }
             pos += n as u64;
@@ -70,8 +129,9 @@ impl SparseStore {
             let page = pos / PAGE_BYTES;
             let in_page = (pos % PAGE_BYTES) as usize;
             let n = (PAGE - in_page).min(data.len() - off);
-            let slot = self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE]));
-            slot[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            let slot = self.slot_of_mut(page);
+            self.arena[slot as usize][in_page..in_page + n]
+                .copy_from_slice(&data[off..off + n]);
             pos += n as u64;
             off += n;
         }
@@ -92,10 +152,31 @@ impl SparseStore {
     }
 
     /// Copies `len` bytes from `src` to `dst` within this store.
+    ///
+    /// Semantics are *snapshot*: the bytes written at `dst` are the bytes
+    /// `src` held before the copy began, even when the ranges overlap.
+    /// Disjoint ranges stream through a small stack buffer; only genuine
+    /// overlap pays for a full heap snapshot of the source.
     pub fn copy_within(&mut self, src: HwAddr, dst: HwAddr, len: usize) {
-        let mut buf = vec![0u8; len];
-        self.read(src, &mut buf);
-        self.write(dst, &buf);
+        let (s, d) = (src.raw(), dst.raw());
+        let overlaps = s < d.saturating_add(len as u64) && d < s.saturating_add(len as u64);
+        if overlaps && s != d {
+            let mut buf = vec![0u8; len];
+            self.read(src, &mut buf);
+            self.write(dst, &buf);
+            return;
+        }
+        if s == d {
+            return;
+        }
+        let mut buf = [0u8; 512];
+        let mut done = 0usize;
+        while done < len {
+            let n = (len - done).min(buf.len());
+            self.read(src.offset(done as u64), &mut buf[..n]);
+            self.write(dst.offset(done as u64), &buf[..n]);
+            done += n;
+        }
     }
 
     /// Reads `buf.len()` bytes starting at `addr` through a media-fault
@@ -114,44 +195,72 @@ impl SparseStore {
 
     /// Discards all contents — the volatile-device crash model.
     pub fn clear(&mut self) {
-        self.pages.clear();
+        self.index.clear();
+        self.arena.clear();
+        self.last.set((NO_PAGE, 0));
     }
 
     /// Iterates over `(page index, page data)` pairs of allocated pages, in
     /// unspecified order.
     pub fn iter_pages(&self) -> impl Iterator<Item = (u64, &[u8; PAGE])> {
-        self.pages.iter().map(|(&idx, data)| (idx, &**data))
+        self.index.iter().map(|(&idx, &slot)| (idx, &*self.arena[slot as usize]))
     }
 
-    /// A content-based fingerprint of the store: an FNV-1a hash over the
-    /// allocated pages in address order, skipping all-zero pages so that an
-    /// unallocated page and a page written full of zeros hash identically.
-    /// Two stores with equal fingerprints hold (with overwhelming
-    /// probability) byte-identical contents — a cheap stand-in for full
-    /// image comparison in soak tests.
+    /// A content-based fingerprint of the store: an FNV-1a-style hash over
+    /// the allocated pages in address order, word at a time, skipping
+    /// all-zero pages so that an unallocated page and a page written full
+    /// of zeros hash identically. Two stores with equal fingerprints hold
+    /// (with overwhelming probability) byte-identical contents — a cheap
+    /// stand-in for full image comparison in soak tests.
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x100_0000_01b3;
-        let mut idxs: Vec<u64> = self
-            .pages
-            .iter()
-            .filter(|(_, data)| data.iter().any(|&b| b != 0))
-            .map(|(&idx, _)| idx)
-            .collect();
-        idxs.sort_unstable();
+        let mut pages: Vec<(u64, &[u8; PAGE])> =
+            self.iter_pages().filter(|(_, data)| !page_is_zero(data)).collect();
+        pages.sort_unstable_by_key(|&(idx, _)| idx);
         let mut h = FNV_OFFSET;
-        for idx in idxs {
-            for b in idx.to_le_bytes() {
-                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-            }
-            let data = &self.pages[&idx];
-            for &b in data.iter() {
-                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        for (idx, data) in pages {
+            h = (h ^ idx).wrapping_mul(FNV_PRIME);
+            for chunk in data.chunks_exact(8) {
+                let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                h = (h ^ word).wrapping_mul(FNV_PRIME);
             }
         }
         h
     }
 }
+
+/// Whether a page holds only zero bytes, checked a word at a time.
+#[inline]
+fn page_is_zero(data: &[u8; PAGE]) -> bool {
+    data.chunks_exact(8)
+        .all(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")) == 0)
+}
+
+impl PartialEq for SparseStore {
+    /// Content-based equality, agreeing with [`SparseStore::fingerprint`]:
+    /// allocated-but-all-zero pages are indistinguishable from unallocated
+    /// ones.
+    fn eq(&self, other: &Self) -> bool {
+        let nonzero = |s: &Self| {
+            s.iter_pages().filter(|(_, data)| !page_is_zero(data)).count()
+        };
+        if nonzero(self) != nonzero(other) {
+            return false;
+        }
+        self.iter_pages().all(|(idx, data)| {
+            if page_is_zero(data) {
+                return true;
+            }
+            match other.slot_of(idx) {
+                Some(slot) => other.arena[slot as usize][..] == data[..],
+                None => false,
+            }
+        })
+    }
+}
+
+impl Eq for SparseStore {}
 
 #[cfg(test)]
 mod tests {
@@ -233,6 +342,37 @@ mod tests {
     }
 
     #[test]
+    fn copy_within_overlapping_backward_snapshots_too() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(2), &[1, 2, 3, 4]);
+        m.copy_within(HwAddr::new(2), HwAddr::new(0), 4);
+        let mut buf = [0u8; 6];
+        m.read(HwAddr::new(0), &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 3, 4]);
+    }
+
+    #[test]
+    fn copy_within_identical_ranges_is_a_noop() {
+        let mut m = SparseStore::new();
+        m.write(HwAddr::new(64), &[5, 6, 7]);
+        m.copy_within(HwAddr::new(64), HwAddr::new(64), 3);
+        assert_eq!(&m.read_block(HwAddr::new(64))[..3], &[5, 6, 7]);
+    }
+
+    #[test]
+    fn copy_within_larger_than_stack_chunk() {
+        // Exercise the chunked (disjoint) path across several 512 B chunks
+        // and a page boundary.
+        let mut m = SparseStore::new();
+        let src: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        m.write(HwAddr::new(100), &src);
+        m.copy_within(HwAddr::new(100), HwAddr::new(100_000), src.len());
+        let mut back = vec![0u8; src.len()];
+        m.read(HwAddr::new(100_000), &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
     fn clear_models_volatility() {
         let mut m = SparseStore::new();
         m.write(HwAddr::new(0), &[1; 64]);
@@ -308,5 +448,63 @@ mod tests {
         assert_ne!(a, b);
         b.write(HwAddr::new(5), &[42]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_agrees_with_fingerprint_on_zero_pages() {
+        // Regression: the derived PartialEq distinguished an allocated
+        // all-zero page from an unallocated one, while fingerprint() did
+        // not — the two observers disagreed on byte-identical stores.
+        let mut a = SparseStore::new();
+        let b = SparseStore::new();
+        a.write(HwAddr::new(0), &[0u8; 64]);
+        assert_eq!(a.allocated_pages(), 1);
+        assert_eq!(b.allocated_pages(), 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b, "equality must agree with the fingerprint");
+        assert_eq!(b, a, "content equality is symmetric");
+        // Overwriting a real byte back to zero re-merges the stores too.
+        let mut c = SparseStore::new();
+        c.write(HwAddr::new(9), &[7]);
+        assert_ne!(c, b);
+        c.write(HwAddr::new(9), &[0]);
+        assert_eq!(c, b);
+        // And a nonzero page still separates them.
+        c.write(HwAddr::new(9), &[7]);
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn equality_mixed_zero_and_nonzero_pages() {
+        let mut a = SparseStore::new();
+        let mut b = SparseStore::new();
+        a.write(HwAddr::new(0), &[0u8; PAGE]); // zero page, allocated
+        a.write(HwAddr::new(2 * PAGE_BYTES), &[1, 2, 3]);
+        b.write(HwAddr::new(2 * PAGE_BYTES), &[1, 2, 3]);
+        assert_eq!(a, b);
+        // Different nonzero page sets differ.
+        b.write(HwAddr::new(PAGE_BYTES), &[9]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn last_page_cache_survives_interleaved_access() {
+        // Interleave reads/writes across pages so the one-entry cache is
+        // repeatedly invalidated and repopulated; contents must be exact.
+        let mut m = SparseStore::new();
+        for i in 0..4u64 {
+            m.write(HwAddr::new(i * PAGE_BYTES + 7), &[i as u8 + 1]);
+        }
+        for round in 0..3u64 {
+            for i in (0..4u64).rev() {
+                let mut buf = [0u8; 1];
+                m.read(HwAddr::new(i * PAGE_BYTES + 7), &mut buf);
+                assert_eq!(buf[0], i as u8 + 1, "round {round} page {i}");
+            }
+        }
+        m.clear();
+        let mut buf = [9u8; 1];
+        m.read(HwAddr::new(7), &mut buf);
+        assert_eq!(buf[0], 0, "cache must not outlive clear()");
     }
 }

@@ -1,0 +1,176 @@
+//! Deterministic, fast hashing for simulator-internal maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed with per-process
+//! randomness and costs tens of nanoseconds per lookup — both properties
+//! are wrong for this simulator. The hot path performs several map lookups
+//! per simulated memory access (BTT/PTT entries, store counters, device
+//! row-write tracking), where SipHash dominates; and while nothing in the
+//! workspace iterates a hash map in an order-sensitive way without sorting
+//! first, a randomly-keyed hasher makes that invariant unverifiable run to
+//! run.
+//!
+//! [`FxHasher`] is the Fowler-style multiply-rotate hash used by rustc
+//! (widely known as FxHash): not DoS-resistant — irrelevant here, keys are
+//! simulator-internal addresses and indices — but one rotate/xor/multiply
+//! per word, fully deterministic across runs and platforms (the state is
+//! always 64-bit, independent of `usize` width).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// rustc's FxHash: `state = (state <<< 5 ^ word) * K` per 64-bit word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// The multiplier: 2^64 / phi, the classic Fibonacci-hashing constant.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold in the length so "ab" and "ab\0" hash differently.
+            self.add_word(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        // Always widen to 64 bits so 32- and 64-bit hosts agree.
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.write_u8(n as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.write_u16(n as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.write_u32(n as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.write_usize(n as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(0xdead_beefu64), hash_of(0xdead_beefu64));
+        assert_eq!(hash_of("some key"), hash_of("some key"));
+    }
+
+    #[test]
+    fn known_values_are_pinned() {
+        // Pin the exact hash so an accidental algorithm change (which would
+        // silently reshuffle every map's growth pattern) is caught. These
+        // values must never vary by platform.
+        assert_eq!(hash_of(0u64), 0);
+        assert_eq!(hash_of(1u64), K);
+        let mut h = FxHasher::default();
+        h.write_u64(2);
+        h.write_u64(3);
+        assert_eq!(h.finish(), (2u64.wrapping_mul(K).rotate_left(5) ^ 3).wrapping_mul(K));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_of(i * 4096));
+        }
+        assert_eq!(seen.len(), 10_000, "page-aligned keys must not collide");
+    }
+
+    #[test]
+    fn byte_slices_fold_tail_and_length() {
+        assert_ne!(hash_of(b"ab".as_slice()), hash_of(b"ab\0".as_slice()));
+        assert_ne!(hash_of(b"".as_slice()), hash_of(b"\0".as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(7, 1);
+        assert_eq!(m.get(&7), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(s.contains(&9));
+    }
+}

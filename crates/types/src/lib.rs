@@ -36,6 +36,7 @@ pub mod addr;
 pub mod config;
 pub mod cycle;
 pub mod error;
+pub mod fxmap;
 pub mod hist;
 pub mod req;
 pub mod stats;
@@ -48,10 +49,11 @@ pub use config::{
 };
 pub use cycle::Cycle;
 pub use error::{Error, Result};
+pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
 pub use req::{AccessKind, MemRequest, TraceEvent};
 pub use stats::{
     CkptPhase, CrashEvent, DramStats, FaultKind, MediaStats, MemStats, NvmWriteClass,
-    RecoveryOutcome, RecoveryStep,
+    PerfStats, RecoveryOutcome, RecoveryStep,
 };
 pub use system::{MemorySystem, PersistentMemory};

@@ -415,6 +415,8 @@ pub struct MemStats {
     pub media: MediaStats,
     /// DRAM ECC fault-domain counters.
     pub dram: DramStats,
+    /// Simulator fast-path counters (host-performance accounting).
+    pub perf: PerfStats,
     /// Per-crash observability records, in injection order.
     pub crash_events: Vec<CrashEvent>,
 }
@@ -535,7 +537,37 @@ impl MemStats {
         self.recovery_cycles += other.recovery_cycles;
         self.media.merge(&other.media);
         self.dram.merge(&other.dram);
+        self.perf.merge(&other.perf);
         self.crash_events.extend(other.crash_events.iter().cloned());
+    }
+}
+
+/// Simulator fast-path counters: how often the controller provably skipped
+/// fault-model work because the model was *quiet* (zero rates, nothing
+/// armed, nothing stuck or poisoned).
+///
+/// These counters account for the hot-path flattening itself — they let
+/// the `simspeed` harness and tests verify the fast paths actually fire
+/// (a silent fast path that never triggers is dead weight, and one that
+/// fires when the model is armed would corrupt fault schedules). They are
+/// host-performance accounting only; no simulated time or fault decision
+/// depends on them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfStats {
+    /// NVM data reads that skipped the media fault model because it was
+    /// quiet; each skip saved a seeded-stream consultation and a stuck-cell
+    /// range probe.
+    pub nvm_quiet_reads: u64,
+    /// DRAM working-region reads that skipped the SEC-DED ECC check
+    /// because the model was quiet.
+    pub dram_quiet_reads: u64,
+}
+
+impl PerfStats {
+    /// Merges another record into this one (summing all fields).
+    pub fn merge(&mut self, other: &PerfStats) {
+        self.nvm_quiet_reads += other.nvm_quiet_reads;
+        self.dram_quiet_reads += other.dram_quiet_reads;
     }
 }
 
