@@ -1,0 +1,10 @@
+//! Secure persistent memory mode; see thynvm_bench::experiments::e22_secure_mode.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e22_secure_mode`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    experiments::e22_secure_mode(Scale::from_env()).print();
+}

@@ -110,8 +110,9 @@ fn faulty_dram() -> DramFaultConfig {
 }
 
 /// Builds the fixed case set: {micro-random, YCSB-A} × {fault-off,
-/// fault-on}, all through the ThyNVM controller on the paper
-/// configuration. `micro_accesses` and `ycsb_ops` scale the traces; the
+/// fault-on}, plus micro-random with the secure persistent memory mode
+/// armed, all through the ThyNVM controller on the paper configuration.
+/// `micro_accesses` and `ycsb_ops` scale the traces; the
 /// committed baseline uses [`cases`]'s defaults, and the gate refuses to
 /// compare entries with different `ops`.
 pub fn cases_scaled(micro_accesses: u64, ycsb_ops: u64) -> Vec<SpeedCase> {
@@ -126,10 +127,14 @@ pub fn cases_scaled(micro_accesses: u64, ycsb_ops: u64) -> Vec<SpeedCase> {
     faulty.media = faulty_media();
     faulty.dram_fault = faulty_dram();
     faulty.validate().expect("fault-on simspeed configuration is valid");
+    let mut secure = base;
+    secure.security = thynvm_types::SecurityConfig::hardened();
+    secure.validate().expect("secure simspeed configuration is valid");
 
     vec![
         SpeedCase { name: "micro-random/fault-off", cfg: base, events: micro_events.clone() },
-        SpeedCase { name: "micro-random/fault-on", cfg: faulty, events: micro_events },
+        SpeedCase { name: "micro-random/fault-on", cfg: faulty, events: micro_events.clone() },
+        SpeedCase { name: "micro-random/secure-on", cfg: secure, events: micro_events },
         SpeedCase { name: "ycsb-a/fault-off", cfg: base, events: ycsb_events.clone() },
         SpeedCase { name: "ycsb-a/fault-on", cfg: faulty, events: ycsb_events },
     ]
@@ -507,10 +512,10 @@ mod tests {
 
     #[test]
     fn small_cases_measure_deterministically() {
-        // A miniature end-to-end run: all four cases execute, produce
+        // A miniature end-to-end run: all five cases execute, produce
         // nonzero simulated time, and the cycle totals are repeatable.
         let cases = cases_scaled(400, 100);
-        assert_eq!(cases.len(), 4);
+        assert_eq!(cases.len(), 5);
         for case in &cases {
             let a = measure(case, 2);
             let b = measure(case, 1);
@@ -525,6 +530,7 @@ mod tests {
         let cases = cases_scaled(16, 4);
         assert!(cases.iter().any(|c| c.cfg.media.enabled && c.cfg.dram_fault.enabled));
         assert!(cases.iter().any(|c| !c.cfg.media.enabled && !c.cfg.dram_fault.enabled));
+        assert!(cases.iter().any(|c| c.cfg.security.enabled), "secure case present");
         for case in cases {
             case.cfg.validate().expect("every simspeed config validates");
         }

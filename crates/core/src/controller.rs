@@ -42,7 +42,10 @@
 //!   persisted twice.
 
 
-use thynvm_mem::{Device, DeviceKind, DramEccModel, EccReadFault, FaultModel, SparseStore, WriteQueue};
+use thynvm_mem::{
+    Device, DeviceKind, DramEccModel, EccReadFault, FaultModel, SecurityModel, SparseStore,
+    WriteQueue,
+};
 use thynvm_types::{
     AccessKind, BlockIndex, CkptMode, CkptPhase, Cycle, Error, FaultKind, FxHashMap, FxHashSet,
     HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr, RecoveryStep,
@@ -69,6 +72,10 @@ const CRC_NS_PER_BLOCK: u64 = 2;
 /// 64 B record is persisted as eight 8-byte device words.
 const COMMIT_RECORD_WORDS: usize = 8;
 
+/// Domain-separation tag for deriving the modeled MAC key from the
+/// security seed (distinct from the tamper-schedule stream).
+const TAG_MAC_KEY: u64 = 0x4d41_434b; // "MACK"
+
 /// A latent media fault injected into persisted checkpoint state.
 ///
 /// The fault is consulted at the next recovery and applies to whichever
@@ -92,6 +99,40 @@ pub enum MediaFault {
     CorruptPttMetadata,
 }
 
+/// An adversarial tamper injected into persisted secure-mode state.
+///
+/// Unlike [`MediaFault`] (accidental corruption, modeled as latent flags),
+/// a tamper *really mutates* the persisted bytes or the security-metadata
+/// model out-of-band, the way an attacker with physical NVM access would.
+/// The next recovery's MAC / integrity-tree verification must therefore
+/// detect it by recomputation, not by consulting a flag. Armed via
+/// [`ThyNvm::inject_tamper`]; applied at the next crash once a completed
+/// checkpoint exists (until then it stays armed — there is nothing
+/// authenticated to forge yet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperFault {
+    /// A byte of `C_last`'s committed data is overwritten in place: a
+    /// content forgery that the checkpoint MAC rejects.
+    ClastData {
+        /// Physical address of the forged byte.
+        addr: u64,
+    },
+    /// The persisted encryption-counter table is rolled back to a stale
+    /// generation (a counter-replay attack); the integrity-tree root no
+    /// longer authenticates it.
+    StaleCounterTable,
+    /// The security-metadata root record is torn — power was lost while it
+    /// streamed to NVM, so it never authenticates.
+    TornRootMeta,
+    /// Bytes of *both* checkpoint images are forged: no authenticated
+    /// state survives, and recovery must refuse to replay either image
+    /// ([`Error::IntegrityUnrecoverable`]) rather than serve forged data.
+    BothImages {
+        /// Physical address of the forged byte (in each image).
+        addr: u64,
+    },
+}
+
 /// Result of a crash recovery (§4.5).
 #[must_use = "the report says which checkpoint survived — dropping it hides rollbacks"]
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +149,10 @@ pub struct RecoveryReport {
     /// verification, so recovery discarded it and restored the retained
     /// penultimate image instead.
     pub integrity_fallback: bool,
+    /// Whether *both* checkpoint images failed secure-mode authentication:
+    /// recovery refused to replay unauthenticated data and reset to the
+    /// provably-empty image ([`Error::IntegrityUnrecoverable`]).
+    pub unrecoverable: bool,
     /// Simulated duration of the recovery procedure, including every
     /// attempt aborted by a nested crash.
     pub recovery_cycles: Cycle,
@@ -267,11 +312,33 @@ pub struct ThyNvm {
     quarantine_events: Vec<(u64, u64)>,
     /// The most recent poison-loss error, for inspection.
     last_poison_error: Option<Error>,
+
+    // ---- secure persistent memory mode ----
+    /// The counter-mode encryption / integrity-tree model, when
+    /// `cfg.security.enabled`.
+    security: Option<SecurityModel>,
+    /// The modeled MAC key: the basis fed to
+    /// [`SparseStore::fingerprint_with_basis`], derived from the security
+    /// seed. An attacker without it cannot produce a forgery that verifies.
+    mac_key: u64,
+    /// MAC over the `C_last` committed image, rotated at job retirement.
+    /// Models the authenticated checkpoint root stored in NVM — it
+    /// survives crashes.
+    mac_last: u64,
+    /// MAC over the retained `C_penult` image (the fallback target).
+    mac_penult: u64,
+    /// Armed tamper, applied at the next crash once a completed checkpoint
+    /// exists to forge.
+    injected_tamper: Option<TamperFault>,
+    /// The most recent both-images authentication failure, for inspection.
+    last_security_error: Option<Error>,
 }
 
 impl ThyNvm {
     /// Creates a controller with the given configuration.
     pub fn new(cfg: SystemConfig) -> Self {
+        let mac_key = thynvm_types::rng::mix(cfg.security.seed, TAG_MAC_KEY);
+        let empty_mac = SparseStore::new().fingerprint_with_basis(mac_key);
         Self {
             space: AddressSpace::new(),
             dram: Device::new(DeviceKind::Dram, cfg.timing, cfg.dram_geometry),
@@ -319,6 +386,12 @@ impl ThyNvm {
             dram_fault: cfg.dram_fault.enabled.then(|| DramEccModel::new(&cfg.dram_fault)),
             quarantine_events: Vec::new(),
             last_poison_error: None,
+            security: cfg.security.enabled.then(|| SecurityModel::new(&cfg.security)),
+            mac_key,
+            mac_last: empty_mac,
+            mac_penult: empty_mac,
+            injected_tamper: None,
+            last_security_error: None,
             cfg,
         }
     }
@@ -478,7 +551,9 @@ impl ThyNvm {
         inflight += self.nvm_wq.len_at(at) + self.dram_wq.len_at(at);
 
         let report = self.crash_and_recover(at);
-        let outcome = if report.integrity_fallback {
+        let outcome = if report.unrecoverable {
+            thynvm_types::RecoveryOutcome::Unrecoverable
+        } else if report.integrity_fallback {
             thynvm_types::RecoveryOutcome::CPenultIntegrityFallback
         } else if report.rolled_back_incomplete {
             thynvm_types::RecoveryOutcome::CPenult
@@ -546,6 +621,48 @@ impl ThyNvm {
             MediaFault::ClastBitFlip { addr } => self.injected_clast_flip = Some(addr),
             MediaFault::CorruptPttMetadata => self.injected_meta_corrupt = true,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Secure persistent memory mode (counter-mode encryption, MAC tree)
+    // ------------------------------------------------------------------
+
+    /// The secure-mode model (encryption counters, integrity tree), when
+    /// `cfg.security.enabled` (inspection).
+    pub fn security_model(&self) -> Option<&SecurityModel> {
+        self.security.as_ref()
+    }
+
+    /// Arms an adversarial tamper in persisted secure-mode state. Applied
+    /// at the next crash once a completed checkpoint exists (nothing
+    /// authenticated to forge before then — it stays armed); recovery's
+    /// MAC / integrity-tree verification then detects it by recomputation
+    /// and classifies it. Ignored when secure mode is off — without MACs
+    /// nothing *models* the attacker's physical access, and the harness
+    /// asserts detection, so arming would be a silent no-op lie.
+    pub fn inject_tamper(&mut self, fault: TamperFault) {
+        if self.security.is_some() {
+            self.injected_tamper = Some(fault);
+        }
+    }
+
+    /// The tamper armed but not yet applied, if any.
+    pub fn armed_tamper(&self) -> Option<TamperFault> {
+        self.injected_tamper
+    }
+
+    /// Takes the most recent both-images authentication failure
+    /// ([`Error::IntegrityUnrecoverable`]): recovery found no checkpoint
+    /// image that verifies and reset to the empty image rather than replay
+    /// forged data.
+    pub fn take_security_error(&mut self) -> Option<Error> {
+        self.last_security_error.take()
+    }
+
+    /// MAC over the committed `C_last` image under the modeled key — what
+    /// the next recovery's verification recomputes and compares.
+    pub fn clast_mac(&self) -> u64 {
+        self.mac_last
     }
 
     // ------------------------------------------------------------------
@@ -664,6 +781,7 @@ impl ThyNvm {
             done = self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, done);
             self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Migration);
             self.media_note_write(dst, PAGE_BYTES as u32);
+            self.security_note_write(dst, PAGE_BYTES as u32);
         }
         // With no checkpointed copy the Home Region still holds the page's
         // pre-promotion bytes — nothing durable ever left it — so no copy
@@ -773,6 +891,46 @@ impl ThyNvm {
         }
     }
 
+    /// Attributes counter-mode encryption + MAC work for `bytes` of data
+    /// (`encrypt` distinguishes the write path from read-side decrypt +
+    /// verify). Pure stats, like [`Self::charge_crc`]: the AES-CTR pads are
+    /// precomputed from the counters and XORed in the controller pipeline,
+    /// overlapping the burst transfers. A no-op with secure mode off, so
+    /// disabled runs stay bit-identical.
+    fn charge_crypto(&mut self, bytes: u64, encrypt: bool) {
+        if self.security.is_none() {
+            return;
+        }
+        let blocks = bytes.div_ceil(BLOCK_BYTES);
+        if blocks == 0 {
+            return;
+        }
+        let ns = (self.cfg.security.crypto_ns_per_block + self.cfg.security.mac_ns_per_block)
+            * blocks;
+        self.stats.security.crypto_cycles += Cycle::from_ns(ns);
+        if encrypt {
+            self.stats.security.blocks_encrypted += blocks;
+        } else {
+            self.stats.security.blocks_verified += blocks;
+        }
+    }
+
+    /// Feeds one NVM data write into the secure-mode model: every touched
+    /// 64 B block is re-encrypted under a bumped write counter (counter
+    /// reuse would break CTR-mode confidentiality), which dirties the
+    /// counter table the next epoch boundary must persist.
+    fn security_note_write(&mut self, hw: HwAddr, bytes: u32) {
+        let Some(sec) = self.security.as_mut() else { return };
+        let start = hw.raw() & !(BLOCK_BYTES - 1);
+        let end = hw.raw() + u64::from(bytes);
+        let mut b = start;
+        while b < end {
+            sec.note_block_write(b);
+            b += BLOCK_BYTES;
+        }
+        self.charge_crypto(u64::from(bytes), true);
+    }
+
     /// Resolves the bad-block indirection: accesses to a remapped block go
     /// to its spare location instead of the worn-out original.
     fn remapped(&self, hw: HwAddr) -> HwAddr {
@@ -826,6 +984,7 @@ impl ThyNvm {
         t = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, t);
         self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Migration);
         self.media_note_write(dst, BLOCK_BYTES as u32);
+        self.security_note_write(dst, BLOCK_BYTES as u32);
         // CRC seal: the remap commits when this lands.
         t = self.nvm.access(wal, AccessKind::Write, 64, t);
         self.stats.record_nvm_write(64, NvmWriteClass::Migration);
@@ -848,6 +1007,9 @@ impl ThyNvm {
         self.stats.nvm_reads += 1;
         self.stats.nvm_read_bytes += u64::from(bytes);
         let mut done = self.nvm.access(hw, AccessKind::Read, bytes, now);
+        // Secure mode decrypts + MAC-verifies every NVM data read,
+        // independent of the media-fault model.
+        self.charge_crypto(u64::from(bytes), false);
         if self.fault.is_none() {
             return done;
         }
@@ -1046,14 +1208,23 @@ impl ThyNvm {
         let retire_at = job.done_at;
 
         // The image about to be superseded becomes `C_penult` — the
-        // integrity-fallback target should `C_last` later fail verification.
-        if self.fault.is_some() || self.cfg.media.integrity {
+        // integrity-fallback target should `C_last` later fail verification
+        // (media CRCs or secure-mode MAC authentication).
+        if self.fault.is_some() || self.cfg.media.integrity || self.security.is_some() {
             self.committed_prev = self.committed.clone();
         }
 
         // Functional commit: the checkpointed epoch's writes become durable.
         for (addr, data) in self.ckpting_log.drain(..) {
             self.committed.write(thynvm_types::HwAddr::new(addr), &data);
+        }
+
+        // Rotate the checkpoint MACs with the images: the superseded
+        // image's MAC becomes the fallback's reference, and the fresh
+        // committed image is authenticated under the modeled key.
+        if self.security.is_some() {
+            self.mac_penult = self.mac_last;
+            self.mac_last = self.committed.fingerprint_with_basis(self.mac_key);
         }
 
         // §6 bug-tolerance extension: archive the committed image.
@@ -1274,6 +1445,7 @@ impl ThyNvm {
                 self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, now);
                 self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Migration);
                 self.media_note_write(dst, PAGE_BYTES as u32);
+                self.security_note_write(dst, PAGE_BYTES as u32);
             }
             // With no checkpointed copy the Home Region already holds the
             // page's bytes, so the demotion is pure bookkeeping.
@@ -1284,6 +1456,7 @@ impl ThyNvm {
         self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, now);
         self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Migration);
         self.media_note_write(dst, PAGE_BYTES as u32);
+        self.security_note_write(dst, PAGE_BYTES as u32);
         self.stats.pages_demoted += 1;
     }
 
@@ -1422,6 +1595,7 @@ impl ThyNvm {
         let done = self.nvm.access(hw, AccessKind::Write, bytes, now);
         self.stats.record_nvm_write(u64::from(bytes), class);
         self.media_note_write(hw, bytes);
+        self.security_note_write(hw, bytes);
         self.nvm_wq.push(done, now)
     }
 
@@ -1444,6 +1618,7 @@ impl ThyNvm {
                 self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, now);
                 self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Migration);
                 self.media_note_write(dst, BLOCK_BYTES as u32);
+                self.security_note_write(dst, BLOCK_BYTES as u32);
             }
             reclaimed += 1;
         }
@@ -1601,6 +1776,12 @@ impl ThyNvm {
         // Invalidate the in-flight job and everything after `number`.
         self.epoch.job = None;
         self.committed = image;
+        // The archived image becomes `C_last` by deliberate operator
+        // action: re-authenticate it so recovery's MAC verification does
+        // not mistake the sanctioned rollback for tampering.
+        if self.security.is_some() {
+            self.mac_last = self.committed.fingerprint_with_basis(self.mac_key);
+        }
         self.archive.retain(|(n, _)| *n <= number);
         let report = self.crash_and_recover(now);
         Ok(report)
@@ -1704,6 +1885,39 @@ impl ThyNvm {
         done
     }
 
+    /// Applies an armed tamper to the persisted state it forges. The raw
+    /// store mutations model an attacker with physical NVM access writing
+    /// out-of-band — they deliberately bypass the controller's write path
+    /// (no counters bump, no MAC rotates), which is exactly why the next
+    /// recovery's recomputed MAC rejects the forged image.
+    // lint: recovery-path
+    fn apply_tamper(&mut self, fault: TamperFault) {
+        self.stats.security.tampers_injected += 1;
+        let forge = |store: &mut SparseStore, addr: u64| {
+            let mut b = [0u8];
+            store.read(HwAddr::new(addr), &mut b);
+            b.iter_mut().for_each(|x| *x ^= 0xA5);
+            store.write(HwAddr::new(addr), &b);
+        };
+        match fault {
+            TamperFault::ClastData { addr } => forge(&mut self.committed, addr),
+            TamperFault::StaleCounterTable => self
+                .security
+                .as_mut()
+                .expect("invariant: tamper applied only with secure mode on")
+                .tamper_stale_table(),
+            TamperFault::TornRootMeta => self
+                .security
+                .as_mut()
+                .expect("invariant: tamper applied only with secure mode on")
+                .tamper_torn_root(),
+            TamperFault::BothImages { addr } => {
+                forge(&mut self.committed, addr);
+                forge(&mut self.committed_prev, addr);
+            }
+        }
+    }
+
     /// Simulates a power failure at `now` followed by the §4.5 recovery
     /// procedure, and returns the recovery report.
     ///
@@ -1757,17 +1971,56 @@ impl ThyNvm {
         if let Some(ecc) = self.dram_fault.as_mut() {
             self.stats.dram.poison_cleared_by_crash += ecc.clear_all() as u64;
         }
+        // The controller's volatile counter cache reverts to the persisted
+        // table; the counters bumped mid-epoch are a *bounded, known* set
+        // that recovery replays — never guesses (arXiv:1901.00620).
+        if let Some(sec) = self.security.as_mut() {
+            self.stats.security.counters_replayed += sec.crash() as u64;
+        }
+
+        // Adversarial tamper schedule: the seeded stream may decide this
+        // crash window is when the attacker strikes. The stream always
+        // advances (determinism is a function of crash count, not of which
+        // branch fires); a manually armed tamper takes precedence.
+        if let Some(sec) = self.security.as_mut() {
+            let roll = sec.tamper_roll();
+            if self.injected_tamper.is_none() && self.epoch.completed > 0 {
+                if let Some(h) = roll {
+                    let addr = (h >> 8) & 0xf_ffff; // somewhere in the image
+                    self.injected_tamper = Some(match h % 3 {
+                        0 => TamperFault::ClastData { addr },
+                        1 => TamperFault::StaleCounterTable,
+                        _ => TamperFault::TornRootMeta,
+                    });
+                }
+            }
+        }
+        // Apply the armed tamper once a completed checkpoint exists to
+        // forge. The mutation is *real* (bytes / model state change), so
+        // every restarted recovery attempt re-derives the same verdict by
+        // recomputation — no flag peeking needed.
+        if self.security.is_some() && self.epoch.completed > 0 {
+            if let Some(t) = self.injected_tamper.take() {
+                self.apply_tamper(t);
+            }
+        }
 
         // Restartable recovery: run attempts until one completes. A queued
         // crash point overrun by an attempt's timeline aborts it (a nested
         // crash); the next attempt restarts at the interrupting cycle.
         let nested_before = self.stats.nested_crashes;
         let mut integrity_fallback = false;
+        let mut unrecoverable = false;
         let mut attempts = 0u64;
         let mut start = now;
         let (steps, restored, end) = loop {
             attempts += 1;
-            match self.recovery_attempt(start, rolled_back_incomplete, &mut integrity_fallback) {
+            match self.recovery_attempt(
+                start,
+                rolled_back_incomplete,
+                &mut integrity_fallback,
+                &mut unrecoverable,
+            ) {
                 Ok(done) => break done,
                 Err(at) => start = start.max(at),
             }
@@ -1790,6 +2043,7 @@ impl ThyNvm {
             rolled_back_incomplete,
             restored_pages: restored,
             integrity_fallback,
+            unrecoverable,
             recovery_cycles: end.saturating_sub(now),
             steps,
             nested_crashes: self.stats.nested_crashes - nested_before,
@@ -1811,10 +2065,16 @@ impl ThyNvm {
         start: Cycle,
         rolled_back_incomplete: bool,
         integrity_fallback: &mut bool,
+        unrecoverable: &mut bool,
     ) -> Result<(Vec<(RecoveryStep, Cycle)>, usize, Cycle), Cycle> {
         let mut remaps = Vec::new();
-        let result =
-            self.recovery_attempt_run(start, rolled_back_incomplete, integrity_fallback, &mut remaps);
+        let result = self.recovery_attempt_run(
+            start,
+            rolled_back_incomplete,
+            integrity_fallback,
+            unrecoverable,
+            &mut remaps,
+        );
         if let Err(at) = result {
             // Bad-block remaps whose WAL seal had not landed when power
             // failed never took effect: drop the in-memory indirection and
@@ -1840,6 +2100,7 @@ impl ThyNvm {
         t_end: Cycle,
         rolled_back_incomplete: bool,
         integrity_fallback: bool,
+        unrecoverable: bool,
     ) -> Result<(), Cycle> {
         let Some(&at) = self.crash_points.first() else {
             return Ok(());
@@ -1848,7 +2109,9 @@ impl ThyNvm {
             return Ok(());
         }
         self.crash_points.remove(0);
-        let outcome = if integrity_fallback {
+        let outcome = if unrecoverable {
+            thynvm_types::RecoveryOutcome::Unrecoverable
+        } else if integrity_fallback {
             thynvm_types::RecoveryOutcome::CPenultIntegrityFallback
         } else if rolled_back_incomplete {
             thynvm_types::RecoveryOutcome::CPenult
@@ -1883,6 +2146,7 @@ impl ThyNvm {
         self.stats.nvm_read_bytes += u64::from(bytes);
         let mut done = self.nvm.access(hw, AccessKind::Read, bytes, now);
         self.charge_crc(u64::from(bytes));
+        self.charge_crypto(u64::from(bytes), false);
         if self.fault.is_none() || !self.cfg.media.integrity {
             return done;
         }
@@ -1917,6 +2181,7 @@ impl ThyNvm {
         start: Cycle,
         rolled_back_incomplete: bool,
         integrity_fallback: &mut bool,
+        unrecoverable: &mut bool,
         remaps: &mut Vec<(u64, Cycle)>,
     ) -> Result<(Vec<(RecoveryStep, Cycle)>, usize, Cycle), Cycle> {
         // Power restore: volatile device state (row buffers, bank busy
@@ -1932,6 +2197,7 @@ impl ThyNvm {
             t,
             rolled_back_incomplete,
             *integrity_fallback,
+            *unrecoverable,
         )?;
         steps.push((RecoveryStep::ReadCommitRecord, t));
 
@@ -1967,6 +2233,7 @@ impl ThyNvm {
                 t,
                 rolled_back_incomplete,
                 *integrity_fallback,
+                *unrecoverable,
             )?;
             steps.push((RecoveryStep::VerifyClast, t));
 
@@ -1987,6 +2254,7 @@ impl ThyNvm {
                     w,
                     rolled_back_incomplete,
                     *integrity_fallback,
+                    *unrecoverable,
                 ) {
                     // The seal never landed: nothing took effect. The next
                     // attempt re-detects the corruption and redoes this.
@@ -2001,11 +2269,138 @@ impl ThyNvm {
                 self.injected_meta_corrupt = false;
                 self.committed = self.committed_prev.clone();
                 self.committed_prev = self.committed.clone();
+                // The fallback image's MAC becomes the reference `C_last`
+                // MAC, exactly as the images themselves rotated.
+                if self.security.is_some() {
+                    self.mac_last = self.mac_penult;
+                }
                 self.epoch.completed -= 1;
                 self.stats.media.integrity_fallbacks += 1;
                 *integrity_fallback = true;
                 t = w;
                 steps.push((RecoveryStep::IntegrityFallback, t));
+            }
+        }
+
+        // Step 2b/3b: secure-mode authentication. The MAC over the
+        // committed image and the integrity-tree root over the counter
+        // table are *recomputed* from persisted state — pure functions of
+        // it, so a restarted attempt converges on the same verdict.
+        if self.security.is_some() && self.epoch.completed > 0 {
+            let table_bytes = (self.security.as_ref().expect("invariant: secure mode is on in this block").table_entries()
+                as u64
+                * META_ENTRY_BYTES)
+                .max(64);
+            t = self.recovery_read(self.space.security_root(), 64, t, remaps);
+            t = self.recovery_read(
+                self.space.security_counters(0),
+                u32::try_from(table_bytes.min(u64::from(u32::MAX))).expect("invariant: clamped to u32::MAX above"),
+                t,
+                remaps,
+            );
+            self.charge_crypto(table_bytes + 64, false);
+            // An armed media fault with CRC protection off: nothing else
+            // would detect it, but the MAC does — accidentally corrupt
+            // bytes fail authentication just like forged ones.
+            let media_caught = !self.cfg.media.integrity
+                && (self.injected_torn_commit
+                    || self.injected_clast_flip.is_some()
+                    || self.injected_meta_corrupt);
+            let mac_ok = !media_caught
+                && self.committed.fingerprint_with_basis(self.mac_key) == self.mac_last;
+            let table_ok = self.security.as_ref().expect("invariant: secure mode is on in this block").table_authentic();
+            self.recovery_interrupt(
+                RecoveryStep::VerifyMacs,
+                t,
+                rolled_back_incomplete,
+                *integrity_fallback,
+                *unrecoverable,
+            )?;
+            steps.push((RecoveryStep::VerifyMacs, t));
+
+            if !mac_ok || !table_ok {
+                let root_torn = self.security.as_ref().expect("invariant: secure mode is on in this block").root_is_torn();
+                let penult_ok = mac_ok
+                    || self.committed_prev.fingerprint_with_basis(self.mac_key)
+                        == self.mac_penult;
+                // Either outcome commits through the WAL first — intent,
+                // act, seal — so an interruption leaves a torn record the
+                // next attempt detects and redoes, never a half-applied
+                // fallback or reset.
+                let wal = self.space.backup_wal(self.wal_seq);
+                self.wal_seq += 1;
+                let mut w = self.nvm.access(wal, AccessKind::Write, 64, t);
+                self.stats.record_nvm_write(64, NvmWriteClass::Migration);
+                self.charge_crc(64);
+                w = self.nvm.access(wal, AccessKind::Write, 64, w); // seal
+                self.stats.record_nvm_write(64, NvmWriteClass::Migration);
+                self.charge_crc(64);
+                if let Err(at) = self.recovery_interrupt(
+                    RecoveryStep::IntegrityFallback,
+                    w,
+                    rolled_back_incomplete,
+                    *integrity_fallback,
+                    *unrecoverable,
+                ) {
+                    self.stats.media.wal_redos += 1;
+                    return Err(at);
+                }
+                self.stats.media.wal_seals += 1;
+                t = w;
+                // Sealed: count the detection exactly once — a restarted
+                // attempt after the seal finds healed state and detects
+                // nothing, so these ledgers never double-count.
+                self.stats.security.tampers_detected += 1;
+                if root_torn {
+                    self.stats.security.classified_torn += 1;
+                } else if media_caught {
+                    self.stats.security.classified_media += 1;
+                } else {
+                    // A rolled-back counter table (replay attack) or a
+                    // content forgery: deliberate tampering either way.
+                    self.stats.security.classified_tamper += 1;
+                }
+                if media_caught {
+                    // The MAC caught what the absent CRCs could not; the
+                    // fallback makes the faulted image unreachable.
+                    self.injected_torn_commit = false;
+                    self.injected_clast_flip = None;
+                    self.injected_meta_corrupt = false;
+                }
+                if penult_ok {
+                    // Degrade to `C_penult` exactly as CRC failures do,
+                    // re-deriving and re-sealing the counter table from
+                    // the surviving authenticated image.
+                    self.committed = self.committed_prev.clone();
+                    self.committed_prev = self.committed.clone();
+                    self.mac_last = self.mac_penult;
+                    self.epoch.completed -= 1;
+                    self.security.as_mut().expect("invariant: secure mode is on in this block").heal_table();
+                    self.stats.security.verify_fallbacks += 1;
+                    *integrity_fallback = true;
+                    steps.push((RecoveryStep::IntegrityFallback, t));
+                } else {
+                    // Both images fail authentication: replaying either
+                    // would hand unauthenticated (possibly attacker-
+                    // chosen) data to software. Reset to the provably
+                    // empty image and surface the error instead.
+                    self.committed = SparseStore::new();
+                    self.committed_prev = SparseStore::new();
+                    self.mac_last = SparseStore::new().fingerprint_with_basis(self.mac_key);
+                    self.mac_penult = self.mac_last;
+                    self.btt = Btt::new(self.cfg.thynvm.btt_entries);
+                    self.ptt = Ptt::new(
+                        self.cfg.thynvm.ptt_entries.min(self.cfg.thynvm.dram_pages() as usize),
+                    );
+                    self.epoch.completed = 0;
+                    self.security.as_mut().expect("invariant: secure mode is on in this block").reset();
+                    self.stats.security.unrecoverable += 1;
+                    self.last_security_error = Some(Error::IntegrityUnrecoverable {
+                        epoch: self.epoch.active_epoch,
+                    });
+                    *unrecoverable = true;
+                    steps.push((RecoveryStep::IntegrityFallback, t));
+                }
             }
         }
 
@@ -2043,6 +2438,7 @@ impl ThyNvm {
             t,
             rolled_back_incomplete,
             *integrity_fallback,
+            *unrecoverable,
         )?;
         steps.push((RecoveryStep::ReplayMetadata, t));
 
@@ -2073,6 +2469,7 @@ impl ThyNvm {
             t,
             rolled_back_incomplete,
             *integrity_fallback,
+            *unrecoverable,
         )?;
         steps.push((RecoveryStep::RearmWorkingSet, t));
 
@@ -2298,6 +2695,7 @@ impl ThyNvm {
             let write_done = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, read_done);
             self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Checkpoint);
             self.media_note_write(dst, BLOCK_BYTES as u32);
+            self.security_note_write(dst, BLOCK_BYTES as u32);
             self.charge_crc(BLOCK_BYTES); // per-64 B data CRC generation
             writeback_done.push(write_done);
             phase1_done = phase1_done.max(write_done);
@@ -2363,6 +2761,7 @@ impl ThyNvm {
             let write_done = self.nvm.access(dst, AccessKind::Write, PAGE_BYTES as u32, read_done);
             self.stats.record_nvm_write(PAGE_BYTES, NvmWriteClass::Checkpoint);
             self.media_note_write(dst, PAGE_BYTES as u32);
+            self.security_note_write(dst, PAGE_BYTES as u32);
             self.charge_crc(PAGE_BYTES); // per-64 B data CRCs for the page
             writeback_done.push(write_done);
             phase3_done = phase3_done.max(write_done);
@@ -2382,6 +2781,47 @@ impl ThyNvm {
         self.stats.record_nvm_write(ptt_bytes, NvmWriteClass::Checkpoint);
         self.charge_crc(ptt_bytes);
         bg = bg.max(self.nvm_wq.drain_time(bg));
+
+        // (4b) Secure mode: persist the dirty encryption counters, the
+        // distinct integrity-tree nodes on their paths to the root, and
+        // finally the root record itself — all *before* the commit record,
+        // so the state the commit flag covers is already authenticated.
+        // This rides the same discipline as the BTT/PTT images: a crash
+        // anywhere in here leaves the commit flag unset and the previous
+        // epoch's sealed metadata intact.
+        if self.security.is_some() {
+            let receipt = self.security.as_mut().expect("invariant: secure mode is on in this block").persist();
+            if receipt.counter_entries > 0 {
+                let ctr_bytes = receipt.counter_entries as u64 * META_ENTRY_BYTES;
+                bg = self.nvm.access(
+                    self.space.security_counters(0),
+                    AccessKind::Write,
+                    u32::try_from(ctr_bytes.max(64).min(u64::from(u32::MAX))).expect("bounded"),
+                    bg,
+                );
+                self.stats.record_nvm_write(ctr_bytes, NvmWriteClass::Checkpoint);
+                self.stats.security.counter_persists += 1;
+                self.stats.security.counter_bytes += ctr_bytes;
+                let tree_bytes = receipt.tree_nodes * META_ENTRY_BYTES;
+                bg = self.nvm.access(
+                    self.space.security_tree(0),
+                    AccessKind::Write,
+                    u32::try_from(tree_bytes.max(64).min(u64::from(u32::MAX))).expect("bounded"),
+                    bg,
+                );
+                self.stats.record_nvm_write(tree_bytes, NvmWriteClass::Checkpoint);
+                self.stats.security.tree_node_persists += receipt.tree_nodes;
+                self.stats.security.tree_bytes += tree_bytes;
+            }
+            // The 64 B root + MAC record persists every round: it binds
+            // the table generation, which is what makes a rolled-back
+            // table (counter-replay attack) detectable.
+            bg = self.nvm.access(self.space.security_root(), AccessKind::Write, 64, bg);
+            self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
+            self.stats.security.root_persists += 1;
+            self.charge_crypto(64, true);
+        }
+
         bg = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, bg);
         self.stats.record_nvm_write(1, NvmWriteClass::Checkpoint);
         self.charge_crc(64); // checksummed commit record
@@ -3843,5 +4283,296 @@ mod tests {
         sys.load_bytes(PhysAddr::new(0), &mut buf, t);
         assert_eq!(buf, [1u8; 64]);
         assert_eq!(sys.stats().dram.quarantined_pages, 1, "no second quarantine");
+    }
+
+    // ---- secure persistent memory mode ----
+
+    /// `small_test` with the security model enabled (and optional tweaks).
+    fn secure_cfg(f: impl FnOnce(&mut thynvm_types::SecurityConfig)) -> SystemConfig {
+        let mut cfg = SystemConfig::small_test();
+        cfg.security = thynvm_types::SecurityConfig::hardened();
+        f(&mut cfg.security);
+        cfg.validate().expect("valid secure config");
+        cfg
+    }
+
+    /// Asserts the SecurityStats conservation invariants (§ DESIGN 10).
+    fn assert_security_conservation(sys: &ThyNvm) {
+        let s = sys.stats().security;
+        assert_eq!(s.classified_total(), s.tampers_detected, "classification conservation");
+        assert_eq!(s.detections_accounted(), s.tampers_detected, "resolution conservation");
+        // Media-caught detections come from media faults, not tampers, so
+        // they sit on the "injected" side of the inequality.
+        assert!(
+            s.tampers_injected + s.classified_media >= s.tampers_detected,
+            "cannot detect more than was injected"
+        );
+    }
+
+    #[test]
+    fn security_off_charges_nothing_and_exposes_no_model() {
+        let mut sys = small();
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let report = sys.crash_and_recover(t);
+        assert!(!report.unrecoverable);
+        assert!(sys.security_model().is_none());
+        assert!(!sys.stats().security.any(), "disabled mode records nothing");
+        assert_eq!(sys.stats().security.crypto_cycles, Cycle::ZERO);
+        assert!(sys.take_security_error().is_none());
+    }
+
+    #[test]
+    fn secure_mode_preserves_contents_and_adds_crypto_cost() {
+        // The same workload on the secure and baseline configs must agree
+        // on *contents*; the secure run pays extra modeled cycles.
+        let mut base = small();
+        let mut sec = ThyNvm::new(secure_cfg(|_| {}));
+        let tb = store_and_checkpoint(&mut base, 7, Cycle::ZERO);
+        let ts = store_and_checkpoint(&mut sec, 7, Cycle::ZERO);
+        assert_eq!(base.visible_fingerprint(), sec.visible_fingerprint());
+        assert!(ts >= tb, "crypto + metadata persists never make a checkpoint faster");
+        let s = sec.stats().security;
+        assert!(s.blocks_encrypted > 0, "write path encrypted blocks");
+        assert!(s.crypto_cycles > Cycle::ZERO);
+        assert!(!base.stats().security.any());
+    }
+
+    #[test]
+    fn checkpoint_persists_counters_tree_and_root() {
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let s = sys.stats().security;
+        assert_eq!(s.counter_persists, 1, "dirty counters persisted once");
+        assert!(s.counter_bytes > 0);
+        assert!(s.tree_node_persists > 0, "ancestor tree nodes rewritten");
+        assert!(s.tree_bytes > 0);
+        assert_eq!(s.root_persists, 1, "root sealed with the commit record");
+        let model = sys.security_model().expect("enabled");
+        assert_eq!(model.dirty_count(), 0, "persist cleared the dirty set");
+        assert_eq!(model.generation(), 1);
+        // A quiet checkpoint still seals the root but persists no counters.
+        let t2 = sys.force_checkpoint(t);
+        sys.drain(t2);
+        let s = sys.stats().security;
+        assert_eq!(s.counter_persists, 1, "nothing dirty: no counter persist");
+        assert_eq!(s.root_persists, 2, "root still sealed every round");
+    }
+
+    #[test]
+    fn mid_epoch_crash_replays_lost_counters() {
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        // Dirty counters that never reached an epoch boundary…
+        let t = sys.store_bytes(PhysAddr::new(128), &[2u8; 64], t);
+        assert!(sys.security_model().expect("enabled").dirty_count() > 0);
+        let report = sys.crash_and_recover(t);
+        // …are re-derived by bounded replay, never guessed.
+        assert!(sys.stats().security.counters_replayed > 0);
+        assert_eq!(sys.security_model().expect("enabled").dirty_count(), 0);
+        assert!(!report.integrity_fallback, "counter replay is not a fallback");
+        assert_security_conservation(&sys);
+    }
+
+    #[test]
+    fn tampered_clast_is_detected_and_falls_back_to_cpenult() {
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_tamper(TamperFault::ClastData { addr: 0 });
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback, "MAC mismatch degrades to C_penult");
+        assert!(!report.unrecoverable);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64], "recovered to the authenticated image");
+        let s = sys.stats().security;
+        assert_eq!(s.tampers_injected, 1);
+        assert_eq!(s.tampers_detected, 1);
+        assert_eq!(s.classified_tamper, 1, "forged data is adversarial");
+        assert_eq!(s.verify_fallbacks, 1);
+        assert_eq!(s.unrecoverable, 0);
+        assert!(report.steps.iter().any(|(st, _)| *st == RecoveryStep::VerifyMacs));
+        assert_security_conservation(&sys);
+    }
+
+    #[test]
+    fn stale_counter_table_is_classified_as_replay_attack() {
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_tamper(TamperFault::StaleCounterTable);
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback);
+        let s = sys.stats().security;
+        assert_eq!(s.classified_tamper, 1, "rolled-back counters = replay attack");
+        assert_eq!(s.classified_torn, 0);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64]);
+        assert_security_conservation(&sys);
+    }
+
+    #[test]
+    fn torn_root_metadata_is_classified_as_torn_not_tamper() {
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_tamper(TamperFault::TornRootMeta);
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback);
+        let s = sys.stats().security;
+        assert_eq!(s.classified_torn, 1, "power loss mid-persist, not an attack");
+        assert_eq!(s.classified_tamper, 0);
+        assert_security_conservation(&sys);
+    }
+
+    #[test]
+    fn both_images_tampered_is_unrecoverable_never_replayed() {
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_tamper(TamperFault::BothImages { addr: 0 });
+        let report = sys.crash_and_recover(t);
+        assert!(report.unrecoverable, "no authenticated image exists");
+        assert!(matches!(
+            sys.take_security_error(),
+            Some(Error::IntegrityUnrecoverable { .. })
+        ));
+        let s = sys.stats().security;
+        assert_eq!(s.unrecoverable, 1);
+        assert_eq!(s.verify_fallbacks, 0);
+        // Unauthenticated data is never replayed: the image is provably empty.
+        let mut buf = [0xFFu8; 64];
+        let t = sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [0u8; 64], "reset to the empty image");
+        assert_security_conservation(&sys);
+        // The system keeps working after the reset.
+        let t = store_and_checkpoint(&mut sys, 9, t);
+        let report = sys.crash_and_recover(t);
+        assert!(!report.unrecoverable);
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [9u8; 64]);
+    }
+
+    #[test]
+    fn tamper_stays_armed_until_a_checkpoint_exists() {
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        sys.inject_tamper(TamperFault::ClastData { addr: 0 });
+        // Nothing persisted yet: there is no image to forge.
+        let report = sys.crash_and_recover(Cycle::new(100));
+        assert!(!report.integrity_fallback);
+        assert_eq!(sys.armed_tamper(), Some(TamperFault::ClastData { addr: 0 }));
+        assert_eq!(sys.stats().security.tampers_injected, 0);
+        // The first checkpoint gives the adversary a target.
+        let t = store_and_checkpoint(&mut sys, 3, Cycle::new(200));
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback);
+        assert_eq!(sys.armed_tamper(), None);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [0u8; 64], "fell back to the initial zero image");
+        assert_security_conservation(&sys);
+    }
+
+    #[test]
+    fn tamper_on_disabled_model_is_ignored() {
+        let mut sys = small();
+        sys.inject_tamper(TamperFault::ClastData { addr: 0 });
+        assert_eq!(sys.armed_tamper(), None, "no model, nothing to arm");
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let report = sys.crash_and_recover(t);
+        assert!(!report.integrity_fallback);
+        assert!(!sys.stats().security.any());
+    }
+
+    #[test]
+    fn mac_catches_media_corruption_when_crc_is_off() {
+        // CRC layer disabled: the armed media fault would be silent, but
+        // secure mode's MAC catches it and classifies it as media.
+        let mut cfg = secure_cfg(|_| {});
+        cfg.media = thynvm_types::MediaFaultConfig::hardened();
+        cfg.media.integrity = false;
+        cfg.media.scrub = false; // the scrubber needs CRCs
+        cfg.validate().expect("valid");
+        let mut sys = ThyNvm::new(cfg);
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_media_fault(MediaFault::TornCommitRecord);
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback, "MAC stood in for the missing CRC");
+        let s = sys.stats().security;
+        assert_eq!(s.classified_media, 1);
+        assert_eq!(s.classified_tamper, 0);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64]);
+        assert_security_conservation(&sys);
+    }
+
+    #[test]
+    fn nested_crash_during_tamper_recovery_converges() {
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_tamper(TamperFault::ClastData { addr: 0 });
+        sys.arm_crash_point(t);
+        // Interrupt the first recovery attempt one cycle in: the attempt
+        // restarts and must converge on the same verdict without double
+        // counting the detection.
+        sys.queue_crash_point(t + Cycle::new(1));
+        let resume = sys.poll_crash(t + Cycle::new(2)).expect("crash fires");
+        let crash = sys.take_crash_report().expect("reported");
+        assert!(crash.report.nested_crashes >= 1);
+        assert!(crash.report.integrity_fallback);
+        let s = sys.stats().security;
+        assert_eq!(s.tampers_detected, 1, "detection counted exactly once");
+        assert_eq!(s.verify_fallbacks, 1);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, resume);
+        assert_eq!(buf, [1u8; 64]);
+        assert_security_conservation(&sys);
+    }
+
+    #[test]
+    fn random_tamper_schedule_is_deterministic_and_recoverable() {
+        let run = |seed: u64| {
+            let mut sys = ThyNvm::new(secure_cfg(|s| {
+                s.tamper_rate = 1.0;
+                s.seed = seed;
+            }));
+            let mut t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+            for v in 2..6u8 {
+                t = store_and_checkpoint(&mut sys, v, t);
+                let report = sys.crash_and_recover(t);
+                assert!(!report.unrecoverable, "random schedule never draws BothImages");
+                t += report.recovery_cycles;
+            }
+            assert_security_conservation(&sys);
+            (sys.stats().security, sys.visible_fingerprint())
+        };
+        let (s, fp) = run(0xDEAD_BEEF);
+        assert!(s.tampers_injected >= 4, "rate 1.0 tampers every eligible crash");
+        assert_eq!(s.tampers_detected, s.tampers_injected, "zero silent tampers");
+        let (s2, fp2) = run(0xDEAD_BEEF);
+        assert_eq!(s, s2, "same seed, same schedule, same stats");
+        assert_eq!(fp, fp2);
+    }
+
+    #[test]
+    fn sanctioned_rollback_does_not_trip_the_mac() {
+        // rollback_to_checkpoint re-authenticates the archived image so a
+        // later crash does not misread the rollback as tampering.
+        let mut sys = ThyNvm::new(secure_cfg(|_| {}));
+        sys.set_archive_depth(4);
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        let archived = sys.archived_checkpoints();
+        let _ = sys.rollback_to_checkpoint(archived[0], t).expect("archived epoch");
+        let report = sys.crash_and_recover(t);
+        assert!(!report.integrity_fallback, "rollback is not a MAC mismatch");
+        assert_eq!(sys.stats().security.tampers_detected, 0);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [1u8; 64]);
     }
 }

@@ -179,6 +179,31 @@ impl AddressSpace {
         const WAL_SLOTS: u64 = 1 << 10; // ring of 1024 records
         self.backup(WAL_OFFSET + (seq % WAL_SLOTS) * BLOCK_BYTES)
     }
+
+    /// Hardware address of byte `offset` of the persisted encryption
+    /// counter table (secure mode). Placed 4 MiB into the backup region,
+    /// well clear of the commit record / BTT / PTT images (first 64 KiB)
+    /// and the WAL ring (1 MiB).
+    pub fn security_counters(self, offset: u64) -> HwAddr {
+        const COUNTER_OFFSET: u64 = 4 << 20;
+        self.backup(COUNTER_OFFSET + offset)
+    }
+
+    /// Hardware address of byte `offset` of the persisted integrity-tree
+    /// node storage (secure mode), 6 MiB into the backup region.
+    pub fn security_tree(self, offset: u64) -> HwAddr {
+        const TREE_OFFSET: u64 = 6 << 20;
+        self.backup(TREE_OFFSET + offset)
+    }
+
+    /// Hardware address of the 64 B integrity-tree root + MAC record
+    /// (secure mode), 8 MiB into the backup region — the atomic tip of the
+    /// security metadata, persisted last, just before the checkpoint
+    /// commit record.
+    pub fn security_root(self) -> HwAddr {
+        const ROOT_OFFSET: u64 = 8 << 20;
+        self.backup(ROOT_OFFSET)
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +296,19 @@ mod tests {
         assert!(s.backup_wal(0).raw() < s.spare_block(0).raw());
         assert_eq!(s.backup_wal(1).raw() - s.backup_wal(0).raw(), BLOCK_BYTES);
         assert_eq!(s.backup_wal(1 << 10), s.backup_wal(0));
+    }
+
+    #[test]
+    fn security_metadata_is_disjoint_from_wal_images_and_spares() {
+        let s = AddressSpace::new();
+        // Above the WAL ring (1 MiB + 64 KiB of slots)…
+        assert!(s.security_counters(0).raw() > s.backup_wal(1023).raw());
+        // …ordered counters < tree < root with 2 MiB of headroom each…
+        assert!(s.security_counters((2 << 20) - 1).raw() < s.security_tree(0).raw());
+        assert!(s.security_tree((2 << 20) - 1).raw() < s.security_root().raw());
+        // …and below the spare blocks.
+        assert!(s.security_root().raw() + BLOCK_BYTES <= s.spare_block(0).raw());
+        assert!(!s.is_dram(s.security_root()));
     }
 
     #[test]

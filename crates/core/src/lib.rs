@@ -66,7 +66,7 @@ pub mod oracle;
 pub mod protocol;
 pub mod table;
 
-pub use controller::{InjectedCrash, MediaFault, RecoveryReport, ThyNvm};
+pub use controller::{InjectedCrash, MediaFault, RecoveryReport, TamperFault, ThyNvm};
 pub use oracle::{OracleMismatch, PersistenceOracle};
 pub use protocol::{Event as ProtocolEvent, ProtocolError, VersionState};
 pub use epoch::{CkptJob, EpochState};

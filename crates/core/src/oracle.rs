@@ -194,6 +194,69 @@ impl PersistenceOracle {
         }
     }
 
+    /// Which label recovery must produce when the persisted state carries
+    /// the given secure-mode tamper at crash time. Mirrors
+    /// [`PersistenceOracle::expected_outcome_with_corrupt_clast`]:
+    ///
+    /// * with no completed checkpoint there is nothing authenticated to
+    ///   forge — the tamper stays armed and the clean-crash rules apply;
+    /// * a single-image forgery, a rolled-back counter table, or a torn
+    ///   metadata root fails verification and degrades to `C_penult`
+    ///   ([`RecoveryOutcome::CPenultIntegrityFallback`]);
+    /// * a forgery of *both* images leaves nothing authenticated to replay:
+    ///   recovery must refuse and reset
+    ///   ([`RecoveryOutcome::Unrecoverable`]).
+    #[must_use]
+    pub fn expected_outcome_with_tampered_region(
+        &self,
+        crash: Cycle,
+        tamper: crate::TamperFault,
+    ) -> RecoveryOutcome {
+        let any_completed = self.checkpoints.iter().any(|c| c.completes_at <= crash);
+        if !any_completed {
+            return self.expected_outcome_at(crash);
+        }
+        match tamper {
+            crate::TamperFault::BothImages { .. } => RecoveryOutcome::Unrecoverable,
+            _ => RecoveryOutcome::CPenultIntegrityFallback,
+        }
+    }
+
+    /// The byte image recovery must produce under the given secure-mode
+    /// tamper: the fallback image for single-image tampers (exactly as
+    /// [`PersistenceOracle::expected_fallback_image_at`]), the all-zero
+    /// image when both images are forged (recovery refuses to replay
+    /// unauthenticated data), and the clean-crash image when no checkpoint
+    /// had completed (the tamper stays armed).
+    #[must_use]
+    pub fn expected_image_with_tampered_region(
+        &self,
+        crash: Cycle,
+        tamper: crate::TamperFault,
+    ) -> BTreeMap<u64, u8> {
+        let any_completed = self.checkpoints.iter().any(|c| c.completes_at <= crash);
+        if !any_completed {
+            return self.expected_image_at(crash);
+        }
+        match tamper {
+            crate::TamperFault::BothImages { .. } => BTreeMap::new(),
+            _ => self.expected_fallback_image_at(crash),
+        }
+    }
+
+    /// Like [`PersistenceOracle::diff`], but against the image recovery
+    /// must converge to under the given secure-mode tamper
+    /// ([`PersistenceOracle::expected_image_with_tampered_region`]).
+    #[must_use = "a non-empty diff means recovery diverged from the oracle"]
+    pub fn diff_with_tampered_region(
+        &self,
+        crash: Cycle,
+        tamper: crate::TamperFault,
+        read: impl FnMut(u64) -> u8,
+    ) -> Vec<OracleMismatch> {
+        self.diff_against(&self.expected_image_with_tampered_region(crash, tamper), read)
+    }
+
     /// The byte image an arbitrary *sequence* of stacked crashes must
     /// converge to. `crashes` holds the crash cycles in firing order: the
     /// first entry is the initial power failure; later entries are nested
@@ -463,6 +526,50 @@ mod tests {
             .diff_after_crash_sequence(&stacked, true, |_| 1)
             .is_empty());
         assert!(!o.diff_after_crash_sequence(&stacked, false, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn tampered_region_outcomes_and_images() {
+        use crate::TamperFault;
+        let mut o = PersistenceOracle::new();
+        o.record_write(0, &[1]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        o.record_write(0, &[2]);
+        o.record_checkpoint(Cycle::new(200), Cycle::new(300));
+
+        let forged = TamperFault::ClastData { addr: 0 };
+        let both = TamperFault::BothImages { addr: 0 };
+
+        // Before any checkpoint completed: nothing authenticated to forge,
+        // the tamper stays armed and clean-crash rules apply.
+        assert_eq!(
+            o.expected_outcome_with_tampered_region(Cycle::new(50), both),
+            RecoveryOutcome::CPenult
+        );
+        assert!(o.expected_image_with_tampered_region(Cycle::new(50), both).is_empty());
+
+        // Single-image tampers degrade to C_penult, exactly like CRC
+        // failures — for every recoverable kind.
+        for t in [forged, TamperFault::StaleCounterTable, TamperFault::TornRootMeta] {
+            assert_eq!(
+                o.expected_outcome_with_tampered_region(Cycle::new(300), t),
+                RecoveryOutcome::CPenultIntegrityFallback
+            );
+            assert_eq!(
+                o.expected_image_with_tampered_region(Cycle::new(300), t).get(&0),
+                Some(&1)
+            );
+        }
+
+        // Both images forged: nothing authenticated survives.
+        assert_eq!(
+            o.expected_outcome_with_tampered_region(Cycle::new(300), both),
+            RecoveryOutcome::Unrecoverable
+        );
+        assert!(o.expected_image_with_tampered_region(Cycle::new(300), both).is_empty());
+        assert!(o.diff_with_tampered_region(Cycle::new(300), both, |_| 0).is_empty());
+        assert!(o.diff_with_tampered_region(Cycle::new(300), forged, |_| 1).is_empty());
+        assert!(!o.diff_with_tampered_region(Cycle::new(300), forged, |_| 2).is_empty());
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! |------|-----------|
 //! | L1   | Raw `SparseStore` mutations only inside `crates/mem` + sealed allowlist |
 //! | L2   | Recovery paths are panic-free (no `unwrap`, bare `expect`, `panic!`, literal indexing) |
-//! | L3   | Every `MemStats`/`MediaStats`/`DramStats`/`PerfStats` counter is mutated in production code and read by a test |
+//! | L3   | Every `MemStats`/`MediaStats`/`DramStats`/`PerfStats`/`SecurityStats` counter is mutated in production code and read by a test |
 //! | L4   | Every `types::Error` variant is constructed in production code and matched in a test |
-//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SystemConfig` field is checked in `validate()` |
+//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SecurityConfig`/`SystemConfig` field is checked in `validate()` |
 //!
 //! Rules work on the token stream plus the [`FileIndex`] item index — no
 //! type information. That makes them conservative pattern matchers; the
@@ -50,8 +50,10 @@ const STORE_MUTATORS: &[&str] = &["write", "write_words", "copy_within", "clear"
 /// WAL/commit protocol or models power-loss volatility.
 const L1_ALLOW: &[(&str, &[&str])] = &[
     // Commit point of a retired checkpoint job; CPU-visible store-through;
-    // DRAM-poison quarantine rolling visible bytes back to the checkpoint.
-    ("crates/core/src/controller.rs", &["retire_job_if_done", "store_bytes", "quarantine_rollback"]),
+    // DRAM-poison quarantine rolling visible bytes back to the checkpoint;
+    // tamper injection modeling an attacker's out-of-band NVM writes (the
+    // bypass of the sealed path is the point — recovery must catch it).
+    ("crates/core/src/controller.rs", &["retire_job_if_done", "store_bytes", "quarantine_rollback", "apply_tamper"]),
     // Journal flush (redo applied under the commit record) + buffer fill.
     ("crates/baselines/src/journal.rs", &["flush", "store_bytes", "power_fail"]),
     // Shadow-paging flush, copy-on-write buffer fill, volatility model.
@@ -256,7 +258,7 @@ fn scan_l2(f: &FileIndex, from: usize, to: usize, relax_tests: bool, out: &mut V
 // ---------------------------------------------------------------- L3 ----
 
 const STATS_FILE: &str = "crates/types/src/stats.rs";
-const STATS_STRUCTS: &[&str] = &["MemStats", "MediaStats", "DramStats", "PerfStats"];
+const STATS_STRUCTS: &[&str] = &["MemStats", "MediaStats", "DramStats", "PerfStats", "SecurityStats"];
 /// Functions that touch every field wholesale; counting them would make the
 /// mutation check vacuous.
 const L3_EXEMPT_FNS: &[&str] = &["merge", "reset", "clear"];
@@ -272,7 +274,11 @@ fn rule_l3(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
         if !STATS_STRUCTS.contains(&field.owner.as_str()) {
             continue;
         }
-        if field.ty == "MediaStats" || field.ty == "DramStats" || field.ty == "PerfStats" {
+        if field.ty == "MediaStats"
+            || field.ty == "DramStats"
+            || field.ty == "PerfStats"
+            || field.ty == "SecurityStats"
+        {
             continue; // aggregate of counters, each checked individually
         }
         let mut mutated = false;
@@ -393,7 +399,7 @@ fn rule_l4(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
 
 const CONFIG_FILE: &str = "crates/types/src/config.rs";
 const CONFIG_STRUCTS: &[&str] =
-    &["SystemConfig", "ThyNvmConfig", "MediaFaultConfig", "DramFaultConfig"];
+    &["SystemConfig", "ThyNvmConfig", "MediaFaultConfig", "DramFaultConfig", "SecurityConfig"];
 const NUMERIC_TYPES: &[&str] = &["u8", "u16", "u32", "u64", "u128", "usize", "f32", "f64"];
 
 /// L5: config-validation completeness (numeric fields — booleans and

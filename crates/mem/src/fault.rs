@@ -17,7 +17,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use thynvm_types::{DramFaultConfig, FaultKind, HwAddr, MediaFaultConfig, BLOCK_BYTES};
+use thynvm_types::rng::{mix, unit};
+use thynvm_types::{
+    DramFaultConfig, FaultKind, HwAddr, MediaFaultConfig, SecurityConfig, BLOCK_BYTES,
+};
 
 use crate::device::WearStats;
 
@@ -59,20 +62,6 @@ pub struct FaultModel {
 const TAG_READ: u64 = 0x5245_4144; // "READ"
 const TAG_WEAR: u64 = 0x5745_4152; // "WEAR"
 const TAG_TORN: u64 = 0x544f_524e; // "TORN"
-
-/// splitmix64 finalizer: a high-quality 64-bit mix of `seed ^ tag` and a
-/// per-event counter.
-fn mix(seed: u64, n: u64) -> u64 {
-    let mut z = seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Maps a 64-bit hash to a uniform float in `[0, 1)`.
-fn unit(hash: u64) -> f64 {
-    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 impl FaultModel {
     /// Builds a model from the configuration, using the device's row size
@@ -442,6 +431,203 @@ impl DramEccModel {
     }
 }
 
+/// Receipt of one security-metadata persist: how much counter-table and
+/// integrity-tree state had to be written to NVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecurityPersist {
+    /// Dirty counter-table entries persisted (8 B each, logically).
+    pub counter_entries: usize,
+    /// Distinct integrity-tree nodes rewritten on the dirty leaves' paths
+    /// to the root (root included).
+    pub tree_nodes: u64,
+}
+
+/// Deterministic model of the secure persistent memory mode: per-block
+/// counter-mode encryption counters and an integrity tree over the
+/// counter table, both treated as crash-consistency state.
+///
+/// The model mirrors the determinism contract of [`FaultModel`] and
+/// [`DramEccModel`]: every decision — including the adversarial tamper
+/// schedule drawn from `tamper_rate` — is a pure function of the
+/// configured seed and explicit counters, so runs replay exactly.
+///
+/// Counter lifecycle (Zuo et al., arXiv:1901.00620): the controller bumps
+/// a block's write counter on every encrypted NVM write
+/// ([`SecurityModel::note_block_write`]); at each epoch boundary the dirty
+/// counters and their integrity-tree path are persisted
+/// ([`SecurityModel::persist`]) under the checkpoint's commit-record
+/// discipline; a crash reverts the volatile table to the last persisted
+/// snapshot ([`SecurityModel::crash`]) and reports exactly how many
+/// counters were lost — recovery *replays* that bounded set, never
+/// guesses.
+#[derive(Debug, Clone)]
+pub struct SecurityModel {
+    seed: u64,
+    arity: u64,
+    tamper_rate: f64,
+    /// Volatile counter cache in the memory controller.
+    counters: BTreeMap<u64, u64>,
+    /// Last crash-consistently persisted counter table.
+    persisted: BTreeMap<u64, u64>,
+    /// Blocks whose counters were bumped since the last persist.
+    dirty: BTreeSet<u64>,
+    /// Generation of the persisted table (bumped once per persist); the
+    /// integrity-tree root authenticates table + generation, which is what
+    /// makes a rolled-back table (replay attack) detectable.
+    generation: u64,
+    /// Injected fault: the root record was torn by power loss mid-persist.
+    root_torn: bool,
+    /// Injected attack: the persisted table was rolled back to an earlier
+    /// generation (counter-replay attack).
+    stale_table: bool,
+    tamper_rolls: u64,
+}
+
+/// Domain-separation tag for the adversarial tamper schedule.
+const TAG_TAMPER: u64 = 0x544d_5052; // "TMPR"
+
+impl SecurityModel {
+    /// Builds a model from the configuration.
+    pub fn new(cfg: &SecurityConfig) -> Self {
+        Self {
+            seed: cfg.seed,
+            arity: u64::from(cfg.tree_arity.max(2)),
+            tamper_rate: cfg.tamper_rate,
+            counters: BTreeMap::new(),
+            persisted: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            generation: 0,
+            root_torn: false,
+            stale_table: false,
+            tamper_rolls: 0,
+        }
+    }
+
+    /// Observes one encrypted write of the 64 B block at (block-aligned)
+    /// device address `block`: bumps its write counter and marks it dirty.
+    /// Returns the new counter value.
+    pub fn note_block_write(&mut self, block: u64) -> u64 {
+        let b = block & !(BLOCK_BYTES - 1);
+        let c = self.counters.entry(b).or_insert(0);
+        *c += 1;
+        self.dirty.insert(b);
+        *c
+    }
+
+    /// Number of counters bumped since the last persist — the exact
+    /// exposure a crash right now would have to replay.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Number of entries in the persisted counter table.
+    pub fn table_entries(&self) -> usize {
+        self.persisted.len()
+    }
+
+    /// Generation of the persisted counter table.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Persists the dirty counters and the integrity-tree path above them,
+    /// advancing the table generation. Returns what had to be written.
+    ///
+    /// Tree accounting: each dirty leaf (counter entry, indexed by block
+    /// number) dirties its ancestor chain; distinct ancestors per level
+    /// are counted once, up to and including the root.
+    pub fn persist(&mut self) -> SecurityPersist {
+        let counter_entries = self.dirty.len();
+        let mut tree_nodes = 0u64;
+        if counter_entries > 0 {
+            let mut level: BTreeSet<u64> =
+                self.dirty.iter().map(|b| b / BLOCK_BYTES).collect();
+            loop {
+                let parents: BTreeSet<u64> = level.iter().map(|i| i / self.arity).collect();
+                tree_nodes += parents.len() as u64;
+                if parents.len() == 1 && parents.contains(&0) {
+                    break;
+                }
+                level = parents;
+            }
+            for &b in &self.dirty {
+                let c = self.counters.get(&b).copied().unwrap_or(0);
+                self.persisted.insert(b, c);
+            }
+            self.dirty.clear();
+        }
+        self.generation += 1;
+        SecurityPersist { counter_entries, tree_nodes }
+    }
+
+    /// Power loss: the volatile counter cache reverts to the persisted
+    /// table. Returns how many counters were lost mid-epoch — the bounded
+    /// set recovery must replay.
+    pub fn crash(&mut self) -> usize {
+        let lost = self.dirty.len();
+        self.counters = self.persisted.clone();
+        self.dirty.clear();
+        lost
+    }
+
+    /// Whether the persisted security metadata authenticates: no torn root
+    /// and no rolled-back table. A pure function of persisted state, so
+    /// restarted recovery attempts reach the same verdict.
+    pub fn table_authentic(&self) -> bool {
+        !self.root_torn && !self.stale_table
+    }
+
+    /// Whether the injected metadata fault is a torn root (power loss
+    /// mid-persist) as opposed to a rolled-back table.
+    pub fn root_is_torn(&self) -> bool {
+        self.root_torn
+    }
+
+    /// Injects a torn security-metadata root: power was lost while the
+    /// root record was being persisted.
+    pub fn tamper_torn_root(&mut self) {
+        self.root_torn = true;
+    }
+
+    /// Injects a counter-replay attack: the persisted table was rolled
+    /// back to a stale generation out-of-band.
+    pub fn tamper_stale_table(&mut self) {
+        self.stale_table = true;
+    }
+
+    /// Heals the persisted metadata after a WAL-sealed fallback re-derived
+    /// and re-sealed it from the authenticated image.
+    pub fn heal_table(&mut self) {
+        self.root_torn = false;
+        self.stale_table = false;
+    }
+
+    /// Full reset to the empty (provably uncorrupted) state — the
+    /// unrecoverable path: no counter or tree state survives.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.persisted.clear();
+        self.dirty.clear();
+        self.generation = 0;
+        self.root_torn = false;
+        self.stale_table = false;
+    }
+
+    /// Draws the next decision from the adversarial tamper schedule:
+    /// `Some(hash)` when the seeded stream decides this crash is
+    /// accompanied by tampering (the hash picks the tamper kind), `None`
+    /// otherwise. The stream always advances, so downstream decisions do
+    /// not depend on which branch was taken.
+    pub fn tamper_roll(&mut self) -> Option<u64> {
+        self.tamper_rolls += 1;
+        if self.tamper_rate <= 0.0 {
+            return None;
+        }
+        let h = mix(self.seed ^ TAG_TAMPER, self.tamper_rolls);
+        (unit(h) < self.tamper_rate).then_some(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,6 +919,97 @@ mod tests {
         assert_eq!(a.observe_read(640, 64), b.observe_read(640, 64));
         let noisy = ecc(11, 0.5, 0.0);
         assert!(!noisy.is_quiet());
+    }
+
+    fn sec(seed: u64, rate: f64) -> SecurityModel {
+        SecurityModel::new(&SecurityConfig {
+            enabled: true,
+            seed,
+            tamper_rate: rate,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn security_counters_bump_persist_and_revert_on_crash() {
+        let mut m = sec(1, 0.0);
+        assert_eq!(m.note_block_write(0), 1);
+        assert_eq!(m.note_block_write(70), 1); // same block as 64
+        assert_eq!(m.note_block_write(64), 2);
+        assert_eq!(m.note_block_write(4096), 1);
+        assert_eq!(m.dirty_count(), 3);
+
+        let receipt = m.persist();
+        assert_eq!(receipt.counter_entries, 3);
+        assert!(receipt.tree_nodes >= 1, "at least the root is rewritten");
+        assert_eq!(m.dirty_count(), 0);
+        assert_eq!(m.table_entries(), 3);
+        assert_eq!(m.generation(), 1);
+
+        // Mid-epoch bumps are exactly the crash exposure.
+        m.note_block_write(0);
+        m.note_block_write(8192);
+        assert_eq!(m.dirty_count(), 2);
+        assert_eq!(m.crash(), 2, "two counters lost, bounded and replayable");
+        assert_eq!(m.dirty_count(), 0);
+        // The volatile cache reverted to the persisted table: a re-bump of
+        // block 0 continues from the persisted value (1), not the lost 2.
+        assert_eq!(m.note_block_write(0), 2);
+    }
+
+    #[test]
+    fn security_persist_with_no_dirty_counters_writes_no_tree() {
+        let mut m = sec(2, 0.0);
+        let receipt = m.persist();
+        assert_eq!(receipt, SecurityPersist { counter_entries: 0, tree_nodes: 0 });
+        assert_eq!(m.generation(), 1, "generation still advances with the checkpoint");
+    }
+
+    #[test]
+    fn security_tree_nodes_shared_ancestors_counted_once() {
+        let mut m = sec(3, 0.0);
+        // Two adjacent blocks share every ancestor under arity 8.
+        m.note_block_write(0);
+        m.note_block_write(64);
+        let adjacent = m.persist().tree_nodes;
+        // Two far-apart blocks share only the root.
+        let mut m2 = sec(3, 0.0);
+        m2.note_block_write(0);
+        m2.note_block_write(64 * 8 * 8 * 8 * 64);
+        let distant = m2.persist().tree_nodes;
+        assert!(distant > adjacent, "distant leaves dirty more tree nodes");
+    }
+
+    #[test]
+    fn security_tamper_flags_and_heal() {
+        let mut m = sec(4, 0.0);
+        assert!(m.table_authentic());
+        m.tamper_torn_root();
+        assert!(!m.table_authentic() && m.root_is_torn());
+        m.heal_table();
+        assert!(m.table_authentic());
+        m.tamper_stale_table();
+        assert!(!m.table_authentic() && !m.root_is_torn());
+        m.note_block_write(0);
+        m.persist();
+        m.reset();
+        assert!(m.table_authentic());
+        assert_eq!((m.table_entries(), m.dirty_count(), m.generation()), (0, 0, 0));
+    }
+
+    #[test]
+    fn security_tamper_schedule_is_deterministic_and_rate_gated() {
+        let mut a = sec(9, 0.5);
+        let mut b = sec(9, 0.5);
+        let ra: Vec<_> = (0..64).map(|_| a.tamper_roll()).collect();
+        let rb: Vec<_> = (0..64).map(|_| b.tamper_roll()).collect();
+        assert_eq!(ra, rb, "same seed, same tamper schedule");
+        assert!(ra.iter().any(Option::is_some) && ra.iter().any(Option::is_none));
+        let mut quiet = sec(9, 0.0);
+        assert!((0..64).all(|_| quiet.tamper_roll().is_none()));
+        let mut c = sec(10, 0.5);
+        let rc: Vec<_> = (0..64).map(|_| c.tamper_roll()).collect();
+        assert_ne!(ra, rc, "different seeds diverge");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   for the DRAM working region: single-bit transients are corrected and
 //!   counted, multi-bit errors poison 64 B blocks that the controller must
 //!   quarantine before they can reach NVM.
+//! * [`fault::SecurityModel`] — the secure persistent memory mode's
+//!   crash-consistency state: per-block counter-mode encryption counters
+//!   with epoch-boundary persistence, an integrity tree over the counter
+//!   table, and a deterministic adversarial tamper schedule.
 //!
 //! # Example
 //!
@@ -47,6 +51,6 @@ pub mod queue;
 pub mod store;
 
 pub use device::{Device, DeviceKind, DeviceStats, WearStats};
-pub use fault::{DramEccModel, EccReadFault, FaultEvent, FaultModel};
+pub use fault::{DramEccModel, EccReadFault, FaultEvent, FaultModel, SecurityModel, SecurityPersist};
 pub use queue::WriteQueue;
 pub use store::SparseStore;

@@ -213,12 +213,23 @@ impl SparseStore {
     /// (with overwhelming probability) byte-identical contents — a cheap
     /// stand-in for full image comparison in soak tests.
     pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_with_basis(0)
+    }
+
+    /// A *keyed* content fingerprint: the same hash as
+    /// [`SparseStore::fingerprint`] but folded over a caller-supplied
+    /// basis. Two stores agree for a given basis iff their contents agree;
+    /// different bases produce unrelated hashes for the same contents.
+    /// The security model uses this as its modeled MAC — the basis plays
+    /// the role of the MAC key, so an attacker mutating stored bytes
+    /// cannot preserve the keyed digest.
+    pub fn fingerprint_with_basis(&self, basis: u64) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x100_0000_01b3;
         let mut pages: Vec<(u64, &[u8; PAGE])> =
             self.iter_pages().filter(|(_, data)| !page_is_zero(data)).collect();
         pages.sort_unstable_by_key(|&(idx, _)| idx);
-        let mut h = FNV_OFFSET;
+        let mut h = FNV_OFFSET ^ basis.wrapping_mul(FNV_PRIME);
         for (idx, data) in pages {
             h = (h ^ idx).wrapping_mul(FNV_PRIME);
             for chunk in data.chunks_exact(8) {
@@ -438,6 +449,28 @@ mod tests {
         let mut d = SparseStore::new();
         d.write(HwAddr::new(5 + 4096), &[42]);
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn keyed_fingerprint_separates_bases_and_tracks_contents() {
+        let mut a = SparseStore::new();
+        let mut b = SparseStore::new();
+        a.write(HwAddr::new(5), &[42]);
+        b.write(HwAddr::new(5), &[42]);
+        // Basis 0 is the plain fingerprint.
+        assert_eq!(a.fingerprint_with_basis(0), a.fingerprint());
+        // Same contents, same basis: same MAC.
+        assert_eq!(a.fingerprint_with_basis(0x1234), b.fingerprint_with_basis(0x1234));
+        // Same contents, different basis (key): unrelated MACs.
+        assert_ne!(a.fingerprint_with_basis(1), a.fingerprint_with_basis(2));
+        // Tampering with one byte breaks the keyed MAC.
+        b.write(HwAddr::new(5), &[43]);
+        assert_ne!(a.fingerprint_with_basis(0x1234), b.fingerprint_with_basis(0x1234));
+        // Zero-page insensitivity holds for every basis.
+        a.write(HwAddr::new(9000), &[0u8; 64]);
+        let mut c = SparseStore::new();
+        c.write(HwAddr::new(5), &[42]);
+        assert_eq!(a.fingerprint_with_basis(7), c.fingerprint_with_basis(7));
     }
 
     #[test]

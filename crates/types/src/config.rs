@@ -412,6 +412,74 @@ impl DramFaultConfig {
     }
 }
 
+/// Secure persistent memory mode: counter-mode encryption of NVM data plus
+/// a MAC/integrity tree over the checkpoint images and metadata.
+///
+/// All fields default to "off": a default configuration adds zero cycles
+/// of crypto overhead and never injects tampering, so baseline runs are
+/// byte- and cycle-identical to a build without the subsystem.
+///
+/// The model follows Zuo et al. (arXiv:1901.00620): per-block encryption
+/// counters and integrity-tree nodes are themselves crash-consistency
+/// state. Counters are persisted at epoch boundaries under the same
+/// commit-record discipline as the checkpoint itself; a crash mid-epoch
+/// loses only the counters of blocks written since the last persist, and
+/// recovery *replays* those bounded counters — it never guesses. A MAC
+/// mismatch on `C_last` at recovery is classified (tamper vs. torn vs.
+/// media) and degrades to `C_penult` exactly as CRC failures do; a
+/// mismatch on both images surfaces
+/// [`crate::Error::IntegrityUnrecoverable`] rather than ever replaying
+/// unauthenticated data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SecurityConfig {
+    /// Master switch for the security model. When `false` no crypto costs
+    /// are charged, no security metadata is persisted, and recovery skips
+    /// all verification steps.
+    pub enabled: bool,
+    /// Seed for the deterministic tamper-injection schedule. Must differ
+    /// from [`MediaFaultConfig::seed`] and [`DramFaultConfig::seed`] when
+    /// the respective models are enabled, so the streams stay independent.
+    pub seed: u64,
+    /// Modeled counter-mode encryption/decryption latency per 64 B block,
+    /// in nanoseconds (AES pipeline + counter fetch on the write path,
+    /// decrypt on the read path).
+    pub crypto_ns_per_block: u64,
+    /// Modeled MAC computation/verification latency per 64 B block, in
+    /// nanoseconds (integrity-tree leaf and node hashing).
+    pub mac_ns_per_block: u64,
+    /// Arity of the integrity tree over the counter table: each node
+    /// authenticates this many children. Must be at least 2 when the model
+    /// is enabled.
+    pub tree_arity: u32,
+    /// Probability that a crash is accompanied by an adversarial tamper of
+    /// a checkpoint region, drawn deterministically from `seed`. Must be
+    /// in `[0, 1]`. Explicit tamper injection via the controller hooks is
+    /// independent of this rate.
+    pub tamper_rate: f64,
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            seed: 0x5345_4355_5245, // "SECURE"
+            crypto_ns_per_block: 14,
+            mac_ns_per_block: 8,
+            tree_arity: 8,
+            tamper_rate: 0.0,
+        }
+    }
+}
+
+impl SecurityConfig {
+    /// A fully-armed configuration: encryption and integrity verification
+    /// on with the default modeled latencies. The tamper rate is left for
+    /// the caller to choose (it defaults to zero).
+    pub fn hardened() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
 /// Complete system configuration: one struct to construct any evaluated
 /// memory system with the paper's parameters.
 ///
@@ -440,6 +508,9 @@ pub struct SystemConfig {
     pub media: MediaFaultConfig,
     /// DRAM ECC fault model (default: perfect DRAM, zero overhead).
     pub dram_fault: DramFaultConfig,
+    /// Secure persistent memory mode: counter-mode encryption + integrity
+    /// tree (default: off, zero overhead).
+    pub security: SecurityConfig,
 }
 
 impl Eq for SystemConfig {}
@@ -448,6 +519,19 @@ impl SystemConfig {
     /// The exact configuration of Table 2.
     pub fn paper() -> Self {
         Self::default()
+    }
+
+    /// The paper configuration with every robustness domain armed: NVM
+    /// media integrity (CRC + retry/remap/scrub), the DRAM SEC-DED ECC
+    /// model, and the secure persistent memory mode. Fault and tamper
+    /// rates are left at zero for the caller to choose.
+    pub fn hardened() -> Self {
+        Self {
+            media: MediaFaultConfig::hardened(),
+            dram_fault: DramFaultConfig::hardened(),
+            security: SecurityConfig::hardened(),
+            ..Self::default()
+        }
     }
 
     /// Validates internal consistency of the configuration.
@@ -521,6 +605,26 @@ impl SystemConfig {
         if d.enabled && self.media.enabled && d.seed == self.media.seed {
             return fail(
                 "DRAM fault seed must differ from the NVM media seed so the fault streams stay independent",
+            );
+        }
+        let s = &self.security;
+        if !(0.0..=1.0).contains(&s.tamper_rate) {
+            return fail("security tamper rate must be a probability in [0, 1]");
+        }
+        if s.enabled && s.tree_arity < 2 {
+            return fail("integrity tree arity below 2 cannot converge to a root");
+        }
+        if s.crypto_ns_per_block > 1_000_000_000 || s.mac_ns_per_block > 1_000_000_000 {
+            return fail("per-block crypto/MAC latency above one second dwarfs any device latency");
+        }
+        if s.enabled && self.media.enabled && s.seed == self.media.seed {
+            return fail(
+                "security seed must differ from the NVM media seed so the fault streams stay independent",
+            );
+        }
+        if s.enabled && d.enabled && s.seed == d.seed {
+            return fail(
+                "security seed must differ from the DRAM fault seed so the fault streams stay independent",
             );
         }
         Ok(())
@@ -763,6 +867,75 @@ mod tests {
         cfg.dram_fault = DramFaultConfig::hardened();
         cfg.dram_fault.seed = cfg.media.seed;
         assert!(cfg.validate().unwrap_err().to_string().contains("seed"));
+    }
+
+    #[test]
+    fn security_defaults_off_with_distinct_seed() {
+        let s = SystemConfig::paper().security;
+        assert!(!s.enabled);
+        assert_eq!(s.tamper_rate, 0.0);
+        assert_eq!(s.crypto_ns_per_block, 14);
+        assert_eq!(s.mac_ns_per_block, 8);
+        assert_eq!(s.tree_arity, 8);
+        assert_ne!(s.seed, MediaFaultConfig::default().seed);
+        assert_ne!(s.seed, DramFaultConfig::default().seed);
+    }
+
+    #[test]
+    fn hardened_composes_all_three_domains_and_validates() {
+        let cfg = SystemConfig::hardened();
+        assert!(cfg.media.enabled && cfg.media.integrity && cfg.media.scrub);
+        assert!(cfg.dram_fault.enabled);
+        assert!(cfg.security.enabled);
+        cfg.validate().expect("hardened config valid");
+        // Rates default to zero: hardened arms machinery, not faults.
+        assert_eq!(cfg.media.bit_flip_rate, 0.0);
+        assert_eq!(cfg.dram_fault.poison_rate, 0.0);
+        assert_eq!(cfg.security.tamper_rate, 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_security_combinations() {
+        let mut cfg = SystemConfig::paper();
+        cfg.security.tamper_rate = 1.5;
+        assert!(cfg.validate().unwrap_err().to_string().contains("probability"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.security = SecurityConfig::hardened();
+        cfg.security.tree_arity = 1;
+        assert!(cfg.validate().unwrap_err().to_string().contains("arity"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.security.crypto_ns_per_block = 2_000_000_000;
+        assert!(cfg.validate().unwrap_err().to_string().contains("latency"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.security.mac_ns_per_block = 2_000_000_000;
+        assert!(cfg.validate().unwrap_err().to_string().contains("latency"));
+    }
+
+    #[test]
+    fn validation_rejects_seed_collisions_across_all_domains() {
+        // security == media
+        let mut cfg = SystemConfig::hardened();
+        cfg.security.seed = cfg.media.seed;
+        assert!(cfg.validate().unwrap_err().to_string().contains("seed"));
+
+        // security == dram
+        let mut cfg = SystemConfig::hardened();
+        cfg.security.seed = cfg.dram_fault.seed;
+        assert!(cfg.validate().unwrap_err().to_string().contains("seed"));
+
+        // dram == media (pre-existing rule still holds under hardened()).
+        let mut cfg = SystemConfig::hardened();
+        cfg.dram_fault.seed = cfg.media.seed;
+        assert!(cfg.validate().unwrap_err().to_string().contains("seed"));
+
+        // A collision with a *disabled* domain is harmless.
+        let mut cfg = SystemConfig::hardened();
+        cfg.security.enabled = false;
+        cfg.security.seed = cfg.media.seed;
+        cfg.validate().expect("collision with disabled domain allowed");
     }
 
     #[test]

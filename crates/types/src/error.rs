@@ -55,6 +55,15 @@ pub enum Error {
         /// Physical address of the block that could not be remapped.
         addr: PhysAddr,
     },
+    /// Integrity verification failed on *both* checkpoint images: neither
+    /// `C_last` nor `C_penult` authenticates against its stored MAC, so no
+    /// trusted state exists to replay. Recovery refuses to deliver
+    /// unauthenticated data and resets to the empty (provably
+    /// uncorrupted) image instead.
+    IntegrityUnrecoverable {
+        /// Epoch of the newest (rejected) checkpoint.
+        epoch: u64,
+    },
     /// An uncorrectable DRAM error poisoned dirty working data: the
     /// affected range was quarantined — its writes were dropped and the
     /// contents rolled back to the last checkpoint — instead of letting the
@@ -84,6 +93,12 @@ impl fmt::Display for Error {
             }
             Error::SpareExhausted { addr } => {
                 write!(f, "no spare block left to remap bad block at {addr}")
+            }
+            Error::IntegrityUnrecoverable { epoch } => {
+                write!(
+                    f,
+                    "integrity verification failed on both checkpoint images at epoch {epoch}: no authenticated state to recover"
+                )
             }
             Error::DramPoisonLost { addr, bytes } => {
                 write!(
@@ -120,6 +135,9 @@ mod tests {
         let e = Error::SpareExhausted { addr: PhysAddr::new(0xc0) };
         assert!(e.to_string().contains("no spare block"));
         assert!(e.to_string().contains("0xc0"));
+        let e = Error::IntegrityUnrecoverable { epoch: 9 };
+        assert!(e.to_string().contains("both checkpoint images"));
+        assert!(e.to_string().contains("epoch 9"));
         let e = Error::DramPoisonLost { addr: PhysAddr::new(0x2000), bytes: 4096 };
         assert!(e.to_string().contains("quarantined"));
         assert!(e.to_string().contains("0x2000"));

@@ -39,13 +39,14 @@ pub mod error;
 pub mod fxmap;
 pub mod hist;
 pub mod req;
+pub mod rng;
 pub mod stats;
 pub mod system;
 
 pub use addr::{BlockIndex, HwAddr, PageIndex, PhysAddr, BLOCK_BYTES, BLOCKS_PER_PAGE, PAGE_BYTES};
 pub use config::{
-    CacheConfig, CkptMode, DeviceGeometry, DramFaultConfig, MediaFaultConfig, SystemConfig,
-    ThyNvmConfig, TimingConfig, WorkingRegion, CPU_FREQ_GHZ,
+    CacheConfig, CkptMode, DeviceGeometry, DramFaultConfig, MediaFaultConfig, SecurityConfig,
+    SystemConfig, ThyNvmConfig, TimingConfig, WorkingRegion, CPU_FREQ_GHZ,
 };
 pub use cycle::Cycle;
 pub use error::{Error, Result};
@@ -54,6 +55,6 @@ pub use hist::Histogram;
 pub use req::{AccessKind, MemRequest, TraceEvent};
 pub use stats::{
     CkptPhase, CrashEvent, DramStats, FaultKind, MediaStats, MemStats, NvmWriteClass,
-    PerfStats, RecoveryOutcome, RecoveryStep,
+    PerfStats, RecoveryOutcome, RecoveryStep, SecurityStats,
 };
 pub use system::{MemorySystem, PersistentMemory};

@@ -78,6 +78,11 @@ pub enum RecoveryOutcome {
     /// verification (torn commit record, corrupted data or metadata), so
     /// recovery discarded it and fell back to `C_penult`.
     CPenultIntegrityFallback,
+    /// *Both* checkpoint images failed authentication (secure mode): no
+    /// trusted state exists, so recovery reset to the empty image and
+    /// surfaced [`crate::Error::IntegrityUnrecoverable`] instead of ever
+    /// replaying unauthenticated data.
+    Unrecoverable,
 }
 
 impl fmt::Display for RecoveryOutcome {
@@ -86,6 +91,7 @@ impl fmt::Display for RecoveryOutcome {
             RecoveryOutcome::CLast => "C_last",
             RecoveryOutcome::CPenult => "C_penult",
             RecoveryOutcome::CPenultIntegrityFallback => "C_penult (integrity)",
+            RecoveryOutcome::Unrecoverable => "unrecoverable",
         })
     }
 }
@@ -103,6 +109,10 @@ pub enum RecoveryStep {
     ReadCommitRecord,
     /// Verify the CRCs of `C_last` (commit record, data, metadata images).
     VerifyClast,
+    /// Secure mode: authenticate `C_last` against its stored MAC root and
+    /// the persisted counter-table generation, classifying any mismatch
+    /// (tamper vs. torn vs. media) before trusting the image.
+    VerifyMacs,
     /// `C_last` failed verification: write-ahead, then durably void it and
     /// promote `C_penult`, sealing the decision with a CRC'd record.
     IntegrityFallback,
@@ -117,6 +127,7 @@ impl fmt::Display for RecoveryStep {
         f.write_str(match self {
             RecoveryStep::ReadCommitRecord => "read-commit-record",
             RecoveryStep::VerifyClast => "verify-clast",
+            RecoveryStep::VerifyMacs => "verify-macs",
             RecoveryStep::IntegrityFallback => "integrity-fallback",
             RecoveryStep::ReplayMetadata => "replay-metadata",
             RecoveryStep::RearmWorkingSet => "rearm-working-set",
@@ -328,6 +339,114 @@ impl DramStats {
     }
 }
 
+/// Secure-mode counters: counter-mode encryption traffic, security
+/// metadata persists, and the tamper-detection ledger.
+///
+/// The tamper ledger is conservative by construction: every detected
+/// tamper is classified exactly once (`tampers_detected ==
+/// classified_tamper + classified_torn + classified_media`) and resolved
+/// exactly once (`tampers_detected == verify_fallbacks + unrecoverable`).
+/// `classified_media` detections originate from *media* faults caught by
+/// the MAC (CRC layer off), not from injected tampers, so the injection
+/// bound is `tampers_injected + classified_media >= tampers_detected`;
+/// the slack is tampering still armed but not yet applied (no completed
+/// checkpoint to tamper with).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityStats {
+    /// 64 B blocks encrypted on their way to NVM (counter-mode: each bump
+    /// of the per-block write counter encrypts one block).
+    pub blocks_encrypted: u64,
+    /// 64 B blocks decrypted and MAC-verified on NVM reads (including
+    /// recovery-side verification reads).
+    pub blocks_verified: u64,
+    /// Counter-table persists at epoch boundaries (one per completed
+    /// checkpoint that had dirty counters).
+    pub counter_persists: u64,
+    /// Bytes of encryption-counter entries persisted to NVM.
+    pub counter_bytes: u64,
+    /// Integrity-tree nodes written while persisting security metadata.
+    pub tree_node_persists: u64,
+    /// Bytes of integrity-tree nodes persisted to NVM.
+    pub tree_bytes: u64,
+    /// Integrity-tree root (+ MAC record) persists — the atomic tip of the
+    /// security metadata, sealed with the checkpoint commit record.
+    pub root_persists: u64,
+    /// Per-block write counters lost to a mid-epoch crash and re-derived
+    /// by bounded replay at recovery (never guessed).
+    pub counters_replayed: u64,
+    /// Cycles spent in modeled encryption, decryption, and MAC work.
+    pub crypto_cycles: Cycle,
+    /// Adversarial tampers injected by the fault hooks.
+    pub tampers_injected: u64,
+    /// Injected tampers detected by MAC/counter verification at recovery.
+    pub tampers_detected: u64,
+    /// Detections classified as adversarial tampering (MAC forgery or a
+    /// rolled-back counter table, i.e. a replay attack).
+    pub classified_tamper: u64,
+    /// Detections classified as a torn security-metadata write (power loss
+    /// mid-persist).
+    pub classified_torn: u64,
+    /// Detections classified as media corruption caught by the MAC (CRC
+    /// layer disabled or bypassed).
+    pub classified_media: u64,
+    /// Detections resolved by authenticating `C_penult` and falling back
+    /// to it (the graceful path).
+    pub verify_fallbacks: u64,
+    /// Detections where *both* images failed authentication: recovery
+    /// reset to the empty image and surfaced
+    /// [`crate::Error::IntegrityUnrecoverable`].
+    pub unrecoverable: u64,
+}
+
+impl SecurityStats {
+    /// Detections classified, all classes combined. Conservation:
+    /// equals `tampers_detected`.
+    #[must_use]
+    pub fn classified_total(&self) -> u64 {
+        self.classified_tamper + self.classified_torn + self.classified_media
+    }
+
+    /// Detections resolved (fallen back or declared unrecoverable).
+    /// Conservation: equals `tampers_detected`.
+    #[must_use]
+    pub fn detections_accounted(&self) -> u64 {
+        self.verify_fallbacks + self.unrecoverable
+    }
+
+    /// Whether any secure-mode activity was recorded at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.blocks_encrypted > 0
+            || self.blocks_verified > 0
+            || self.counter_persists > 0
+            || self.tree_node_persists > 0
+            || self.root_persists > 0
+            || self.counters_replayed > 0
+            || self.tampers_injected > 0
+            || self.tampers_detected > 0
+    }
+
+    /// Merges another record into this one (summing all fields).
+    pub fn merge(&mut self, other: &SecurityStats) {
+        self.blocks_encrypted += other.blocks_encrypted;
+        self.blocks_verified += other.blocks_verified;
+        self.counter_persists += other.counter_persists;
+        self.counter_bytes += other.counter_bytes;
+        self.tree_node_persists += other.tree_node_persists;
+        self.tree_bytes += other.tree_bytes;
+        self.root_persists += other.root_persists;
+        self.counters_replayed += other.counters_replayed;
+        self.crypto_cycles += other.crypto_cycles;
+        self.tampers_injected += other.tampers_injected;
+        self.tampers_detected += other.tampers_detected;
+        self.classified_tamper += other.classified_tamper;
+        self.classified_torn += other.classified_torn;
+        self.classified_media += other.classified_media;
+        self.verify_fallbacks += other.verify_fallbacks;
+        self.unrecoverable += other.unrecoverable;
+    }
+}
+
 /// Observability record of one injected crash and its recovery.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrashEvent {
@@ -399,14 +518,17 @@ pub struct MemStats {
     /// Recoveries that discarded an incomplete checkpoint and restored
     /// `C_penult`.
     pub recoveries_to_cpenult: u64,
+    /// Recoveries where both checkpoint images failed authentication and
+    /// the system reset to the empty image (secure mode only).
+    pub recoveries_unrecoverable: u64,
     /// Queued writes discarded by power loss before their device committed
     /// them.
     pub wq_writes_lost: u64,
     /// Crashes that interrupted a recovery already in progress; each aborts
     /// the current recovery attempt, which restarts from the persisted
     /// commit record. Counted separately from `crashes_injected` so that
-    /// `crashes_injected == recoveries_to_clast + recoveries_to_cpenult`
-    /// stays an invariant.
+    /// `crashes_injected == recoveries_to_clast + recoveries_to_cpenult +
+    /// recoveries_unrecoverable` stays an invariant.
     pub nested_crashes: u64,
     /// Total simulated cycles spent in recovery, including attempts that
     /// were themselves interrupted by a nested crash.
@@ -415,6 +537,8 @@ pub struct MemStats {
     pub media: MediaStats,
     /// DRAM ECC fault-domain counters.
     pub dram: DramStats,
+    /// Secure-mode (encryption + integrity tree) counters.
+    pub security: SecurityStats,
     /// Simulator fast-path counters (host-performance accounting).
     pub perf: PerfStats,
     /// Per-crash observability records, in injection order.
@@ -452,6 +576,7 @@ impl MemStats {
             RecoveryOutcome::CPenult | RecoveryOutcome::CPenultIntegrityFallback => {
                 self.recoveries_to_cpenult += 1
             }
+            RecoveryOutcome::Unrecoverable => self.recoveries_unrecoverable += 1,
         }
         self.crash_events.push(event);
     }
@@ -532,11 +657,13 @@ impl MemStats {
         self.crashes_injected += other.crashes_injected;
         self.recoveries_to_clast += other.recoveries_to_clast;
         self.recoveries_to_cpenult += other.recoveries_to_cpenult;
+        self.recoveries_unrecoverable += other.recoveries_unrecoverable;
         self.wq_writes_lost += other.wq_writes_lost;
         self.nested_crashes += other.nested_crashes;
         self.recovery_cycles += other.recovery_cycles;
         self.media.merge(&other.media);
         self.dram.merge(&other.dram);
+        self.security.merge(&other.security);
         self.perf.merge(&other.perf);
         self.crash_events.extend(other.crash_events.iter().cloned());
     }
@@ -589,10 +716,11 @@ impl fmt::Display for MemStats {
         if self.crashes_injected > 0 || self.nested_crashes > 0 {
             write!(
                 f,
-                " crashes={} (C_last={} C_penult={} nested={} wq_lost={} recovery_cycles={})",
+                " crashes={} (C_last={} C_penult={} unrecoverable={} nested={} wq_lost={} recovery_cycles={})",
                 self.crashes_injected,
                 self.recoveries_to_clast,
                 self.recoveries_to_cpenult,
+                self.recoveries_unrecoverable,
                 self.nested_crashes,
                 self.wq_writes_lost,
                 self.recovery_cycles,
@@ -613,6 +741,27 @@ impl fmt::Display for MemStats {
                 self.media.spare_exhausted,
                 self.media.wal_seals,
                 self.media.wal_redos,
+            )?;
+        }
+        if self.security.any() {
+            write!(
+                f,
+                " security(enc={} ver={} ctr_persists={} ctr_bytes={} tree={}+{}B roots={} replayed={} tampers={}/{} class(t/t/m)={}/{}/{} fallbacks={} unrecoverable={})",
+                self.security.blocks_encrypted,
+                self.security.blocks_verified,
+                self.security.counter_persists,
+                self.security.counter_bytes,
+                self.security.tree_node_persists,
+                self.security.tree_bytes,
+                self.security.root_persists,
+                self.security.counters_replayed,
+                self.security.tampers_detected,
+                self.security.tampers_injected,
+                self.security.classified_tamper,
+                self.security.classified_torn,
+                self.security.classified_media,
+                self.security.verify_fallbacks,
+                self.security.unrecoverable,
             )?;
         }
         if self.dram.any() {
@@ -898,6 +1047,86 @@ mod tests {
         assert!(text.contains("dram("), "text={text}");
         assert!(text.contains("quarantines=2"), "text={text}");
         assert!(!MemStats::new().to_string().contains("dram("));
+    }
+
+    #[test]
+    fn unrecoverable_outcome_counts_separately() {
+        let mut s = MemStats::new();
+        s.record_crash(crash_event(10, RecoveryOutcome::Unrecoverable));
+        s.record_crash(crash_event(20, RecoveryOutcome::CLast));
+        assert_eq!(s.crashes_injected, 2);
+        assert_eq!(s.recoveries_unrecoverable, 1);
+        assert_eq!(s.recoveries_to_clast, 1);
+        assert_eq!(s.recoveries_to_cpenult, 0);
+        assert_eq!(
+            s.crashes_injected,
+            s.recoveries_to_clast + s.recoveries_to_cpenult + s.recoveries_unrecoverable
+        );
+        assert!(s.to_string().contains("unrecoverable=1"));
+        assert_eq!(RecoveryOutcome::Unrecoverable.to_string(), "unrecoverable");
+        assert_eq!(RecoveryStep::VerifyMacs.to_string(), "verify-macs");
+
+        let mut b = MemStats::new();
+        b.record_crash(crash_event(30, RecoveryOutcome::Unrecoverable));
+        s.merge(&b);
+        assert_eq!(s.recoveries_unrecoverable, 2);
+    }
+
+    #[test]
+    fn security_stats_conserve_merge_and_show() {
+        let mut c = SecurityStats::default();
+        assert!(!c.any());
+        c.blocks_encrypted = 10;
+        c.blocks_verified = 8;
+        c.counter_persists = 3;
+        c.counter_bytes = 24;
+        c.tree_node_persists = 5;
+        c.tree_bytes = 320;
+        c.root_persists = 3;
+        c.counters_replayed = 2;
+        c.crypto_cycles = Cycle::new(400);
+        c.tampers_injected = 3;
+        c.tampers_detected = 2;
+        c.classified_tamper = 1;
+        c.classified_torn = 1;
+        c.classified_media = 0;
+        c.verify_fallbacks = 1;
+        c.unrecoverable = 1;
+        assert!(c.any());
+        // Conservation: every detection classified once and resolved once.
+        assert_eq!(c.classified_total(), c.tampers_detected);
+        assert_eq!(c.detections_accounted(), c.tampers_detected);
+        assert!(c.tampers_injected >= c.tampers_detected);
+
+        let mut a = MemStats::new();
+        a.security.merge(&c);
+        let mut b = MemStats::new();
+        b.security.merge(&c);
+        a.merge(&b);
+        assert_eq!(a.security.blocks_encrypted, 20);
+        assert_eq!(a.security.blocks_verified, 16);
+        assert_eq!(a.security.counter_persists, 6);
+        assert_eq!(a.security.counter_bytes, 48);
+        assert_eq!(a.security.tree_node_persists, 10);
+        assert_eq!(a.security.tree_bytes, 640);
+        assert_eq!(a.security.root_persists, 6);
+        assert_eq!(a.security.counters_replayed, 4);
+        assert_eq!(a.security.crypto_cycles, Cycle::new(800));
+        assert_eq!(a.security.tampers_injected, 6);
+        assert_eq!(a.security.tampers_detected, 4);
+        assert_eq!(a.security.classified_tamper, 2);
+        assert_eq!(a.security.classified_torn, 2);
+        assert_eq!(a.security.classified_media, 0);
+        assert_eq!(a.security.verify_fallbacks, 2);
+        assert_eq!(a.security.unrecoverable, 2);
+        // Conservation survives the merge.
+        assert_eq!(a.security.classified_total(), a.security.tampers_detected);
+        assert_eq!(a.security.detections_accounted(), a.security.tampers_detected);
+
+        let text = a.to_string();
+        assert!(text.contains("security("), "text={text}");
+        assert!(text.contains("tampers=4/6"), "text={text}");
+        assert!(!MemStats::new().to_string().contains("security("));
     }
 
     #[test]

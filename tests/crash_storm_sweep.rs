@@ -227,15 +227,9 @@ fn storm_media_cfg() -> SystemConfig {
     cfg
 }
 
-/// A tiny deterministic PRNG (splitmix64) so trials are reproducible from
-/// the seed alone.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The workspace's shared deterministic PRNG (splitmix64), so trials are
+// reproducible from the seed alone.
+use thynvm::types::rng::next as splitmix64;
 
 fn storm_seed() -> u64 {
     std::env::var("CRASH_STORM_SEED")

@@ -1,0 +1,397 @@
+//! Secure-mode soak: seeded adversarial tampers crossed with crash cycles,
+//! stacked crash points, and the NVM media-fault model, validated against
+//! the tamper-aware persistence oracle.
+//!
+//! The secure persistent memory mode's claim: recovery never replays
+//! unauthenticated data. A MAC mismatch or stale counter table on `C_last`
+//! is detected, classified (tamper vs. torn vs. media) and degraded to the
+//! authenticated `C_penult`, exactly as CRC failures are; when *both*
+//! images fail authentication the system resets to the provably-empty
+//! image and surfaces `IntegrityUnrecoverable` — there are no silent
+//! recoveries. This suite stress-tests that claim three ways:
+//!
+//! 1. **Randomized sweep**: ≥ 500 seeded trials across eight config combos
+//!    (four tamper kinds × media model on/off), each crashing at a random
+//!    cycle with 0–2 stacked crash points, asserting the recovered image
+//!    is byte-identical to the tamper-aware oracle and that the per-trial
+//!    tamper ledger conserves: every detection is classified exactly once
+//!    and resolved exactly once, and every *applied* tamper is detected.
+//! 2. **Disabled twin**: with `SecurityConfig.enabled = false` (even with
+//!    a tamper rate configured) the timeline and visible fingerprint are
+//!    bit-identical to a default-config run — the model adds zero cost
+//!    when off.
+//! 3. **Determinism**: replaying a prefix of the sweep from the same seed
+//!    reproduces identical ledgers and fingerprints.
+//!
+//! Seeds come from `SECURITY_SWEEP_SEED` (CI runs a small fixed matrix);
+//! the default seed keeps local runs deterministic.
+
+use thynvm::core::{PersistenceOracle, TamperFault, ThyNvm};
+use thynvm::types::{
+    rng, Cycle, MediaFaultConfig, MemorySystem, PhysAddr, SecurityConfig, SecurityStats,
+    SystemConfig,
+};
+
+/// One step of the deterministic workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `len` bytes of `fill` at `addr`.
+    Write { addr: u64, len: usize, fill: u8 },
+    /// End the epoch (checkpoint start; execution overlaps the job).
+    Checkpoint,
+    /// Let simulated time pass.
+    Advance { cycles: u64 },
+}
+
+const PAGE: u64 = 4096;
+
+/// A three-epoch workload touching both schemes: hot pages that cross the
+/// promotion threshold (PTT) plus scattered cold blocks (BTT), ending with
+/// uncheckpointed tail writes no recovery may ever surface.
+fn workload() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for epoch in 0u64..3 {
+        for rep in 0..4u64 {
+            for page in 0..3u64 {
+                for blk in 0..8u64 {
+                    ops.push(Op::Write {
+                        addr: page * PAGE + blk * 64,
+                        len: 64,
+                        fill: (1 + epoch * 50 + page * 11 + blk + rep * 3) as u8,
+                    });
+                }
+            }
+        }
+        for i in 0..10u64 {
+            let block = (i * 13 + epoch * 7) % 64;
+            ops.push(Op::Write {
+                addr: 8 * PAGE + block * 64,
+                len: 8,
+                fill: (100 + epoch * 17 + i) as u8,
+            });
+        }
+        ops.push(Op::Checkpoint);
+        ops.push(Op::Advance { cycles: 400_000 });
+    }
+    ops.push(Op::Advance { cycles: 2_000_000 });
+    for blk in 0..6u64 {
+        ops.push(Op::Write { addr: blk * 64, len: 64, fill: 0xEE });
+    }
+    ops
+}
+
+/// Applies one op, returning the advanced timeline.
+fn apply(sys: &mut ThyNvm, op: &Op, now: Cycle) -> Cycle {
+    match op {
+        Op::Write { addr, len, fill } => {
+            let data = vec![*fill; *len];
+            now.max(sys.store_bytes(PhysAddr::new(*addr), &data, now))
+        }
+        Op::Checkpoint => now.max(sys.force_checkpoint(now)),
+        Op::Advance { cycles } => now + Cycle::new(*cycles),
+    }
+}
+
+/// Checkpoint completion times learned from the crash-free reference run.
+#[derive(Debug, Clone, Copy)]
+struct CkptTimes {
+    done_at: Cycle,
+}
+
+/// Runs the workload crash-free, feeding the oracle.
+fn reference_run(ops: &[Op], cfg: SystemConfig) -> (PersistenceOracle, Vec<CkptTimes>, Cycle) {
+    let mut sys = ThyNvm::new(cfg);
+    let mut oracle = PersistenceOracle::new();
+    let mut ckpts = Vec::new();
+    let mut now = Cycle::ZERO;
+    for op in ops {
+        if let Op::Write { addr, len, fill } = op {
+            oracle.record_write(*addr, &vec![*fill; *len]);
+        }
+        let before = now;
+        now = apply(&mut sys, op, now);
+        if matches!(op, Op::Checkpoint) {
+            let times = match sys.epoch_state().job.as_ref() {
+                Some(j) => CkptTimes { done_at: j.done_at },
+                None => CkptTimes { done_at: now },
+            };
+            let started = sys.epoch_state().job.as_ref().map_or(before, |j| j.started);
+            oracle.record_checkpoint(started, times.done_at);
+            ckpts.push(times);
+        }
+    }
+    (oracle, ckpts, now)
+}
+
+/// Replays the workload with a tamper armed and a crash at `at` (plus
+/// `extra` stacked points), drains every leftover point, and returns the
+/// settled system.
+fn crash_replay(
+    ops: &[Op],
+    cfg: SystemConfig,
+    tamper: TamperFault,
+    at: Cycle,
+    extra: &[Cycle],
+) -> ThyNvm {
+    let mut sys = ThyNvm::new(cfg);
+    sys.inject_tamper(tamper);
+    sys.arm_crash_point(at);
+    for &p in extra {
+        assert!(p > at, "stacked points must lie past the first crash");
+        sys.queue_crash_point(p);
+    }
+    let mut now = Cycle::ZERO;
+    let mut fired = false;
+    for op in ops {
+        now = apply(&mut sys, op, now);
+        if sys.take_crash_report().is_some() {
+            fired = true;
+            break;
+        }
+    }
+    if !fired {
+        sys.poll_crash(now.max(at) + Cycle::new(1));
+        sys.take_crash_report().expect("armed crash must fire");
+    }
+    while let Some(p) = sys.armed_crash_point() {
+        now = sys.poll_crash(now.max(p) + Cycle::new(1)).expect("leftover point fires");
+        sys.take_crash_report().expect("leftover crash reported");
+    }
+    sys
+}
+
+/// Asserts the per-trial tamper-ledger conservation invariants.
+fn assert_conservation(s: &SecurityStats, label: &str) {
+    assert_eq!(
+        s.classified_total(),
+        s.tampers_detected,
+        "{label}: detection classified other than exactly once ({s:?})"
+    );
+    assert_eq!(
+        s.detections_accounted(),
+        s.tampers_detected,
+        "{label}: detection resolved other than exactly once ({s:?})"
+    );
+    assert!(
+        s.tampers_injected + s.classified_media >= s.tampers_detected,
+        "{label}: more detections than injections ({s:?})"
+    );
+}
+
+fn sweep_seed() -> u64 {
+    std::env::var("SECURITY_SWEEP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EC0_31A7)
+}
+
+/// The four tamper kinds the sweep draws from (addresses vary per trial).
+fn tamper_kind(kind: usize, addr: u64) -> TamperFault {
+    match kind {
+        0 => TamperFault::ClastData { addr },
+        1 => TamperFault::StaleCounterTable,
+        2 => TamperFault::TornRootMeta,
+        _ => TamperFault::BothImages { addr },
+    }
+}
+
+fn combo_cfg(media: bool, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::small_test();
+    cfg.security = SecurityConfig { seed, ..SecurityConfig::hardened() };
+    if media {
+        cfg.media = MediaFaultConfig::hardened();
+    }
+    cfg.validate().expect("valid sweep config");
+    cfg
+}
+
+/// Runs one trial and returns the settled system plus its label.
+#[allow(clippy::too_many_arguments)]
+fn run_trial(
+    ops: &[Op],
+    refs: &[(SystemConfig, PersistenceOracle, Vec<CkptTimes>, Cycle)],
+    rng_state: &mut u64,
+    trial: usize,
+) -> (ThyNvm, TamperFault, Vec<Cycle>, String, usize) {
+    let kind = (rng::next(rng_state) % 4) as usize;
+    let media = rng::next(rng_state) % 2 == 1;
+    let ci = usize::from(media);
+    let (cfg, _, _, end) = &refs[ci];
+    let addr = (rng::next(rng_state) % (3 * PAGE)) & !63;
+    let tamper = tamper_kind(kind, addr);
+    let at = Cycle::new(1 + rng::next(rng_state) % (end.raw() - 1));
+    let depth = (rng::next(rng_state) % 3) as usize; // 0–2 stacked points
+    let mut extra = Vec::new();
+    while extra.len() < depth {
+        let p = at + Cycle::new(1 + rng::next(rng_state) % 2_000_000);
+        if !extra.contains(&p) {
+            extra.push(p);
+        }
+    }
+    extra.sort_unstable();
+    let sys = crash_replay(ops, *cfg, tamper, at, &extra);
+    let mut seq = vec![at];
+    seq.extend_from_slice(&extra);
+    let label = format!("trial {trial} kind {kind} media {media} at {at} depth {depth}");
+    (sys, tamper, seq, label, ci)
+}
+
+/// Randomized sweep: ≥ 500 seeded trials crossing tamper kinds, crash
+/// cycles, stacked crash points and the media model. Every recovered image
+/// must match the tamper-aware oracle byte-for-byte, every applied tamper
+/// must be detected (zero silent recoveries), and every trial's tamper
+/// ledger must conserve.
+#[test]
+fn seeded_tamper_sweep_never_replays_unauthenticated_data() {
+    let ops = workload();
+    let base_seed = sweep_seed();
+
+    // One crash-free reference per media setting: the deterministic
+    // workload gives both combos the same logical write history.
+    let refs: Vec<(SystemConfig, PersistenceOracle, Vec<CkptTimes>, Cycle)> = [false, true]
+        .iter()
+        .map(|&media| {
+            let cfg = combo_cfg(media, base_seed | 1);
+            let (oracle, ckpts, end) = reference_run(&ops, cfg);
+            assert_eq!(ckpts.len(), 3, "workload must reach all three checkpoints");
+            (cfg, oracle, ckpts, end)
+        })
+        .collect();
+
+    let mut rng_state = base_seed;
+    let mut fallbacks = 0u64;
+    let mut unrecoverables = 0u64;
+    let mut still_armed = 0u64;
+    let mut kinds_detected = [0u64; 3]; // tamper / torn / (tamper again for stale)
+    const TRIALS: usize = 510;
+    for trial in 0..TRIALS {
+        let (mut sys, tamper, seq, label, ci) = run_trial(&ops, &refs, &mut rng_state, trial);
+        let (_, oracle, _, _) = &refs[ci];
+        let s = sys.stats().security;
+        assert_conservation(&s, &label);
+
+        let applied = sys.armed_tamper().is_none();
+        let t = Cycle::new(u64::MAX / 2);
+        let read = |sys: &mut ThyNvm, addr: u64| {
+            let mut buf = [0u8; 1];
+            sys.load_bytes(PhysAddr::new(addr), &mut buf, t);
+            buf[0]
+        };
+        if applied {
+            // Zero silent recoveries: the applied tamper was detected and
+            // resolved (fallback or unrecoverable), never replayed.
+            assert_eq!(s.tampers_injected, 1, "{label}: applied tamper not counted");
+            assert_eq!(
+                s.tampers_detected,
+                s.tampers_injected + s.classified_media,
+                "{label}: silent recovery — applied tamper went undetected ({s:?})"
+            );
+            let diffs =
+                oracle.diff_with_tampered_region(seq[0], tamper, |a| read(&mut sys, a));
+            assert!(
+                diffs.is_empty(),
+                "{label}: {} divergent byte(s) vs tamper-aware oracle, first {:?}",
+                diffs.len(),
+                diffs.first()
+            );
+            match tamper {
+                TamperFault::BothImages { .. } => {
+                    assert_eq!(s.unrecoverable, 1, "{label}: both-images must be terminal");
+                    assert!(
+                        sys.take_security_error().is_some(),
+                        "{label}: unrecoverable must surface an error"
+                    );
+                    unrecoverables += 1;
+                }
+                TamperFault::ClastData { .. } | TamperFault::StaleCounterTable => {
+                    assert!(s.classified_tamper >= 1, "{label}: misclassified ({s:?})");
+                    kinds_detected[0] += 1;
+                    fallbacks += s.verify_fallbacks;
+                }
+                TamperFault::TornRootMeta => {
+                    assert!(s.classified_torn >= 1, "{label}: misclassified ({s:?})");
+                    kinds_detected[1] += 1;
+                    fallbacks += s.verify_fallbacks;
+                }
+            }
+        } else {
+            // Crash before any completed checkpoint: nothing to forge yet.
+            assert_eq!(s.tampers_injected, 0, "{label}: armed tamper counted early");
+            assert_eq!(s.tampers_detected, s.classified_media, "{label}: phantom detection");
+            still_armed += 1;
+            let diffs =
+                oracle.diff_after_crash_sequence(&seq, false, |a| read(&mut sys, a));
+            assert!(
+                diffs.is_empty(),
+                "{label}: {} divergent byte(s) vs clean-crash oracle, first {:?}",
+                diffs.len(),
+                diffs.first()
+            );
+        }
+    }
+    // Coverage floor: the sweep exercised every path in the population.
+    assert!(fallbacks > 0, "sweep never fell back to C_penult");
+    assert!(unrecoverables > 0, "sweep never hit the unrecoverable path");
+    assert!(still_armed > 0, "sweep never crashed before the first checkpoint");
+    assert!(kinds_detected[0] > 0, "no adversarial classification exercised");
+    assert!(kinds_detected[1] > 0, "no torn-metadata classification exercised");
+}
+
+/// Disabled twin: with `enabled = false` the model must be absent, not
+/// merely quiet — even with a tamper rate configured, the timeline and the
+/// visible fingerprint are bit-identical to a default-config run.
+#[test]
+fn disabled_security_config_is_bit_identical_to_default() {
+    let ops = workload();
+    let plain = SystemConfig::small_test();
+    let mut disabled = SystemConfig::small_test();
+    disabled.security = SecurityConfig { enabled: false, tamper_rate: 0.9, ..Default::default() };
+    disabled.validate().expect("disabled model with a rate set is still valid");
+
+    let run = |cfg: SystemConfig| {
+        let mut sys = ThyNvm::new(cfg);
+        let mut now = Cycle::ZERO;
+        for op in &ops {
+            now = apply(&mut sys, op, now);
+        }
+        now = sys.drain(now);
+        // A crash exercises the recovery path with verification off.
+        let report = sys.crash_and_recover(now);
+        (now + report.recovery_cycles, sys.visible_fingerprint(), sys.stats().clone())
+    };
+    let (t_plain, fp_plain, s_plain) = run(plain);
+    let (t_off, fp_off, s_off) = run(disabled);
+    assert_eq!(t_plain, t_off, "disabled model changed the timeline");
+    assert_eq!(fp_plain, fp_off, "disabled model changed the contents");
+    assert!(!s_off.security.any(), "disabled model left security counters");
+    assert_eq!(s_plain.nvm_writes, s_off.nvm_writes);
+    assert_eq!(s_plain.dram_reads, s_off.dram_reads);
+    assert_eq!(s_plain.service_cycles, s_off.service_cycles);
+}
+
+/// Determinism: the same seed reproduces the same trial schedule, the same
+/// tamper ledgers, and the same recovered fingerprints.
+#[test]
+fn tamper_sweep_prefix_replays_deterministically() {
+    let ops = workload();
+    let base_seed = sweep_seed();
+    let refs: Vec<(SystemConfig, PersistenceOracle, Vec<CkptTimes>, Cycle)> = [false, true]
+        .iter()
+        .map(|&media| {
+            let cfg = combo_cfg(media, base_seed | 1);
+            let (oracle, ckpts, end) = reference_run(&ops, cfg);
+            (cfg, oracle, ckpts, end)
+        })
+        .collect();
+
+    let run_prefix = || {
+        let mut rng_state = base_seed;
+        (0..12)
+            .map(|trial| {
+                let (sys, _, _, _, _) = run_trial(&ops, &refs, &mut rng_state, trial);
+                (sys.stats().security, sys.visible_fingerprint())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run_prefix(), run_prefix(), "same seed must replay identically");
+}

@@ -161,3 +161,62 @@ fn request_counts_are_conserved_through_the_platform() {
     // Controller reads = L3 read misses (fetches).
     assert_eq!(MemorySystem::stats(&sys).reads, l3_misses);
 }
+
+#[test]
+fn security_ledger_conserves_and_tracks_device_traffic() {
+    // The secure mode's tamper ledger must conserve (every detection is
+    // classified exactly once and resolved exactly once), its metadata
+    // persists must be real device traffic, and a tamper-and-crash storm
+    // must keep the ledger consistent.
+    use thynvm::core::TamperFault;
+    use thynvm::types::{Cycle, PhysAddr, SecurityConfig};
+
+    let mut cfg = SystemConfig::paper();
+    cfg.security = SecurityConfig::hardened();
+    cfg.validate().expect("valid secure config");
+    let micro = MicroConfig::new(MicroPattern::Random);
+    let mut sys = ThyNvm::new(cfg);
+    let mut core = CoreModel::new(cfg.cache);
+    let end = core.run_trace(micro.events(20_000), &mut sys);
+
+    // Crypto work happened and the metadata persists are accounted in the
+    // device's checkpoint-class write traffic.
+    let s = MemorySystem::stats(&sys).security;
+    assert!(s.blocks_encrypted > 0);
+    assert!(s.counter_persists > 0);
+    let meta_bytes = s.counter_bytes + s.tree_bytes + 64 * s.root_persists;
+    let ckpt_bytes = MemorySystem::stats(&sys).nvm_write_bytes_ckpt;
+    assert!(
+        meta_bytes <= ckpt_bytes,
+        "security metadata ({meta_bytes} B) exceeds checkpoint traffic ({ckpt_bytes} B)"
+    );
+
+    // A tamper-and-crash storm: ledger conservation after every recovery.
+    let mut t = end;
+    for (i, tamper) in [
+        TamperFault::ClastData { addr: 0 },
+        TamperFault::StaleCounterTable,
+        TamperFault::TornRootMeta,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        t = sys.store_bytes(PhysAddr::new(0), &[i as u8 + 1; 64], t);
+        t = sys.force_checkpoint(t);
+        t = sys.drain(t);
+        sys.inject_tamper(tamper);
+        let report = sys.crash_and_recover(t);
+        t = t + report.recovery_cycles + Cycle::new(1);
+        let s = MemorySystem::stats(&sys).security;
+        assert_eq!(s.classified_total(), s.tampers_detected, "step {i}: {s:?}");
+        assert_eq!(s.detections_accounted(), s.tampers_detected, "step {i}: {s:?}");
+        assert!(s.tampers_injected + s.classified_media >= s.tampers_detected, "step {i}");
+    }
+    let s = MemorySystem::stats(&sys).security;
+    assert_eq!(s.tampers_injected, 3);
+    assert_eq!(s.tampers_detected, 3);
+    assert_eq!(s.classified_tamper, 2, "forged data + stale table");
+    assert_eq!(s.classified_torn, 1, "torn root metadata");
+    assert_eq!(s.verify_fallbacks, 3);
+    assert_eq!(s.unrecoverable, 0);
+}
