@@ -9,9 +9,21 @@
 //! the journal is persisted and committed, which is the source of the large
 //! checkpointing-time share the paper reports for this baseline (18.9 % on
 //! the micro-benchmarks, §5.2).
+//!
+//! # Secure mode
+//!
+//! With [`SecurityConfig`](thynvm_types::SecurityConfig) enabled the
+//! baseline carries the same counter-mode-encryption metadata as ThyNVM
+//! (Zuo et al., arXiv:1901.00620): every committed block bumps its write
+//! counter, and each flush persists the dirty counter-table entries, the
+//! distinct integrity-tree nodes on their paths to the root, and a 64 B
+//! root record — all *before* the commit record. This makes the metadata
+//! amplification of a journaling design directly comparable to ThyNVM's
+//! (experiment E22). Security off is byte- and cycle-identical to a build
+//! without the subsystem.
 
 
-use thynvm_mem::{Device, DeviceKind, SparseStore};
+use thynvm_mem::{Device, DeviceKind, SecurityModel, SparseStore};
 use thynvm_types::{
     AccessKind, BlockIndex, Cycle, FxHashMap, HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass,
     PersistentMemory, PhysAddr, SystemConfig, BLOCK_BYTES,
@@ -22,6 +34,13 @@ use thynvm_types::{
 const JOURNAL_BASE: u64 = 1 << 40;
 /// DRAM slot size: one block.
 const SLOT_BYTES: u64 = BLOCK_BYTES;
+/// Security-metadata region within the journal's backup space: counter
+/// table, integrity-tree nodes, and the root record live here, disjoint
+/// from the journal entries themselves.
+const JOURNAL_META_BASE: u64 = JOURNAL_BASE + (1 << 30);
+/// Bytes per persisted counter-table / tree-node entry (matches ThyNVM's
+/// metadata-entry size so E22 compares like with like).
+const META_ENTRY_BYTES: u64 = 8;
 
 /// The journaling hybrid memory system.
 ///
@@ -41,6 +60,9 @@ pub struct Journaling {
     committed: SparseStore,
     /// Functional layer: contents of buffered (not yet committed) blocks.
     buffer_data: SparseStore,
+    /// Secure mode: counter-mode encryption + integrity-tree metadata,
+    /// `None` unless `cfg.security.enabled`.
+    security: Option<SecurityModel>,
 }
 
 impl Journaling {
@@ -57,6 +79,7 @@ impl Journaling {
             stats: MemStats::new(),
             committed: SparseStore::new(),
             buffer_data: SparseStore::new(),
+            security: cfg.security.enabled.then(|| SecurityModel::new(&cfg.security)),
             cfg,
         }
     }
@@ -73,6 +96,28 @@ impl Journaling {
 
     fn slot_addr(&self, slot: u32) -> HwAddr {
         HwAddr::new(u64::from(slot) * SLOT_BYTES)
+    }
+
+    /// Attributes counter-mode encryption + MAC work for `bytes` of data.
+    /// Pure stats, as in ThyNVM: the AES-CTR pads overlap the burst
+    /// transfers. A no-op with secure mode off, so disabled runs stay
+    /// bit-identical.
+    fn charge_crypto(&mut self, bytes: u64, encrypt: bool) {
+        if self.security.is_none() {
+            return;
+        }
+        let blocks = bytes.div_ceil(BLOCK_BYTES);
+        if blocks == 0 {
+            return;
+        }
+        let ns = (self.cfg.security.crypto_ns_per_block + self.cfg.security.mac_ns_per_block)
+            * blocks;
+        self.stats.security.crypto_cycles += Cycle::from_ns(ns);
+        if encrypt {
+            self.stats.security.blocks_encrypted += blocks;
+        } else {
+            self.stats.security.blocks_verified += blocks;
+        }
     }
 
     /// Stop-the-world journal flush: write every buffered block to the NVM
@@ -113,6 +158,47 @@ impl Journaling {
             let cdone = self.nvm.access(home, AccessKind::Write, BLOCK_BYTES as u32, jdone);
             self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Cpu);
             t = t.max(cdone);
+            // Secure mode: the block is encrypted once under a bumped
+            // write counter; the journal entry and the home location carry
+            // the same ciphertext.
+            if let Some(sec) = self.security.as_mut() {
+                sec.note_block_write(home.raw());
+            }
+            self.charge_crypto(BLOCK_BYTES, true);
+        }
+        // Secure mode persists the dirty counters, the distinct tree nodes
+        // on their paths to the root, and the root record *before* the
+        // commit record — the state the commit flag covers must already be
+        // authenticated (same discipline as ThyNVM's step 4b).
+        if self.security.is_some() {
+            let receipt =
+                self.security.as_mut().expect("invariant: secure mode is on in this block").persist();
+            if receipt.counter_entries > 0 {
+                let ctr_bytes = receipt.counter_entries as u64 * META_ENTRY_BYTES;
+                t = self.nvm.access(
+                    HwAddr::new(JOURNAL_META_BASE),
+                    AccessKind::Write,
+                    u32::try_from(ctr_bytes.max(64).min(u64::from(u32::MAX))).expect("bounded"),
+                    t,
+                );
+                self.stats.record_nvm_write(ctr_bytes, NvmWriteClass::Checkpoint);
+                self.stats.security.counter_persists += 1;
+                self.stats.security.counter_bytes += ctr_bytes;
+                let tree_bytes = receipt.tree_nodes * META_ENTRY_BYTES;
+                t = self.nvm.access(
+                    HwAddr::new(JOURNAL_META_BASE + (1 << 20)),
+                    AccessKind::Write,
+                    u32::try_from(tree_bytes.max(64).min(u64::from(u32::MAX))).expect("bounded"),
+                    t,
+                );
+                self.stats.record_nvm_write(tree_bytes, NvmWriteClass::Checkpoint);
+                self.stats.security.tree_node_persists += receipt.tree_nodes;
+                self.stats.security.tree_bytes += tree_bytes;
+            }
+            t = self.nvm.access(HwAddr::new(JOURNAL_META_BASE + (2 << 20)), AccessKind::Write, 64, t);
+            self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
+            self.stats.security.root_persists += 1;
+            self.charge_crypto(64, true);
         }
         // Commit record.
         t = self.nvm.access(HwAddr::new(JOURNAL_BASE), AccessKind::Write, 64, t);
@@ -364,5 +450,56 @@ mod tests {
     #[test]
     fn name() {
         assert_eq!(sys().name(), "Journal");
+    }
+
+    #[test]
+    fn security_off_charges_nothing_and_keeps_flush_bytes() {
+        let mut j = sys();
+        j.access(&MemRequest::write(PhysAddr::new(0), 64), Cycle::ZERO);
+        j.begin_checkpoint(Cycle::new(1_000), &[]);
+        assert!(!j.stats().security.any(), "disabled mode records nothing");
+        assert_eq!(j.stats().security.crypto_cycles, Cycle::ZERO);
+        assert_eq!(j.stats().nvm_write_bytes_ckpt, 72 + 8, "byte-identical to pre-secure");
+    }
+
+    #[test]
+    fn secure_flush_persists_counters_tree_and_root() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.security = thynvm_types::SecurityConfig::hardened();
+        cfg.validate().expect("valid secure config");
+        let mut j = Journaling::new(cfg);
+        j.access(&MemRequest::write(PhysAddr::new(0), 64), Cycle::ZERO);
+        let t = j.begin_checkpoint(Cycle::new(1_000), &[]);
+        let s = j.stats().security;
+        assert_eq!(s.counter_persists, 1, "dirty counter persisted with the flush");
+        assert!(s.counter_bytes > 0);
+        assert!(s.tree_node_persists > 0, "ancestor tree nodes rewritten");
+        assert_eq!(s.root_persists, 1, "root sealed before the commit record");
+        assert!(s.blocks_encrypted > 0);
+        assert!(s.crypto_cycles > Cycle::ZERO);
+        // Metadata amplification: strictly more checkpoint-class bytes
+        // than the plain journal entry + commit record.
+        assert!(j.stats().nvm_write_bytes_ckpt > 72 + 8);
+        // A secure flush is never faster than a plain one.
+        let mut plain = sys();
+        plain.access(&MemRequest::write(PhysAddr::new(0), 64), Cycle::ZERO);
+        let tp = plain.begin_checkpoint(Cycle::new(1_000), &[]);
+        assert!(t >= tp);
+    }
+
+    #[test]
+    fn quiet_secure_flush_still_seals_the_root() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.security = thynvm_types::SecurityConfig::hardened();
+        cfg.validate().expect("valid secure config");
+        let mut j = Journaling::new(cfg);
+        j.access(&MemRequest::write(PhysAddr::new(0), 64), Cycle::ZERO);
+        j.begin_checkpoint(Cycle::new(1_000), &[]);
+        // A flush with nothing buffered persists no counters but still
+        // seals the generation-bearing root.
+        j.begin_checkpoint(Cycle::new(1_000_000), &[PhysAddr::new(64)]);
+        let s = j.stats().security;
+        assert_eq!(s.counter_persists, 2, "second flush had a dirty counter too");
+        assert_eq!(s.root_persists, 2, "root sealed every flush");
     }
 }

@@ -1,0 +1,10 @@
+//! Endurance ladder; see thynvm_bench::experiments::e23_endurance.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e23_endurance`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    experiments::e23_endurance(Scale::from_env()).print();
+}

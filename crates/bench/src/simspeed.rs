@@ -111,7 +111,11 @@ fn faulty_dram() -> DramFaultConfig {
 
 /// Builds the fixed case set: {micro-random, YCSB-A} × {fault-off,
 /// fault-on}, plus micro-random with the secure persistent memory mode
-/// armed, all through the ThyNVM controller on the paper configuration.
+/// armed and micro-random with the health ladder armed, all through the
+/// ThyNVM controller on the paper configuration. The health-on twin pins
+/// the graceful-degradation claim: with no faults injected the monitor
+/// only observes, so its sim-cycle total must stay bit-identical to
+/// `micro-random/fault-off`.
 /// `micro_accesses` and `ycsb_ops` scale the traces; the
 /// committed baseline uses [`cases`]'s defaults, and the gate refuses to
 /// compare entries with different `ops`.
@@ -130,11 +134,15 @@ pub fn cases_scaled(micro_accesses: u64, ycsb_ops: u64) -> Vec<SpeedCase> {
     let mut secure = base;
     secure.security = thynvm_types::SecurityConfig::hardened();
     secure.validate().expect("secure simspeed configuration is valid");
+    let mut health = base;
+    health.health = thynvm_types::HealthConfig::hardened();
+    health.validate().expect("health-on simspeed configuration is valid");
 
     vec![
         SpeedCase { name: "micro-random/fault-off", cfg: base, events: micro_events.clone() },
         SpeedCase { name: "micro-random/fault-on", cfg: faulty, events: micro_events.clone() },
-        SpeedCase { name: "micro-random/secure-on", cfg: secure, events: micro_events },
+        SpeedCase { name: "micro-random/secure-on", cfg: secure, events: micro_events.clone() },
+        SpeedCase { name: "micro-random/health-on", cfg: health, events: micro_events },
         SpeedCase { name: "ycsb-a/fault-off", cfg: base, events: ycsb_events.clone() },
         SpeedCase { name: "ycsb-a/fault-on", cfg: faulty, events: ycsb_events },
     ]
@@ -512,17 +520,30 @@ mod tests {
 
     #[test]
     fn small_cases_measure_deterministically() {
-        // A miniature end-to-end run: all five cases execute, produce
+        // A miniature end-to-end run: all six cases execute, produce
         // nonzero simulated time, and the cycle totals are repeatable.
         let cases = cases_scaled(400, 100);
-        assert_eq!(cases.len(), 5);
+        assert_eq!(cases.len(), 6);
+        let mut by_name = std::collections::HashMap::new();
         for case in &cases {
             let a = measure(case, 2);
             let b = measure(case, 1);
             assert_eq!(a.sim_cycles, b.sim_cycles, "{} is nondeterministic", case.name);
             assert!(a.sim_cycles > 0, "{} advanced no simulated time", case.name);
             assert_eq!(a.ops, case.events.len() as u64);
+            by_name.insert(case.name, a.sim_cycles);
         }
+        // The graceful-degradation twin: on a clean run an armed health
+        // monitor pays only the per-checkpoint rung persist (the health
+        // word sealed next to the commit record), a sliver of the total.
+        // Health *off* stays bit-identical to pre-ladder behavior — that
+        // side is pinned by the unchanged committed baseline entries.
+        let (on, off) = (by_name["micro-random/health-on"], by_name["micro-random/fault-off"]);
+        assert!(on >= off, "arming the monitor cannot make a clean run faster");
+        assert!(
+            (on - off) * 100 < off,
+            "health-on overhead on a clean run must stay under 1% ({on} vs {off})"
+        );
     }
 
     #[test]

@@ -48,11 +48,12 @@ use thynvm_mem::{
 };
 use thynvm_types::{
     AccessKind, BlockIndex, CkptMode, CkptPhase, Cycle, Error, FaultKind, FxHashMap, FxHashSet,
-    HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr, RecoveryStep,
-    SystemConfig, TraceEvent, BLOCK_BYTES, PAGE_BYTES,
+    HealthRung, HwAddr, MemRequest, MemStats, MemorySystem, NvmWriteClass, PageIndex, PhysAddr,
+    RecoveryStep, RetryPolicy, SystemConfig, TraceEvent, BLOCK_BYTES, PAGE_BYTES,
 };
 
 use crate::epoch::{CkptJob, EpochState};
+use crate::health::{HealthMonitor, HealthSignals};
 use crate::layout::{AddressSpace, Region};
 use crate::table::{bump_counter, Btt, Ptt, WactiveLoc};
 
@@ -332,6 +333,20 @@ pub struct ThyNvm {
     injected_tamper: Option<TamperFault>,
     /// The most recent both-images authentication failure, for inspection.
     last_security_error: Option<Error>,
+
+    // ---- graceful-degradation health ladder ----
+    /// The hysteresis-driven degradation ladder, when `cfg.health.enabled`.
+    health_mon: Option<HealthMonitor>,
+    /// Rung persisted with `C_last`'s commit record — what recovery
+    /// rehydrates when it restores `C_last`. Rotated like `mac_last`.
+    health_rung_last: HealthRung,
+    /// Rung persisted with the retained `C_penult` image (the fallback).
+    health_rung_penult: HealthRung,
+    /// Rung captured when the in-flight checkpoint's health record
+    /// persisted; rotated into `health_rung_last` at job retirement.
+    pending_health_rung: Option<HealthRung>,
+    /// The most recent degraded-store rejection, for inspection.
+    last_health_error: Option<Error>,
 }
 
 impl ThyNvm {
@@ -392,6 +407,11 @@ impl ThyNvm {
             mac_penult: empty_mac,
             injected_tamper: None,
             last_security_error: None,
+            health_mon: cfg.health.enabled.then(|| HealthMonitor::new(cfg.health)),
+            health_rung_last: HealthRung::Healthy,
+            health_rung_penult: HealthRung::Healthy,
+            pending_health_rung: None,
+            last_health_error: None,
             cfg,
         }
     }
@@ -666,6 +686,131 @@ impl ThyNvm {
     }
 
     // ------------------------------------------------------------------
+    // Graceful-degradation health ladder
+    // ------------------------------------------------------------------
+
+    /// The current health-ladder rung (`Healthy` when the ladder is off).
+    pub fn health_rung(&self) -> HealthRung {
+        self.health_mon.as_ref().map_or(HealthRung::Healthy, HealthMonitor::rung)
+    }
+
+    /// The health monitor, when `cfg.health.enabled` (inspection).
+    pub fn health_monitor(&self) -> Option<&HealthMonitor> {
+        self.health_mon.as_ref()
+    }
+
+    /// The rung persisted with `C_last`'s commit record — what recovery
+    /// would rehydrate if a crash struck right now and `C_last` verified.
+    /// Reference runs feed this to [`PersistenceOracle::record_health`]
+    /// after each drained checkpoint.
+    ///
+    /// [`PersistenceOracle::record_health`]: crate::PersistenceOracle::record_health
+    pub fn clast_health_rung(&self) -> HealthRung {
+        self.health_rung_last
+    }
+
+    /// The rung captured for the checkpoint currently in flight, if any —
+    /// the value its 64 B health record carries. Rotates into
+    /// [`Self::clast_health_rung`] when the job retires.
+    pub fn pending_health_rung(&self) -> Option<HealthRung> {
+        self.pending_health_rung
+    }
+
+    /// Pages allocated across the functional stores (visible + committed +
+    /// previous + archived images). Soak harnesses bound this to show the
+    /// simulator's footprint stays proportional to the touched working
+    /// set, not to simulated time.
+    pub fn functional_footprint_pages(&self) -> usize {
+        self.visible.allocated_pages()
+            + self.committed.allocated_pages()
+            + self.committed_prev.allocated_pages()
+            + self.archive.iter().map(|(_, s)| s.allocated_pages()).sum::<usize>()
+    }
+
+    /// Takes the most recent degraded-store rejection
+    /// ([`Error::Degraded`]) — a store refused because the ladder sits at
+    /// `ReadOnly` or worse — if one occurred since the last call.
+    pub fn take_health_error(&mut self) -> Option<Error> {
+        self.last_health_error.take()
+    }
+
+    /// The bounded-retry policy governing media CRC retries — NVM data
+    /// reads and recovery-side reads share it. Its
+    /// [`RetryPolicy::total_backoff`] bounds the worst-case added latency of
+    /// any single read, even with the spare pool drained.
+    pub fn media_retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(self.cfg.media.max_read_retries, self.cfg.media.retry_backoff_ns)
+    }
+
+    /// The bounded-retry policy governing DRAM ECC refetches.
+    pub fn dram_retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(
+            self.cfg.dram_fault.max_refetch_retries,
+            self.cfg.dram_fault.refetch_backoff_ns,
+        )
+    }
+
+    /// Samples the observable health signals from state the controller
+    /// already maintains (no device traffic, no cycles charged).
+    fn health_signals(&self) -> HealthSignals {
+        let scrub_backlog = self.fault.as_ref().map_or(0, |f| {
+            f.stuck_cells()
+                .filter(|(addr, _)| !self.bad_blocks.contains_key(&(addr & !(BLOCK_BYTES - 1))))
+                .count() as u64
+        });
+        HealthSignals {
+            spares_used: self.next_spare_slot,
+            spares_total: self.cfg.media.spare_blocks,
+            retries_total: self.stats.media.retries,
+            refetches_total: self.stats.dram.refetch_retries + self.stats.dram.corrected_flips,
+            spare_exhausted_total: self.stats.media.spare_exhausted,
+            wal_redos_total: self.stats.media.wal_redos,
+            scrub_backlog,
+            outstanding_poison: self.dram_fault.as_ref().map_or(0, |e| e.outstanding() as u64),
+            tampers_detected_total: self.stats.security.tampers_detected,
+        }
+    }
+
+    /// One ladder evaluation at an epoch boundary (job retirement). A no-op
+    /// with the ladder off, so disabled runs stay bit-identical.
+    fn health_evaluate(&mut self) {
+        if self.health_mon.is_none() {
+            return;
+        }
+        let signals = self.health_signals();
+        let mon = self.health_mon.as_mut().expect("invariant: is_none() checked above");
+        mon.observe_epoch(&signals, &mut self.stats.health);
+    }
+
+    /// Rejects a store when the ladder rung forbids mutation (`ReadOnly`
+    /// or `FailSafe`), recording the rejection for inspection.
+    fn degraded_store_rejection(&mut self) -> Option<Error> {
+        let rung = self.health_mon.as_ref()?.rung();
+        if rung < HealthRung::ReadOnly {
+            return None;
+        }
+        self.stats.health.stores_rejected += 1;
+        let err = Error::Degraded { rung };
+        self.last_health_error = Some(err.clone());
+        Some(err)
+    }
+
+    /// Whether the Wounded posture's emergency-early epoch timer has
+    /// expired: at `Wounded` or worse the epoch length divides by
+    /// `cfg.health.emergency_divisor` so less work is at risk per crash.
+    fn emergency_epoch_due(&self, now: Cycle) -> bool {
+        let Some(mon) = self.health_mon.as_ref() else {
+            return false;
+        };
+        if mon.rung() < HealthRung::Wounded {
+            return false;
+        }
+        let shortened =
+            Cycle::new(self.cfg.thynvm.epoch_max().raw() / u64::from(self.cfg.health.emergency_divisor));
+        self.epoch.due(now, shortened)
+    }
+
+    // ------------------------------------------------------------------
     // DRAM fault domain (ECC, poison containment, quarantine)
     // ------------------------------------------------------------------
 
@@ -846,12 +991,13 @@ impl ThyNvm {
     // lint: recovery-path
     fn dram_refetch_block(&mut self, block: BlockIndex, off: u64, src: HwAddr, now: Cycle) -> Cycle {
         let mut done = now;
-        for attempt in 1..=self.cfg.dram_fault.max_refetch_retries {
-            done += Cycle::from_ns(self.cfg.dram_fault.refetch_backoff_ns * u64::from(attempt));
+        for (_, backoff) in self.dram_retry_policy().schedule() {
+            done += backoff;
             done = self.dram.access(HwAddr::new(off), AccessKind::Read, BLOCK_BYTES as u32, done);
             self.stats.dram_reads += 1;
             self.stats.dram_read_bytes += BLOCK_BYTES;
             self.stats.dram.refetch_retries += 1;
+            self.stats.retry.dram_attempts += 1;
         }
         done = self.nvm_data_read(block, src, BLOCK_BYTES as u32, done);
         if let Some(ecc) = self.dram_fault.as_mut() {
@@ -1044,12 +1190,13 @@ impl ThyNvm {
         }
         // The CRC rejected the data: retry with bounded backoff.
         let mut healed = false;
-        for attempt in 1..=self.cfg.media.max_read_retries {
-            done += Cycle::from_ns(self.cfg.media.retry_backoff_ns * u64::from(attempt));
+        for (_, backoff) in self.media_retry_policy().schedule() {
+            done += backoff;
             done = self.nvm.access(hw, AccessKind::Read, bytes, done);
             self.stats.nvm_reads += 1;
             self.stats.nvm_read_bytes += u64::from(bytes);
             self.stats.media.retries += 1;
+            self.stats.retry.media_attempts += 1;
             self.charge_crc(u64::from(bytes));
             if self.fault.as_mut().expect("invariant: is_none() checked above").read_fault(hw, bytes).is_none() {
                 healed = true;
@@ -1078,11 +1225,24 @@ impl ThyNvm {
             Some(f) => f.stuck_cells().map(|(addr, _)| addr).collect(),
             None => return,
         };
+        // Wounded posture: the scrubber gets a bounded cycle budget so it
+        // can no longer starve foreground traffic; what it cannot finish is
+        // deferred to the next epoch boundary (counted). Off-ladder runs
+        // keep the unbudgeted behaviour bit-identically.
+        let deadline = self
+            .health_mon
+            .as_ref()
+            .filter(|m| m.rung() >= HealthRung::Wounded)
+            .map(|_| now + Cycle::from_ns(self.cfg.health.scrub_budget_ns));
         let mut t = now;
         for cell in cells {
             if self.spares_exhausted() {
                 // Nothing left to heal with: stop scrubbing; reads keep
                 // being served through bounded CRC retries.
+                break;
+            }
+            if deadline.is_some_and(|d| t > d) {
+                self.stats.health.scrub_deferrals += 1;
                 break;
             }
             let base = cell & !(BLOCK_BYTES - 1);
@@ -1227,6 +1387,16 @@ impl ThyNvm {
             self.mac_last = self.committed.fingerprint_with_basis(self.mac_key);
         }
 
+        // Rotate the persisted health rung alongside the images it was
+        // durable with: the superseded `C_last`'s rung becomes the fallback
+        // reference, the just-committed record's rung becomes `C_last`'s.
+        if self.health_mon.is_some() {
+            self.health_rung_penult = self.health_rung_last;
+            if let Some(rung) = self.pending_health_rung.take() {
+                self.health_rung_last = rung;
+            }
+        }
+
         // §6 bug-tolerance extension: archive the committed image.
         if self.archive_depth > 0 {
             self.archive.push_back((self.epoch.completed, self.committed.clone()));
@@ -1309,6 +1479,10 @@ impl ThyNvm {
             let excess = self.btt.len().saturating_sub(self.btt.capacity() * 6 / 10);
             self.reclaim_quiescent(retire_at, excess);
         }
+
+        // Epoch boundary: one health-ladder evaluation over the signals the
+        // retired epoch (and its scrub pass) left behind.
+        self.health_evaluate();
     }
 
     /// Applies promotions/demotions decided from the previous epoch's store
@@ -1813,6 +1987,13 @@ impl ThyNvm {
         if let Some(resume) = self.poll_crash(now) {
             return resume.max(now);
         }
+        // ReadOnly/FailSafe posture: durability of fresh data can no longer
+        // be promised, so the store is refused — no mutation, no traffic.
+        // (Retire first: a completed checkpoint may have promoted the rung.)
+        self.retire_job_if_done(now);
+        if self.degraded_store_rejection().is_some() {
+            return now;
+        }
         self.visible.write(thynvm_types::HwAddr::new(addr.raw()), data);
         self.working_log.push((addr.raw(), data.to_vec()));
         let req = MemRequest::write(addr, u32::try_from(data.len()).expect("write too large"));
@@ -1821,12 +2002,15 @@ impl ThyNvm {
 
     /// Bounds-checked variant of [`ThyNvm::store_bytes`]: rejects spans
     /// that leave the identity-mapped Home Region (they would alias
-    /// checkpoint storage) instead of wrapping into it.
+    /// checkpoint storage) instead of wrapping into it, and surfaces
+    /// health-ladder store rejections as errors.
     ///
     /// # Errors
     ///
     /// Returns [`thynvm_types::Error::AddressOutOfRange`] when
-    /// `[addr, addr + data.len())` crosses [`crate::PHYS_LIMIT`].
+    /// `[addr, addr + data.len())` crosses [`crate::PHYS_LIMIT`], and
+    /// [`thynvm_types::Error::Degraded`] when the health ladder sits at
+    /// `ReadOnly` or `FailSafe` (the store is refused, nothing mutates).
     pub fn try_store_bytes(
         &mut self,
         addr: PhysAddr,
@@ -1834,7 +2018,14 @@ impl ThyNvm {
         now: Cycle,
     ) -> Result<Cycle, Error> {
         self.space.check_phys(addr, data.len() as u64)?;
-        Ok(self.store_bytes(addr, data, now))
+        // A stale rejection from an earlier call must not masquerade as
+        // this store's outcome.
+        self.last_health_error = None;
+        let done = self.store_bytes(addr, data, now);
+        match self.last_health_error.take() {
+            Some(e) => Err(e),
+            None => Ok(done),
+        }
     }
 
     /// Bounds-checked variant of [`ThyNvm::load_bytes`].
@@ -1954,8 +2145,10 @@ impl ThyNvm {
             }
         }
 
-        // Anything in flight is lost.
+        // Anything in flight is lost — including the rung captured by the
+        // incomplete checkpoint's health record (its commit flag never set).
         let rolled_back_incomplete = self.epoch.job.take().is_some();
+        self.pending_health_rung = None;
         self.ckpting_log.clear();
         self.working_log.clear();
         self.pending_pages.clear();
@@ -2008,12 +2201,14 @@ impl ThyNvm {
         // Restartable recovery: run attempts until one completes. A queued
         // crash point overrun by an attempt's timeline aborts it (a nested
         // crash); the next attempt restarts at the interrupting cycle.
+        let tampers_before = self.stats.security.tampers_detected;
+        let wal_redos_before = self.stats.media.wal_redos;
         let nested_before = self.stats.nested_crashes;
         let mut integrity_fallback = false;
         let mut unrecoverable = false;
         let mut attempts = 0u64;
         let mut start = now;
-        let (steps, restored, end) = loop {
+        let (steps, restored, mut end) = loop {
             attempts += 1;
             match self.recovery_attempt(
                 start,
@@ -2028,6 +2223,50 @@ impl ThyNvm {
 
         // Roll the visible image back to the recovered checkpoint.
         self.visible = self.committed.clone();
+
+        // Rehydrate the health ladder with the rung that was durable
+        // alongside the restored image (the rotation in the fallback paths
+        // keeps `health_rung_last` tracking `committed`). A tamper detected
+        // by *this* recovery, or an unrecoverable verdict, overrides it:
+        // the ladder lands at FailSafe, which never promotes.
+        if self.health_mon.is_some() {
+            // `health_rung_last` mirrors the durable record at
+            // `health_record()` exactly: it starts Healthy (no record, no
+            // standing degradation) and only changes when a record commits
+            // — checkpoint retirement, fallback rotation, or the
+            // override-persist below.
+            let persisted = self.health_rung_last;
+            let rung = if unrecoverable
+                || self.stats.security.tampers_detected > tampers_before
+            {
+                HealthRung::FailSafe
+            } else if self.stats.media.wal_redos - wal_redos_before
+                >= self.cfg.health.readonly_wal_redos
+            {
+                // WAL redos only ever happen inside recovery, and
+                // `rehydrate` re-baselines the monitor's counters at the
+                // post-recovery values — so redos crossing the threshold
+                // must escalate here or they would never reach the ladder.
+                persisted.max(HealthRung::ReadOnly)
+            } else {
+                persisted
+            };
+            let signals = self.health_signals();
+            let mon = self.health_mon.as_mut().expect("invariant: is_some() checked above");
+            mon.rehydrate(rung, &signals, &mut self.stats.health);
+            // An override that outranks the durable record (tamper →
+            // FailSafe, WAL-redo → ReadOnly) is persisted before recovery
+            // hands control back: a follow-on crash would otherwise
+            // rehydrate the stale pre-incident rung and launder the
+            // degradation away.
+            if rung > persisted {
+                end = self.nvm.access(self.space.health_record(), AccessKind::Write, 64, end);
+                self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
+                self.charge_crc(64);
+                self.stats.health.rung_persists += 1;
+                self.health_rung_last = rung;
+            }
+        }
 
         // Fresh epoch begins after recovery.
         self.epoch = EpochState {
@@ -2153,12 +2392,13 @@ impl ThyNvm {
         if self.fault.as_mut().expect("invariant: is_none() checked above").read_fault(hw, bytes).is_none() {
             return done;
         }
-        for attempt in 1..=self.cfg.media.max_read_retries {
-            done += Cycle::from_ns(self.cfg.media.retry_backoff_ns * u64::from(attempt));
+        for (_, backoff) in self.media_retry_policy().schedule() {
+            done += backoff;
             done = self.nvm.access(hw, AccessKind::Read, bytes, done);
             self.stats.nvm_reads += 1;
             self.stats.nvm_read_bytes += u64::from(bytes);
             self.stats.media.retries += 1;
+            self.stats.retry.recovery_attempts += 1;
             self.charge_crc(u64::from(bytes));
             if self.fault.as_mut().expect("invariant: is_none() checked above").read_fault(hw, bytes).is_none() {
                 return done;
@@ -2270,9 +2510,13 @@ impl ThyNvm {
                 self.committed = self.committed_prev.clone();
                 self.committed_prev = self.committed.clone();
                 // The fallback image's MAC becomes the reference `C_last`
-                // MAC, exactly as the images themselves rotated.
+                // MAC, exactly as the images themselves rotated — and so
+                // does the health rung persisted alongside it.
                 if self.security.is_some() {
                     self.mac_last = self.mac_penult;
+                }
+                if self.health_mon.is_some() {
+                    self.health_rung_last = self.health_rung_penult;
                 }
                 self.epoch.completed -= 1;
                 self.stats.media.integrity_fallbacks += 1;
@@ -2285,8 +2529,13 @@ impl ThyNvm {
         // Step 2b/3b: secure-mode authentication. The MAC over the
         // committed image and the integrity-tree root over the counter
         // table are *recomputed* from persisted state — pure functions of
-        // it, so a restarted attempt converges on the same verdict.
-        if self.security.is_some() && self.epoch.completed > 0 {
+        // it, so a restarted attempt converges on the same verdict. A CRC
+        // fallback that landed on `completed == 0` still authenticates:
+        // the fallback image was cloned from persisted `C_penult` bytes an
+        // attacker with physical access can forge, so skipping the MAC
+        // here would replay unauthenticated data (a forged penult behind a
+        // torn commit record with exactly one completed checkpoint).
+        if self.security.is_some() && (self.epoch.completed > 0 || *integrity_fallback) {
             let table_bytes = (self.security.as_ref().expect("invariant: secure mode is on in this block").table_entries()
                 as u64
                 * META_ENTRY_BYTES)
@@ -2374,7 +2623,12 @@ impl ThyNvm {
                     self.committed = self.committed_prev.clone();
                     self.committed_prev = self.committed.clone();
                     self.mac_last = self.mac_penult;
-                    self.epoch.completed -= 1;
+                    if self.health_mon.is_some() {
+                        self.health_rung_last = self.health_rung_penult;
+                    }
+                    // Saturating: a CRC fallback may already have landed on
+                    // zero completed checkpoints before this second fallback.
+                    self.epoch.completed = self.epoch.completed.saturating_sub(1);
                     self.security.as_mut().expect("invariant: secure mode is on in this block").heal_table();
                     self.stats.security.verify_fallbacks += 1;
                     *integrity_fallback = true;
@@ -2524,15 +2778,25 @@ impl MemorySystem for ThyNvm {
     fn checkpoint_due(&self, now: Cycle) -> bool {
         // Epoch timer / overflow flag, or BTT pressure: end the epoch once
         // ~90 % of the block budget carries working copies, leaving
-        // headroom for the checkpoint-time cache flush.
+        // headroom for the checkpoint-time cache flush. A Wounded (or
+        // worse) health rung adds the emergency-early timer.
         self.epoch.due(now, self.cfg.thynvm.epoch_max())
             || self.epoch_dirty_blocks * 10 >= self.btt.capacity() * 9
+            || self.emergency_epoch_due(now)
     }
 
     fn begin_checkpoint(&mut self, now: Cycle, flushed: &[PhysAddr]) -> Cycle {
         // Power already failed: the checkpoint request never happens.
         if let Some(resume) = self.poll_crash(now) {
             return resume.max(now);
+        }
+        // The Wounded emergency timer — and nothing else — demanded this
+        // checkpoint: count it so the posture's cost is observable.
+        if self.emergency_epoch_due(now)
+            && !self.epoch.due(now, self.cfg.thynvm.epoch_max())
+            && self.epoch_dirty_blocks * 10 < self.btt.capacity() * 9
+        {
+            self.stats.health.emergency_checkpoints += 1;
         }
         self.retire_job_if_done(now);
 
@@ -2820,6 +3084,18 @@ impl ThyNvm {
             self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
             self.stats.security.root_persists += 1;
             self.charge_crypto(64, true);
+        }
+
+        // (4c) Health ladder: persist the current rung as a 64 B record
+        // just before the commit record, riding the same discipline — a
+        // crash before the commit flag leaves the previous epoch's sealed
+        // rung in effect, exactly like every other piece of metadata.
+        if let Some(rung) = self.health_mon.as_ref().map(HealthMonitor::rung) {
+            bg = self.nvm.access(self.space.health_record(), AccessKind::Write, 64, bg);
+            self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
+            self.charge_crc(64);
+            self.stats.health.rung_persists += 1;
+            self.pending_health_rung = Some(rung);
         }
 
         bg = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, bg);
@@ -4455,6 +4731,32 @@ mod tests {
     }
 
     #[test]
+    fn crc_fallback_to_zero_checkpoints_still_authenticates_the_image() {
+        // A torn commit record with exactly one completed checkpoint makes
+        // the CRC step fall back to `C_penult` and land on zero completed
+        // checkpoints. The fallback image is still cloned from persisted
+        // bytes an attacker can forge, so MAC verification must run anyway
+        // — skipping it would replay the forged penult unauthenticated.
+        let mut cfg = SystemConfig::small_test();
+        cfg.media = thynvm_types::MediaFaultConfig::hardened();
+        cfg.security = thynvm_types::SecurityConfig::hardened();
+        cfg.validate().expect("valid secure+media config");
+        let mut sys = ThyNvm::new(cfg);
+        let t = store_and_checkpoint(&mut sys, 7, Cycle::ZERO);
+        sys.inject_media_fault(MediaFault::TornCommitRecord);
+        sys.inject_tamper(TamperFault::BothImages { addr: 0 });
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback, "CRC step rejects the torn record");
+        assert!(report.unrecoverable, "the forged fallback image fails its MAC");
+        assert_eq!(sys.stats().media.integrity_fallbacks, 1);
+        assert_eq!(sys.stats().security.unrecoverable, 1);
+        let mut buf = [0xFFu8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [0u8; 64], "forged bytes never reach software");
+        assert_security_conservation(&sys);
+    }
+
+    #[test]
     fn tamper_stays_armed_until_a_checkpoint_exists() {
         let mut sys = ThyNvm::new(secure_cfg(|_| {}));
         sys.inject_tamper(TamperFault::ClastData { addr: 0 });
@@ -4574,5 +4876,303 @@ mod tests {
         let mut buf = [0u8; 64];
         sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
         assert_eq!(buf, [1u8; 64]);
+    }
+
+    // ------------------------------------------------------------------
+    // Graceful-degradation health ladder
+    // ------------------------------------------------------------------
+
+    /// `small_test` with the health ladder enabled (and optional tweaks to
+    /// the whole config, so tests can co-enable fault domains).
+    fn health_cfg(f: impl FnOnce(&mut SystemConfig)) -> SystemConfig {
+        let mut cfg = SystemConfig::small_test();
+        cfg.health = thynvm_types::HealthConfig::hardened();
+        f(&mut cfg);
+        cfg.validate().expect("valid health config");
+        cfg
+    }
+
+    /// Asserts the HealthStats / RetryStats conservation invariants.
+    fn assert_health_conservation(sys: &ThyNvm) {
+        let s = sys.stats();
+        assert!(s.health.promotions <= s.health.demotions, "ladder ledger");
+        assert_eq!(
+            s.retry.media_attempts + s.retry.recovery_attempts,
+            s.media.retries,
+            "every media retry is a policy-issued attempt"
+        );
+        assert_eq!(s.retry.dram_attempts, s.dram.refetch_retries, "DRAM retry conservation");
+    }
+
+    #[test]
+    fn health_off_exposes_no_monitor_and_records_nothing() {
+        let mut sys = small();
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let report = sys.crash_and_recover(t);
+        assert!(!report.unrecoverable);
+        assert!(sys.health_monitor().is_none());
+        assert_eq!(sys.health_rung(), HealthRung::Healthy);
+        assert_eq!(sys.stats().health, thynvm_types::HealthStats::default());
+        assert!(sys.take_health_error().is_none());
+    }
+
+    #[test]
+    fn quiet_health_run_is_content_identical_and_persists_healthy() {
+        let mut base = small();
+        let mut sys = ThyNvm::new(health_cfg(|_| {}));
+        let tb = store_and_checkpoint(&mut base, 7, Cycle::ZERO);
+        let th = store_and_checkpoint(&mut sys, 7, Cycle::ZERO);
+        assert_eq!(base.visible_fingerprint(), sys.visible_fingerprint());
+        assert!(th >= tb, "the 64 B rung persist never speeds a checkpoint up");
+        let h = sys.stats().health;
+        assert_eq!(h.rung_persists, 1, "rung persisted with the commit record");
+        assert_eq!(h.evaluations, 1, "one evaluation per retired epoch");
+        assert_eq!(h.demotions, 0);
+        assert_eq!(sys.clast_health_rung(), HealthRung::Healthy);
+        assert_health_conservation(&sys);
+    }
+
+    #[test]
+    fn retry_storm_wounds_the_ladder_and_arms_emergency_checkpoints() {
+        let mut sys = ThyNvm::new(health_cfg(|c| {
+            c.media = thynvm_types::MediaFaultConfig::hardened();
+            c.media.stuck_at_threshold = 2;
+            c.media.scrub = false;
+            c.health.wounded_retry_rate = 1;
+        }));
+        // Wear out a row, then read through it: three bounded CRC retries.
+        let t = sys.store_bytes(PhysAddr::new(0), &[7u8; 64], Cycle::ZERO);
+        let t = sys.store_bytes(PhysAddr::new(0), &[7u8; 64], t);
+        let mut buf = [0u8; 64];
+        let t = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        assert_eq!(sys.stats().media.retries, 3);
+        // The retirement-time evaluation sees the retry burst and wounds.
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        assert_eq!(sys.health_rung(), HealthRung::Wounded);
+        assert_eq!(sys.stats().health.demotions, 1);
+        // Wounded shortens the epoch deadline by `emergency_divisor`: with
+        // a 1 ms epoch and divisor 4, dirty data makes a checkpoint due at
+        // a quarter of the regular deadline.
+        let t = sys.store_bytes(PhysAddr::new(4096), &[1u8; 64], t);
+        let early = t + Cycle::from_ns(300_000);
+        assert!(sys.checkpoint_due(early), "emergency deadline fires early");
+        let _ = sys.begin_checkpoint(early, &[]);
+        assert_eq!(sys.stats().health.emergency_checkpoints, 1);
+        assert_health_conservation(&sys);
+    }
+
+    #[test]
+    fn rung_persists_with_commit_record_and_rehydrates_after_crash() {
+        let mut sys = ThyNvm::new(health_cfg(|c| {
+            c.media = thynvm_types::MediaFaultConfig::hardened();
+            c.media.stuck_at_threshold = 2;
+            c.media.scrub = false;
+            c.health.wounded_retry_rate = 1;
+        }));
+        let t = sys.store_bytes(PhysAddr::new(0), &[7u8; 64], Cycle::ZERO);
+        let t = sys.store_bytes(PhysAddr::new(0), &[7u8; 64], t);
+        let mut buf = [0u8; 64];
+        let t = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        assert_eq!(sys.health_rung(), HealthRung::Wounded);
+        // The wound postdates the first commit record: `C_last` still
+        // carries Healthy, so a crash here rehydrates Healthy.
+        assert_eq!(sys.clast_health_rung(), HealthRung::Healthy);
+        // The *next* checkpoint persists the Wounded rung…
+        let t = sys.store_bytes(PhysAddr::new(4096), &[2u8; 64], t);
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        assert_eq!(sys.clast_health_rung(), HealthRung::Wounded);
+        // …and recovery rehydrates it from durable state.
+        let report = sys.crash_and_recover(t);
+        assert!(!report.unrecoverable);
+        assert_eq!(sys.health_rung(), HealthRung::Wounded);
+        assert_eq!(sys.stats().health.rehydrations, 1);
+        assert_health_conservation(&sys);
+    }
+
+    #[test]
+    fn spare_exhaustion_escalates_to_readonly_with_bounded_read_latency() {
+        // Satellite: MediaStats::spare_exhausted feeds the ladder, and a
+        // drained spare pool keeps per-read latency inside the
+        // RetryPolicy bound.
+        let mut sys = ThyNvm::new(health_cfg(|c| {
+            c.media = thynvm_types::MediaFaultConfig::hardened();
+            c.media.stuck_at_threshold = 2;
+            c.media.scrub = false;
+            c.media.spare_blocks = 1;
+        }));
+        let mut t = Cycle::ZERO;
+        for addr in [0u64, 16 * PAGE_BYTES] {
+            t = sys.store_bytes(PhysAddr::new(addr), &[0xAB; 64], t);
+            t = sys.store_bytes(PhysAddr::new(addr), &[0xAB; 64], t);
+        }
+        // A healthy block for the latency baseline.
+        t = sys.store_bytes(PhysAddr::new(4096), &[3u8; 64], t);
+        let mut buf = [0u8; 64];
+        t = sys.load_bytes(PhysAddr::new(0), &mut buf, t); // consumes the spare
+        t = sys.load_bytes(PhysAddr::new(16 * PAGE_BYTES), &mut buf, t); // refused remap
+        assert!(sys.stats().media.spare_exhausted >= 1);
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        // The refused remap is an exhaustion *event*: straight to ReadOnly.
+        assert_eq!(sys.health_rung(), HealthRung::ReadOnly);
+        // New stores are rejected — silently on the raw path, with
+        // `Error::Degraded` on the fallible one — and nothing mutates.
+        let before = sys.visible_fingerprint();
+        let t2 = sys.store_bytes(PhysAddr::new(8192), &[9u8; 64], t);
+        assert_eq!(sys.visible_fingerprint(), before, "rejected store must not mutate");
+        let err = sys.try_store_bytes(PhysAddr::new(8192), &[9u8; 64], t2).unwrap_err();
+        assert!(matches!(err, Error::Degraded { rung: HealthRung::ReadOnly }), "got {err:?}");
+        assert!(sys.stats().health.stores_rejected >= 2);
+        // Loads still serve CRC-verified data, inside the retry bound.
+        let clean_start = t2;
+        let clean_end = sys.load_bytes(PhysAddr::new(4096), &mut buf, clean_start);
+        assert_eq!(buf, [3u8; 64]);
+        let clean_dt = clean_end.raw() - clean_start.raw();
+        let bad_end = sys.load_bytes(PhysAddr::new(16 * PAGE_BYTES), &mut buf, clean_end);
+        assert_eq!(buf, [0xAB; 64], "degraded reads still serve correct data");
+        let bad_dt = bad_end.raw() - clean_end.raw();
+        let policy = sys.media_retry_policy();
+        assert!(
+            bad_dt <= clean_dt * u64::from(policy.max_attempts() + 1) + policy.total_backoff().raw(),
+            "per-read latency exceeds the RetryPolicy bound: {bad_dt} vs clean {clean_dt}"
+        );
+        assert_health_conservation(&sys);
+    }
+
+    #[test]
+    fn scrubber_with_nothing_left_to_heal_defers_without_spinning() {
+        // Satellite: the scrub "nothing left to heal" branch — spares gone,
+        // the scrubber stops repairing, reads keep retrying.
+        let mut sys = ThyNvm::new(health_cfg(|c| {
+            c.media = thynvm_types::MediaFaultConfig::hardened();
+            c.media.stuck_at_threshold = 2;
+            c.media.spare_blocks = 1;
+            c.health.readonly_scrub_backlog = 1;
+        }));
+        let mut t = Cycle::ZERO;
+        for addr in [0u64, 16 * PAGE_BYTES] {
+            t = sys.store_bytes(PhysAddr::new(addr), &[0xCD; 64], t);
+            t = sys.store_bytes(PhysAddr::new(addr), &[0xCD; 64], t);
+        }
+        assert_eq!(sys.stats().media.stuck_faults, 2);
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        // The scrubber healed one block, then hit the empty pool.
+        assert_eq!(sys.stats().media.scrub_repairs, 1);
+        assert!(sys.spares_exhausted());
+        // Exhausted pool + standing backlog pins the ladder at ReadOnly.
+        let t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        assert_eq!(sys.stats().media.scrub_repairs, 1, "nothing left to heal: no new repairs");
+        assert_eq!(sys.health_rung(), HealthRung::ReadOnly);
+        // The unhealed block is still served, by retrying every read.
+        let retries_before = sys.stats().media.retries;
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(16 * PAGE_BYTES), &mut buf, t);
+        assert_eq!(buf, [0xCD; 64]);
+        assert!(sys.stats().media.retries > retries_before, "unremappable reads keep retrying");
+        assert_health_conservation(&sys);
+    }
+
+    #[test]
+    fn wal_redos_during_recovery_escalate_to_readonly() {
+        // Satellite: WAL-redo accounting feeds the ladder. A nested crash
+        // tears the fallback's WAL seal; the redo crosses the (lowered)
+        // threshold and recovery lands at ReadOnly.
+        let probe_cfg = || {
+            health_cfg(|c| {
+                c.media = thynvm_types::MediaFaultConfig::hardened();
+                c.health.readonly_wal_redos = 1;
+            })
+        };
+        let mut probe = ThyNvm::new(probe_cfg());
+        let mut trial = ThyNvm::new(probe_cfg());
+        let tp = store_and_checkpoint(&mut probe, 1, Cycle::ZERO);
+        let tp = store_and_checkpoint(&mut probe, 2, tp);
+        let tt = store_and_checkpoint(&mut trial, 1, Cycle::ZERO);
+        let tt = store_and_checkpoint(&mut trial, 2, tt);
+        probe.inject_media_fault(MediaFault::TornCommitRecord);
+        probe.arm_crash_point(tp);
+        probe.poll_crash(tp + Cycle::new(1)).expect("probe crash");
+        let probe_report = probe.take_crash_report().expect("probe").report;
+        assert_eq!(probe.stats().media.wal_redos, 0, "clean fallback needs no redo");
+        assert_eq!(probe.health_rung(), HealthRung::Healthy, "no redo, no escalation");
+        let fallback_end = probe_report
+            .steps
+            .iter()
+            .find(|&&(s, _)| s == RecoveryStep::IntegrityFallback)
+            .map(|&(_, end)| end)
+            .expect("probe recovery ran the fallback step");
+        trial.inject_media_fault(MediaFault::TornCommitRecord);
+        trial.arm_crash_point(tt);
+        trial.queue_crash_point(fallback_end.saturating_sub(Cycle::new(1)));
+        trial.poll_crash(tt + Cycle::new(1)).expect("trial crash");
+        assert!(trial.stats().media.wal_redos >= 1);
+        assert_eq!(trial.health_rung(), HealthRung::ReadOnly);
+        assert!(trial.stats().health.rehydrations >= 1);
+        assert_health_conservation(&trial);
+    }
+
+    #[test]
+    fn tamper_detection_rehydrates_to_failsafe_and_sticks() {
+        let mut sys = ThyNvm::new(health_cfg(|c| {
+            c.security = thynvm_types::SecurityConfig::hardened();
+        }));
+        let t = store_and_checkpoint(&mut sys, 1, Cycle::ZERO);
+        let t = store_and_checkpoint(&mut sys, 2, t);
+        sys.inject_tamper(TamperFault::ClastData { addr: 0 });
+        let report = sys.crash_and_recover(t);
+        assert!(report.integrity_fallback, "tamper detected, image fell back");
+        assert_eq!(sys.stats().security.tampers_detected, 1);
+        // Detected tampering overrides the persisted rung: FailSafe.
+        assert_eq!(sys.health_rung(), HealthRung::FailSafe);
+        // FailSafe refuses new stores…
+        let err = sys
+            .try_store_bytes(PhysAddr::new(4096), &[9u8; 64], t + report.recovery_cycles)
+            .unwrap_err();
+        assert!(matches!(err, Error::Degraded { rung: HealthRung::FailSafe }), "got {err:?}");
+        // …and never promotes, no matter how many clean epochs follow.
+        let mut t = t + report.recovery_cycles;
+        for _ in 0..8 {
+            t = sys.force_checkpoint(t);
+            t = sys.drain(t);
+        }
+        assert_eq!(sys.health_rung(), HealthRung::FailSafe);
+        assert_health_conservation(&sys);
+    }
+
+    #[test]
+    fn readonly_completes_the_inflight_checkpoint() {
+        // A rung demotion mid-flight must not abort the checkpoint that is
+        // already persisting: the job retires and its image is durable.
+        let mut sys = ThyNvm::new(health_cfg(|c| {
+            c.media = thynvm_types::MediaFaultConfig::hardened();
+            c.media.stuck_at_threshold = 2;
+            c.media.scrub = false;
+            c.media.spare_blocks = 1;
+        }));
+        let mut t = Cycle::ZERO;
+        for addr in [0u64, 16 * PAGE_BYTES] {
+            t = sys.store_bytes(PhysAddr::new(addr), &[0xEE; 64], t);
+            t = sys.store_bytes(PhysAddr::new(addr), &[0xEE; 64], t);
+        }
+        let mut buf = [0u8; 64];
+        t = sys.load_bytes(PhysAddr::new(0), &mut buf, t);
+        t = sys.load_bytes(PhysAddr::new(16 * PAGE_BYTES), &mut buf, t);
+        let resume = sys.force_checkpoint(t);
+        assert!(sys.epoch_state().job_running(resume), "checkpoint in flight");
+        let t = sys.drain(resume);
+        assert_eq!(sys.health_rung(), HealthRung::ReadOnly);
+        assert_eq!(sys.epoch_state().completed, 1, "in-flight checkpoint completed");
+        // The committed image survives a crash under the degraded rung.
+        let report = sys.crash_and_recover(t);
+        assert!(!report.unrecoverable);
+        sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
+        assert_eq!(buf, [0xEE; 64]);
+        assert_health_conservation(&sys);
     }
 }

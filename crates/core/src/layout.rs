@@ -204,6 +204,15 @@ impl AddressSpace {
         const ROOT_OFFSET: u64 = 8 << 20;
         self.backup(ROOT_OFFSET)
     }
+
+    /// Hardware address of the 64 B health-ladder rung record, 9 MiB into
+    /// the backup region — persisted just before each checkpoint's commit
+    /// record, so the rung recovery rehydrates is always the one that was
+    /// durable *with* the image it restores.
+    pub fn health_record(self) -> HwAddr {
+        const HEALTH_OFFSET: u64 = 9 << 20;
+        self.backup(HEALTH_OFFSET)
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +318,16 @@ mod tests {
         // …and below the spare blocks.
         assert!(s.security_root().raw() + BLOCK_BYTES <= s.spare_block(0).raw());
         assert!(!s.is_dram(s.security_root()));
+    }
+
+    #[test]
+    fn health_record_is_disjoint_from_security_metadata_and_spares() {
+        let s = AddressSpace::new();
+        // Above the security root record…
+        assert!(s.health_record().raw() >= s.security_root().raw() + BLOCK_BYTES);
+        // …and below the spare blocks, on NVM.
+        assert!(s.health_record().raw() + BLOCK_BYTES <= s.spare_block(0).raw());
+        assert!(!s.is_dram(s.health_record()));
     }
 
     #[test]

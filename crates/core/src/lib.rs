@@ -61,12 +61,14 @@
 
 pub mod controller;
 pub mod epoch;
+pub mod health;
 pub mod layout;
 pub mod oracle;
 pub mod protocol;
 pub mod table;
 
 pub use controller::{InjectedCrash, MediaFault, RecoveryReport, TamperFault, ThyNvm};
+pub use health::{HealthMonitor, HealthSignals};
 pub use oracle::{OracleMismatch, PersistenceOracle};
 pub use protocol::{Event as ProtocolEvent, ProtocolError, VersionState};
 pub use epoch::{CkptJob, EpochState};

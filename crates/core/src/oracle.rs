@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use thynvm_types::{Cycle, RecoveryOutcome};
+use thynvm_types::{Cycle, HealthRung, RecoveryOutcome};
 
 /// One byte-level divergence between the oracle and a recovered image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +68,11 @@ pub struct PersistenceOracle {
     current: BTreeMap<u64, u8>,
     /// Checkpoint snapshots, in initiation order.
     checkpoints: Vec<OracleCheckpoint>,
+    /// Health-ladder rungs persisted alongside checkpoint commit records:
+    /// `(completes_at, rung)` in persist order. Fed from a reference run's
+    /// durable rung ([`crate::ThyNvm::clast_health_rung`]); a crashed twin's
+    /// post-recovery rung is validated against them.
+    healths: Vec<(Cycle, HealthRung)>,
 }
 
 impl PersistenceOracle {
@@ -112,6 +117,42 @@ impl PersistenceOracle {
                 }
             }
         }
+    }
+
+    /// Records the health-ladder rung whose 64 B record persisted with the
+    /// checkpoint committing at `completes_at`. Recovery must rehydrate the
+    /// rung that was durable *with the image it restores*, so rung
+    /// selection follows image selection exactly — see
+    /// [`PersistenceOracle::expected_rung_at`].
+    pub fn record_health(&mut self, completes_at: Cycle, rung: HealthRung) {
+        self.healths.push((completes_at, rung));
+    }
+
+    /// The ladder rung recovery must rehydrate after a clean crash at
+    /// `crash`: the rung persisted with the most recent checkpoint whose
+    /// commit record landed by then, or `Healthy` with no completed
+    /// checkpoint (an empty image carries no standing degradation).
+    #[must_use]
+    pub fn expected_rung_at(&self, crash: Cycle) -> HealthRung {
+        self.healths
+            .iter()
+            .rev()
+            .find(|(at, _)| *at <= crash)
+            .map_or(HealthRung::Healthy, |(_, r)| *r)
+    }
+
+    /// The rung recovery must rehydrate when `C_last` is rejected and the
+    /// image falls back one level: the rung persisted with the *second*
+    /// most recent completed checkpoint, mirroring
+    /// [`PersistenceOracle::expected_fallback_image_at`].
+    #[must_use]
+    pub fn expected_fallback_rung_at(&self, crash: Cycle) -> HealthRung {
+        self.healths
+            .iter()
+            .rev()
+            .filter(|(at, _)| *at <= crash)
+            .nth(1)
+            .map_or(HealthRung::Healthy, |(_, r)| *r)
     }
 
     /// Every address the program has ever written (the verification
@@ -360,6 +401,35 @@ impl PersistenceOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rung_selection_mirrors_image_selection() {
+        let mut o = PersistenceOracle::new();
+        // No completed checkpoint: an empty image carries no degradation.
+        assert_eq!(o.expected_rung_at(Cycle::new(50)), HealthRung::Healthy);
+        o.record_health(Cycle::new(100), HealthRung::Healthy);
+        o.record_health(Cycle::new(300), HealthRung::Wounded);
+        o.record_health(Cycle::new(500), HealthRung::ReadOnly);
+        // Before the first commit record lands.
+        assert_eq!(o.expected_rung_at(Cycle::new(99)), HealthRung::Healthy);
+        // Newest persisted rung wins at and after each commit point.
+        assert_eq!(o.expected_rung_at(Cycle::new(100)), HealthRung::Healthy);
+        assert_eq!(o.expected_rung_at(Cycle::new(300)), HealthRung::Wounded);
+        assert_eq!(o.expected_rung_at(Cycle::new(499)), HealthRung::Wounded);
+        assert_eq!(o.expected_rung_at(Cycle::new(9_999)), HealthRung::ReadOnly);
+    }
+
+    #[test]
+    fn fallback_rung_steps_back_exactly_one_checkpoint() {
+        let mut o = PersistenceOracle::new();
+        o.record_health(Cycle::new(100), HealthRung::Wounded);
+        o.record_health(Cycle::new(300), HealthRung::ReadOnly);
+        // With two completed checkpoints, fallback lands on the penultimate
+        // rung; with one (or none) it degrades to Healthy like the image.
+        assert_eq!(o.expected_fallback_rung_at(Cycle::new(400)), HealthRung::Wounded);
+        assert_eq!(o.expected_fallback_rung_at(Cycle::new(200)), HealthRung::Healthy);
+        assert_eq!(o.expected_fallback_rung_at(Cycle::new(50)), HealthRung::Healthy);
+    }
 
     #[test]
     fn no_checkpoint_expects_zeroes() {

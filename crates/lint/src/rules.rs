@@ -1,12 +1,13 @@
-//! The five workspace invariants, as token-pattern rules.
+//! The six workspace invariants, as token-pattern rules.
 //!
 //! | Rule | Invariant |
 //! |------|-----------|
 //! | L1   | Raw `SparseStore` mutations only inside `crates/mem` + sealed allowlist |
 //! | L2   | Recovery paths are panic-free (no `unwrap`, bare `expect`, `panic!`, literal indexing) |
-//! | L3   | Every `MemStats`/`MediaStats`/`DramStats`/`PerfStats`/`SecurityStats` counter is mutated in production code and read by a test |
+//! | L3   | Every `MemStats`/`MediaStats`/`DramStats`/`PerfStats`/`SecurityStats`/`HealthStats`/`RetryStats` counter is mutated in production code and read by a test |
 //! | L4   | Every `types::Error` variant is constructed in production code and matched in a test |
-//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SecurityConfig`/`SystemConfig` field is checked in `validate()` |
+//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SecurityConfig`/`HealthConfig`/`SystemConfig` field is checked in `validate()` |
+//! | L6   | Bounded-retry loops route through `types::RetryPolicy` — no manual `*backoff_ns` arithmetic outside `crates/types/src/retry.rs` |
 //!
 //! Rules work on the token stream plus the [`FileIndex`] item index — no
 //! type information. That makes them conservative pattern matchers; the
@@ -21,7 +22,7 @@ use crate::source::FileIndex;
 /// One violation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Diagnostic {
-    /// Rule ID (`"L1"`..`"L5"`).
+    /// Rule ID (`"L1"`..`"L6"`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -86,6 +87,7 @@ pub fn check_all(files: &[FileIndex]) -> Vec<Diagnostic> {
     for f in files {
         rule_l1(f, &mut out);
         rule_l2(f, &mut out);
+        rule_l6(f, &mut out);
     }
     rule_l3(files, &mut out);
     rule_l4(files, &mut out);
@@ -258,7 +260,15 @@ fn scan_l2(f: &FileIndex, from: usize, to: usize, relax_tests: bool, out: &mut V
 // ---------------------------------------------------------------- L3 ----
 
 const STATS_FILE: &str = "crates/types/src/stats.rs";
-const STATS_STRUCTS: &[&str] = &["MemStats", "MediaStats", "DramStats", "PerfStats", "SecurityStats"];
+const STATS_STRUCTS: &[&str] = &[
+    "MemStats",
+    "MediaStats",
+    "DramStats",
+    "PerfStats",
+    "SecurityStats",
+    "HealthStats",
+    "RetryStats",
+];
 /// Functions that touch every field wholesale; counting them would make the
 /// mutation check vacuous.
 const L3_EXEMPT_FNS: &[&str] = &["merge", "reset", "clear"];
@@ -278,6 +288,8 @@ fn rule_l3(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
             || field.ty == "DramStats"
             || field.ty == "PerfStats"
             || field.ty == "SecurityStats"
+            || field.ty == "HealthStats"
+            || field.ty == "RetryStats"
         {
             continue; // aggregate of counters, each checked individually
         }
@@ -398,8 +410,14 @@ fn rule_l4(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------- L5 ----
 
 const CONFIG_FILE: &str = "crates/types/src/config.rs";
-const CONFIG_STRUCTS: &[&str] =
-    &["SystemConfig", "ThyNvmConfig", "MediaFaultConfig", "DramFaultConfig", "SecurityConfig"];
+const CONFIG_STRUCTS: &[&str] = &[
+    "SystemConfig",
+    "ThyNvmConfig",
+    "MediaFaultConfig",
+    "DramFaultConfig",
+    "SecurityConfig",
+    "HealthConfig",
+];
 const NUMERIC_TYPES: &[&str] = &["u8", "u16", "u32", "u64", "u128", "usize", "f32", "f64"];
 
 /// L5: config-validation completeness (numeric fields — booleans and
@@ -433,6 +451,50 @@ fn rule_l5(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
                 msg: format!(
                     "config field `{}::{}` is not checked in validate()",
                     field.owner, field.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L6 ----
+
+/// The one file allowed to do backoff arithmetic: the policy itself.
+const RETRY_POLICY_FILE: &str = "crates/types/src/retry.rs";
+
+/// L6: retry-policy unification. Multiplying a `*backoff_ns` knob by an
+/// attempt counter is the signature of a hand-rolled backoff loop. Every
+/// bounded retry must route through `types::RetryPolicy`, which owns the
+/// one sanctioned multiplication — that keeps retry budgets, schedules,
+/// and the `RetryStats` conservation counters in a single place.
+fn rule_l6(f: &FileIndex, out: &mut Vec<Diagnostic>) {
+    if f.rel_path == RETRY_POLICY_FILE {
+        return;
+    }
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].kind.ident() else {
+            continue;
+        };
+        if !name.ends_with("backoff_ns") || in_test(f, i) {
+            continue;
+        }
+        // Walk back over the field-access chain so `attempt * cfg.retry_backoff_ns`
+        // is caught as well as `retry_backoff_ns * attempt`.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct(".") && toks[j - 2].kind.ident().is_some() {
+            j -= 2;
+        }
+        let mul_before = j > 0 && toks[j - 1].is_punct("*");
+        let mul_after = toks.get(i + 1).is_some_and(|t| t.is_punct("*"));
+        if mul_before || mul_after {
+            out.push(Diagnostic {
+                rule: "L6",
+                file: f.rel_path.clone(),
+                line: toks[i].line,
+                msg: format!(
+                    "manual backoff arithmetic on `{name}`: route bounded retries \
+                     through `types::RetryPolicy` instead of hand-rolling the schedule"
                 ),
             });
         }
@@ -619,5 +681,47 @@ mod tests {
         assert_eq!(l5.len(), 1, "{l5:?}");
         assert_eq!(l5[0].line, 3);
         assert!(l5[0].msg.contains("seed"));
+    }
+
+    #[test]
+    fn l6_flags_manual_backoff_multiplication_both_sides() {
+        let diags = one(
+            "crates/core/src/x.rs",
+            "fn spin(&self) { let wait = self.cfg.media.retry_backoff_ns * attempt; }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "L6");
+        assert!(diags[0].msg.contains("retry_backoff_ns"));
+
+        // Multiplier on the left of a field chain is the same hand-rolled loop.
+        let diags = one(
+            "crates/core/src/x.rs",
+            "fn spin(&self) { let wait = attempt * self.cfg.dram_fault.refetch_backoff_ns; }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "L6");
+        assert!(diags[0].msg.contains("refetch_backoff_ns"));
+    }
+
+    #[test]
+    fn l6_allows_policy_file_tests_and_plain_reads() {
+        // The policy crate owns the one sanctioned multiplication.
+        assert!(one(
+            "crates/types/src/retry.rs",
+            "fn backoff(&self, attempt: u32) { self.backoff_ns * u64::from(attempt); }"
+        )
+        .is_empty());
+        // Test code may model schedules by hand to cross-check the policy.
+        assert!(one(
+            "crates/core/src/x.rs",
+            "#[cfg(test)] mod t { fn t() { let w = backoff_ns * 3; } }"
+        )
+        .is_empty());
+        // Passing the knob through (e.g. into RetryPolicy::new) is fine.
+        assert!(one(
+            "crates/core/src/x.rs",
+            "fn mk(&self) { RetryPolicy::new(self.cfg.media.max_read_retries, self.cfg.media.retry_backoff_ns); }"
+        )
+        .is_empty());
     }
 }

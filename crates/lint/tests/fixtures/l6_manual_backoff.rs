@@ -1,0 +1,33 @@
+//! Known-bad: hand-rolled backoff loops multiplying a `*backoff_ns` knob
+//! by the attempt counter instead of routing through `types::RetryPolicy`.
+//! Parsed as `crates/core/src/spinner.rs`. The test module's by-hand
+//! schedule is exempt — tests cross-check the policy that way.
+
+pub fn retry_read(&mut self) {
+    for attempt in 1..=self.cfg.media.max_read_retries {
+        let wait = self.cfg.media.retry_backoff_ns * u64::from(attempt);
+        self.clock.advance(wait);
+    }
+}
+
+pub fn retry_refetch(&mut self) {
+    let mut attempt = 0u64;
+    while attempt < 3 {
+        attempt += 1;
+        self.clock.advance(attempt * self.cfg.dram_fault.refetch_backoff_ns);
+    }
+}
+
+pub fn pass_through(&self) -> RetryPolicy {
+    // A plain read of the knob is fine: this is the sanctioned route.
+    RetryPolicy::new(self.cfg.media.max_read_retries, self.cfg.media.retry_backoff_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn schedule_matches_policy() {
+        let by_hand = backoff_ns * 2;
+        assert_eq!(policy.backoff(2).as_ns(), by_hand);
+    }
+}

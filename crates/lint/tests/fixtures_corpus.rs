@@ -73,6 +73,22 @@ fn l5_fixture_flags_the_unchecked_numeric_field_only() {
 }
 
 #[test]
+fn l6_fixture_flags_both_hand_rolled_backoff_loops() {
+    let diags =
+        lint_one("crates/core/src/spinner.rs", include_str!("fixtures/l6_manual_backoff.rs"));
+    // Knob-on-the-left and multiplier-on-the-left variants; the policy
+    // pass-through and the test module's by-hand schedule stay clean.
+    assert_eq!(keyed(&diags), vec![("L6", 8), ("L6", 17)], "{diags:?}");
+    assert!(diags[0].msg.contains("retry_backoff_ns"), "{}", diags[0].msg);
+    assert!(diags[1].msg.contains("refetch_backoff_ns"), "{}", diags[1].msg);
+
+    // The same multiplication inside the policy's own file is sanctioned.
+    let diags =
+        lint_one("crates/types/src/retry.rs", include_str!("fixtures/l6_manual_backoff.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn clean_fixture_produces_no_diagnostics() {
     let diags = lint_one("crates/core/src/clean.rs", include_str!("fixtures/clean.rs"));
     assert!(diags.is_empty(), "{diags:?}");

@@ -480,6 +480,95 @@ impl SecurityConfig {
     }
 }
 
+/// Graceful-degradation health-ladder configuration.
+///
+/// All fields default to "off": a default configuration never evaluates
+/// signals, never persists a health record, and never changes controller
+/// posture, so baseline runs are byte- and cycle-identical to a build
+/// without the subsystem.
+///
+/// With the monitor enabled, observable signals already collected in
+/// `MemStats` (spare-pool occupancy, windowed CRC-retry and ECC-refetch
+/// rates, scrub backlog, WAL redos, tamper detections, outstanding DRAM
+/// poison) are evaluated at every epoch boundary and drive the ladder
+/// `Healthy → Wounded → ReadOnly → FailSafe`. Demotion is immediate and
+/// may skip rungs; promotion climbs one rung after `promote_clean_epochs`
+/// consecutive signal-free epochs (hysteresis), and `FailSafe` never
+/// promotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Master switch for the health monitor. When `false` no signals are
+    /// evaluated, no health record is persisted, and the controller's
+    /// timing and image are bit-identical to a build without the ladder.
+    pub enabled: bool,
+    /// Length of the sliding window, in epochs, over which retry/refetch
+    /// rates are summed. Must be at least 1 when the monitor is enabled.
+    pub window_epochs: u32,
+    /// Spare-pool occupancy percentage at or above which the ladder
+    /// demotes to at least `Wounded`. Must be in `[0, 100]`.
+    pub wounded_spare_pct: u8,
+    /// Media CRC-retry attempts summed over the window at or above which
+    /// the ladder demotes to at least `Wounded`. Zero would pin the ladder
+    /// at `Wounded` permanently and is rejected when the monitor is on.
+    pub wounded_retry_rate: u64,
+    /// DRAM ECC-refetch attempts summed over the window at or above which
+    /// the ladder demotes to at least `Wounded`. Zero is rejected when the
+    /// monitor is on.
+    pub wounded_refetch_rate: u64,
+    /// Cumulative WAL redos at or above which the ladder demotes to at
+    /// least `ReadOnly` (recovery-side write-ahead records keep tearing —
+    /// durability of new data is in question). Zero is rejected when the
+    /// monitor is on.
+    pub readonly_wal_redos: u64,
+    /// Stuck-cell scrub backlog at or above which — once the spare pool is
+    /// exhausted and the scrubber can no longer heal — the ladder demotes
+    /// to at least `ReadOnly`. Zero is rejected when the monitor is on.
+    pub readonly_scrub_backlog: u64,
+    /// Outstanding poisoned DRAM blocks at or above which the ladder
+    /// demotes to at least `ReadOnly`. Zero is rejected when the monitor
+    /// is on.
+    pub readonly_poison_blocks: u64,
+    /// Consecutive signal-free epochs required before the ladder promotes
+    /// one rung (hysteresis). Must be at least 1 when the monitor is
+    /// enabled.
+    pub promote_clean_epochs: u32,
+    /// Factor by which the `Wounded` posture shortens the epoch timer:
+    /// checkpoints become due after `epoch_max / emergency_divisor`.
+    /// Must be in `[1, 1024]` when the monitor is enabled.
+    pub emergency_divisor: u32,
+    /// Cycle budget (in nanoseconds of simulated time) one `Wounded`-mode
+    /// scrub pass may spend before deferring remaining stuck cells to a
+    /// later epoch, so scrubbing cannot starve foreground traffic. Must be
+    /// nonzero and at most one second when the monitor is enabled.
+    pub scrub_budget_ns: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            window_epochs: 8,
+            wounded_spare_pct: 75,
+            wounded_retry_rate: 64,
+            wounded_refetch_rate: 64,
+            readonly_wal_redos: 4,
+            readonly_scrub_backlog: 64,
+            readonly_poison_blocks: 16,
+            promote_clean_epochs: 4,
+            emergency_divisor: 4,
+            scrub_budget_ns: 100_000,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// A fully-armed configuration: the monitor on with the default
+    /// thresholds and hysteresis.
+    pub fn hardened() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
 /// Complete system configuration: one struct to construct any evaluated
 /// memory system with the paper's parameters.
 ///
@@ -511,6 +600,8 @@ pub struct SystemConfig {
     /// Secure persistent memory mode: counter-mode encryption + integrity
     /// tree (default: off, zero overhead).
     pub security: SecurityConfig,
+    /// Graceful-degradation health ladder (default: off, zero overhead).
+    pub health: HealthConfig,
 }
 
 impl Eq for SystemConfig {}
@@ -523,13 +614,15 @@ impl SystemConfig {
 
     /// The paper configuration with every robustness domain armed: NVM
     /// media integrity (CRC + retry/remap/scrub), the DRAM SEC-DED ECC
-    /// model, and the secure persistent memory mode. Fault and tamper
-    /// rates are left at zero for the caller to choose.
+    /// model, the secure persistent memory mode, and the graceful-
+    /// degradation health ladder. Fault and tamper rates are left at zero
+    /// for the caller to choose.
     pub fn hardened() -> Self {
         Self {
             media: MediaFaultConfig::hardened(),
             dram_fault: DramFaultConfig::hardened(),
             security: SecurityConfig::hardened(),
+            health: HealthConfig::hardened(),
             ..Self::default()
         }
     }
@@ -626,6 +719,39 @@ impl SystemConfig {
             return fail(
                 "security seed must differ from the DRAM fault seed so the fault streams stay independent",
             );
+        }
+        let h = &self.health;
+        if h.enabled {
+            if h.window_epochs == 0 {
+                return fail("health sliding window must span at least one epoch");
+            }
+            if h.wounded_spare_pct > 100 {
+                return fail("health spare-occupancy threshold is a percentage in [0, 100]");
+            }
+            if h.wounded_retry_rate == 0 {
+                return fail("a zero retry-rate threshold would pin the ladder at Wounded");
+            }
+            if h.wounded_refetch_rate == 0 {
+                return fail("a zero refetch-rate threshold would pin the ladder at Wounded");
+            }
+            if h.readonly_wal_redos == 0 {
+                return fail("a zero WAL-redo threshold would pin the ladder at ReadOnly");
+            }
+            if h.readonly_scrub_backlog == 0 {
+                return fail("a zero scrub-backlog threshold would pin the ladder at ReadOnly");
+            }
+            if h.readonly_poison_blocks == 0 {
+                return fail("a zero outstanding-poison threshold would pin the ladder at ReadOnly");
+            }
+            if h.promote_clean_epochs == 0 {
+                return fail("promotion hysteresis needs at least one clean epoch");
+            }
+            if h.emergency_divisor == 0 || h.emergency_divisor > 1024 {
+                return fail("emergency epoch divisor must be in [1, 1024]");
+            }
+            if h.scrub_budget_ns == 0 || h.scrub_budget_ns > 1_000_000_000 {
+                return fail("Wounded scrub budget must be nonzero and at most one second");
+            }
         }
         Ok(())
     }
@@ -882,16 +1008,96 @@ mod tests {
     }
 
     #[test]
-    fn hardened_composes_all_three_domains_and_validates() {
+    fn hardened_composes_all_domains_and_validates() {
         let cfg = SystemConfig::hardened();
         assert!(cfg.media.enabled && cfg.media.integrity && cfg.media.scrub);
         assert!(cfg.dram_fault.enabled);
         assert!(cfg.security.enabled);
+        assert!(cfg.health.enabled);
         cfg.validate().expect("hardened config valid");
         // Rates default to zero: hardened arms machinery, not faults.
         assert_eq!(cfg.media.bit_flip_rate, 0.0);
         assert_eq!(cfg.dram_fault.poison_rate, 0.0);
         assert_eq!(cfg.security.tamper_rate, 0.0);
+    }
+
+    #[test]
+    fn health_defaults_off_with_sane_thresholds() {
+        let h = SystemConfig::paper().health;
+        assert!(!h.enabled);
+        assert_eq!(h.window_epochs, 8);
+        assert_eq!(h.wounded_spare_pct, 75);
+        assert_eq!(h.promote_clean_epochs, 4);
+        assert_eq!(h.emergency_divisor, 4);
+        assert_eq!(HealthConfig::hardened(), HealthConfig { enabled: true, ..HealthConfig::default() });
+    }
+
+    #[test]
+    fn validation_rejects_bad_health_combinations() {
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.window_epochs = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("window"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.wounded_spare_pct = 101;
+        assert!(cfg.validate().unwrap_err().to_string().contains("percentage"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.wounded_retry_rate = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("retry-rate"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.wounded_refetch_rate = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("refetch-rate"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.readonly_wal_redos = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("WAL-redo"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.readonly_scrub_backlog = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("scrub-backlog"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.readonly_poison_blocks = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("poison"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.promote_clean_epochs = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("hysteresis"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.emergency_divisor = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("divisor"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.emergency_divisor = 2048;
+        assert!(cfg.validate().unwrap_err().to_string().contains("divisor"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.scrub_budget_ns = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("scrub budget"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.health = HealthConfig::hardened();
+        cfg.health.scrub_budget_ns = 2_000_000_000;
+        assert!(cfg.validate().unwrap_err().to_string().contains("scrub budget"));
+
+        // Disabled health skips threshold validation entirely.
+        let mut cfg = SystemConfig::paper();
+        cfg.health.window_epochs = 0;
+        cfg.validate().expect("disabled health is not validated");
     }
 
     #[test]

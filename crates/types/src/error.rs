@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::addr::PhysAddr;
-use crate::stats::FaultKind;
+use crate::stats::{FaultKind, HealthRung};
 
 /// Convenient result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -64,6 +64,14 @@ pub enum Error {
         /// Epoch of the newest (rejected) checkpoint.
         epoch: u64,
     },
+    /// The health ladder degraded the controller to a rung that rejects
+    /// new stores (`ReadOnly` or `FailSafe`): durability of fresh data can
+    /// no longer be guaranteed, so the store was refused instead of
+    /// silently accepted. Loads are still served (CRC/MAC-verified).
+    Degraded {
+        /// The ladder rung the controller is currently at.
+        rung: HealthRung,
+    },
     /// An uncorrectable DRAM error poisoned dirty working data: the
     /// affected range was quarantined — its writes were dropped and the
     /// contents rolled back to the last checkpoint — instead of letting the
@@ -99,6 +107,9 @@ impl fmt::Display for Error {
                     f,
                     "integrity verification failed on both checkpoint images at epoch {epoch}: no authenticated state to recover"
                 )
+            }
+            Error::Degraded { rung } => {
+                write!(f, "controller degraded to {rung}: new stores are rejected")
             }
             Error::DramPoisonLost { addr, bytes } => {
                 write!(
@@ -138,6 +149,9 @@ mod tests {
         let e = Error::IntegrityUnrecoverable { epoch: 9 };
         assert!(e.to_string().contains("both checkpoint images"));
         assert!(e.to_string().contains("epoch 9"));
+        let e = Error::Degraded { rung: HealthRung::ReadOnly };
+        assert!(e.to_string().contains("read-only"));
+        assert!(e.to_string().contains("stores are rejected"));
         let e = Error::DramPoisonLost { addr: PhysAddr::new(0x2000), bytes: 4096 };
         assert!(e.to_string().contains("quarantined"));
         assert!(e.to_string().contains("0x2000"));

@@ -39,22 +39,24 @@ pub mod error;
 pub mod fxmap;
 pub mod hist;
 pub mod req;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod system;
 
 pub use addr::{BlockIndex, HwAddr, PageIndex, PhysAddr, BLOCK_BYTES, BLOCKS_PER_PAGE, PAGE_BYTES};
 pub use config::{
-    CacheConfig, CkptMode, DeviceGeometry, DramFaultConfig, MediaFaultConfig, SecurityConfig,
-    SystemConfig, ThyNvmConfig, TimingConfig, WorkingRegion, CPU_FREQ_GHZ,
+    CacheConfig, CkptMode, DeviceGeometry, DramFaultConfig, HealthConfig, MediaFaultConfig,
+    SecurityConfig, SystemConfig, ThyNvmConfig, TimingConfig, WorkingRegion, CPU_FREQ_GHZ,
 };
 pub use cycle::Cycle;
 pub use error::{Error, Result};
 pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;
 pub use req::{AccessKind, MemRequest, TraceEvent};
+pub use retry::RetryPolicy;
 pub use stats::{
-    CkptPhase, CrashEvent, DramStats, FaultKind, MediaStats, MemStats, NvmWriteClass,
-    PerfStats, RecoveryOutcome, RecoveryStep, SecurityStats,
+    CkptPhase, CrashEvent, DramStats, FaultKind, HealthRung, HealthStats, MediaStats, MemStats,
+    NvmWriteClass, PerfStats, RecoveryOutcome, RecoveryStep, RetryStats, SecurityStats,
 };
 pub use system::{MemorySystem, PersistentMemory};

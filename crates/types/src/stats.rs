@@ -447,6 +447,142 @@ impl SecurityStats {
     }
 }
 
+/// One rung of the graceful-degradation health ladder.
+///
+/// The ladder is ordered: each rung is strictly worse than the one before
+/// it, and the [`Ord`] impl reflects that (`Healthy < Wounded < ReadOnly <
+/// FailSafe`). Demotion can skip rungs when a severe signal fires;
+/// promotion climbs one rung at a time after a hysteresis window of clean
+/// epochs, and `FailSafe` never promotes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HealthRung {
+    /// No degradation signal: full service.
+    #[default]
+    Healthy,
+    /// Cumulative wear or fault pressure detected: checkpoints fire early
+    /// and the scrubber runs under a cycle budget, but all traffic is
+    /// served.
+    Wounded,
+    /// Durability can no longer be guaranteed for new data: stores are
+    /// rejected with [`crate::Error::Degraded`]; CRC-verified loads and the
+    /// in-flight checkpoint still complete.
+    ReadOnly,
+    /// Trust in the stored state itself is in question (tamper detected or
+    /// unrecoverable images): only integrity-verified data is served and
+    /// the rung never promotes.
+    FailSafe,
+}
+
+impl fmt::Display for HealthRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HealthRung::Healthy => "healthy",
+            HealthRung::Wounded => "wounded",
+            HealthRung::ReadOnly => "read-only",
+            HealthRung::FailSafe => "fail-safe",
+        })
+    }
+}
+
+/// Health-ladder counters: ladder movement, degraded-posture actions, and
+/// the crash-consistency bookkeeping of the persisted rung.
+///
+/// Ladder conservation: promotion climbs one rung at a time and only after
+/// a demotion put the ladder below `Healthy`, so `promotions <= demotions`
+/// always holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthStats {
+    /// Epoch-boundary signal evaluations performed by the monitor.
+    pub evaluations: u64,
+    /// Ladder demotions (one per transition toward a worse rung, however
+    /// many rungs it skipped).
+    pub demotions: u64,
+    /// Ladder promotions (always exactly one rung after a clean hysteresis
+    /// window).
+    pub promotions: u64,
+    /// Stores rejected with [`crate::Error::Degraded`] while at `ReadOnly`
+    /// or `FailSafe`.
+    pub stores_rejected: u64,
+    /// Checkpoints triggered early by the `Wounded` posture rather than the
+    /// epoch timer or dirty-block pressure.
+    pub emergency_checkpoints: u64,
+    /// Scrub passes cut short by the `Wounded` cycle budget, leaving
+    /// remaining stuck cells for a later epoch.
+    pub scrub_deferrals: u64,
+    /// 64 B health records persisted alongside checkpoint commit records.
+    pub rung_persists: u64,
+    /// Recoveries that rehydrated the rung from the restored checkpoint
+    /// image's persisted health record.
+    pub rehydrations: u64,
+}
+
+impl HealthStats {
+    /// Whether any health-ladder activity was recorded at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.evaluations > 0
+            || self.demotions > 0
+            || self.promotions > 0
+            || self.stores_rejected > 0
+            || self.emergency_checkpoints > 0
+            || self.scrub_deferrals > 0
+            || self.rung_persists > 0
+            || self.rehydrations > 0
+    }
+
+    /// Merges another record into this one (summing all fields).
+    pub fn merge(&mut self, other: &HealthStats) {
+        self.evaluations += other.evaluations;
+        self.demotions += other.demotions;
+        self.promotions += other.promotions;
+        self.stores_rejected += other.stores_rejected;
+        self.emergency_checkpoints += other.emergency_checkpoints;
+        self.scrub_deferrals += other.scrub_deferrals;
+        self.rung_persists += other.rung_persists;
+        self.rehydrations += other.rehydrations;
+    }
+}
+
+/// Per-domain budget accounting for the unified [`crate::RetryPolicy`]:
+/// every bounded-retry attempt any domain spends lands in exactly one
+/// counter here.
+///
+/// Conservation: the media-domain loops also bump
+/// [`MediaStats::retries`] (the pre-existing healing counter), so
+/// `media_attempts + recovery_attempts == MediaStats::retries`, and the
+/// DRAM loop mirrors [`DramStats::refetch_retries`] exactly
+/// (`dram_attempts == refetch_retries`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryStats {
+    /// Attempts spent by the NVM data-read healing loop.
+    pub media_attempts: u64,
+    /// Attempts spent by recovery-side metadata reads.
+    pub recovery_attempts: u64,
+    /// Attempts spent re-reading poisoned DRAM blocks.
+    pub dram_attempts: u64,
+}
+
+impl RetryStats {
+    /// Attempts spent across every domain.
+    #[must_use]
+    pub fn attempts_total(&self) -> u64 {
+        self.media_attempts + self.recovery_attempts + self.dram_attempts
+    }
+
+    /// Whether any retry budget was spent at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.attempts_total() > 0
+    }
+
+    /// Merges another record into this one (summing all fields).
+    pub fn merge(&mut self, other: &RetryStats) {
+        self.media_attempts += other.media_attempts;
+        self.recovery_attempts += other.recovery_attempts;
+        self.dram_attempts += other.dram_attempts;
+    }
+}
+
 /// Observability record of one injected crash and its recovery.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrashEvent {
@@ -539,6 +675,10 @@ pub struct MemStats {
     pub dram: DramStats,
     /// Secure-mode (encryption + integrity tree) counters.
     pub security: SecurityStats,
+    /// Graceful-degradation health-ladder counters.
+    pub health: HealthStats,
+    /// Unified bounded-retry budget accounting.
+    pub retry: RetryStats,
     /// Simulator fast-path counters (host-performance accounting).
     pub perf: PerfStats,
     /// Per-crash observability records, in injection order.
@@ -664,6 +804,8 @@ impl MemStats {
         self.media.merge(&other.media);
         self.dram.merge(&other.dram);
         self.security.merge(&other.security);
+        self.health.merge(&other.health);
+        self.retry.merge(&other.retry);
         self.perf.merge(&other.perf);
         self.crash_events.extend(other.crash_events.iter().cloned());
     }
@@ -762,6 +904,29 @@ impl fmt::Display for MemStats {
                 self.security.classified_media,
                 self.security.verify_fallbacks,
                 self.security.unrecoverable,
+            )?;
+        }
+        if self.health.any() {
+            write!(
+                f,
+                " health(evals={} demotions={} promotions={} rejected={} emergency={} scrub_deferrals={} persists={} rehydrations={})",
+                self.health.evaluations,
+                self.health.demotions,
+                self.health.promotions,
+                self.health.stores_rejected,
+                self.health.emergency_checkpoints,
+                self.health.scrub_deferrals,
+                self.health.rung_persists,
+                self.health.rehydrations,
+            )?;
+        }
+        if self.retry.any() {
+            write!(
+                f,
+                " retry(media={} recovery={} dram={})",
+                self.retry.media_attempts,
+                self.retry.recovery_attempts,
+                self.retry.dram_attempts,
             )?;
         }
         if self.dram.any() {
@@ -1127,6 +1292,81 @@ mod tests {
         assert!(text.contains("security("), "text={text}");
         assert!(text.contains("tampers=4/6"), "text={text}");
         assert!(!MemStats::new().to_string().contains("security("));
+    }
+
+    #[test]
+    fn health_rung_ladder_is_ordered_and_displays() {
+        assert!(HealthRung::Healthy < HealthRung::Wounded);
+        assert!(HealthRung::Wounded < HealthRung::ReadOnly);
+        assert!(HealthRung::ReadOnly < HealthRung::FailSafe);
+        assert_eq!(HealthRung::default(), HealthRung::Healthy);
+        assert_eq!(HealthRung::Healthy.to_string(), "healthy");
+        assert_eq!(HealthRung::Wounded.to_string(), "wounded");
+        assert_eq!(HealthRung::ReadOnly.to_string(), "read-only");
+        assert_eq!(HealthRung::FailSafe.to_string(), "fail-safe");
+    }
+
+    #[test]
+    fn health_stats_conserve_merge_and_show() {
+        let mut h = HealthStats::default();
+        assert!(!h.any());
+        h.evaluations = 10;
+        h.demotions = 3;
+        h.promotions = 2;
+        h.stores_rejected = 5;
+        h.emergency_checkpoints = 4;
+        h.scrub_deferrals = 1;
+        h.rung_persists = 10;
+        h.rehydrations = 2;
+        assert!(h.any());
+        // Ladder conservation: promotion only climbs back what a demotion
+        // descended.
+        assert!(h.promotions <= h.demotions);
+
+        let mut a = MemStats::new();
+        a.health.merge(&h);
+        let mut b = MemStats::new();
+        b.health.merge(&h);
+        a.merge(&b);
+        assert_eq!(a.health.evaluations, 20);
+        assert_eq!(a.health.demotions, 6);
+        assert_eq!(a.health.promotions, 4);
+        assert_eq!(a.health.stores_rejected, 10);
+        assert_eq!(a.health.emergency_checkpoints, 8);
+        assert_eq!(a.health.scrub_deferrals, 2);
+        assert_eq!(a.health.rung_persists, 20);
+        assert_eq!(a.health.rehydrations, 4);
+        assert!(a.health.promotions <= a.health.demotions);
+
+        let text = a.to_string();
+        assert!(text.contains("health("), "text={text}");
+        assert!(text.contains("rejected=10"), "text={text}");
+        assert!(!MemStats::new().to_string().contains("health("));
+    }
+
+    #[test]
+    fn retry_stats_conserve_merge_and_show() {
+        let mut r = RetryStats::default();
+        assert!(!r.any());
+        r.media_attempts = 4;
+        r.recovery_attempts = 2;
+        r.dram_attempts = 3;
+        assert!(r.any());
+        assert_eq!(r.attempts_total(), 9);
+
+        let mut a = MemStats::new();
+        a.retry.merge(&r);
+        let mut b = MemStats::new();
+        b.retry.merge(&r);
+        a.merge(&b);
+        assert_eq!(a.retry.media_attempts, 8);
+        assert_eq!(a.retry.recovery_attempts, 4);
+        assert_eq!(a.retry.dram_attempts, 6);
+        assert_eq!(a.retry.attempts_total(), 18);
+
+        let text = a.to_string();
+        assert!(text.contains("retry(media=8 recovery=4 dram=6)"), "text={text}");
+        assert!(!MemStats::new().to_string().contains("retry("));
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! Long-horizon endurance soak: the graceful-degradation health ladder
+//! under continuous fault streams crossing all four fault domains — NVM
+//! media wear, DRAM ECC faults, crash/power-loss, and adversarial tampering
+//! — validated against the rung-aware persistence oracle.
+//!
+//! The ladder's claim: under sustained, compounding faults the controller
+//! degrades *monotonically and observably* (Healthy → Wounded → ReadOnly →
+//! FailSafe), never loses crash consistency while doing so, and recovers
+//! the rung that was durable alongside the image it restores. This suite
+//! stress-tests that claim four ways:
+//!
+//! 1. **Randomized soak**: ≥ 500 seeded trials over a multi-million-cycle
+//!    workload whose wear deterministically drains the spare pool, each
+//!    crashing at a random cycle with 0–2 stacked crash points. Every
+//!    recovered image must match the persistence oracle byte-for-byte and
+//!    the post-recovery rung must match the rung the oracle saw persisted
+//!    with the restored checkpoint (tamper and fallback overrides
+//!    accounted for exactly).
+//! 2. **Ladder discipline**: per reference run, promotions climb one rung
+//!    at a time (hysteresis) while demotions may skip; per trial the
+//!    ledger conserves (`promotions <= demotions`) and every media/DRAM
+//!    retry is a RetryPolicy-issued attempt.
+//! 3. **Bounded footprint**: after multi-million-cycle trials the
+//!    functional stores' page count stays proportional to the touched
+//!    working set, never to simulated time.
+//! 4. **Disabled twin**: with `HealthConfig.enabled = false` (thresholds
+//!    configured but the ladder off) the timeline and visible fingerprint
+//!    are bit-identical to a default-config run — the subsystem adds zero
+//!    cost when off.
+//!
+//! Seeds come from `ENDURANCE_SOAK_SEED` (CI runs a small fixed matrix);
+//! the default seed keeps local runs deterministic.
+
+use thynvm::core::{MediaFault, PersistenceOracle, TamperFault, ThyNvm};
+use thynvm::types::{
+    rng, Cycle, DramFaultConfig, Error, HealthConfig, HealthRung, MediaFaultConfig, MemorySystem,
+    PhysAddr, SecurityConfig, SystemConfig,
+};
+
+/// One step of the deterministic workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `len` bytes of `fill` at `addr`.
+    Write { addr: u64, len: usize, fill: u8 },
+    /// Read `len` bytes at `addr` (drives CRC retries and DRAM ECC).
+    Read { addr: u64, len: usize },
+    /// End the epoch (checkpoint start; execution overlaps the job).
+    Checkpoint,
+    /// Let simulated time pass.
+    Advance { cycles: u64 },
+}
+
+const PAGE: u64 = 4096;
+/// Epochs in the endurance workload — enough repeated writes per hot row
+/// to cross the wear threshold mid-run, so the media domain degrades the
+/// system *during* the soak, not in a warm-up.
+const EPOCHS: u64 = 6;
+/// Traffic-free cool-down epochs after the stress phase: the wear and ECC
+/// bursts slide out of the monitor's window and the promotion streak can
+/// build, so the soak exercises *both* directions of the hysteresis.
+const QUIET_EPOCHS: u64 = 7;
+
+/// A multi-million-cycle workload touching both schemes (hot PTT pages and
+/// scattered BTT blocks), reading its data back every epoch, and ending
+/// with uncheckpointed tail writes no recovery may ever surface. With the
+/// endurance media config each hot row is written ~12 times — past the
+/// stuck-at threshold — so wear, scrubbing, spare-pool drain and the
+/// ladder's responses all happen on the clock.
+fn workload() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for epoch in 0..EPOCHS {
+        for rep in 0..2u64 {
+            for page in 0..3u64 {
+                for blk in 0..8u64 {
+                    ops.push(Op::Write {
+                        addr: page * PAGE + blk * 64,
+                        len: 64,
+                        fill: (1 + epoch * 40 + page * 11 + blk + rep * 3) as u8,
+                    });
+                }
+            }
+        }
+        for i in 0..8u64 {
+            let block = (i * 13 + epoch * 7) % 64;
+            ops.push(Op::Write {
+                addr: 8 * PAGE + block * 64,
+                len: 8,
+                fill: (100 + epoch * 17 + i) as u8,
+            });
+        }
+        // Read the hot pages back: CRC retries on worn rows, ECC checks on
+        // DRAM copies.
+        for page in 0..3u64 {
+            for blk in 0..4u64 {
+                ops.push(Op::Read { addr: page * PAGE + blk * 128, len: 64 });
+            }
+        }
+        ops.push(Op::Checkpoint);
+        ops.push(Op::Advance { cycles: 600_000 });
+    }
+    // Cool-down: epochs with no traffic at all. Wounded systems whose
+    // firing signals were windowed rates (not standing levels) climb back.
+    for _ in 0..QUIET_EPOCHS {
+        ops.push(Op::Checkpoint);
+        ops.push(Op::Advance { cycles: 600_000 });
+    }
+    ops.push(Op::Advance { cycles: 2_000_000 });
+    for blk in 0..6u64 {
+        ops.push(Op::Write { addr: blk * 64, len: 64, fill: 0xEE });
+    }
+    ops
+}
+
+/// Applies one op, returning the advanced timeline. Rejected stores (the
+/// ladder at `ReadOnly` or worse) advance time like served ones but write
+/// nothing — `record_ok` reports whether a write landed so the caller can
+/// keep the oracle aligned.
+fn apply(sys: &mut ThyNvm, op: &Op, now: Cycle, record_ok: &mut bool) -> Cycle {
+    *record_ok = true;
+    match op {
+        Op::Write { addr, len, fill } => {
+            let data = vec![*fill; *len];
+            match sys.try_store_bytes(PhysAddr::new(*addr), &data, now) {
+                Ok(done) => now.max(done),
+                Err(Error::Degraded { .. }) => {
+                    *record_ok = false;
+                    now
+                }
+                Err(e) => panic!("store failed for a non-degradation reason: {e}"),
+            }
+        }
+        Op::Read { addr, len } => {
+            let mut buf = vec![0u8; *len];
+            now.max(sys.load_bytes(PhysAddr::new(*addr), &mut buf, now))
+        }
+        Op::Checkpoint => now.max(sys.force_checkpoint(now)),
+        Op::Advance { cycles } => now + Cycle::new(*cycles),
+    }
+}
+
+/// Checkpoint completion times learned from the crash-free reference run.
+#[derive(Debug, Clone, Copy)]
+struct CkptTimes {
+    done_at: Cycle,
+}
+
+/// Maps a rung onto its ladder level for step arithmetic.
+fn level(r: HealthRung) -> u64 {
+    match r {
+        HealthRung::Healthy => 0,
+        HealthRung::Wounded => 1,
+        HealthRung::ReadOnly => 2,
+        HealthRung::FailSafe => 3,
+    }
+}
+
+/// Runs the workload crash-free, feeding the oracle: writes that landed,
+/// quarantines in op order, checkpoint windows, and — the soak's novelty —
+/// the rung each checkpoint's 64 B health record persisted. Also returns
+/// the rung trace observed after every op, for the hysteresis checks.
+fn reference_run(
+    ops: &[Op],
+    cfg: SystemConfig,
+) -> (PersistenceOracle, Vec<CkptTimes>, Cycle, Vec<HealthRung>, thynvm::types::HealthStats) {
+    let mut sys = ThyNvm::new(cfg);
+    let mut oracle = PersistenceOracle::new();
+    let mut ckpts = Vec::new();
+    let mut rungs = Vec::new();
+    let mut now = Cycle::ZERO;
+    for op in ops {
+        let before = now;
+        let mut record_ok = true;
+        now = apply(&mut sys, op, now, &mut record_ok);
+        if let Op::Write { addr, len, fill } = op {
+            if record_ok {
+                oracle.record_write(*addr, &vec![*fill; *len]);
+            }
+        }
+        for (base, len) in sys.take_quarantine_events() {
+            oracle.record_quarantine(base, len);
+        }
+        if matches!(op, Op::Checkpoint) {
+            let times = match sys.epoch_state().job.as_ref() {
+                Some(j) => CkptTimes { done_at: j.done_at },
+                None => CkptTimes { done_at: now },
+            };
+            let started = sys.epoch_state().job.as_ref().map_or(before, |j| j.started);
+            oracle.record_checkpoint(started, times.done_at);
+            // The rung riding this checkpoint's health record: still
+            // pending while the job is in flight, already rotated into
+            // `C_last` if it completed instantly.
+            let rung = match sys.epoch_state().job.as_ref() {
+                Some(_) => sys.pending_health_rung().unwrap_or(HealthRung::Healthy),
+                None => sys.clast_health_rung(),
+            };
+            oracle.record_health(times.done_at, rung);
+            ckpts.push(times);
+        }
+        rungs.push(sys.health_rung());
+    }
+    let health = sys.stats().health;
+    (oracle, ckpts, now, rungs, health)
+}
+
+/// Replays the workload with optional latent media fault and tamper armed
+/// plus a crash at `at` (and `extra` stacked points), drains every
+/// leftover point, and returns the settled system.
+fn crash_replay(
+    ops: &[Op],
+    cfg: SystemConfig,
+    media: Option<MediaFault>,
+    tamper: Option<TamperFault>,
+    at: Cycle,
+    extra: &[Cycle],
+) -> ThyNvm {
+    let mut sys = ThyNvm::new(cfg);
+    if let Some(f) = media {
+        sys.inject_media_fault(f);
+    }
+    if let Some(t) = tamper {
+        sys.inject_tamper(t);
+    }
+    sys.arm_crash_point(at);
+    for &p in extra {
+        assert!(p > at, "stacked points must lie past the first crash");
+        sys.queue_crash_point(p);
+    }
+    let mut now = Cycle::ZERO;
+    let mut fired = false;
+    for op in ops {
+        let mut record_ok = true;
+        now = apply(&mut sys, op, now, &mut record_ok);
+        if sys.take_crash_report().is_some() {
+            fired = true;
+            break;
+        }
+    }
+    if !fired {
+        sys.poll_crash(now.max(at) + Cycle::new(1));
+        sys.take_crash_report().expect("armed crash must fire");
+    }
+    while let Some(p) = sys.armed_crash_point() {
+        now = sys.poll_crash(now.max(p) + Cycle::new(1)).expect("leftover point fires");
+        sys.take_crash_report().expect("leftover crash reported");
+    }
+    sys
+}
+
+/// Per-trial conservation: the ladder ledger balances, every bounded retry
+/// across the media / recovery / DRAM paths is a RetryPolicy-issued
+/// attempt, and the DRAM poison lifecycle closes.
+fn assert_conservation(sys: &ThyNvm, label: &str) {
+    let s = sys.stats();
+    assert!(
+        s.health.promotions <= s.health.demotions,
+        "{label}: more promotions than demotions ({:?})",
+        s.health
+    );
+    assert_eq!(
+        s.retry.media_attempts + s.retry.recovery_attempts,
+        s.media.retries,
+        "{label}: media retries not conserved ({:?} vs {:?})",
+        s.retry,
+        s.media
+    );
+    assert_eq!(
+        s.retry.dram_attempts, s.dram.refetch_retries,
+        "{label}: DRAM retries not conserved"
+    );
+    let outstanding = sys.dram_ecc().map_or(0, |e| e.outstanding() as u64);
+    assert_eq!(
+        s.dram.poisoned_blocks,
+        s.dram.poison_accounted() + outstanding,
+        "{label}: poison leaked from the lifecycle accounting"
+    );
+}
+
+/// The soak's hysteresis discipline, checked on a rung trace: recovery is
+/// earned one rung at a time (a promotion never skips), while demotion may
+/// jump straight to the firing signal's rung.
+fn assert_hysteresis(rungs: &[HealthRung], label: &str) {
+    for w in rungs.windows(2) {
+        if w[1] < w[0] {
+            assert_eq!(
+                level(w[0]) - level(w[1]),
+                1,
+                "{label}: promotion skipped a rung ({:?} -> {:?})",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+fn soak_seed() -> u64 {
+    std::env::var("ENDURANCE_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE0D0_5A0C)
+}
+
+/// One config combo of the soak population. Crash is in every trial; the
+/// other three fault domains toggle per combo.
+#[derive(Debug, Clone, Copy)]
+struct Combo {
+    media: bool,
+    dram: bool,
+    tamper: bool,
+}
+
+const COMBOS: &[Combo] = &[
+    Combo { media: true, dram: false, tamper: false }, // wear × crash
+    Combo { media: false, dram: true, tamper: false }, // ECC × crash
+    Combo { media: false, dram: false, tamper: true }, // tamper × crash
+    Combo { media: true, dram: true, tamper: false },  // wear × ECC × crash
+    Combo { media: true, dram: true, tamper: true },   // all four domains
+    Combo { media: false, dram: false, tamper: false }, // ladder-on control
+];
+
+/// The endurance health posture: a tight window and low thresholds so the
+/// deterministic wear schedule actually walks the ladder, plus a short
+/// promotion streak so quiet epochs climb back.
+fn soak_health() -> HealthConfig {
+    HealthConfig {
+        window_epochs: 4,
+        wounded_retry_rate: 2,
+        wounded_refetch_rate: 2,
+        readonly_scrub_backlog: 4,
+        promote_clean_epochs: 2,
+        ..HealthConfig::hardened()
+    }
+}
+
+fn combo_cfg(c: Combo, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::small_test();
+    cfg.health = soak_health();
+    if c.media {
+        cfg.media = MediaFaultConfig {
+            stuck_at_threshold: 8,
+            spare_blocks: 4,
+            ..MediaFaultConfig::hardened()
+        };
+    }
+    if c.dram {
+        // A flip rate high enough that the refetch-rate signal actually
+        // wounds the ladder during the stress epochs — and, being a
+        // windowed rate rather than a standing level, lets the cool-down
+        // epochs earn the promotion back.
+        cfg.dram_fault =
+            DramFaultConfig { flip_rate: 0.2, poison_rate: 0.02, seed, ..DramFaultConfig::hardened() };
+    }
+    if c.tamper {
+        // Distinct from the DRAM seed: the config validator insists the
+        // fault streams stay independent.
+        cfg.security = SecurityConfig { seed: seed.wrapping_add(1), ..SecurityConfig::hardened() };
+    }
+    cfg.validate().expect("valid soak config");
+    cfg
+}
+
+/// The tamper kinds the soak draws from (addresses vary per trial).
+fn tamper_kind(kind: usize, addr: u64) -> TamperFault {
+    match kind {
+        0 => TamperFault::ClastData { addr },
+        1 => TamperFault::StaleCounterTable,
+        2 => TamperFault::TornRootMeta,
+        _ => TamperFault::BothImages { addr },
+    }
+}
+
+/// Validates one settled trial: image vs the oracle, rung vs the rung the
+/// oracle saw persisted with the restored image (with tamper / fallback /
+/// WAL-redo overrides applied exactly), and the conservation ledgers.
+#[allow(clippy::too_many_lines)]
+fn verify_trial(
+    oracle: &PersistenceOracle,
+    sys: &mut ThyNvm,
+    seq: &[Cycle],
+    media_inject: bool,
+    tamper: Option<TamperFault>,
+    label: &str,
+) {
+    let t = Cycle::new(u64::MAX / 2);
+    let tamper_applied = tamper.is_some() && sys.armed_tamper().is_none();
+    // --- image ---
+    let read = |sys: &mut ThyNvm, addr: u64| {
+        let mut buf = [0u8; 1];
+        sys.load_bytes(PhysAddr::new(addr), &mut buf, t);
+        buf[0]
+    };
+    if tamper_applied {
+        let diffs =
+            oracle.diff_with_tampered_region(seq[0], tamper.expect("applied"), |a| read(sys, a));
+        assert!(
+            diffs.is_empty(),
+            "{label}: {} divergent byte(s) vs tamper-aware oracle, first {:?}",
+            diffs.len(),
+            diffs.first()
+        );
+    } else {
+        let diffs = oracle.diff_after_crash_sequence(seq, media_inject, |a| read(sys, a));
+        assert!(
+            diffs.is_empty(),
+            "{label}: {} divergent byte(s) vs oracle, first {:?}",
+            diffs.len(),
+            diffs.first()
+        );
+    }
+    // --- post-recovery rung ---
+    let s = sys.stats();
+    let rung = sys.health_rung();
+    let exact = oracle.expected_rung_at(seq[0]);
+    let fallback = oracle.expected_fallback_rung_at(seq[0]);
+    let tampered = s.security.tampers_detected > 0;
+    let unrecoverable = s.security.unrecoverable > 0;
+    let redo_escalated =
+        s.media.wal_redos >= sys.config().health.readonly_wal_redos && rung >= HealthRung::ReadOnly;
+    if tampered || unrecoverable {
+        assert_eq!(
+            rung,
+            HealthRung::FailSafe,
+            "{label}: detected tamper / unrecoverable verdict must land FailSafe"
+        );
+    } else if s.media.integrity_fallbacks == 0 && !redo_escalated {
+        // The clean case is exact: recovery rehydrates precisely the rung
+        // persisted with the checkpoint it restored.
+        assert_eq!(rung, exact, "{label}: rehydrated rung diverges from the oracle");
+    } else {
+        // A fallback restores the penultimate image (and its rung); a
+        // WAL-redo burst escalates to at least ReadOnly. Either way the
+        // rung must still be one the durable history can explain.
+        assert!(
+            rung == exact || rung == fallback || redo_escalated,
+            "{label}: rung {rung} explained by neither C_last ({exact}) nor C_penult ({fallback})"
+        );
+    }
+    // FailSafe never serves new stores.
+    if rung >= HealthRung::ReadOnly {
+        let err = sys.try_store_bytes(PhysAddr::new(63 * PAGE), &[1u8; 64], t).unwrap_err();
+        assert!(matches!(err, Error::Degraded { .. }), "{label}: degraded rung accepted a store");
+    }
+    assert_conservation(sys, label);
+}
+
+/// Randomized endurance soak: ≥ 500 seeded trials over multi-million-cycle
+/// runs crossing media wear, DRAM ECC faults, crashes and tampering, with
+/// zero oracle divergence at sampled crash points, exact post-recovery
+/// rungs, per-trial conservation, and a bounded functional footprint.
+#[test]
+fn seeded_endurance_soak_degrades_gracefully_without_divergence() {
+    let ops = workload();
+    let base_seed = soak_seed();
+
+    let mut demotions = 0u64;
+    let mut promotions = 0u64;
+
+    let refs: Vec<(SystemConfig, PersistenceOracle, Vec<CkptTimes>, Cycle)> = COMBOS
+        .iter()
+        .map(|&c| {
+            let cfg = combo_cfg(c, base_seed | 1);
+            let (oracle, ckpts, end, rungs, health) = reference_run(&ops, cfg);
+            assert_eq!(
+                ckpts.len(),
+                (EPOCHS + QUIET_EPOCHS) as usize,
+                "workload must reach every checkpoint"
+            );
+            assert!(end >= Cycle::new(5_000_000), "endurance runs span multiple million cycles");
+            assert_hysteresis(&rungs, &format!("reference combo {c:?}"));
+            assert!(
+                health.promotions <= health.demotions,
+                "reference combo {c:?}: ladder ledger out of balance ({health:?})"
+            );
+            demotions += health.demotions;
+            promotions += health.promotions;
+            (cfg, oracle, ckpts, end)
+        })
+        .collect();
+
+    let mut rng_state = base_seed;
+    let mut rejected = 0u64;
+    let mut rehydrations = 0u64;
+    let mut failsafes = 0u64;
+    let mut fallbacks = 0u64;
+    let mut max_footprint = 0usize;
+    const TRIALS: usize = 510;
+    for trial in 0..TRIALS {
+        let ci = (rng::next(&mut rng_state) % COMBOS.len() as u64) as usize;
+        let combo = COMBOS[ci];
+        let (cfg, oracle, ckpts, end) = &refs[ci];
+        let media_inject = combo.media && rng::next(&mut rng_state).is_multiple_of(3);
+        let inject = media_inject.then_some(if trial.is_multiple_of(2) {
+            MediaFault::TornCommitRecord
+        } else {
+            MediaFault::ClastBitFlip { addr: 64 * PAGE }
+        });
+        let tamper = combo.tamper.then(|| {
+            let kind = (rng::next(&mut rng_state) % 4) as usize;
+            let addr = (rng::next(&mut rng_state) % (3 * PAGE)) & !63;
+            tamper_kind(kind, addr)
+        });
+        // Latent faults and tampers only matter once a commit exists.
+        let lo = if media_inject || tamper.is_some() { ckpts[0].done_at.raw() + 1 } else { 1 };
+        let at = Cycle::new(lo + rng::next(&mut rng_state) % (end.raw() - lo));
+        let depth = (rng::next(&mut rng_state) % 3) as usize; // 0–2 stacked points
+        let mut extra = Vec::new();
+        while extra.len() < depth {
+            let p = at + Cycle::new(1 + rng::next(&mut rng_state) % 2_000_000);
+            if !extra.contains(&p) {
+                extra.push(p);
+            }
+        }
+        extra.sort_unstable();
+        let mut sys = crash_replay(&ops, *cfg, inject, tamper, at, &extra);
+        let mut seq = vec![at];
+        seq.extend_from_slice(&extra);
+        let label = format!("trial {trial} combo {ci} at {at} depth {depth} inject {inject:?} tamper {tamper:?}");
+        verify_trial(oracle, &mut sys, &seq, media_inject, tamper, &label);
+        let h = sys.stats().health;
+        demotions += h.demotions;
+        promotions += h.promotions;
+        rejected += h.stores_rejected;
+        rehydrations += h.rehydrations;
+        failsafes += u64::from(sys.health_rung() == HealthRung::FailSafe);
+        fallbacks += sys.stats().media.integrity_fallbacks;
+        max_footprint = max_footprint.max(sys.functional_footprint_pages());
+    }
+    // Coverage floor: the soak exercised every rung transition class.
+    assert!(demotions > 0, "soak never demoted");
+    assert!(promotions > 0, "soak never promoted back (hysteresis untested)");
+    assert!(rejected > 0, "soak never rejected a degraded store");
+    assert!(rehydrations > 0, "soak never rehydrated a rung after crash");
+    assert!(failsafes > 0, "soak never reached FailSafe");
+    assert!(fallbacks > 0, "soak never fell back to C_penult");
+    // Bounded footprint: the workload touches ~10 pages of address space;
+    // the functional stores (visible + committed + penult + archive) must
+    // stay proportional to that, not to the millions of simulated cycles.
+    assert!(
+        max_footprint <= 256,
+        "functional footprint grew past the working-set bound: {max_footprint} pages"
+    );
+}
+
+/// Disabled twin: with `HealthConfig.enabled = false` (thresholds set, the
+/// ladder off) the timeline and the visible fingerprint are bit-identical
+/// to a default-config run, including across a crash — the subsystem adds
+/// zero cost when off.
+#[test]
+fn disabled_health_config_is_bit_identical_to_default() {
+    let ops = workload();
+    let plain = SystemConfig::small_test();
+    let mut disabled = SystemConfig::small_test();
+    disabled.health = HealthConfig { enabled: false, ..soak_health() };
+    disabled.validate().expect("disabled ladder with thresholds set is still valid");
+
+    let run = |cfg: SystemConfig| {
+        let mut sys = ThyNvm::new(cfg);
+        let mut now = Cycle::ZERO;
+        for op in &ops {
+            let mut record_ok = true;
+            now = apply(&mut sys, op, now, &mut record_ok);
+            assert!(record_ok, "a disabled ladder must never reject a store");
+        }
+        now = sys.drain(now);
+        let report = sys.crash_and_recover(now);
+        (now + report.recovery_cycles, sys.visible_fingerprint(), sys.stats().clone())
+    };
+    let (t_plain, fp_plain, s_plain) = run(plain);
+    let (t_off, fp_off, s_off) = run(disabled);
+    assert_eq!(t_plain, t_off, "disabled ladder changed the timeline");
+    assert_eq!(fp_plain, fp_off, "disabled ladder changed the contents");
+    assert_eq!(s_off.health, thynvm::types::HealthStats::default());
+    assert_eq!(s_plain.nvm_writes, s_off.nvm_writes);
+    assert_eq!(s_plain.nvm_write_bytes_ckpt, s_off.nvm_write_bytes_ckpt);
+    assert_eq!(s_plain.service_cycles, s_off.service_cycles);
+}
+
+/// Determinism: the same seed reproduces the same trial schedule, the same
+/// health ledgers, and the same recovered fingerprints.
+#[test]
+fn endurance_soak_prefix_replays_deterministically() {
+    let ops = workload();
+    let base_seed = soak_seed();
+    let refs: Vec<SystemConfig> =
+        COMBOS.iter().map(|&c| combo_cfg(c, base_seed | 1)).collect();
+
+    let run_prefix = || {
+        let mut rng_state = base_seed;
+        (0..10)
+            .map(|trial| {
+                let ci = (rng::next(&mut rng_state) % COMBOS.len() as u64) as usize;
+                let combo = COMBOS[ci];
+                let media_inject = combo.media && rng::next(&mut rng_state).is_multiple_of(3);
+                let inject = media_inject.then_some(if trial % 2 == 0 {
+                    MediaFault::TornCommitRecord
+                } else {
+                    MediaFault::ClastBitFlip { addr: 64 * PAGE }
+                });
+                let tamper = combo.tamper.then(|| {
+                    let kind = (rng::next(&mut rng_state) % 4) as usize;
+                    let addr = (rng::next(&mut rng_state) % (3 * PAGE)) & !63;
+                    tamper_kind(kind, addr)
+                });
+                let at = Cycle::new(1_000_000 + rng::next(&mut rng_state) % 4_000_000);
+                let sys = crash_replay(&ops, refs[ci], inject, tamper, at, &[]);
+                (sys.stats().health, sys.health_rung(), sys.visible_fingerprint())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run_prefix(), run_prefix(), "same seed must replay identically");
+}
