@@ -2258,11 +2258,25 @@ impl ThyNvm {
             // FailSafe, WAL-redo → ReadOnly) is persisted before recovery
             // hands control back: a follow-on crash would otherwise
             // rehydrate the stale pre-incident rung and launder the
-            // degradation away.
+            // degradation away. The persist is WAL-bracketed (L8): recovery
+            // runs with no checkpoint in flight, so a crash tearing the
+            // record mid-write would otherwise leave a corrupt rung with
+            // nothing to redo it from.
             if rung > persisted {
+                // WAL intent: the escalated rung about to be recorded.
+                let wal = self.space.backup_wal(self.wal_seq);
+                self.wal_seq += 1;
+                end = self.nvm.access(wal, AccessKind::Write, 64, end);
+                self.stats.record_nvm_write(64, NvmWriteClass::Migration);
+                self.charge_crc(64);
                 end = self.nvm.access(self.space.health_record(), AccessKind::Write, 64, end);
                 self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
                 self.charge_crc(64);
+                // CRC seal: the override commits when this lands.
+                end = self.nvm.access(wal, AccessKind::Write, 64, end);
+                self.stats.record_nvm_write(64, NvmWriteClass::Migration);
+                self.charge_crc(64);
+                self.stats.media.wal_seals += 1;
                 self.stats.health.rung_persists += 1;
                 self.health_rung_last = rung;
             }

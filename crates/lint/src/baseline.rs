@@ -22,7 +22,7 @@ use crate::rules::Diagnostic;
 /// One parsed baseline entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
-    /// Rule ID (`"L1"`..`"L5"`).
+    /// Rule ID (`"L1"`..`"L9"`).
     pub rule: String,
     /// Workspace-relative file path.
     pub file: String,
@@ -63,10 +63,10 @@ pub fn parse(text: &str) -> Result<Vec<Entry>, ParseError> {
         let rule = parts.next().unwrap_or_default();
         let loc = parts.next().unwrap_or_default();
         let rest = parts.next().unwrap_or_default().trim();
-        if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5") {
+        if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "L9") {
             return Err(ParseError {
                 at,
-                msg: format!("unknown rule `{rule}` (expected L1..L5)"),
+                msg: format!("unknown rule `{rule}` (expected L1..L9)"),
             });
         }
         let Some((file, line_no)) = loc.rsplit_once(':') else {
@@ -166,9 +166,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_rule_and_location() {
-        assert!(parse("L9 a.rs:1 x\n").is_err());
+        assert!(parse("L12 a.rs:1 x\n").is_err());
+        assert!(parse("L0 a.rs:1 x\n").is_err());
         assert!(parse("L1 a.rs x\n").is_err());
         assert!(parse("L1 a.rs:zz x\n").is_err());
+        // The graph-backed rules are baselineable like the rest.
+        assert!(parse("L8 a.rs:1 — reviewed: sealed by the outer txn\n").is_ok());
     }
 
     fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {

@@ -272,14 +272,27 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
 }
 
 /// Extracts the content between the quotes of a lexed string literal slice.
+///
+/// Strips exactly one prefix (`r`/`b`/`br`/`rb`), the raw-string hashes, and
+/// one quote on each side — never characters belonging to the *content*, so
+/// `r#""hi""#` yields `"hi"` and `"x\""` yields `x\"`. (A chained
+/// `trim_matches` version once over-trimmed content that starts or ends with
+/// quotes or hashes.)
 fn string_tok(raw: &str) -> Tok {
-    let inner = raw
-        .trim_start_matches(['r', 'b'])
-        .trim_start_matches('#')
-        .trim_start_matches('"')
-        .trim_end_matches('#')
-        .trim_end_matches('"');
-    Tok::Str(inner.to_owned())
+    let b = raw.as_bytes();
+    let mut k = 0;
+    while k < b.len() && k < 2 && (b[k] == b'r' || b[k] == b'b') {
+        k += 1;
+    }
+    let s = &raw[k..];
+    let hashes = s.bytes().take_while(|&c| c == b'#').count();
+    let s = &s[hashes..];
+    let s = s.strip_prefix('"').unwrap_or(s);
+    // The closing delimiter (`"` plus the hashes) is absent when the lexer
+    // hit EOF inside the literal; keep whatever content there is.
+    let close = format!("\"{}", "#".repeat(hashes));
+    let s = s.strip_suffix(close.as_str()).unwrap_or(s);
+    Tok::Str(s.to_owned())
 }
 
 /// Byte index just past the end of an identifier starting at `start`.
@@ -373,8 +386,10 @@ fn char_literal_len(s: &str) -> Option<usize> {
         return None;
     }
     if b[1] == b'\\' {
-        // Escaped char: find the closing quote.
-        let mut j = 2;
+        // Escaped char: the byte after the backslash is consumed blind
+        // (it may itself be `'`, as in `'\''`), then scan for the closing
+        // quote (multi-byte escapes like `\u{7f}` keep going).
+        let mut j = 3;
         while j < b.len() && b[j] != b'\'' {
             j += 1;
         }
@@ -487,5 +502,54 @@ mod tests {
         let toks = kinds(r#"let s = b"hello"; let r#type = 1;"#);
         assert!(toks.contains(&Tok::Str("hello".into())));
         assert!(toks.contains(&Tok::Ident("type".into())));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_is_one_token() {
+        // `'\''` is four bytes; a short scan once stopped at the escaped
+        // quote and left a stray `'` that desynced everything after it.
+        let toks = kinds(r"let q = '\''; let b = b'\''; let esc = '\\'; done");
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Char).count(), 3);
+        assert!(toks.contains(&Tok::Ident("done".into())));
+        assert!(!toks.iter().any(|t| matches!(t, Tok::Lifetime(_))), "{toks:?}");
+    }
+
+    #[test]
+    fn raw_string_content_keeps_its_own_quotes_and_hashes() {
+        let toks = kinds(r###"let a = r#""hi""#; let b = r#"say "hi""#;"###);
+        assert!(toks.contains(&Tok::Str("\"hi\"".into())), "{toks:?}");
+        assert!(toks.contains(&Tok::Str("say \"hi\"".into())), "{toks:?}");
+        let toks = kinds(r##"let c = r#"# leading hash"#;"##);
+        assert!(toks.contains(&Tok::Str("# leading hash".into())), "{toks:?}");
+    }
+
+    #[test]
+    fn cooked_string_trailing_escaped_quote_is_kept() {
+        let toks = kinds(r#"let s = "x\""; y"#);
+        assert!(toks.contains(&Tok::Str("x\\\"".into())), "{toks:?}");
+        assert!(toks.contains(&Tok::Ident("y".into())));
+    }
+
+    #[test]
+    fn raw_strings_never_leak_code_tokens() {
+        // The L2/L6 phantom-diagnostic scenario: panic-looking and
+        // backoff-looking text inside raw strings, right after an
+        // escaped-quote char literal, must all stay inside `Str` tokens.
+        let src = concat!(
+            r"fn recover_sep() { let q = '\''; ",
+            r###"let m = r#"x.unwrap( backoff_ns * attempt"#; }"###,
+        );
+        let toks = kinds(src);
+        assert!(!toks.iter().any(|t| t.ident() == Some("unwrap")), "{toks:?}");
+        assert!(!toks.iter().any(|t| t.ident() == Some("backoff_ns")), "{toks:?}");
+        assert!(toks.contains(&Tok::Str("x.unwrap( backoff_ns * attempt".into())));
+    }
+
+    #[test]
+    fn raw_ident_lexes_as_single_ident() {
+        let toks = kinds("fn r#match(r#type: u64) { r#type }");
+        assert_eq!(toks.iter().filter(|t| t.ident() == Some("type")).count(), 2);
+        assert!(toks.iter().any(|t| t.ident() == Some("match")));
+        assert!(!toks.iter().any(|t| t.ident() == Some("r")), "{toks:?}");
     }
 }

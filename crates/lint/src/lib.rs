@@ -4,8 +4,9 @@
 //! mutations flow through sealed APIs, that recovery never panics, that
 //! every stats counter is live and asserted, that every error variant and
 //! config field is exercised. This crate machine-checks them with a
-//! hand-rolled lexer (offline-safe: zero dependencies) and five
-//! token-pattern rules.
+//! hand-rolled lexer (offline-safe: zero dependencies), six token-pattern
+//! rules, and three call-graph ordering rules backed by an NVM-effect
+//! inference pass ([`graph`], [`effects`]).
 //!
 //! Run it from the workspace root:
 //!
@@ -13,10 +14,16 @@
 //! cargo run -p thynvm-lint --release
 //! ```
 //!
+//! Flags: `--json` (machine-readable diagnostics), `--github` (workflow
+//! problem-matcher annotations), `--effects` (print the per-function
+//! persistence-effect dump and exit).
+//!
 //! Exit codes: `0` clean, `1` violations (or stale baseline entries),
 //! `2` malformed `lint.baseline`.
 
 pub mod baseline;
+pub mod effects;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 pub mod source;
@@ -72,8 +79,9 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints the workspace rooted at `root` against the given baseline entries.
-pub fn run(root: &Path, entries: &[baseline::Entry]) -> std::io::Result<Report> {
+/// Parses every workspace `.rs` file under `root` into a [`FileIndex`],
+/// in sorted path order (the determinism anchor for the effect dump).
+pub fn index_workspace(root: &Path) -> std::io::Result<Vec<FileIndex>> {
     let paths = collect_files(root)?;
     let mut files = Vec::with_capacity(paths.len());
     for path in &paths {
@@ -85,9 +93,25 @@ pub fn run(root: &Path, entries: &[baseline::Entry]) -> std::io::Result<Report> 
         let src = std::fs::read_to_string(path)?;
         files.push(FileIndex::parse(&rel, &src));
     }
+    Ok(files)
+}
+
+/// Lints the workspace rooted at `root` against the given baseline entries.
+pub fn run(root: &Path, entries: &[baseline::Entry]) -> std::io::Result<Report> {
+    let files = index_workspace(root)?;
     let diags = rules::check_all(&files);
     let (violations, stale) = baseline::apply(diags, entries);
     Ok(Report { violations, stale, files_scanned: files.len() })
+}
+
+/// Renders the committed `lint.effects` artifact for the workspace at
+/// `root`: the transitive persistence-effect set of every production
+/// function (see [`effects::render_dump`]).
+pub fn effects_dump(root: &Path) -> std::io::Result<String> {
+    let files = index_workspace(root)?;
+    let graph = graph::CallGraph::build(&files);
+    let facts = effects::analyze(&files, &graph);
+    Ok(effects::render_dump(&files, &graph, &facts))
 }
 
 /// Locates the workspace root: the nearest ancestor of `start` containing

@@ -1,14 +1,84 @@
 //! CLI entry point: lint the workspace, apply `lint.baseline`, print
 //! `file:line` diagnostics, exit nonzero on any violation.
+//!
+//! ```text
+//! thynvm-lint [ROOT] [--json] [--github] [--effects]
+//! ```
+//!
+//! * `--json` — one JSON object per diagnostic on stdout (machine
+//!   consumers; stable key order).
+//! * `--github` — additionally emit GitHub Actions problem-matcher
+//!   annotations (`::error file=…,line=…`) so violations land inline on
+//!   PR diffs.
+//! * `--effects` — print the per-function persistence-effect dump (the
+//!   committed `lint.effects` artifact) and exit 0 without linting.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use thynvm_lint::rules::Diagnostic;
+
+/// Minimal JSON string escaping (the diagnostics are ASCII-ish, but paths
+/// and messages must still round-trip).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_line(d: &Diagnostic) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"msg\":\"{}\"}}",
+        d.rule,
+        json_escape(&d.file),
+        d.line,
+        json_escape(&d.msg)
+    )
+}
+
+/// GitHub Actions workflow command: shows as an inline annotation on the
+/// PR diff. Message text must not contain raw newlines or `::`-significant
+/// characters; the escaping rules are GitHub's, not JSON's.
+fn github_line(d: &Diagnostic) -> String {
+    let msg = d.msg.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A");
+    format!(
+        "::error file={},line={},title=thynvm-lint {}::{msg}",
+        d.file, d.line, d.rule
+    )
+}
+
 fn main() -> ExitCode {
-    // Optional positional arg: workspace root. Default: walk up from the
-    // current directory (cargo runs binaries with cwd = invocation dir).
-    let root = match std::env::args_os().nth(1) {
-        Some(p) => PathBuf::from(p),
+    let mut root_arg: Option<PathBuf> = None;
+    let mut json = false;
+    let mut github = false;
+    let mut effects = false;
+    for arg in std::env::args_os().skip(1) {
+        match arg.to_str() {
+            Some("--json") => json = true,
+            Some("--github") => github = true,
+            Some("--effects") => effects = true,
+            Some(s) if s.starts_with("--") => {
+                eprintln!("thynvm-lint: unknown flag `{s}`");
+                return ExitCode::from(2);
+            }
+            _ => root_arg = Some(PathBuf::from(arg)),
+        }
+    }
+
+    // Default root: walk up from the current directory (cargo runs binaries
+    // with cwd = invocation dir).
+    let root = match root_arg {
+        Some(p) => p,
         None => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
             match thynvm_lint::find_root(&cwd) {
@@ -20,6 +90,19 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    if effects {
+        return match thynvm_lint::effects_dump(&root) {
+            Ok(dump) => {
+                print!("{dump}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("thynvm-lint: effects dump failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let baseline_path = root.join("lint.baseline");
     let entries = if baseline_path.is_file() {
@@ -50,7 +133,14 @@ fn main() -> ExitCode {
     };
 
     for d in report.violations.iter().chain(&report.stale) {
-        println!("{d}");
+        if json {
+            println!("{}", json_line(d));
+        } else {
+            println!("{d}");
+        }
+        if github {
+            println!("{}", github_line(d));
+        }
     }
     let n = report.violations.len() + report.stale.len();
     if report.is_failure() {

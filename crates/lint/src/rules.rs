@@ -8,21 +8,28 @@
 //! | L4   | Every `types::Error` variant is constructed in production code and matched in a test |
 //! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SecurityConfig`/`HealthConfig`/`SystemConfig` field is checked in `validate()` |
 //! | L6   | Bounded-retry loops route through `types::RetryPolicy` — no manual `*backoff_ns` arithmetic outside `crates/types/src/retry.rs` |
+//! | L7   | Commit-record persist is the *last* backup/security effect of a checkpoint-commit body — nothing with those effects follows the seal |
+//! | L8   | Every backup-region write reachable from a `recover*`/`replay`/`redo` entry point is WAL-bracketed: `backup_wal` intent before, WAL seal after |
+//! | L9   | Concurrency-readiness: no `static mut`/`thread_local!`/`Cell`/`RefCell`/`UnsafeCell` in `crates/core`+`crates/mem` production code; store effects only behind `&mut self` |
 //!
-//! Rules work on the token stream plus the [`FileIndex`] item index — no
-//! type information. That makes them conservative pattern matchers; the
-//! escape hatch for a justified exception is `lint.baseline`, never an
-//! in-code `#[allow]`.
+//! L1–L6 work on the token stream plus the [`FileIndex`] item index — no
+//! type information. L7–L9 additionally consult the workspace
+//! [`CallGraph`](crate::graph::CallGraph) and the transitive persistence
+//! effects inferred by [`crate::effects`]. That makes them conservative
+//! pattern matchers; the escape hatch for a justified exception is
+//! `lint.baseline`, never an in-code `#[allow]`.
 
 use std::collections::HashSet;
 
+use crate::effects::{self, FnFacts};
+use crate::graph::CallGraph;
 use crate::lexer::Tok;
 use crate::source::FileIndex;
 
 /// One violation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Diagnostic {
-    /// Rule ID (`"L1"`..`"L6"`).
+    /// Rule ID (`"L1"`..`"L9"`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -42,10 +49,11 @@ impl std::fmt::Display for Diagnostic {
 /// the conventional local name `store`. A call `<receiver>.<mutator>(…)`
 /// outside the sanctioned sites is a raw NVM write escaping the sealed
 /// persistence APIs.
-const STORE_RECEIVERS: &[&str] = &["store", "committed", "committed_prev", "visible", "buffer_data"];
+pub(crate) const STORE_RECEIVERS: &[&str] =
+    &["store", "committed", "committed_prev", "visible", "buffer_data"];
 
 /// `SparseStore` mutating methods.
-const STORE_MUTATORS: &[&str] = &["write", "write_words", "copy_within", "clear"];
+pub(crate) const STORE_MUTATORS: &[&str] = &["write", "write_words", "copy_within", "clear"];
 
 /// L1 allowlist: (file, functions) where raw store mutation is sealed by
 /// WAL/commit protocol or models power-loss volatility.
@@ -83,6 +91,8 @@ const EXPECT_PREFIX: &str = "invariant:";
 
 /// Runs every rule over the indexed workspace.
 pub fn check_all(files: &[FileIndex]) -> Vec<Diagnostic> {
+    let graph = CallGraph::build(files);
+    let facts = effects::analyze(files, &graph);
     let mut out = Vec::new();
     for f in files {
         rule_l1(f, &mut out);
@@ -92,6 +102,9 @@ pub fn check_all(files: &[FileIndex]) -> Vec<Diagnostic> {
     rule_l3(files, &mut out);
     rule_l4(files, &mut out);
     rule_l5(files, &mut out);
+    rule_l7(files, &graph, &facts, &mut out);
+    rule_l8(files, &graph, &facts, &mut out);
+    rule_l9(files, &graph, &facts, &mut out);
     // Deduplicate (a fn can be in scope via both its name and its file) and
     // order deterministically.
     let mut seen = HashSet::new();
@@ -501,6 +514,223 @@ fn rule_l6(f: &FileIndex, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------- L7 ----
+
+/// Effects forbidden after the commit-record seal. `BackupWal`, spare and
+/// store effects are allowed — post-commit background work (scrub, remap)
+/// mutates those under its own WAL discipline, which is L8's domain.
+const L7_FORBIDDEN: u16 = effects::BACKUP
+    | effects::COMMIT_RECORD
+    | effects::SECURITY_COUNTERS
+    | effects::SECURITY_TREE
+    | effects::SECURITY_ROOT;
+
+/// L7: the commit-record persist is the last backup/security effect of a
+/// checkpoint-commit body. Scope: every production function that writes the
+/// commit record (`backup(0)`) directly. After the (last) seal write, no
+/// direct write and no call with transitive [`L7_FORBIDDEN`] effects may
+/// appear — anything after the seal belonging to the checkpoint would not
+/// be covered by its atomic commit.
+fn rule_l7(files: &[FileIndex], graph: &CallGraph, facts: &[FnFacts], out: &mut Vec<Diagnostic>) {
+    for (n, node) in graph.nodes.iter().enumerate() {
+        let fx = &facts[n];
+        let Some(seal) = fx
+            .writes
+            .iter()
+            .filter(|w| w.region == effects::COMMIT_RECORD)
+            .map(|w| w.tok)
+            .max()
+        else {
+            continue;
+        };
+        let f = &files[node.file];
+        let name = &f.fns[node.item].name;
+        for w in fx.writes.iter().filter(|w| w.tok > seal) {
+            if w.region & L7_FORBIDDEN != 0 {
+                out.push(Diagnostic {
+                    rule: "L7",
+                    file: f.rel_path.clone(),
+                    line: w.line,
+                    msg: format!(
+                        "`{}` write after the commit-record seal in `{name}` — the commit \
+                         persist must be the last backup/security effect of a checkpoint commit",
+                        effects::region_name(w.region)
+                    ),
+                });
+            }
+        }
+        for call in node.calls.iter().filter(|c| c.tok > seal) {
+            let mut eff = 0u16;
+            for &e in &call.edges {
+                eff |= facts[e].transitive;
+            }
+            let bad = eff & L7_FORBIDDEN;
+            if bad != 0 {
+                out.push(Diagnostic {
+                    rule: "L7",
+                    file: f.rel_path.clone(),
+                    line: call.line,
+                    msg: format!(
+                        "call to `{}` (effects: {}) after the commit-record seal in `{name}` — \
+                         no backup/security effect may follow the seal",
+                        call.callee,
+                        effects::labels(bad)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L8 ----
+
+/// Regions whose writes on recovery paths must be WAL-bracketed: the backup
+/// metadata images and the commit record. WAL writes themselves are the
+/// bracket; working/spare/security writes have their own rules.
+const L8_GUARDED: u16 = effects::BACKUP | effects::COMMIT_RECORD;
+
+/// Whether a function name marks a recovery entry point for L8 (narrower
+/// than L2's segment list: scrub/wal maintenance is not recovery).
+fn l8_entry(name: &str) -> bool {
+    name.split('_')
+        .any(|seg| seg == "recovery" || seg == "replay" || seg == "redo" || seg.starts_with("recover"))
+}
+
+/// Crates whose `recover*` functions are actual recovery machinery. Bench
+/// drivers measuring recovery (`e13_recovery_time`) are not entry points —
+/// they legitimately run checkpoints around the recovery they time.
+fn l8_entry_file(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/core/") || rel_path.starts_with("crates/baselines/")
+}
+
+/// L8: every backup-region write reachable from a recovery entry point is
+/// dominated by a WAL intent record (`backup_wal(..)`) and followed by a
+/// WAL seal (`wal_seals += 1`) in the same body. Recovery runs before the
+/// next checkpoint exists, so an unsealed backup write is exactly the state
+/// a second crash cannot undo.
+fn rule_l8(files: &[FileIndex], graph: &CallGraph, facts: &[FnFacts], out: &mut Vec<Diagnostic>) {
+    let entries: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            l8_entry_file(&files[n.file].rel_path) && l8_entry(&files[n.file].fns[n.item].name)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if entries.is_empty() {
+        return;
+    }
+    let seen = graph.reachable(&entries);
+    for (n, node) in graph.nodes.iter().enumerate() {
+        if !seen[n] {
+            continue;
+        }
+        let fx = &facts[n];
+        let f = &files[node.file];
+        let name = &f.fns[node.item].name;
+        for w in &fx.writes {
+            if w.region & L8_GUARDED == 0 {
+                continue;
+            }
+            let begun = fx.wal_begins.iter().any(|&b| b < w.tok);
+            let sealed = fx.wal_seals.iter().any(|&s| s > w.tok);
+            if !(begun && sealed) {
+                out.push(Diagnostic {
+                    rule: "L8",
+                    file: f.rel_path.clone(),
+                    line: w.line,
+                    msg: format!(
+                        "un-WAL-bracketed `{}` write in `{name}` on a recovery-reachable path — \
+                         record a `backup_wal(..)` intent before it and seal the WAL \
+                         (`wal_seals += 1`) after it",
+                        effects::region_name(w.region)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L9 ----
+
+/// Interior-mutability types banned from the concurrency-audited crates.
+const L9_CELL_TYPES: &[&str] = &["Cell", "RefCell", "UnsafeCell"];
+
+/// Whether `rel_path` is in the crates the sharding arc will make
+/// concurrent.
+fn l9_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/core/") || rel_path.starts_with("crates/mem/")
+}
+
+/// L9: concurrency-readiness audit for the sharded front-end. Production
+/// code in `crates/core`/`crates/mem` must not smuggle shared mutability
+/// (`static mut`, `thread_local!`, `Cell`/`RefCell`/`UnsafeCell`), and
+/// store effects anywhere in the workspace must be confined to `&mut self`
+/// methods so exclusive access is visible in every signature.
+fn rule_l9(files: &[FileIndex], graph: &CallGraph, facts: &[FnFacts], out: &mut Vec<Diagnostic>) {
+    for f in files {
+        if !l9_scope(&f.rel_path) || is_test_file(&f.rel_path) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if in_test(f, i) {
+                continue;
+            }
+            let Some(name) = toks[i].kind.ident() else { continue };
+            if name == "static" && toks.get(i + 1).is_some_and(|t| t.kind.is_ident("mut")) {
+                out.push(Diagnostic {
+                    rule: "L9",
+                    file: f.rel_path.clone(),
+                    line: toks[i].line,
+                    msg: "`static mut` in concurrency-audited production code".to_owned(),
+                });
+            }
+            if name == "thread_local" && toks.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+                out.push(Diagnostic {
+                    rule: "L9",
+                    file: f.rel_path.clone(),
+                    line: toks[i].line,
+                    msg: "`thread_local!` in concurrency-audited production code".to_owned(),
+                });
+            }
+            if L9_CELL_TYPES.contains(&name) {
+                out.push(Diagnostic {
+                    rule: "L9",
+                    file: f.rel_path.clone(),
+                    line: toks[i].line,
+                    msg: format!(
+                        "interior mutability (`{name}`) in concurrency-audited production code \
+                         — crates/core and crates/mem must stay shard-confinable"
+                    ),
+                });
+            }
+        }
+    }
+    // Store-effect confinement: a direct `SparseStore` mutation in a method
+    // that does not take `&mut self` hides a write behind a shared borrow.
+    for (n, node) in graph.nodes.iter().enumerate() {
+        let fx = &facts[n];
+        if fx.direct & effects::STORE == 0 || fx.mut_self {
+            continue;
+        }
+        let f = &files[node.file];
+        let name = &f.fns[node.item].name;
+        for &(_, line) in &fx.stores {
+            out.push(Diagnostic {
+                rule: "L9",
+                file: f.rel_path.clone(),
+                line,
+                msg: format!(
+                    "store mutation in `{name}`, which does not take `&mut self` — store \
+                     effects must be confined to exclusive-borrow methods"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +931,118 @@ mod tests {
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "L6");
         assert!(diags[0].msg.contains("refetch_backoff_ns"));
+    }
+
+    #[test]
+    fn l7_flags_backup_effects_after_the_seal_directly_and_via_calls() {
+        let src = concat!(
+            "fn checkpoint_commit(&mut self, t: u64) {\n",
+            "    let t = self.nvm.access(self.space.backup(8192), AccessKind::Write, 64, t);\n",
+            "    let t = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, t);\n",
+            "    let t = self.nvm.access(self.space.backup(16384), AccessKind::Write, 64, t);\n",
+            "    self.late_metadata(t);\n",
+            "}\n",
+            "fn late_metadata(&mut self, t: u64) {\n",
+            "    self.nvm.access(self.space.security_root(), AccessKind::Write, 64, t);\n",
+            "}\n",
+        );
+        let diags = one("crates/core/src/x.rs", src);
+        let l7: Vec<_> = diags.iter().filter(|d| d.rule == "L7").collect();
+        assert_eq!(l7.len(), 2, "{l7:?}");
+        assert_eq!(l7[0].line, 4, "direct backup write after seal");
+        assert_eq!(l7[1].line, 5, "call with security effects after seal");
+        assert!(l7[1].msg.contains("late_metadata"));
+    }
+
+    #[test]
+    fn l7_allows_wal_spare_and_store_work_after_the_seal() {
+        let src = concat!(
+            "fn checkpoint_commit(&mut self, t: u64) {\n",
+            "    let t = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, t);\n",
+            "    self.retire(t);\n",
+            "}\n",
+            "fn retire(&mut self, t: u64) {\n",
+            "    let wal = self.space.backup_wal(self.wal_seq);\n",
+            "    let t = self.nvm.access(wal, AccessKind::Write, 64, t);\n",
+            "    let t = self.nvm.access(self.space.spare_block(1), AccessKind::Write, 64, t);\n",
+            "    let t = self.nvm.access(wal, AccessKind::Write, 64, t);\n",
+            "    self.stats.media.wal_seals += 1;\n",
+            "    self.committed.write(a, b);\n",
+            "}\n",
+        );
+        let diags = one("crates/core/src/controller.rs", src);
+        assert!(
+            diags.iter().all(|d| d.rule != "L7"),
+            "wal/spare/store effects are post-commit-legal: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn l8_flags_unbracketed_backup_write_reached_transitively() {
+        let src = concat!(
+            "fn recover_all(&mut self, t: u64) { self.restore_tables(t); }\n",
+            "fn restore_tables(&mut self, t: u64) {\n",
+            "    self.nvm.access(self.space.backup(16384), AccessKind::Write, 64, t);\n",
+            "}\n",
+        );
+        let diags = one("crates/core/src/x.rs", src);
+        let l8: Vec<_> = diags.iter().filter(|d| d.rule == "L8").collect();
+        assert_eq!(l8.len(), 1, "{l8:?}");
+        assert_eq!(l8[0].line, 3);
+        assert!(l8[0].msg.contains("restore_tables"));
+    }
+
+    #[test]
+    fn l8_accepts_bracketed_writes_and_ignores_non_recovery_paths() {
+        // Properly WAL-bracketed recovery write: clean.
+        let bracketed = concat!(
+            "fn redo_pass(&mut self, t: u64) {\n",
+            "    let wal = self.space.backup_wal(self.wal_seq);\n",
+            "    let t = self.nvm.access(wal, AccessKind::Write, 64, t);\n",
+            "    let t = self.nvm.access(self.space.backup(8192), AccessKind::Write, 64, t);\n",
+            "    let t = self.nvm.access(wal, AccessKind::Write, 64, t);\n",
+            "    self.stats.media.wal_seals += 1;\n",
+            "}\n",
+        );
+        assert!(one("crates/core/src/x.rs", bracketed).iter().all(|d| d.rule != "L8"));
+        // The same unsealed write outside any recovery-reachable fn: L8 is
+        // silent (L7/checkpoint rules own that space).
+        let checkpoint_only = concat!(
+            "fn persist_tables(&mut self, t: u64) {\n",
+            "    self.nvm.access(self.space.backup(8192), AccessKind::Write, 64, t);\n",
+            "}\n",
+        );
+        assert!(one("crates/core/src/x.rs", checkpoint_only).iter().all(|d| d.rule != "L8"));
+    }
+
+    #[test]
+    fn l9_flags_interior_mutability_in_scope_only() {
+        let src = "use std::cell::Cell;\nfn f() { static mut X: u64 = 0; }\n";
+        let diags = one("crates/mem/src/smuggle.rs", src);
+        let l9: Vec<_> = diags.iter().filter(|d| d.rule == "L9").collect();
+        assert_eq!(l9.len(), 2, "{l9:?}");
+        assert_eq!(l9[0].line, 1);
+        assert!(l9[0].msg.contains("Cell"));
+        assert_eq!(l9[1].line, 2);
+        assert!(l9[1].msg.contains("static mut"));
+        // Same tokens outside the audited crates: silent.
+        assert!(one("crates/bench/src/x.rs", src).iter().all(|d| d.rule != "L9"));
+        // And in test code: silent.
+        let test_src = "#[cfg(test)]\nmod t {\n    use std::cell::RefCell;\n}\n";
+        assert!(one("crates/core/src/x.rs", test_src).iter().all(|d| d.rule != "L9"));
+    }
+
+    #[test]
+    fn l9_flags_store_mutation_without_mut_self() {
+        let src = "fn peek_write(&self) { self.committed.write(a, b); }\n";
+        let diags = one("crates/mem/src/store.rs", src);
+        let l9: Vec<_> = diags.iter().filter(|d| d.rule == "L9").collect();
+        assert_eq!(l9.len(), 1, "{l9:?}");
+        assert_eq!(l9[0].line, 1);
+        assert!(l9[0].msg.contains("peek_write"));
+        // `&mut self` confines the effect: clean.
+        let ok = "fn do_write(&mut self) { self.committed.write(a, b); }\n";
+        assert!(one("crates/mem/src/store.rs", ok).iter().all(|d| d.rule != "L9"));
     }
 
     #[test]

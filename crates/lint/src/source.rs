@@ -15,6 +15,9 @@ pub struct FnItem {
     pub name: String,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the `fn` keyword; `tokens[sig_start..body_start]` is
+    /// the signature (name, generics, parameters, return type).
+    pub sig_start: usize,
     /// Token index of the body's opening `{` (tokens[body_start] == `{`).
     /// `None` for bodiless trait-method declarations.
     pub body_start: Option<usize>,
@@ -160,6 +163,7 @@ impl FileIndex {
                             self.fns.push(FnItem {
                                 name: name.to_owned(),
                                 line: t.line,
+                                sig_start: i,
                                 body_start,
                                 body_end,
                                 in_test: test_depth.is_some() || pending_test_attr,
@@ -358,7 +362,7 @@ impl FileIndex {
 /// Token index of the `}`/`]`/`)` matching the opener at `open`.
 ///
 /// Returns the last token index if unbalanced (EOF-tolerant).
-fn match_bracket(toks: &[Token], open: usize) -> usize {
+pub(crate) fn match_bracket(toks: &[Token], open: usize) -> usize {
     let (o, c) = match &toks[open].kind {
         crate::lexer::Tok::Punct("{") => ("{", "}"),
         crate::lexer::Tok::Punct("[") => ("[", "]"),

@@ -1,0 +1,20 @@
+//! L8 fixture: an un-WAL-bracketed backup write reached from a recovery
+//! entry point. Parsed as `crates/core/src/redopath.rs`.
+
+pub fn recover_tables(&mut self, t: u64) -> u64 {
+    self.restore_ptt(t)
+}
+
+fn restore_ptt(&mut self, t: u64) -> u64 {
+    self.nvm.access(self.space.backup(16384), AccessKind::Write, 64, t)
+}
+
+/// Near-miss: the same PTT-image write, WAL-bracketed, is legal.
+pub fn redo_remap(&mut self, t: u64) -> u64 {
+    let wal = self.space.backup_wal(self.wal_seq); // intent binding
+    let t = self.nvm.access(wal, AccessKind::Write, 64, t); // intent record
+    let t = self.nvm.access(self.space.backup(16384), AccessKind::Write, 64, t); // payload
+    let t = self.nvm.access(wal, AccessKind::Write, 64, t); // seal write
+    self.stats.media.wal_seals += 1; // seal counter
+    t
+}

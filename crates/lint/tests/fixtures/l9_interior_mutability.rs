@@ -1,0 +1,24 @@
+//! L9 fixture: interior mutability and unconfined store effects smuggled
+//! into the audited crates. Parsed as `crates/mem/src/smuggle.rs`.
+
+use std::cell::RefCell;
+
+pub fn peek_write(&self) {
+    self.committed.write(addr, bytes);
+}
+
+/// Near-miss: exclusive-borrow store mutation is the sanctioned shape.
+pub fn confined_write(&mut self) {
+    self.committed.write(addr, bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::Cell;
+
+    #[test]
+    fn cells_in_tests_are_fine() {
+        let c = Cell::new(0u32);
+        c.set(1);
+    }
+}

@@ -12,13 +12,13 @@
 //!
 //! Page payloads live in a `Vec` arena; a deterministic-hash index maps
 //! page number to arena slot. Splitting storage from the index enables a
-//! one-entry *last-page cache* ([`std::cell::Cell`] of `(page, slot)`):
-//! consecutive small accesses to the same 4 KiB page — the common case for
-//! the 64 B block traffic the controller generates — skip the hash lookup
-//! entirely. The cache is purely an index shortcut; it never affects
-//! contents.
-
-use std::cell::Cell;
+//! one-entry *last-page cache* (a plain `(page, slot)` field): consecutive
+//! small accesses to the same 4 KiB page — the common case for the 64 B
+//! block traffic the controller generates — skip the hash lookup entirely.
+//! The cache is purely an index shortcut; it never affects contents. Only
+//! `&mut self` paths update it (shared-borrow reads consult it read-only),
+//! keeping the store free of interior mutability so a future sharded
+//! front-end can hand out `&SparseStore` across threads (lint rule L9).
 
 use thynvm_types::{FxHashMap, HwAddr, PAGE_BYTES};
 
@@ -57,15 +57,15 @@ pub struct SparseStore {
     ///
     /// [`clear`]: SparseStore::clear
     arena: Vec<Box<[u8; PAGE]>>,
-    /// Last `(page number, arena slot)` resolved, to short-circuit the
-    /// index lookup on consecutive accesses to one page.
-    last: Cell<(u64, u32)>,
+    /// Last `(page number, arena slot)` resolved on a `&mut` path, to
+    /// short-circuit the index lookup on consecutive accesses to one page.
+    last: (u64, u32),
 }
 
 impl SparseStore {
     /// Creates an empty store; all bytes read as zero.
     pub fn new() -> Self {
-        Self { index: FxHashMap::default(), arena: Vec::new(), last: Cell::new((NO_PAGE, 0)) }
+        Self { index: FxHashMap::default(), arena: Vec::new(), last: (NO_PAGE, 0) }
     }
 
     /// Number of 4 KiB pages actually allocated.
@@ -77,26 +77,26 @@ impl SparseStore {
     /// cache, or `None` when the page was never allocated.
     #[inline]
     fn slot_of(&self, page: u64) -> Option<u32> {
-        let (cached_page, cached_slot) = self.last.get();
+        let (cached_page, cached_slot) = self.last;
         if cached_page == page {
             return Some(cached_slot);
         }
-        let slot = *self.index.get(&page)?;
-        self.last.set((page, slot));
-        Some(slot)
+        self.index.get(&page).copied()
     }
 
     /// Resolves a page number to its arena slot, allocating a zeroed page
-    /// on first touch.
+    /// on first touch. The exclusive borrow is what lets this path refresh
+    /// the last-page cache.
     #[inline]
     fn slot_of_mut(&mut self, page: u64) -> u32 {
         if let Some(slot) = self.slot_of(page) {
+            self.last = (page, slot);
             return slot;
         }
         let slot = u32::try_from(self.arena.len()).expect("fewer than 2^32 allocated pages");
         self.arena.push(Box::new([0u8; PAGE]));
         self.index.insert(page, slot);
-        self.last.set((page, slot));
+        self.last = (page, slot);
         slot
     }
 
@@ -197,7 +197,7 @@ impl SparseStore {
     pub fn clear(&mut self) {
         self.index.clear();
         self.arena.clear();
-        self.last.set((NO_PAGE, 0));
+        self.last = (NO_PAGE, 0);
     }
 
     /// Iterates over `(page index, page data)` pairs of allocated pages, in
