@@ -1,0 +1,10 @@
+//! Persist-buffer fault domain; see thynvm_bench::experiments::e24_persist_buffer.
+//!
+//! Run with `cargo bench -p thynvm-bench --bench e24_persist_buffer`.
+//! Set `THYNVM_SCALE=test` for a quick smoke run.
+
+use thynvm_bench::experiments::{self, Scale};
+
+fn main() {
+    experiments::e24_persist_buffer(Scale::from_env()).print();
+}

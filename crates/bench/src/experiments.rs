@@ -1139,6 +1139,117 @@ pub fn e23_endurance(scale: Scale) -> Table {
     table
 }
 
+/// E24: the volatile persist-buffer fault domain (DESIGN.md §12). The
+/// same deterministic checkpointed workload runs with the buffer off,
+/// armed but crash-free, and armed with a crash injected one cycle
+/// before a checkpoint seals — once with `salvage_rate` 0.0 (the
+/// partial flush drops every in-flight entry, the torn marker never
+/// lands, recovery rolls back) and once at 1.0 (the residual-powered
+/// drain finishes, the marker is salvaged, and recovery early-commits
+/// the in-flight checkpoint). Reported per row: execution time relative
+/// to the buffer-off run, the conservation ledger (enqueued / drained /
+/// dropped), §4.4 fences with their stall cost, the widest reorder
+/// window a crash could have exploited, and the crash verdict.
+///
+/// Two claims made measurable: arming the buffer on a crash-free run is
+/// cycle-identical to off (every fence finds an already-drained buffer —
+/// the same twin `BENCH_simspeed.json` pins), and the crash verdict is
+/// decided by the salvage schedule alone, not by the workload.
+pub fn e24_persist_buffer(scale: Scale) -> Table {
+    use thynvm_types::{Cycle, MemorySystem as _, PersistBufferConfig, PhysAddr};
+
+    const PAGE: u64 = 4096;
+    let epochs = (scale.micro_accesses / 20_000).clamp(3, 12);
+
+    let cfg_for = |rate: Option<f64>| {
+        let mut cfg = SystemConfig::small_test();
+        if let Some(salvage_rate) = rate {
+            cfg.wpq = PersistBufferConfig { salvage_rate, ..PersistBufferConfig::armed() };
+        }
+        cfg.validate().expect("valid persist-buffer config");
+        cfg
+    };
+    // One epoch of stores; returns the issue cycle the checkpoint starts at.
+    let run_epoch = |sys: &mut thynvm_core::ThyNvm, epoch: u64, mut now: Cycle| -> Cycle {
+        for page in 0..3u64 {
+            for blk in 0..8u64 {
+                let fill = (1 + epoch * 31 + page * 7 + blk) as u8;
+                now = now.max(sys.store_bytes(PhysAddr::new(page * PAGE + blk * 64), &[fill; 64], now));
+            }
+        }
+        now
+    };
+
+    // Probe pass: learn when the final checkpoint seals, so the crash rows
+    // can land one cycle short of it — inside the commit window.
+    let mut probe = thynvm_core::ThyNvm::new(cfg_for(Some(1.0)));
+    let mut now = Cycle::ZERO;
+    let mut final_done = Cycle::ZERO;
+    for epoch in 0..epochs {
+        now = run_epoch(&mut probe, epoch, now);
+        let ret = probe.force_checkpoint(now);
+        // The checkpoint commits on the background timeline: its seal
+        // lands at the job's `done_at`, not at the foreground return.
+        final_done = probe.epoch_state().job.as_ref().map_or(ret, |j| j.done_at);
+        now = ret + Cycle::new(600_000);
+    }
+
+    let postures: [(&str, Option<f64>, bool); 4] = [
+        ("off", None, false),
+        ("on quiet", Some(1.0), false),
+        ("on crash r=0.0", Some(0.0), true),
+        ("on crash r=1.0", Some(1.0), true),
+    ];
+
+    let mut table = Table::new(
+        "Persist-buffer fault domain: fence cost and crash-time salvage",
+        &["posture", "rel time", "enqueued", "drained", "dropped", "fences", "stall µs", "window", "verdict"],
+    );
+
+    let mut baseline = None;
+    for (label, rate, crash) in postures {
+        let mut sys = thynvm_core::ThyNvm::new(cfg_for(rate));
+        if crash {
+            sys.arm_crash_point(final_done.saturating_sub(Cycle::new(1)));
+        }
+        let mut now = Cycle::ZERO;
+        for epoch in 0..epochs {
+            now = run_epoch(&mut sys, epoch, now);
+            now = sys.force_checkpoint(now) + Cycle::new(600_000);
+        }
+        if let Some(resume) = sys.poll_crash(now) {
+            now = now.max(resume);
+        }
+        now = sys.drain(now);
+        let base = *baseline.get_or_insert(now.raw().max(1));
+        let verdict = if crash {
+            let flush = sys.last_wpq_flush().expect("armed crash flushed the buffer");
+            assert!(sys.take_crash_report().is_some(), "armed crash point never fired");
+            if flush.commit_salvaged() { "salvaged" } else { "rollback" }
+        } else {
+            "-"
+        };
+        let w = sys.stats().wpq;
+        assert_eq!(
+            w.enqueued,
+            w.drained + w.dropped_at_crash + w.outstanding(),
+            "persist-buffer ledger out of balance for {label}"
+        );
+        table.row(&[
+            label.to_owned(),
+            fmt_f(now.raw() as f64 / base as f64),
+            w.enqueued.to_string(),
+            w.drained.to_string(),
+            w.dropped_at_crash.to_string(),
+            w.fences.to_string(),
+            fmt_f(w.fence_stall_cycles.as_ns() / 1e3),
+            w.reorder_window_max.to_string(),
+            verdict.to_owned(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1374,6 +1485,42 @@ mod tests {
         assert!(ecc_events > 0, "no ECC events under the armed flip rate: {text}");
         // Retries stay bounded per read; the ladder is what escalates.
         assert!(wear.last().unwrap() == "0", "no DRAM model armed in the wear row: {text}");
+    }
+
+    #[test]
+    fn e24_fences_are_free_quiet_and_salvage_follows_the_rate() {
+        let table = e24_persist_buffer(Scale::test());
+        assert_eq!(table.len(), 4, "four buffer postures");
+        let text = table.render();
+        let row = |name: &str| -> Vec<String> {
+            let words = name.split_whitespace().count();
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("missing row {name}: {text}"));
+            // Drop the label words so columns index the same regardless of
+            // how many words the posture name has.
+            line.split_whitespace().skip(words).map(str::to_owned).collect()
+        };
+        // The disabled run never touches the ledger.
+        let off = row("off");
+        assert_eq!(&off[1..5], &["0"; 4], "disabled buffer charged the ledger: {text}");
+        // The quiet twin: arming the buffer on a crash-free run is
+        // cycle-identical, and every §4.4 fence fired over a drained buffer.
+        let quiet = row("on quiet");
+        assert_eq!(quiet[0], "1.000", "quiet wpq-on must be cycle-identical: {text}");
+        assert!(quiet[1].parse::<u64>().unwrap() > 0, "armed run enqueued nothing: {text}");
+        assert!(quiet[4].parse::<u64>().unwrap() > 0, "armed run never fenced: {text}");
+        assert_eq!(quiet.last().unwrap(), "-");
+        // The crash verdict is the salvage schedule's alone: rate 0.0 drops
+        // the in-flight marker and rolls back, rate 1.0 finishes the drain
+        // and early-commits, on the same workload and crash cycle.
+        assert_eq!(row("on crash r=0.0").last().unwrap(), "rollback", "{text}");
+        assert_eq!(row("on crash r=1.0").last().unwrap(), "salvaged", "{text}");
+        assert!(
+            row("on crash r=0.0")[3].parse::<u64>().unwrap() > 0,
+            "rate-0.0 crash dropped nothing: {text}"
+        );
     }
 
     #[test]

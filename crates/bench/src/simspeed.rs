@@ -111,11 +111,12 @@ fn faulty_dram() -> DramFaultConfig {
 
 /// Builds the fixed case set: {micro-random, YCSB-A} × {fault-off,
 /// fault-on}, plus micro-random with the secure persistent memory mode
-/// armed and micro-random with the health ladder armed, all through the
-/// ThyNVM controller on the paper configuration. The health-on twin pins
-/// the graceful-degradation claim: with no faults injected the monitor
-/// only observes, so its sim-cycle total must stay bit-identical to
-/// `micro-random/fault-off`.
+/// armed, with the health ladder armed, and with the volatile persist
+/// buffer armed, all through the ThyNVM controller on the paper
+/// configuration. The health-on twin pins the graceful-degradation
+/// claim: with no faults injected the monitor only observes, so its
+/// sim-cycle total must stay bit-identical to `micro-random/fault-off`.
+/// The wpq-on case prices the §4.4 fence bookkeeping on a clean run.
 /// `micro_accesses` and `ycsb_ops` scale the traces; the
 /// committed baseline uses [`cases`]'s defaults, and the gate refuses to
 /// compare entries with different `ops`.
@@ -137,12 +138,16 @@ pub fn cases_scaled(micro_accesses: u64, ycsb_ops: u64) -> Vec<SpeedCase> {
     let mut health = base;
     health.health = thynvm_types::HealthConfig::hardened();
     health.validate().expect("health-on simspeed configuration is valid");
+    let mut wpq = base;
+    wpq.wpq = thynvm_types::PersistBufferConfig::armed();
+    wpq.validate().expect("wpq-on simspeed configuration is valid");
 
     vec![
         SpeedCase { name: "micro-random/fault-off", cfg: base, events: micro_events.clone() },
         SpeedCase { name: "micro-random/fault-on", cfg: faulty, events: micro_events.clone() },
         SpeedCase { name: "micro-random/secure-on", cfg: secure, events: micro_events.clone() },
-        SpeedCase { name: "micro-random/health-on", cfg: health, events: micro_events },
+        SpeedCase { name: "micro-random/health-on", cfg: health, events: micro_events.clone() },
+        SpeedCase { name: "micro-random/wpq-on", cfg: wpq, events: micro_events },
         SpeedCase { name: "ycsb-a/fault-off", cfg: base, events: ycsb_events.clone() },
         SpeedCase { name: "ycsb-a/fault-on", cfg: faulty, events: ycsb_events },
     ]
@@ -520,10 +525,10 @@ mod tests {
 
     #[test]
     fn small_cases_measure_deterministically() {
-        // A miniature end-to-end run: all six cases execute, produce
+        // A miniature end-to-end run: all seven cases execute, produce
         // nonzero simulated time, and the cycle totals are repeatable.
         let cases = cases_scaled(400, 100);
-        assert_eq!(cases.len(), 6);
+        assert_eq!(cases.len(), 7);
         let mut by_name = std::collections::HashMap::new();
         for case in &cases {
             let a = measure(case, 2);
@@ -544,6 +549,17 @@ mod tests {
             (on - off) * 100 < off,
             "health-on overhead on a clean run must stay under 1% ({on} vs {off})"
         );
+        // The persist-buffer twin: the serialized checkpoint timeline
+        // retires every entry before each §4.4 fence fires, so arming the
+        // WPQ costs fence bookkeeping, not stall cycles. Off stays
+        // bit-identical to pre-buffer behavior — pinned by the unchanged
+        // committed baseline entries.
+        let wpq_on = by_name["micro-random/wpq-on"];
+        assert!(wpq_on >= off, "arming the buffer cannot make a clean run faster");
+        assert!(
+            (wpq_on - off) * 100 < off,
+            "wpq-on overhead on a clean run must stay under 1% ({wpq_on} vs {off})"
+        );
     }
 
     #[test]
@@ -552,6 +568,7 @@ mod tests {
         assert!(cases.iter().any(|c| c.cfg.media.enabled && c.cfg.dram_fault.enabled));
         assert!(cases.iter().any(|c| !c.cfg.media.enabled && !c.cfg.dram_fault.enabled));
         assert!(cases.iter().any(|c| c.cfg.security.enabled), "secure case present");
+        assert!(cases.iter().any(|c| c.cfg.wpq.enabled), "wpq case present");
         for case in cases {
             case.cfg.validate().expect("every simspeed config validates");
         }

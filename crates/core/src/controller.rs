@@ -43,8 +43,8 @@
 
 
 use thynvm_mem::{
-    Device, DeviceKind, DramEccModel, EccReadFault, FaultModel, SecurityModel, SparseStore,
-    WriteQueue,
+    Device, DeviceKind, DramEccModel, EccReadFault, FaultModel, PersistBuffer, SecurityModel,
+    SparseStore, WpqCrashReport, WpqKind, WriteQueue,
 };
 use thynvm_types::{
     AccessKind, BlockIndex, CkptMode, CkptPhase, Cycle, Error, FaultKind, FxHashMap, FxHashSet,
@@ -334,6 +334,21 @@ pub struct ThyNvm {
     /// The most recent both-images authentication failure, for inspection.
     last_security_error: Option<Error>,
 
+    // ---- volatile persist buffer (WPQ fault domain) ----
+    /// The content-carrying persist buffer, when `cfg.wpq.enabled`. Writes
+    /// pass through it before durability; `wpq_fence` is the §4.4 ordering
+    /// primitive, and a crash partially flushes a seeded per-bank prefix.
+    pbuf: Option<PersistBuffer>,
+    /// The most recent §4.4 ordering violation (a commit record persisted
+    /// while data entries were still pending), until taken.
+    last_ordering_error: Option<Error>,
+    /// The most recent crash's partial-flush report, for harnesses that
+    /// must know whether the commit marker was salvaged.
+    last_wpq_flush: Option<WpqCrashReport>,
+    /// Test hook: skip the next `wpq_fence`, so the ordering audit (and
+    /// lint rule L10's runtime counterpart) can be exercised.
+    wpq_skip_next_fence: bool,
+
     // ---- graceful-degradation health ladder ----
     /// The hysteresis-driven degradation ladder, when `cfg.health.enabled`.
     health_mon: Option<HealthMonitor>,
@@ -407,6 +422,10 @@ impl ThyNvm {
             mac_penult: empty_mac,
             injected_tamper: None,
             last_security_error: None,
+            pbuf: cfg.wpq.enabled.then(|| PersistBuffer::new(cfg.wpq, cfg.nvm_geometry)),
+            last_ordering_error: None,
+            last_wpq_flush: None,
+            wpq_skip_next_fence: false,
             health_mon: cfg.health.enabled.then(|| HealthMonitor::new(cfg.health)),
             health_rung_last: HealthRung::Healthy,
             health_rung_penult: HealthRung::Healthy,
@@ -683,6 +702,85 @@ impl ThyNvm {
     /// the next recovery's verification recomputes and compares.
     pub fn clast_mac(&self) -> u64 {
         self.mac_last
+    }
+
+    // ------------------------------------------------------------------
+    // Volatile persist buffer (WPQ fault domain)
+    // ------------------------------------------------------------------
+
+    /// The persist buffer, when `cfg.wpq.enabled` (inspection).
+    pub fn persist_buffer(&self) -> Option<&PersistBuffer> {
+        self.pbuf.as_ref()
+    }
+
+    /// The most recent crash's partial-flush report — in particular
+    /// whether the in-flight commit marker was salvaged (early commit).
+    pub fn last_wpq_flush(&self) -> Option<WpqCrashReport> {
+        self.last_wpq_flush
+    }
+
+    /// Takes the most recent §4.4 ordering violation: a commit record was
+    /// persisted while the persist buffer still held data entries, so a
+    /// crash could have made the commit durable before the data it commits.
+    pub fn take_ordering_error(&mut self) -> Option<Error> {
+        self.last_ordering_error.take()
+    }
+
+    /// Test hook: suppress every [`Self::wpq_fence`] until the next
+    /// commit-record push, so the ordering audit (the runtime counterpart
+    /// of lint rule L10) can be exercised without editing the checkpoint
+    /// path. Cleared by [`Self::wpq_push_marker`] once the audit has run.
+    pub fn skip_next_fence(&mut self) {
+        self.wpq_skip_next_fence = true;
+    }
+
+    /// §4.4 ordering fence: stalls until the persist buffer has drained,
+    /// so everything enqueued afterwards retires no earlier than what came
+    /// before. A no-op returning `now` when the buffer is off — the
+    /// WPQ-off timeline is bit-identical to a build without the feature.
+    fn wpq_fence(&mut self, now: Cycle) -> Cycle {
+        if self.pbuf.is_some() && self.wpq_skip_next_fence {
+            return now;
+        }
+        match self.pbuf.as_mut() {
+            Some(p) => {
+                let done = p.fence(now);
+                self.stats.wpq = *p.stats();
+                done
+            }
+            None => now,
+        }
+    }
+
+    /// Mirrors an NVM device write into the persist buffer (timing-only
+    /// entry: content plumbing lives in the buffer's own unit tests and
+    /// sink). Returns the cycle the issuer may proceed — later than
+    /// `issue` when the buffer was full and back-pressured.
+    fn wpq_push(&mut self, hw: HwAddr, issue: Cycle, retire: Cycle, kind: WpqKind) -> Cycle {
+        match self.pbuf.as_mut() {
+            Some(p) => {
+                let resume = p.push(hw, &[], issue, retire, kind);
+                self.stats.wpq = *p.stats();
+                resume
+            }
+            None => issue,
+        }
+    }
+
+    /// Enqueues a commit-record persist, auditing §4.4 on the way: if data
+    /// entries are still pending at `issue`, the mandatory fence was
+    /// skipped and the violation is recorded for `take_ordering_error`.
+    fn wpq_push_marker(&mut self, hw: HwAddr, issue: Cycle, retire: Cycle) -> Cycle {
+        self.wpq_skip_next_fence = false;
+        // Audit on *held* entries, not retire times: a correct round
+        // fences (empties the buffer) immediately before the marker, so
+        // anything still held here means the fence was skipped.
+        let pending = self.pbuf.as_ref().map_or(0, |p| p.held_data());
+        if pending > 0 {
+            self.last_ordering_error =
+                Some(Error::UnfencedCommit { addr: PhysAddr::new(hw.raw()), pending });
+        }
+        self.wpq_push(hw, issue, retire, WpqKind::CommitMarker)
     }
 
     // ------------------------------------------------------------------
@@ -1123,21 +1221,28 @@ impl ThyNvm {
         let mut t = self.nvm.access(wal, AccessKind::Write, 64, now);
         self.stats.record_nvm_write(64, NvmWriteClass::Migration);
         self.charge_crc(64);
+        self.wpq_push(wal, now, t, WpqKind::Data);
         let slot = self.next_spare_slot;
         self.next_spare_slot += 1;
         self.bad_blocks.insert(base, slot);
         let dst = self.space.spare_block(slot);
-        t = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, t);
+        let payload_at = self.nvm.access(dst, AccessKind::Write, BLOCK_BYTES as u32, t);
         self.stats.record_nvm_write(BLOCK_BYTES, NvmWriteClass::Migration);
         self.media_note_write(dst, BLOCK_BYTES as u32);
         self.security_note_write(dst, BLOCK_BYTES as u32);
+        self.wpq_push(dst, t, payload_at, WpqKind::Data);
+        t = payload_at;
+        // §4.4: intent and payload must be durable before the seal that
+        // commits them.
+        t = self.wpq_fence(t);
         // CRC seal: the remap commits when this lands.
-        t = self.nvm.access(wal, AccessKind::Write, 64, t);
+        let sealed = self.nvm.access(wal, AccessKind::Write, 64, t);
         self.stats.record_nvm_write(64, NvmWriteClass::Migration);
         self.charge_crc(64);
+        self.wpq_push(wal, t, sealed, WpqKind::Data);
         self.stats.media.wal_seals += 1;
         self.stats.media.remaps += 1;
-        Some(t)
+        Some(sealed)
     }
 
     /// One NVM data read on the load path: applies the bad-block remap,
@@ -1365,6 +1470,15 @@ impl ThyNvm {
         let Some(job) = self.epoch.take_finished_job(now) else {
             return;
         };
+        self.commit_job(job);
+    }
+
+    /// Commits a *taken* checkpoint job: rotates the three-version images,
+    /// MACs, health rungs, block/page versions, and applies deferred
+    /// scheme switches. Shared by normal retirement and by the crash-time
+    /// early-commit path, where the persist buffer's partial flush
+    /// salvaged the commit marker of a still-in-flight job.
+    fn commit_job(&mut self, job: CkptJob) {
         let retire_at = job.done_at;
 
         // The image about to be superseded becomes `C_penult` — the
@@ -1770,7 +1884,8 @@ impl ThyNvm {
         self.stats.record_nvm_write(u64::from(bytes), class);
         self.media_note_write(hw, bytes);
         self.security_note_write(hw, bytes);
-        self.nvm_wq.push(done, now)
+        let resume = self.wpq_push(hw, now, done, WpqKind::Data);
+        self.nvm_wq.push(done, now).max(resume)
     }
 
     /// Reclaims quiescent BTT entries, migrating `C_last` home when needed
@@ -2127,6 +2242,26 @@ impl ThyNvm {
         // A checkpoint that finished before the crash counts.
         self.retire_job_if_done(now);
 
+        // Volatile persist buffer: the partial flush decides which
+        // in-flight entries each bank salvaged on residual energy. If the
+        // in-flight checkpoint's commit marker became durable *and* no
+        // data entry was lost, the checkpoint is complete at the device
+        // even though its timeline had not finished — commit it early
+        // (recovery restores `C_last`, not `C_penult`). A marker that
+        // outran dropped payload never commits: the fence discipline (and
+        // its L10 audit) exists precisely to keep that window closed.
+        if let Some(p) = self.pbuf.as_mut() {
+            let flush = p.crash(now);
+            self.stats.wpq = *p.stats();
+            self.last_wpq_flush = Some(flush);
+            if flush.commit_salvaged() {
+                if let Some(job) = self.epoch.job.take() {
+                    self.epoch.completed += 1;
+                    self.commit_job(job);
+                }
+            }
+        }
+
         // Ambient torn write: power failed mid-Finalize, while the 8-word
         // commit record was streaming to NVM. Only a prefix of the record
         // persists; recovery sees an unset/invalid commit flag, so the
@@ -2266,12 +2401,18 @@ impl ThyNvm {
                 // WAL intent: the escalated rung about to be recorded.
                 let wal = self.space.backup_wal(self.wal_seq);
                 self.wal_seq += 1;
+                let intent_start = end;
                 end = self.nvm.access(wal, AccessKind::Write, 64, end);
                 self.stats.record_nvm_write(64, NvmWriteClass::Migration);
                 self.charge_crc(64);
+                self.wpq_push(wal, intent_start, end, WpqKind::Data);
+                let rung_start = end;
                 end = self.nvm.access(self.space.health_record(), AccessKind::Write, 64, end);
                 self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
                 self.charge_crc(64);
+                self.wpq_push(self.space.health_record(), rung_start, end, WpqKind::Data);
+                // §4.4: intent and record must be durable before the seal.
+                end = self.wpq_fence(end);
                 // CRC seal: the override commits when this lands.
                 end = self.nvm.access(wal, AccessKind::Write, 64, end);
                 self.stats.record_nvm_write(64, NvmWriteClass::Migration);
@@ -2975,8 +3116,9 @@ impl ThyNvm {
             self.media_note_write(dst, BLOCK_BYTES as u32);
             self.security_note_write(dst, BLOCK_BYTES as u32);
             self.charge_crc(BLOCK_BYTES); // per-64 B data CRC generation
+            let resume = self.wpq_push(dst, read_done, write_done, WpqKind::Data);
             writeback_done.push(write_done);
-            phase1_done = phase1_done.max(write_done);
+            phase1_done = phase1_done.max(write_done).max(resume);
             let entry = self.btt.get_mut(block).expect("present");
             entry.wactive = Some(WactiveLoc::Nvm(region));
         }
@@ -2995,14 +3137,18 @@ impl ThyNvm {
         // integrity protection the serialized table carries a trailing CRC.
         let meta_crc = if self.cfg.media.integrity { META_CRC_BYTES } else { 0 };
         let btt_bytes = (self.btt.dirty_entries().max(1) as u64) * META_ENTRY_BYTES + meta_crc;
+        // §4.4: checkpoint data must be durable before the metadata that
+        // references it.
+        let meta_start = self.wpq_fence(phase1_done.max(resume_after_flush));
         let btt_done = self.nvm.access(
             self.space.backup(8192),
             AccessKind::Write,
             u32::try_from(btt_bytes.max(64)).expect("bounded"),
-            phase1_done.max(resume_after_flush),
+            meta_start,
         );
         self.stats.record_nvm_write(btt_bytes, NvmWriteClass::Checkpoint);
         self.charge_crc(btt_bytes);
+        self.wpq_push(self.space.backup(8192), meta_start, btt_done, WpqKind::Data);
 
         // Capture block versions: working copies in NVM become pending
         // checkpoints (no data movement, §3.2).
@@ -3041,8 +3187,9 @@ impl ThyNvm {
             self.media_note_write(dst, PAGE_BYTES as u32);
             self.security_note_write(dst, PAGE_BYTES as u32);
             self.charge_crc(PAGE_BYTES); // per-64 B data CRCs for the page
+            let resume = self.wpq_push(dst, read_done, write_done, WpqKind::Data);
             writeback_done.push(write_done);
-            phase3_done = phase3_done.max(write_done);
+            phase3_done = phase3_done.max(write_done).max(resume);
             self.pending_pages.insert(page, PendingPage { target });
             frozen.insert(page);
         }
@@ -3058,6 +3205,7 @@ impl ThyNvm {
         );
         self.stats.record_nvm_write(ptt_bytes, NvmWriteClass::Checkpoint);
         self.charge_crc(ptt_bytes);
+        self.wpq_push(self.space.backup(16384), phase3_done, bg, WpqKind::Data);
         bg = bg.max(self.nvm_wq.drain_time(bg));
 
         // (4b) Secure mode: persist the dirty encryption counters, the
@@ -3071,6 +3219,7 @@ impl ThyNvm {
             let receipt = self.security.as_mut().expect("invariant: secure mode is on in this block").persist();
             if receipt.counter_entries > 0 {
                 let ctr_bytes = receipt.counter_entries as u64 * META_ENTRY_BYTES;
+                let ctr_start = bg;
                 bg = self.nvm.access(
                     self.space.security_counters(0),
                     AccessKind::Write,
@@ -3080,7 +3229,9 @@ impl ThyNvm {
                 self.stats.record_nvm_write(ctr_bytes, NvmWriteClass::Checkpoint);
                 self.stats.security.counter_persists += 1;
                 self.stats.security.counter_bytes += ctr_bytes;
+                self.wpq_push(self.space.security_counters(0), ctr_start, bg, WpqKind::Data);
                 let tree_bytes = receipt.tree_nodes * META_ENTRY_BYTES;
+                let tree_start = bg;
                 bg = self.nvm.access(
                     self.space.security_tree(0),
                     AccessKind::Write,
@@ -3090,14 +3241,20 @@ impl ThyNvm {
                 self.stats.record_nvm_write(tree_bytes, NvmWriteClass::Checkpoint);
                 self.stats.security.tree_node_persists += receipt.tree_nodes;
                 self.stats.security.tree_bytes += tree_bytes;
+                self.wpq_push(self.space.security_tree(0), tree_start, bg, WpqKind::Data);
             }
+            // §4.4: counter table and tree nodes must be durable before
+            // the root that authenticates them.
+            bg = self.wpq_fence(bg);
             // The 64 B root + MAC record persists every round: it binds
             // the table generation, which is what makes a rolled-back
             // table (counter-replay attack) detectable.
+            let root_start = bg;
             bg = self.nvm.access(self.space.security_root(), AccessKind::Write, 64, bg);
             self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
             self.stats.security.root_persists += 1;
             self.charge_crypto(64, true);
+            self.wpq_push(self.space.security_root(), root_start, bg, WpqKind::Data);
         }
 
         // (4c) Health ladder: persist the current rung as a 64 B record
@@ -3105,16 +3262,23 @@ impl ThyNvm {
         // crash before the commit flag leaves the previous epoch's sealed
         // rung in effect, exactly like every other piece of metadata.
         if let Some(rung) = self.health_mon.as_ref().map(HealthMonitor::rung) {
+            let rung_start = bg;
             bg = self.nvm.access(self.space.health_record(), AccessKind::Write, 64, bg);
             self.stats.record_nvm_write(64, NvmWriteClass::Checkpoint);
             self.charge_crc(64);
+            self.wpq_push(self.space.health_record(), rung_start, bg, WpqKind::Data);
             self.stats.health.rung_persists += 1;
             self.pending_health_rung = Some(rung);
         }
 
+        // §4.4: everything the commit record covers — data, metadata,
+        // security and health records — must be durable before it.
+        bg = self.wpq_fence(bg);
+        let commit_start = bg;
         bg = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, bg);
         self.stats.record_nvm_write(1, NvmWriteClass::Checkpoint);
         self.charge_crc(64); // checksummed commit record
+        self.wpq_push_marker(self.space.backup(0), commit_start, bg);
 
         // Functional capture: the ending epoch's writes are now "being
         // checkpointed"; they commit when the job retires. Intermediate
@@ -5188,5 +5352,127 @@ mod tests {
         sys.load_bytes(PhysAddr::new(0), &mut buf, t + report.recovery_cycles);
         assert_eq!(buf, [0xEE; 64]);
         assert_health_conservation(&sys);
+    }
+
+    // ---- volatile persist buffer (WPQ fault domain) ----
+
+    fn wpq_cfg(salvage_rate: f64) -> SystemConfig {
+        let mut c = SystemConfig::small_test();
+        c.wpq = thynvm_types::PersistBufferConfig::armed();
+        c.wpq.salvage_rate = salvage_rate;
+        c
+    }
+
+    fn assert_wpq_conservation(sys: &ThyNvm) {
+        let w = &sys.stats().wpq;
+        assert_eq!(
+            w.enqueued,
+            w.drained + w.dropped_at_crash + w.outstanding(),
+            "WPQ ledger must conserve: {w:?}"
+        );
+    }
+
+    #[test]
+    fn wpq_off_leaves_no_trace() {
+        let mut sys = small();
+        let mut t = write64(&mut sys, 0, 0);
+        t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        let _ = sys.crash_and_recover(t);
+        assert!(!sys.stats().wpq.any(), "disabled buffer must not count anything");
+        assert!(sys.persist_buffer().is_none());
+        assert!(sys.last_wpq_flush().is_none());
+        assert!(sys.take_ordering_error().is_none());
+    }
+
+    #[test]
+    fn wpq_fences_and_ledger_conserve_through_checkpoints() {
+        let mut sys = ThyNvm::new(wpq_cfg(0.5));
+        let mut t = Cycle::ZERO;
+        for i in 0..8u64 {
+            t = sys.store_bytes(PhysAddr::new(i * 64), &[i as u8; 64], t);
+        }
+        t = sys.force_checkpoint(t);
+        let t = sys.drain(t);
+        let w = sys.stats().wpq;
+        assert!(w.enqueued > 0, "checkpoint traffic must pass through the buffer");
+        // One fence before the metadata, one before the commit record.
+        assert!(w.fences >= 2, "both §4.4 ordering points must fence: {w:?}");
+        assert_wpq_conservation(&sys);
+        // Quiescent after the drain: only the commit marker may still be
+        // lazily pending (its retire is the job completion cycle).
+        assert!(sys.persist_buffer().expect("armed").outstanding_at(t) <= 1);
+        assert!(sys.take_ordering_error().is_none(), "fenced rounds audit clean");
+    }
+
+    #[test]
+    fn unfenced_commit_is_audited_and_surfaced() {
+        let mut sys = ThyNvm::new(wpq_cfg(0.5));
+        let t = sys.store_bytes(PhysAddr::new(0), &[7u8; 64], Cycle::ZERO);
+        sys.skip_next_fence();
+        let t = sys.force_checkpoint(t);
+        sys.drain(t);
+        let err = sys.take_ordering_error().expect("audit must fire with fences skipped");
+        assert!(
+            matches!(err, Error::UnfencedCommit { pending, .. } if pending > 0),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("unfenced"));
+        // Taken once: the violation does not linger.
+        assert!(sys.take_ordering_error().is_none());
+    }
+
+    #[test]
+    fn crash_salvage_commits_the_inflight_checkpoint_early() {
+        let mut sys = ThyNvm::new(wpq_cfg(1.0));
+        let t = sys.store_bytes(PhysAddr::new(0), &[0xAB; 64], Cycle::ZERO);
+        let resume = sys.force_checkpoint(t);
+        let done = sys.epoch_state().job.as_ref().expect("job in flight").done_at;
+        assert!(sys.epoch_state().job_running(resume));
+        // Crash inside the commit-record persist window: the marker was
+        // issued but had not retired. Salvage rate 1.0 flushes it.
+        let report = sys.crash_and_recover(done - Cycle::new(1));
+        let flush = sys.last_wpq_flush().expect("armed buffer records the flush");
+        assert!(flush.marker_salvaged && flush.commit_salvaged(), "got {flush:?}");
+        assert!(!report.rolled_back_incomplete, "checkpoint committed early");
+        assert_eq!(sys.epoch_state().completed, 1);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, done + report.recovery_cycles);
+        assert_eq!(buf, [0xAB; 64], "early-committed data must be durable");
+        assert_wpq_conservation(&sys);
+    }
+
+    #[test]
+    fn crash_without_salvage_rolls_back_as_before() {
+        let mut sys = ThyNvm::new(wpq_cfg(0.0));
+        let t = sys.store_bytes(PhysAddr::new(0), &[0xAB; 64], Cycle::ZERO);
+        let resume = sys.force_checkpoint(t);
+        let done = sys.epoch_state().job.as_ref().expect("job in flight").done_at;
+        assert!(sys.epoch_state().job_running(resume));
+        let report = sys.crash_and_recover(done - Cycle::new(1));
+        let flush = sys.last_wpq_flush().expect("armed buffer records the flush");
+        assert!(flush.marker_dropped && !flush.commit_salvaged(), "got {flush:?}");
+        assert!(report.rolled_back_incomplete, "no salvage: §4.5 rollback");
+        assert_eq!(sys.epoch_state().completed, 0);
+        let mut buf = [0u8; 64];
+        sys.load_bytes(PhysAddr::new(0), &mut buf, done + report.recovery_cycles);
+        assert_eq!(buf, [0u8; 64], "the in-flight epoch's data is lost");
+        assert_wpq_conservation(&sys);
+    }
+
+    #[test]
+    fn crash_before_the_marker_was_issued_never_salvages() {
+        // Even at salvage rate 1.0, a crash before the commit record's
+        // write was *issued* unwinds the marker: residual energy cannot
+        // flush a write that never reached the queue.
+        let mut sys = ThyNvm::new(wpq_cfg(1.0));
+        let t = sys.store_bytes(PhysAddr::new(0), &[0xCD; 64], Cycle::ZERO);
+        let _ = sys.force_checkpoint(t);
+        let started = sys.epoch_state().job.as_ref().expect("job in flight").started;
+        let report = sys.crash_and_recover(started + Cycle::new(1));
+        let flush = sys.last_wpq_flush().expect("armed buffer records the flush");
+        assert!(flush.marker_dropped && !flush.commit_salvaged(), "got {flush:?}");
+        assert!(report.rolled_back_incomplete);
+        assert_wpq_conservation(&sys);
     }
 }

@@ -298,6 +298,42 @@ impl PersistenceOracle {
         self.diff_against(&self.expected_image_with_tampered_region(crash, tamper), read)
     }
 
+    /// The byte image recovery must produce when the persist buffer's
+    /// crash-time partial flush *salvaged* the in-flight checkpoint's
+    /// commit record: the checkpoint is complete at the device even though
+    /// its timeline had not finished, so the governing snapshot is the
+    /// most recent checkpoint **initiated** by `crash` — not merely the
+    /// most recent one whose commit record had persisted.
+    #[must_use]
+    pub fn expected_image_with_commit_salvage(&self, crash: Cycle) -> BTreeMap<u64, u8> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.started <= crash)
+            .map(|c| c.image.clone())
+            .unwrap_or_default()
+    }
+
+    /// Which label §4.5 assigns when the commit marker was salvaged: the
+    /// in-flight checkpoint commits early, so the outcome is always
+    /// [`RecoveryOutcome::CLast`] — the salvage is exactly the event that
+    /// removes the `CPenult` rollback.
+    #[must_use]
+    pub fn expected_outcome_with_commit_salvage(&self, _crash: Cycle) -> RecoveryOutcome {
+        RecoveryOutcome::CLast
+    }
+
+    /// Like [`PersistenceOracle::diff`], but against the early-committed
+    /// image ([`PersistenceOracle::expected_image_with_commit_salvage`]).
+    #[must_use = "a non-empty diff means recovery diverged from the oracle"]
+    pub fn diff_with_commit_salvage(
+        &self,
+        crash: Cycle,
+        read: impl FnMut(u64) -> u8,
+    ) -> Vec<OracleMismatch> {
+        self.diff_against(&self.expected_image_with_commit_salvage(crash), read)
+    }
+
     /// The byte image an arbitrary *sequence* of stacked crashes must
     /// converge to. `crashes` holds the crash cycles in firing order: the
     /// first entry is the initial power failure; later entries are nested
@@ -640,6 +676,31 @@ mod tests {
         assert!(o.diff_with_tampered_region(Cycle::new(300), both, |_| 0).is_empty());
         assert!(o.diff_with_tampered_region(Cycle::new(300), forged, |_| 1).is_empty());
         assert!(!o.diff_with_tampered_region(Cycle::new(300), forged, |_| 2).is_empty());
+    }
+
+    #[test]
+    fn commit_salvage_promotes_the_in_flight_checkpoint() {
+        let mut o = PersistenceOracle::new();
+        o.record_write(0, &[1]);
+        o.record_checkpoint(Cycle::new(10), Cycle::new(100));
+        o.record_write(0, &[2]);
+        o.record_checkpoint(Cycle::new(200), Cycle::new(300));
+        // Crash mid-flight of the second checkpoint: normally CPenult with
+        // value 1, but a salvaged commit marker promotes it to CLast with
+        // the in-flight snapshot's value 2.
+        let crash = Cycle::new(250);
+        assert_eq!(o.expected_outcome_at(crash), RecoveryOutcome::CPenult);
+        assert_eq!(o.expected_image_at(crash).get(&0), Some(&1));
+        assert_eq!(
+            o.expected_outcome_with_commit_salvage(crash),
+            RecoveryOutcome::CLast
+        );
+        assert_eq!(o.expected_image_with_commit_salvage(crash).get(&0), Some(&2));
+        assert!(o.diff_with_commit_salvage(crash, |_| 2).is_empty());
+        assert!(!o.diff_with_commit_salvage(crash, |_| 1).is_empty());
+        // With no checkpoint initiated, the salvage image is empty (there
+        // was no marker to salvage; the prediction degrades gracefully).
+        assert!(o.expected_image_with_commit_salvage(Cycle::new(5)).is_empty());
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct FnFacts {
     pub wal_begins: Vec<usize>,
     /// Token indices of WAL seals (`wal_seals +=` counter bumps).
     pub wal_seals: Vec<usize>,
+    /// Token indices of persist-buffer fences (`.wpq_fence(..)` /
+    /// `.fence(..)` calls) — the §4.4 drain points L10 requires before
+    /// commit-record and security-root persists.
+    pub fences: Vec<usize>,
     /// Whether the signature takes `&mut self`.
     pub mut_self: bool,
 }
@@ -216,6 +220,15 @@ fn seed_fn(f: &FileIndex, item: usize) -> FnFacts {
         // requires after the sealing device write.
         if name == "wal_seals" && toks.get(i + 1).is_some_and(|t| t.is_punct("+=")) {
             facts.wal_seals.push(i);
+        }
+        // Persist-buffer fence: the controller's `.wpq_fence(..)` wrapper or
+        // a direct `.fence(..)` on the buffer — either drains the WPQ.
+        if (name == "wpq_fence" || name == "fence")
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            facts.fences.push(i);
         }
 
         // Store mutation: `<receiver>.<mutator>(..)` (the L1 shape).
@@ -457,6 +470,24 @@ mod tests {
         assert_eq!(f.wal_seals.len(), 1);
         let spare = f.writes.iter().find(|w| w.region == SPARE).expect("spare write");
         assert!(f.wal_begins[0] < spare.tok && spare.tok < f.wal_seals[0]);
+    }
+
+    #[test]
+    fn fence_calls_are_seeded_in_token_order() {
+        let src = concat!(
+            "fn round(&mut self, t: u64) -> u64 {\n",
+            "    let t = self.wpq_fence(t);\n",
+            "    let t = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, t);\n",
+            "    let t = p.fence(t);\n",
+            "    fence(t); // free fn: not a drain call, not seeded\n",
+            "    t\n",
+            "}\n",
+        );
+        let (files, graph, facts) = analyzed(src);
+        let f = facts_of(&files, &graph, &facts, "round");
+        assert_eq!(f.fences.len(), 2, "method-call fences only");
+        let commit = f.writes.iter().find(|w| w.region == COMMIT_RECORD).expect("commit write");
+        assert!(f.fences[0] < commit.tok && commit.tok < f.fences[1]);
     }
 
     #[test]

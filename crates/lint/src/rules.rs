@@ -1,19 +1,20 @@
-//! The six workspace invariants, as token-pattern rules.
+//! The workspace invariants, as token-pattern rules.
 //!
 //! | Rule | Invariant |
 //! |------|-----------|
 //! | L1   | Raw `SparseStore` mutations only inside `crates/mem` + sealed allowlist |
 //! | L2   | Recovery paths are panic-free (no `unwrap`, bare `expect`, `panic!`, literal indexing) |
-//! | L3   | Every `MemStats`/`MediaStats`/`DramStats`/`PerfStats`/`SecurityStats`/`HealthStats`/`RetryStats` counter is mutated in production code and read by a test |
+//! | L3   | Every `MemStats`/`MediaStats`/`DramStats`/`PerfStats`/`SecurityStats`/`HealthStats`/`RetryStats`/`WpqStats` counter is mutated in production code and read by a test |
 //! | L4   | Every `types::Error` variant is constructed in production code and matched in a test |
-//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SecurityConfig`/`HealthConfig`/`SystemConfig` field is checked in `validate()` |
+//! | L5   | Every numeric `ThyNvmConfig`/`MediaFaultConfig`/`DramFaultConfig`/`SecurityConfig`/`HealthConfig`/`PersistBufferConfig`/`SystemConfig` field is checked in `validate()` |
 //! | L6   | Bounded-retry loops route through `types::RetryPolicy` — no manual `*backoff_ns` arithmetic outside `crates/types/src/retry.rs` |
 //! | L7   | Commit-record persist is the *last* backup/security effect of a checkpoint-commit body — nothing with those effects follows the seal |
 //! | L8   | Every backup-region write reachable from a `recover*`/`replay`/`redo` entry point is WAL-bracketed: `backup_wal` intent before, WAL seal after |
 //! | L9   | Concurrency-readiness: no `static mut`/`thread_local!`/`Cell`/`RefCell`/`UnsafeCell` in `crates/core`+`crates/mem` production code; store effects only behind `&mut self` |
+//! | L10  | Commit-record and security-root persists in `crates/core` are fence-dominated: a persist-buffer drain (`wpq_fence`) precedes them in the same body |
 //!
 //! L1–L6 work on the token stream plus the [`FileIndex`] item index — no
-//! type information. L7–L9 additionally consult the workspace
+//! type information. L7–L10 additionally consult the workspace
 //! [`CallGraph`](crate::graph::CallGraph) and the transitive persistence
 //! effects inferred by [`crate::effects`]. That makes them conservative
 //! pattern matchers; the escape hatch for a justified exception is
@@ -29,7 +30,7 @@ use crate::source::FileIndex;
 /// One violation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Diagnostic {
-    /// Rule ID (`"L1"`..`"L9"`).
+    /// Rule ID (`"L1"`..`"L10"`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -58,11 +59,13 @@ pub(crate) const STORE_MUTATORS: &[&str] = &["write", "write_words", "copy_withi
 /// L1 allowlist: (file, functions) where raw store mutation is sealed by
 /// WAL/commit protocol or models power-loss volatility.
 const L1_ALLOW: &[(&str, &[&str])] = &[
-    // Commit point of a retired checkpoint job; CPU-visible store-through;
-    // DRAM-poison quarantine rolling visible bytes back to the checkpoint;
-    // tamper injection modeling an attacker's out-of-band NVM writes (the
-    // bypass of the sealed path is the point — recovery must catch it).
-    ("crates/core/src/controller.rs", &["retire_job_if_done", "store_bytes", "quarantine_rollback", "apply_tamper"]),
+    // Commit point of a retired checkpoint job (`commit_job`, shared by
+    // normal retirement and the crash-time WPQ early-commit path);
+    // CPU-visible store-through; DRAM-poison quarantine rolling visible
+    // bytes back to the checkpoint; tamper injection modeling an
+    // attacker's out-of-band NVM writes (the bypass of the sealed path is
+    // the point — recovery must catch it).
+    ("crates/core/src/controller.rs", &["retire_job_if_done", "commit_job", "store_bytes", "quarantine_rollback", "apply_tamper"]),
     // Journal flush (redo applied under the commit record) + buffer fill.
     ("crates/baselines/src/journal.rs", &["flush", "store_bytes", "power_fail"]),
     // Shadow-paging flush, copy-on-write buffer fill, volatility model.
@@ -105,6 +108,7 @@ pub fn check_all(files: &[FileIndex]) -> Vec<Diagnostic> {
     rule_l7(files, &graph, &facts, &mut out);
     rule_l8(files, &graph, &facts, &mut out);
     rule_l9(files, &graph, &facts, &mut out);
+    rule_l10(files, &graph, &facts, &mut out);
     // Deduplicate (a fn can be in scope via both its name and its file) and
     // order deterministically.
     let mut seen = HashSet::new();
@@ -281,6 +285,7 @@ const STATS_STRUCTS: &[&str] = &[
     "SecurityStats",
     "HealthStats",
     "RetryStats",
+    "WpqStats",
 ];
 /// Functions that touch every field wholesale; counting them would make the
 /// mutation check vacuous.
@@ -303,6 +308,7 @@ fn rule_l3(files: &[FileIndex], out: &mut Vec<Diagnostic>) {
             || field.ty == "SecurityStats"
             || field.ty == "HealthStats"
             || field.ty == "RetryStats"
+            || field.ty == "WpqStats"
         {
             continue; // aggregate of counters, each checked individually
         }
@@ -430,6 +436,7 @@ const CONFIG_STRUCTS: &[&str] = &[
     "DramFaultConfig",
     "SecurityConfig",
     "HealthConfig",
+    "PersistBufferConfig",
 ];
 const NUMERIC_TYPES: &[&str] = &["u8", "u16", "u32", "u64", "u128", "usize", "f32", "f64"];
 
@@ -727,6 +734,53 @@ fn rule_l9(files: &[FileIndex], graph: &CallGraph, facts: &[FnFacts], out: &mut 
                      effects must be confined to exclusive-borrow methods"
                 ),
             });
+        }
+    }
+}
+
+// --------------------------------------------------------------- L10 ----
+
+/// Regions whose direct persists must be fence-dominated: the checkpoint
+/// commit record and the security-metadata root. Both are atomic
+/// "everything before me is durable" records — a persist-buffer entry
+/// still pending when they land is exactly the §4.4 reordering window a
+/// crash can exploit.
+const L10_FENCED: u16 = effects::COMMIT_RECORD | effects::SECURITY_ROOT;
+
+/// Crates whose device writes pass through the controller's volatile
+/// persist buffer. Baselines issue writes directly (no WPQ), so the fence
+/// obligation does not apply there.
+fn l10_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/core/")
+}
+
+/// L10: fence-dominated commit persists. Every direct commit-record or
+/// security-root write in `crates/core` production code must be preceded,
+/// in the same body, by a persist-buffer drain (`.wpq_fence(..)` or a
+/// direct `.fence(..)` on the buffer). The dynamic twin of this rule is
+/// the controller's `Error::UnfencedCommit` audit; this static form
+/// catches the ordering bug before any crash test has to.
+fn rule_l10(files: &[FileIndex], graph: &CallGraph, facts: &[FnFacts], out: &mut Vec<Diagnostic>) {
+    for (n, node) in graph.nodes.iter().enumerate() {
+        let f = &files[node.file];
+        if !l10_scope(&f.rel_path) {
+            continue;
+        }
+        let fx = &facts[n];
+        let name = &f.fns[node.item].name;
+        for w in fx.writes.iter().filter(|w| w.region & L10_FENCED != 0) {
+            if !fx.fences.iter().any(|&b| b < w.tok) {
+                out.push(Diagnostic {
+                    rule: "L10",
+                    file: f.rel_path.clone(),
+                    line: w.line,
+                    msg: format!(
+                        "unfenced `{}` persist in `{name}` — drain the persist buffer \
+                         (`wpq_fence`) before the record that covers buffered writes lands",
+                        effects::region_name(w.region)
+                    ),
+                });
+            }
         }
     }
 }
@@ -1043,6 +1097,34 @@ mod tests {
         // `&mut self` confines the effect: clean.
         let ok = "fn do_write(&mut self) { self.committed.write(a, b); }\n";
         assert!(one("crates/mem/src/store.rs", ok).iter().all(|d| d.rule != "L9"));
+    }
+
+    #[test]
+    fn l10_requires_a_fence_before_commit_and_root_persists_in_core_only() {
+        let src = concat!(
+            "fn seal_unfenced(&mut self, t: u64) {\n",
+            "    self.nvm.access(self.space.backup(0), AccessKind::Write, 64, t);\n",
+            "}\n",
+            "fn seal_fenced(&mut self, t: u64) {\n",
+            "    let t = self.wpq_fence(t);\n",
+            "    self.nvm.access(self.space.backup(0), AccessKind::Write, 64, t);\n",
+            "}\n",
+            "fn root_unfenced(&mut self, t: u64) {\n",
+            "    self.nvm.access(self.space.security_root(), AccessKind::Write, 64, t);\n",
+            "}\n",
+            "fn metadata_needs_no_fence(&mut self, t: u64) {\n",
+            "    self.nvm.access(self.space.backup(8192), AccessKind::Write, 64, t);\n",
+            "}\n",
+        );
+        let diags = one("crates/core/src/x.rs", src);
+        let l10: Vec<_> = diags.iter().filter(|d| d.rule == "L10").collect();
+        assert_eq!(l10.len(), 2, "{l10:?}");
+        assert_eq!(l10[0].line, 2);
+        assert!(l10[0].msg.contains("commit_record"), "{}", l10[0].msg);
+        assert_eq!(l10[1].line, 9);
+        assert!(l10[1].msg.contains("security_root"), "{}", l10[1].msg);
+        // Baselines persist their commit records without a WPQ: out of scope.
+        assert!(one("crates/baselines/src/journal.rs", src).iter().all(|d| d.rule != "L10"));
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! L7 fixture: backup/security effects after the commit-record seal.
-//! Parsed as `crates/core/src/commitpath.rs`.
+//! Parsed as `crates/core/src/commitpath.rs`. The seals are fenced so the
+//! file stays L10-clean and the diagnostics pin L7 alone.
 
 pub fn checkpoint_commit(&mut self, t: u64) -> u64 {
     let t = self.nvm.access(self.space.backup(8192), AccessKind::Write, 64, t);
+    let t = self.wpq_fence(t);
     let t = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, t);
     let t = self.nvm.access(self.space.backup(16384), AccessKind::Write, 64, t);
     self.stamp_root(t)
 }
 
 fn stamp_root(&mut self, t: u64) -> u64 {
+    let t = self.wpq_fence(t);
     self.nvm.access(self.space.security_root(), AccessKind::Write, 64, t)
 }
 
@@ -16,6 +19,7 @@ fn stamp_root(&mut self, t: u64) -> u64 {
 /// seal are post-commit-legal.
 pub fn checkpoint_commit_clean(&mut self, t: u64) -> u64 {
     let t = self.nvm.access(self.space.backup(8192), AccessKind::Write, 64, t);
+    let t = self.wpq_fence(t);
     let t = self.nvm.access(self.space.backup(0), AccessKind::Write, 64, t);
     let t = self.nvm.access(self.space.backup(0), AccessKind::Read, 64, t);
     self.remap_spare(t)

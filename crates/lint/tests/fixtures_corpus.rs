@@ -92,10 +92,10 @@ fn l6_fixture_flags_both_hand_rolled_backoff_loops() {
 fn l7_fixture_flags_post_seal_backup_write_and_security_call() {
     let diags =
         lint_one("crates/core/src/commitpath.rs", include_str!("fixtures/l7_post_seal_backup.rs"));
-    // Direct backup write after the line-6 commit-record seal, then a call
+    // Direct backup write after the line-8 commit-record seal, then a call
     // whose transitive effects touch the security root. The near-miss
     // (commit-record read + WAL-sealed spare remap after the seal) is silent.
-    assert_eq!(keyed(&diags), vec![("L7", 7), ("L7", 8)], "{diags:?}");
+    assert_eq!(keyed(&diags), vec![("L7", 9), ("L7", 10)], "{diags:?}");
     assert!(diags[0].msg.contains("`backup` write after the commit-record seal"), "{}", diags[0].msg);
     assert!(diags[1].msg.contains("`stamp_root`"), "{}", diags[1].msg);
     assert!(diags[1].msg.contains("security_root"), "{}", diags[1].msg);
@@ -162,6 +162,47 @@ fn l9_fixture_flags_interior_mutability_and_shared_borrow_store_write() {
     );
     let l9: Vec<_> = diags.iter().filter(|d| d.rule == "L9").map(|d| d.line).collect();
     assert_eq!(l9, vec![7], "{diags:?}");
+}
+
+#[test]
+fn l10_fixture_flags_unfenced_commit_and_root_persists() {
+    let diags = lint_one(
+        "crates/core/src/fencepath.rs",
+        include_str!("fixtures/l10_unfenced_commit.rs"),
+    );
+    // Unfenced seal at line 6, unfenced security root at line 10. The
+    // fence-dominated near-miss and the plain-metadata write are silent.
+    assert_eq!(keyed(&diags), vec![("L10", 6), ("L10", 10)], "{diags:?}");
+    assert!(diags[0].msg.contains("commit_record"), "{}", diags[0].msg);
+    assert!(diags[1].msg.contains("security_root"), "{}", diags[1].msg);
+
+    // Baselines have no persist buffer: the same file there is L10-silent.
+    let diags = lint_one(
+        "crates/baselines/src/fencepath.rs",
+        include_str!("fixtures/l10_unfenced_commit.rs"),
+    );
+    assert!(diags.iter().all(|d| d.rule != "L10"), "{diags:?}");
+}
+
+#[test]
+fn l10_mutation_moving_the_fence_after_the_seal_is_caught() {
+    // Mutate the *clean* near-miss: move `seal_with_fence`'s fence below
+    // its commit-record persist. The seal is no longer fence-dominated, so
+    // the rule must produce a fresh diagnostic at the seal's new line.
+    let src = include_str!("fixtures/l10_unfenced_commit.rs");
+    let mut lines: Vec<&str> = src.lines().collect();
+    let fence = lines.iter().position(|l| l.contains("// fence")).expect("fence line");
+    let seal = lines.iter().position(|l| l.contains("// seal")).expect("seal line");
+    assert!(fence < seal, "fixture starts fence-dominated");
+    let moved = lines.remove(fence);
+    lines.insert(seal, moved); // seal slid up by the removal
+    let mutated = lines.join("\n");
+    // The seal now sits one line higher; 0-based index `seal - 1`.
+    let new_line = u32::try_from(seal).expect("small fixture");
+
+    let diags = lint_one("crates/core/src/fencepath.rs", &mutated);
+    assert_eq!(keyed(&diags), vec![("L10", 6), ("L10", 10), ("L10", new_line)], "{diags:?}");
+    assert!(diags[2].msg.contains("seal_with_fence"), "{}", diags[2].msg);
 }
 
 #[test]

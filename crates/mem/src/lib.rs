@@ -20,6 +20,11 @@
 //!   for the DRAM working region: single-bit transients are corrected and
 //!   counted, multi-bit errors poison 64 B blocks that the controller must
 //!   quarantine before they can reach NVM.
+//! * [`wpq::PersistBuffer`] — the volatile persist buffer's *fault
+//!   domain*: a bounded, banked, content-carrying WPQ whose entries drain
+//!   out of order across banks (in order within a 64 B line), with a §4.4
+//!   `fence` primitive and a seeded crash-time partial-flush model that
+//!   salvages a retire-consistent prefix of each bank's pending writes.
 //! * [`fault::SecurityModel`] — the secure persistent memory mode's
 //!   crash-consistency state: per-block counter-mode encryption counters
 //!   with epoch-boundary persistence, an integrity tree over the counter
@@ -49,8 +54,10 @@ pub mod device;
 pub mod fault;
 pub mod queue;
 pub mod store;
+pub mod wpq;
 
 pub use device::{Device, DeviceKind, DeviceStats, WearStats};
 pub use fault::{DramEccModel, EccReadFault, FaultEvent, FaultModel, SecurityModel, SecurityPersist};
 pub use queue::WriteQueue;
 pub use store::SparseStore;
+pub use wpq::{PersistBuffer, WpqCrashReport, WpqKind};

@@ -46,13 +46,16 @@ impl WriteQueue {
     }
 
     /// Number of writes currently in flight at time `now`.
+    ///
+    /// `pending` is kept nondecreasing by [`WriteQueue::push`], so the
+    /// retired prefix is found by binary search instead of a full scan.
     pub fn len_at(&self, now: Cycle) -> usize {
-        self.pending.iter().filter(|&&c| c > now).count()
+        self.pending.len() - self.pending.partition_point(|&c| c <= now)
     }
 
     /// Whether no writes are in flight at time `now`.
     pub fn is_empty_at(&self, now: Cycle) -> bool {
-        self.len_at(now) == 0
+        self.pending.back().is_none_or(|&c| c <= now)
     }
 
     /// Maximum number of in-flight writes.
@@ -205,5 +208,29 @@ mod tests {
     #[test]
     fn capacity_accessor() {
         assert_eq!(WriteQueue::new(64).capacity(), 64);
+    }
+
+    /// Pins the binary-search `len_at`/`is_empty_at` to the original O(n)
+    /// filter-scan semantics: identical results (and therefore identical
+    /// stall behavior) at every probe time across a long interleaving of
+    /// pushes, including out-of-order completions and full-queue stalls.
+    #[test]
+    fn len_at_matches_linear_scan_reference() {
+        let scan_len = |q: &WriteQueue, now: Cycle| q.pending.iter().filter(|&&c| c > now).count();
+        let mut q = WriteQueue::new(8);
+        let mut state = 0x5750_5144u64;
+        let mut now = Cycle::ZERO;
+        for _ in 0..500 {
+            now += Cycle::new(thynvm_types::rng::next(&mut state) % 40);
+            let completion = now + Cycle::new(thynvm_types::rng::next(&mut state) % 300);
+            q.push(completion, now);
+            for probe in [Cycle::ZERO, now, completion, completion + Cycle::new(1)] {
+                assert_eq!(q.len_at(probe), scan_len(&q, probe), "probe={probe}");
+                assert_eq!(q.is_empty_at(probe), scan_len(&q, probe) == 0, "probe={probe}");
+            }
+            // push() retires eagerly, so `pending` is bounded by the true
+            // in-flight count plus the entries not yet observed to retire.
+            assert!(q.pending.len() <= q.capacity());
+        }
     }
 }

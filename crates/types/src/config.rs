@@ -569,6 +569,63 @@ impl HealthConfig {
     }
 }
 
+/// Volatile persist-buffer (WPQ) fault-domain configuration.
+///
+/// All fields default to "off": a default configuration keeps every NVM
+/// write content-durable the instant it is issued, so baseline runs are
+/// byte- and cycle-identical to a build without the subsystem.
+///
+/// With the buffer enabled, NVM writes enter a bounded volatile write
+/// pending queue holding `(addr, data, retire_cycle)` entries and only
+/// become durable when they drain — out of order across banks, in order
+/// within a 64 B line. The controller must fence (force-drain) the buffer
+/// at every §4.4 ordering point; a crash drops a seeded, retire-consistent
+/// suffix of each bank's pending entries, so recovery faces genuinely
+/// torn, reordered persist state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PersistBufferConfig {
+    /// Master switch for the persist-buffer model. When `false` writes are
+    /// durable at issue and the simulated image and cycle counts are
+    /// bit-identical to a build without the subsystem.
+    pub enabled: bool,
+    /// Seed for the deterministic crash-time partial-flush schedule. Must
+    /// differ from [`MediaFaultConfig::seed`], [`DramFaultConfig::seed`]
+    /// and [`SecurityConfig::seed`] when the respective models are
+    /// enabled, so the fault streams stay independent.
+    pub seed: u64,
+    /// Maximum buffered entries across all banks before further enqueues
+    /// exert back-pressure (the issuer stalls until the earliest pending
+    /// entry retires). Must be nonzero when the model is enabled.
+    pub capacity: u32,
+    /// Expected fraction of each bank's in-flight (issued but not yet
+    /// retired) entries salvaged at a crash, beyond the retire-complete
+    /// prefix that is always durable. Must be in `[0, 1]`: `0.0` drops
+    /// everything still in flight, `1.0` models a fully residual-powered
+    /// buffer that always finishes its drain.
+    pub salvage_rate: f64,
+}
+
+impl Default for PersistBufferConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            seed: 0x5750_5144_524e, // "WPQDRN"
+            capacity: 64,
+            salvage_rate: 0.5,
+        }
+    }
+}
+
+impl PersistBufferConfig {
+    /// A fully-armed configuration: the buffer on with the default
+    /// capacity and salvage rate. Deliberately *not* part of
+    /// [`SystemConfig::hardened`] — fence stalls change cycle counts, and
+    /// `hardened()` is used in timing-compared configurations.
+    pub fn armed() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
 /// Complete system configuration: one struct to construct any evaluated
 /// memory system with the paper's parameters.
 ///
@@ -602,6 +659,9 @@ pub struct SystemConfig {
     pub security: SecurityConfig,
     /// Graceful-degradation health ladder (default: off, zero overhead).
     pub health: HealthConfig,
+    /// Volatile persist-buffer fault domain (default: off, writes durable
+    /// at issue, zero overhead).
+    pub wpq: PersistBufferConfig,
 }
 
 impl Eq for SystemConfig {}
@@ -718,6 +778,28 @@ impl SystemConfig {
         if s.enabled && d.enabled && s.seed == d.seed {
             return fail(
                 "security seed must differ from the DRAM fault seed so the fault streams stay independent",
+            );
+        }
+        let w = &self.wpq;
+        if !(0.0..=1.0).contains(&w.salvage_rate) {
+            return fail("WPQ salvage rate must be a probability in [0, 1]");
+        }
+        if w.enabled && w.capacity == 0 {
+            return fail("persist buffer needs nonzero capacity to hold any pending write");
+        }
+        if w.enabled && self.media.enabled && w.seed == self.media.seed {
+            return fail(
+                "WPQ seed must differ from the NVM media seed so the fault streams stay independent",
+            );
+        }
+        if w.enabled && d.enabled && w.seed == d.seed {
+            return fail(
+                "WPQ seed must differ from the DRAM fault seed so the fault streams stay independent",
+            );
+        }
+        if w.enabled && s.enabled && w.seed == s.seed {
+            return fail(
+                "WPQ seed must differ from the security seed so the fault streams stay independent",
             );
         }
         let h = &self.health;
@@ -1142,6 +1224,57 @@ mod tests {
         cfg.security.enabled = false;
         cfg.security.seed = cfg.media.seed;
         cfg.validate().expect("collision with disabled domain allowed");
+    }
+
+    #[test]
+    fn wpq_defaults_off_with_distinct_seed() {
+        let w = SystemConfig::paper().wpq;
+        assert!(!w.enabled);
+        assert_eq!(w.capacity, 64);
+        assert_eq!(w.salvage_rate, 0.5);
+        assert_ne!(w.seed, MediaFaultConfig::default().seed);
+        assert_ne!(w.seed, DramFaultConfig::default().seed);
+        assert_ne!(w.seed, SecurityConfig::default().seed);
+        // Armed preset flips only the switch — and is deliberately not part
+        // of hardened(): fence stalls change cycle counts.
+        assert_eq!(PersistBufferConfig::armed(), PersistBufferConfig {
+            enabled: true,
+            ..PersistBufferConfig::default()
+        });
+        assert!(!SystemConfig::hardened().wpq.enabled);
+    }
+
+    #[test]
+    fn validation_rejects_bad_wpq_combinations() {
+        let mut cfg = SystemConfig::paper();
+        cfg.wpq.salvage_rate = 1.5;
+        assert!(cfg.validate().unwrap_err().to_string().contains("probability"));
+
+        let mut cfg = SystemConfig::paper();
+        cfg.wpq = PersistBufferConfig::armed();
+        cfg.wpq.capacity = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("capacity"));
+
+        // Seed collisions with each enabled sibling domain.
+        let mut cfg = SystemConfig::hardened();
+        cfg.wpq = PersistBufferConfig::armed();
+        cfg.wpq.seed = cfg.media.seed;
+        assert!(cfg.validate().unwrap_err().to_string().contains("seed"));
+
+        let mut cfg = SystemConfig::hardened();
+        cfg.wpq = PersistBufferConfig::armed();
+        cfg.wpq.seed = cfg.dram_fault.seed;
+        assert!(cfg.validate().unwrap_err().to_string().contains("seed"));
+
+        let mut cfg = SystemConfig::hardened();
+        cfg.wpq = PersistBufferConfig::armed();
+        cfg.wpq.seed = cfg.security.seed;
+        assert!(cfg.validate().unwrap_err().to_string().contains("seed"));
+
+        // Disabled buffer skips capacity validation entirely.
+        let mut cfg = SystemConfig::paper();
+        cfg.wpq.capacity = 0;
+        cfg.validate().expect("disabled WPQ is not validated");
     }
 
     #[test]

@@ -72,6 +72,17 @@ pub enum Error {
         /// The ladder rung the controller is currently at.
         rung: HealthRung,
     },
+    /// A commit-record persist was issued while the volatile persist
+    /// buffer still held non-commit entries: the §4.4 ordering fence was
+    /// skipped, so a crash could make the commit record durable before the
+    /// data it commits. Caught by the controller's ordering audit and
+    /// surfaced via `take_ordering_error` rather than silently tolerated.
+    UnfencedCommit {
+        /// Physical address of the commit record.
+        addr: PhysAddr,
+        /// Non-commit entries still pending in the buffer at the persist.
+        pending: usize,
+    },
     /// An uncorrectable DRAM error poisoned dirty working data: the
     /// affected range was quarantined — its writes were dropped and the
     /// contents rolled back to the last checkpoint — instead of letting the
@@ -110,6 +121,12 @@ impl fmt::Display for Error {
             }
             Error::Degraded { rung } => {
                 write!(f, "controller degraded to {rung}: new stores are rejected")
+            }
+            Error::UnfencedCommit { addr, pending } => {
+                write!(
+                    f,
+                    "commit record at {addr} persisted with {pending} unfenced entries still pending in the persist buffer"
+                )
             }
             Error::DramPoisonLost { addr, bytes } => {
                 write!(
@@ -152,6 +169,9 @@ mod tests {
         let e = Error::Degraded { rung: HealthRung::ReadOnly };
         assert!(e.to_string().contains("read-only"));
         assert!(e.to_string().contains("stores are rejected"));
+        let e = Error::UnfencedCommit { addr: PhysAddr::new(0x0), pending: 7 };
+        assert!(e.to_string().contains("unfenced"));
+        assert!(e.to_string().contains("7"));
         let e = Error::DramPoisonLost { addr: PhysAddr::new(0x2000), bytes: 4096 };
         assert!(e.to_string().contains("quarantined"));
         assert!(e.to_string().contains("0x2000"));

@@ -47,7 +47,8 @@ pub mod system;
 pub use addr::{BlockIndex, HwAddr, PageIndex, PhysAddr, BLOCK_BYTES, BLOCKS_PER_PAGE, PAGE_BYTES};
 pub use config::{
     CacheConfig, CkptMode, DeviceGeometry, DramFaultConfig, HealthConfig, MediaFaultConfig,
-    SecurityConfig, SystemConfig, ThyNvmConfig, TimingConfig, WorkingRegion, CPU_FREQ_GHZ,
+    PersistBufferConfig, SecurityConfig, SystemConfig, ThyNvmConfig, TimingConfig, WorkingRegion,
+    CPU_FREQ_GHZ,
 };
 pub use cycle::Cycle;
 pub use error::{Error, Result};
@@ -57,6 +58,6 @@ pub use req::{AccessKind, MemRequest, TraceEvent};
 pub use retry::RetryPolicy;
 pub use stats::{
     CkptPhase, CrashEvent, DramStats, FaultKind, HealthRung, HealthStats, MediaStats, MemStats,
-    NvmWriteClass, PerfStats, RecoveryOutcome, RecoveryStep, RetryStats, SecurityStats,
+    NvmWriteClass, PerfStats, RecoveryOutcome, RecoveryStep, RetryStats, SecurityStats, WpqStats,
 };
 pub use system::{MemorySystem, PersistentMemory};

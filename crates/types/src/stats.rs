@@ -583,6 +583,57 @@ impl RetryStats {
     }
 }
 
+/// Volatile persist-buffer (WPQ) conservation ledger.
+///
+/// Conservation: every entry that ever entered the buffer is accounted for
+/// exactly once — `enqueued == drained + dropped_at_crash +`
+/// [`WpqStats::outstanding`] — so a leaked or double-counted persist shows
+/// up as a ledger imbalance, not a silent divergence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WpqStats {
+    /// Entries that entered the buffer.
+    pub enqueued: u64,
+    /// Entries made content-durable by draining (retirement, a fence, or
+    /// the salvaged prefix of a crash-time partial flush).
+    pub drained: u64,
+    /// Entries discarded by a crash before they drained.
+    pub dropped_at_crash: u64,
+    /// Explicit fence (force-drain) operations issued by the controller.
+    pub fences: u64,
+    /// Cycles the issuer spent stalled on fences and full-buffer
+    /// back-pressure.
+    pub fence_stall_cycles: Cycle,
+    /// Largest number of entries simultaneously pending across all banks —
+    /// the maximum window within which a crash can reorder persists.
+    pub reorder_window_max: u64,
+}
+
+impl WpqStats {
+    /// Entries still pending in the buffer (enqueued but neither drained
+    /// nor dropped) — the third term of the conservation law.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.enqueued - self.drained - self.dropped_at_crash
+    }
+
+    /// Whether the buffer recorded any activity at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.enqueued > 0 || self.fences > 0
+    }
+
+    /// Merges another record into this one (summing the flow counters,
+    /// taking the maximum of the window high-water mark).
+    pub fn merge(&mut self, other: &WpqStats) {
+        self.enqueued += other.enqueued;
+        self.drained += other.drained;
+        self.dropped_at_crash += other.dropped_at_crash;
+        self.fences += other.fences;
+        self.fence_stall_cycles += other.fence_stall_cycles;
+        self.reorder_window_max = self.reorder_window_max.max(other.reorder_window_max);
+    }
+}
+
 /// Observability record of one injected crash and its recovery.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrashEvent {
@@ -679,6 +730,8 @@ pub struct MemStats {
     pub health: HealthStats,
     /// Unified bounded-retry budget accounting.
     pub retry: RetryStats,
+    /// Volatile persist-buffer conservation ledger.
+    pub wpq: WpqStats,
     /// Simulator fast-path counters (host-performance accounting).
     pub perf: PerfStats,
     /// Per-crash observability records, in injection order.
@@ -806,6 +859,7 @@ impl MemStats {
         self.security.merge(&other.security);
         self.health.merge(&other.health);
         self.retry.merge(&other.retry);
+        self.wpq.merge(&other.wpq);
         self.perf.merge(&other.perf);
         self.crash_events.extend(other.crash_events.iter().cloned());
     }
@@ -927,6 +981,19 @@ impl fmt::Display for MemStats {
                 self.retry.media_attempts,
                 self.retry.recovery_attempts,
                 self.retry.dram_attempts,
+            )?;
+        }
+        if self.wpq.any() {
+            write!(
+                f,
+                " wpq(enq={} drained={} dropped={} outstanding={} fences={} stall={} window={})",
+                self.wpq.enqueued,
+                self.wpq.drained,
+                self.wpq.dropped_at_crash,
+                self.wpq.outstanding(),
+                self.wpq.fences,
+                self.wpq.fence_stall_cycles,
+                self.wpq.reorder_window_max,
             )?;
         }
         if self.dram.any() {
@@ -1367,6 +1434,42 @@ mod tests {
         let text = a.to_string();
         assert!(text.contains("retry(media=8 recovery=4 dram=6)"), "text={text}");
         assert!(!MemStats::new().to_string().contains("retry("));
+    }
+
+    #[test]
+    fn wpq_stats_conserve_merge_and_show() {
+        let mut w = WpqStats::default();
+        assert!(!w.any());
+        w.enqueued = 10;
+        w.drained = 6;
+        w.dropped_at_crash = 3;
+        w.fences = 2;
+        w.fence_stall_cycles = Cycle::new(40);
+        w.reorder_window_max = 5;
+        assert!(w.any());
+        // Conservation: enqueued == drained + dropped_at_crash + outstanding.
+        assert_eq!(w.outstanding(), 1);
+        assert_eq!(w.enqueued, w.drained + w.dropped_at_crash + w.outstanding());
+
+        let mut a = MemStats::new();
+        a.wpq.merge(&w);
+        let mut b = MemStats::new();
+        b.wpq.merge(&w);
+        b.wpq.reorder_window_max = 9;
+        a.merge(&b);
+        assert_eq!(a.wpq.enqueued, 20);
+        assert_eq!(a.wpq.drained, 12);
+        assert_eq!(a.wpq.dropped_at_crash, 6);
+        assert_eq!(a.wpq.fences, 4);
+        assert_eq!(a.wpq.fence_stall_cycles, Cycle::new(80));
+        // The window is a high-water mark: merge takes the max, not the sum.
+        assert_eq!(a.wpq.reorder_window_max, 9);
+        assert_eq!(a.wpq.outstanding(), 2);
+
+        let text = a.to_string();
+        assert!(text.contains("wpq(enq=20 drained=12 dropped=6 outstanding=2"), "text={text}");
+        assert!(text.contains("fences=4"), "text={text}");
+        assert!(!MemStats::new().to_string().contains("wpq("));
     }
 
     #[test]

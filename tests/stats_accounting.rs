@@ -220,3 +220,53 @@ fn security_ledger_conserves_and_tracks_device_traffic() {
     assert_eq!(s.verify_fallbacks, 3);
     assert_eq!(s.unrecoverable, 0);
 }
+
+#[test]
+fn wpq_ledger_conserves_against_device_traffic() {
+    // Every NVM write the controller issues passes through the armed
+    // persist buffer exactly once (plus one commit marker per checkpoint),
+    // so the ledger must balance against itself after any mix of fences,
+    // lazy drains and crash-time partial flushes — and nothing may be
+    // counted while the buffer is disabled.
+    let mut cfg = SystemConfig::small_test();
+    cfg.wpq = thynvm::types::PersistBufferConfig::armed();
+    cfg.validate().expect("valid armed config");
+    let mut sys = ThyNvm::new(cfg);
+    let mut t = thynvm::types::Cycle::ZERO;
+    for i in 0..32u64 {
+        t = sys.store_bytes(thynvm::types::PhysAddr::new((i % 8) * 64), &[i as u8; 64], t);
+        if i % 10 == 9 {
+            t = sys.force_checkpoint(t);
+            t = sys.drain(t);
+        }
+        if i % 16 == 15 {
+            let report = sys.crash_and_recover(t);
+            t = t + report.recovery_cycles + thynvm::types::Cycle::new(1);
+        }
+    }
+    let w = MemorySystem::stats(&sys).wpq;
+    assert!(w.enqueued > 0, "armed buffer saw no traffic");
+    assert_eq!(
+        w.enqueued,
+        w.drained + w.dropped_at_crash + w.outstanding(),
+        "WPQ ledger out of balance: {w:?}"
+    );
+    // Three checkpoints, each with at least a data fence and a commit
+    // fence; the health-override seal may add more.
+    assert!(w.fences >= 6, "missing §4.4 fences: {w:?}");
+    // Fences drain to the last retire cycle; the serialized checkpoint
+    // timeline keeps that at or before `now`, so stalls stay bounded by
+    // the total fence count times a burst.
+    assert!(w.fence_stall_cycles.raw() <= w.fences * 1_000, "{w:?}");
+    assert!(w.reorder_window_max <= u64::from(cfg.wpq.capacity), "{w:?}");
+
+    // Disabled twin: same traffic, empty ledger.
+    let mut sys = ThyNvm::new(SystemConfig::small_test());
+    let mut t = thynvm::types::Cycle::ZERO;
+    for i in 0..8u64 {
+        t = sys.store_bytes(thynvm::types::PhysAddr::new(i * 64), &[1; 64], t);
+    }
+    t = sys.force_checkpoint(t);
+    sys.drain(t);
+    assert!(!MemorySystem::stats(&sys).wpq.any(), "disabled buffer counted traffic");
+}
