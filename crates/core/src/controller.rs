@@ -3298,6 +3298,7 @@ impl ThyNvm {
         let job = CkptJob {
             epoch: self.epoch.active_epoch,
             started: ckpt_start,
+            commit_at: commit_start,
             done_at: bg,
             drained_at: phase1_done,
             btt_at: btt_done,

@@ -16,6 +16,11 @@ pub struct CkptJob {
     pub epoch: u64,
     /// Cycle the checkpointing phase started.
     pub started: Cycle,
+    /// Cycle the commit record's write was *issued* (after the final §4.4
+    /// fence). The commit window is `[commit_at, done_at)`: a crash before
+    /// `commit_at` can never salvage the marker, because the record had not
+    /// entered the persist buffer yet.
+    pub commit_at: Cycle,
     /// Cycle the checkpoint completes (write queue drained, completion bit
     /// set). Computed when the job is scheduled.
     pub done_at: Cycle,
@@ -144,6 +149,7 @@ mod tests {
         CkptJob {
             epoch,
             started: Cycle::new(started),
+            commit_at: Cycle::new(started + 7 * span / 8),
             done_at: Cycle::new(done),
             drained_at: Cycle::new(started + span / 4),
             btt_at: Cycle::new(started + span / 2),

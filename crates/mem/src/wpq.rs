@@ -230,7 +230,10 @@ impl PersistBuffer {
     ) -> Cycle {
         self.drain_to(issue);
         let resume = if self.pending_total >= self.cfg.capacity as usize {
-            // Full: stall until the earliest in-flight entry retires.
+            // Full: stall until the earliest in-flight entry retires. The
+            // stall is charged to the same counter as fence stalls — the
+            // ledger's `fence_stall_cycles` covers every cycle the issuer
+            // spent waiting on the buffer, whichever primitive blocked it.
             let earliest = self
                 .banks
                 .iter()
@@ -238,7 +241,9 @@ impl PersistBuffer {
                 .min()
                 .expect("nonempty when full");
             self.drain_to(earliest);
-            earliest.max(issue)
+            let resume = earliest.max(issue);
+            self.stats.fence_stall_cycles += resume - issue;
+            resume
         } else {
             issue
         };
@@ -342,20 +347,30 @@ impl PersistBuffer {
             ..WpqCrashReport::default()
         };
         for bank in 0..self.banks.len() {
-            let mut q = std::mem::take(&mut self.banks[bank]);
-            // Unwind writes from the unreached future.
-            while q.back().is_some_and(|e| e.issue > at) {
-                let e = q.pop_back().expect("back just observed");
-                self.drop_entry(&e, &mut report);
+            let q = std::mem::take(&mut self.banks[bank]);
+            // Unwind writes from the unreached future. Issue order within
+            // a bank is NOT monotone — background checkpoint timelines run
+            // ahead of foreground time, so a marker issued at a later cycle
+            // can sit *in front of* a foreground write issued earlier.
+            // Filter the whole queue (preserving the retire order of what
+            // remains) rather than popping a back suffix, or a
+            // never-issued entry could hide in the salvageable prefix.
+            let mut reached: VecDeque<WpqEntry> = VecDeque::with_capacity(q.len());
+            for e in q {
+                if e.issue > at {
+                    self.drop_entry(&e, &mut report);
+                } else {
+                    reached.push_back(e);
+                }
             }
             let keep = Self::salvage_prefix_len(
                 self.cfg.seed,
                 self.crash_ordinal,
                 bank as u64,
                 self.cfg.salvage_rate,
-                q.len(),
+                reached.len(),
             );
-            for (i, e) in q.iter().enumerate() {
+            for (i, e) in reached.iter().enumerate() {
                 if i < keep {
                     self.apply(e);
                     report.drained += 1;
@@ -488,6 +503,35 @@ mod tests {
             Cycle::new(100)
         );
         assert_eq!(w.pending_total, 2);
+        // The back-pressure stall (cycle 10 → 100) is charged to the
+        // ledger's stall counter, same as a fence stall would be.
+        assert_eq!(w.stats().fence_stall_cycles, Cycle::new(90));
+        conservation_holds(&w);
+    }
+
+    #[test]
+    fn unwind_removes_future_issued_entries_anywhere_in_the_bank() {
+        // Background checkpoint timelines run ahead of foreground time, so
+        // per-bank issue order is not monotone: a commit marker issued at
+        // cycle 1000 can sit *in front of* a foreground write issued at
+        // cycle 500. A crash at cycle 600 must unwind the marker even
+        // though it is not at the back of the queue — at salvage rate 1.0
+        // a surviving marker would early-commit a checkpoint whose commit
+        // record was never issued.
+        let cfg = PersistBufferConfig { salvage_rate: 1.0, ..armed() };
+        let mut w = PersistBuffer::new(cfg, geom());
+        let line = HwAddr::new(0);
+        w.push(line, &[], Cycle::new(1_000), Cycle::new(1_200), WpqKind::CommitMarker);
+        w.push(line, b"f", Cycle::new(500), Cycle::new(1_300), WpqKind::Data);
+        let r = w.crash(Cycle::new(600));
+        assert!(r.marker_dropped && !r.marker_salvaged, "got {r:?}");
+        assert!(!r.commit_salvaged(), "never-issued marker must not early-commit");
+        assert_eq!(r.salvaged, 1, "the reached foreground write still salvages");
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.data_dropped, 0);
+        let mut b = [0u8; 1];
+        w.sink().read(line, &mut b);
+        assert_eq!(&b, b"f", "salvage keeps the reached entries in order");
         conservation_holds(&w);
     }
 

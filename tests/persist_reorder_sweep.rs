@@ -94,6 +94,9 @@ fn apply(sys: &mut ThyNvm, op: &Op, now: Cycle) -> Cycle {
 #[derive(Debug, Clone, Copy)]
 struct CkptTimes {
     started: Cycle,
+    /// Cycle the commit record's write was issued: the earliest crash
+    /// cycle at which the marker exists to be salvaged at all.
+    commit_at: Cycle,
     done_at: Cycle,
 }
 
@@ -126,8 +129,12 @@ fn reference_run(ops: &[Op], cfg: SystemConfig) -> (PersistenceOracle, Vec<CkptT
         now = apply(&mut sys, op, now);
         if matches!(op, Op::Checkpoint) {
             let times = match sys.epoch_state().job.as_ref() {
-                Some(j) => CkptTimes { started: j.started, done_at: j.done_at },
-                None => CkptTimes { started: before, done_at: now },
+                Some(j) => {
+                    CkptTimes { started: j.started, commit_at: j.commit_at, done_at: j.done_at }
+                }
+                // Job already retired: the window is behind us and no soak
+                // crash can land in it — an empty commit window is correct.
+                None => CkptTimes { started: before, commit_at: now, done_at: now },
             };
             oracle.record_checkpoint(times.started, times.done_at);
             ckpts.push(times);
@@ -256,6 +263,10 @@ fn crash_inside_the_commit_window_salvages_by_rate() {
         let flush = sys.last_wpq_flush().expect("armed crash reports a flush");
         if flush.commit_salvaged() {
             salvages += 1;
+            assert!(
+                ck.commit_at <= at && at < ck.done_at,
+                "ckpt {k}: salvage requires the marker to have been issued"
+            );
             assert_eq!(
                 first.event.outcome,
                 RecoveryOutcome::CLast,
@@ -291,6 +302,51 @@ fn crash_inside_the_commit_window_salvages_by_rate() {
         assert_wpq_conserves(&sys0, &format!("rate-0.0 ckpt {k}"));
     }
     assert!(salvages > 0, "no commit window ever had its marker in flight");
+}
+
+/// The flip side of the commit window: a crash *before* the commit record
+/// was issued (`at < commit_at`) can never salvage the marker, even at
+/// salvage rate 1.0 — residual energy cannot flush a write that had not
+/// entered the WPQ. Overlapped execution makes this window adversarial:
+/// foreground writes issued on the (earlier) foreground timeline enqueue
+/// *behind* the marker in its bank, so a naive suffix unwind would leave
+/// the never-issued marker in the salvageable prefix and early-commit a
+/// checkpoint whose commit record did not exist at the crash.
+#[test]
+fn crash_before_the_commit_record_never_salvages() {
+    let ops = workload();
+    let (oracle, ckpts, _) = reference_run(&ops, armed_cfg(1.0));
+    let mut windows = 0u64;
+    for (k, ck) in ckpts.iter().enumerate() {
+        for back in [1u64, 7, 50, 200, 1_000] {
+            let at = Cycle::new(ck.commit_at.raw().saturating_sub(back));
+            if at <= ck.started {
+                continue;
+            }
+            windows += 1;
+            let (first, _, mut sys) = storm_replay(&ops, armed_cfg(1.0), None, at, &[]);
+            let flush = sys.last_wpq_flush().expect("armed crash reports a flush");
+            assert!(
+                !flush.marker_salvaged,
+                "ckpt {k} at {at} (commit_at {}): salvaged a never-issued marker: {flush:?}",
+                ck.commit_at
+            );
+            assert_eq!(
+                first.event.outcome,
+                oracle.expected_outcome_after_crash_sequence(&[at], false),
+                "ckpt {k} at {at}: pre-issue crash must follow classic semantics"
+            );
+            let t = Cycle::new(u64::MAX / 2);
+            let diffs = oracle.diff_after_crash_sequence(&[at], false, |addr| {
+                let mut buf = [0u8; 1];
+                sys.load_bytes(PhysAddr::new(addr), &mut buf, t);
+                buf[0]
+            });
+            assert_image(diffs, &format!("pre-issue ckpt {k} at {at}"));
+            assert_wpq_conserves(&sys, &format!("pre-issue ckpt {k} at {at}"));
+        }
+    }
+    assert!(windows >= 10, "workload must expose pre-issue crash windows");
 }
 
 /// Randomized soak: 510 seeded trials crossing salvage rates × nested
@@ -363,12 +419,15 @@ fn seeded_reorder_storms_converge_to_the_salvage_aware_oracle() {
         let t = Cycle::new(u64::MAX / 2);
         if salvaged && classic != RecoveryOutcome::CLast {
             // The first crash promoted the in-flight checkpoint. Legal only
-            // inside some checkpoint's commit window, and only when the
-            // flush could keep the marker at all.
+            // inside some checkpoint's commit-*record* window — the marker
+            // must have been issued (`commit_at <= at`, not merely
+            // `started <= at`: a salvage before the record entered the WPQ
+            // would mean the buffer kept a never-issued write) and not yet
+            // retired — and only when the flush could keep it at all.
             assert!(rate > 0.0, "{label}: rate 0.0 can never salvage");
             assert!(
-                ckpts.iter().any(|c| c.started <= at && at < c.done_at),
-                "{label}: salvage outside every commit window"
+                ckpts.iter().any(|c| c.commit_at <= at && at < c.done_at),
+                "{label}: salvage outside every commit-record window"
             );
             salvages += 1;
             let diffs = oracle.diff_with_commit_salvage(at, |addr| {
